@@ -1,0 +1,53 @@
+"""Figure 2 — the iterated-racing loop itself.
+
+Races a mid-size parameter space against the board and prints the
+per-iteration telemetry (candidates sampled, trials spent, best cost,
+survivors) — the sample/race/update cycle the figure sketches. Shape
+assertions: the race eliminates candidates, and the final cost improves
+substantially on the best-guess starting point.
+"""
+
+from repro.core.config import cortex_a53_public_config
+from repro.hardware.lmbench import apply_latency_estimates, lat_mem_rd
+from repro.simulator import SnipeSim
+from repro.tuning import IraceTuner
+from repro.tuning.cost import cpi_error
+from repro.validation.steps import inorder_param_space
+from repro.workloads.microbench import get_microbenchmark
+
+WORKLOADS = ["ED1", "EM1", "EF", "MD", "ML2", "MC", "CCh", "CCe", "CS1",
+             "STc", "STL2b", "DPT", "DP1d", "M_Dyn"]
+
+
+def test_irace_convergence(board, benchmark):
+    base = apply_latency_estimates(
+        cortex_a53_public_config(), lat_mem_rd(board.a53, 32 * 1024, 512 * 1024)
+    )
+    space = inorder_param_space(stage=2)
+    traces = {name: get_microbenchmark(name).trace() for name in WORKLOADS}
+    measurements = {name: board.a53.measure(t) for name, t in traces.items()}
+
+    def evaluate(assignment, instance):
+        config = base.with_updates(assignment)
+        return min(cpi_error(SnipeSim(config).run(traces[instance]), measurements[instance]), 3.0)
+
+    initial = space.default_assignment(base.flatten())
+
+    def tune():
+        tuner = IraceTuner(
+            space, evaluate, instances=WORKLOADS, budget=700, seed=9,
+            first_test=5, initial_assignments=[initial],
+        )
+        return tuner.run()
+
+    result = benchmark.pedantic(tune, rounds=1, iterations=1)
+
+    print()
+    print("Figure 2 — iterated racing telemetry")
+    print(result.summary())
+
+    initial_cost = sum(evaluate(initial, w) for w in WORKLOADS) / len(WORKLOADS)
+    print(f"best-guess cost {initial_cost:.3f} -> tuned {result.best_cost:.3f}")
+    assert result.best_cost < 0.6 * initial_cost
+    assert result.total_evaluations <= 700 + len(WORKLOADS) * (len(result.history) + 3)
+    assert len(result.history) >= 3

@@ -1,0 +1,29 @@
+"""Figure 5 — tuned A53 model vs hardware on SPEC CPU2017.
+
+Paper: 7% average absolute CPI error, at most 16% on any single
+benchmark — the tuned-on-microbenchmarks model *generalises*.
+"""
+
+from benchmarks.conftest import spec_errors
+from repro.analysis.figures import bar_chart
+from repro.analysis.metrics import summarize_errors
+
+
+def test_fig5_spec_errors(board, a53_campaign, benchmark):
+    errors = benchmark.pedantic(
+        lambda: spec_errors(board, "a53", a53_campaign.final_config),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(bar_chart(
+        errors,
+        title="Figure 5 — absolute CPI error, tuned Cortex-A53 model (paper: 7% avg)",
+        clip=0.5,
+    ))
+    summary = summarize_errors(errors)
+    print(f"=> {summary}")
+
+    assert summary.mean < 0.12          # paper: 0.07
+    assert summary.maximum < 0.30       # paper: 0.16
+    assert len(errors) == 11

@@ -1,0 +1,35 @@
+"""Figure 6 — tuned A72 model vs hardware on SPEC CPU2017.
+
+Paper: 15% average absolute CPI error, a couple of outliers near 30%
+(more than half the benchmarks under 10%); the out-of-order model is
+harder to validate than the in-order one.
+"""
+
+from benchmarks.conftest import spec_errors
+from repro.analysis.figures import bar_chart
+from repro.analysis.metrics import summarize_errors
+
+
+def test_fig6_spec_errors(board, a53_campaign, a72_campaign, benchmark):
+    errors = benchmark.pedantic(
+        lambda: spec_errors(board, "a72", a72_campaign.final_config),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(bar_chart(
+        errors,
+        title="Figure 6 — absolute CPI error, tuned Cortex-A72 model (paper: 15% avg)",
+        clip=0.5,
+    ))
+    summary = summarize_errors(errors)
+    a53_errors = spec_errors(board, "a53", a53_campaign.final_config)
+    a53_mean = sum(a53_errors.values()) / len(a53_errors)
+    print(f"=> {summary} (tuned A53 mean for comparison: {a53_mean:.1%})")
+
+    assert summary.mean < 0.22          # paper: 0.15
+    assert summary.maximum < 0.45       # paper outliers ~0.30
+    # The OoO model validates worse than the in-order one (paper 15 vs 7).
+    assert summary.mean > a53_mean
+    # More than a third of the benchmarks should sit under 10% error.
+    assert sum(1 for e in errors.values() if e < 0.10) >= 4

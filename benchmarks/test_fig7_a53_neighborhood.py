@@ -1,0 +1,32 @@
+"""Figure 7 — close-to-optimum but inaccurate A53 parameter settings.
+
+Paper: deviating parameters by a single candidate step from the tuned
+optimum (several simultaneously) quadruples the average error (7% ->
+34%, individual applications up to 67%). Shape assertion: the worst
+near-optimum configuration is several-fold worse than the tuned one.
+"""
+
+from benchmarks.neighborhood_common import run_neighborhood_study
+from repro.analysis.figures import bar_chart
+from repro.analysis.metrics import summarize_errors
+
+
+def test_fig7_near_optimum_damage(board, a53_campaign, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_neighborhood_study(board, "a53", a53_campaign, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(bar_chart(
+        result.per_benchmark,
+        title="Figure 7 — CPI error, near-optimum-but-wrong A53 parameters",
+        clip=1.0,
+    ))
+    print(result.summary())
+    summary = summarize_errors(result.per_benchmark)
+
+    # Paper shape: worst-neighbourhood error several times the tuned one.
+    assert result.worst_mean_error > 2.0 * result.tuned_mean_error
+    assert summary.mean > 2.0 * a53_campaign.tuned_mean_error
+    assert len(result.deviated_params) >= 3

@@ -1,0 +1,29 @@
+"""Figure 8 — close-to-optimum but inaccurate A72 parameter settings.
+
+Paper: the controlled one-step deviation triples the out-of-order
+model's average error (15% -> ~45%).
+"""
+
+from benchmarks.neighborhood_common import run_neighborhood_study
+from repro.analysis.figures import bar_chart
+from repro.analysis.metrics import summarize_errors
+
+
+def test_fig8_near_optimum_damage(board, a72_campaign, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_neighborhood_study(board, "a72", a72_campaign, seed=8),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(bar_chart(
+        result.per_benchmark,
+        title="Figure 8 — CPI error, near-optimum-but-wrong A72 parameters",
+        clip=1.0,
+    ))
+    print(result.summary())
+    summary = summarize_errors(result.per_benchmark)
+
+    assert result.worst_mean_error > 1.8 * result.tuned_mean_error
+    assert summary.mean > 1.8 * a72_campaign.tuned_mean_error
+    assert len(result.deviated_params) >= 3

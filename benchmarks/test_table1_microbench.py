@@ -1,0 +1,40 @@
+"""Table I — the 40 targeted micro-benchmarks.
+
+Regenerates the table (name, category, paper dynamic instruction count,
+our scaled count) and benchmarks the record-once trace path, whose
+speed is what makes "evaluating tens of thousands of configurations
+within a span of a few hours" possible (§III-B).
+"""
+
+from repro.analysis.tables import render_table
+from repro.frontend.interpreter import trace_program
+from repro.workloads.microbench import ALL_MICROBENCHMARKS, get_microbenchmark
+
+
+def test_table1_rows(benchmark):
+    def build_table():
+        rows = []
+        for wl in ALL_MICROBENCHMARKS:
+            trace = wl.trace()
+            rows.append([wl.name, wl.category, wl.paper_instructions, len(trace)])
+        return rows
+
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["benchmark", "category", "paper dyn. instr.", "ours (scaled)"],
+        rows,
+        title="Table I — micro-benchmark suite",
+    ))
+    assert len(rows) == 40
+    categories = {row[1] for row in rows}
+    assert categories == {"memory", "control", "dataparallel", "execution", "store"}
+
+
+def test_trace_recording_throughput(benchmark):
+    """DynamoRIO-substitute speed: dynamic instructions traced per second."""
+    workload = get_microbenchmark("MIM")  # the largest kernel
+    program = workload.program()
+
+    result = benchmark(lambda: trace_program(program, max_instructions=12_000))
+    assert len(result) > 5_000

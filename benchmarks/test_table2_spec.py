@@ -1,0 +1,48 @@
+"""Table II — SPEC CPU2017 applications and their regions of interest.
+
+Regenerates the provenance table and benchmarks simulating one SPEC
+proxy end to end on both core models.
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.config import cortex_a53_public_config, cortex_a72_public_config
+from repro.simulator import SnipeSim
+from repro.workloads.spec import SPEC_BENCHMARKS, SPEC_PROFILES, get_spec_benchmark
+
+
+def test_table2_rows(benchmark):
+    def build_table():
+        rows = []
+        by_name = {p.name: p for p in SPEC_PROFILES}
+        for wl in SPEC_BENCHMARKS:
+            profile = by_name[wl.name]
+            rows.append([
+                wl.name,
+                f"{profile.paper_file}, line {profile.paper_line}",
+                profile.paper_instructions,
+                len(wl.trace()),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["benchmark", "paper ROI (file, line)", "paper instr.", "ours (scaled)"],
+        rows,
+        title="Table II — SPEC CPU2017 workloads",
+    ))
+    assert len(rows) == 11
+
+
+def test_spec_simulation_throughput_inorder(benchmark):
+    trace = get_spec_benchmark("gcc").trace()
+    sim = SnipeSim(cortex_a53_public_config())
+    stats = benchmark(lambda: sim.run(trace))
+    assert stats.instructions == len(trace)
+
+
+def test_spec_simulation_throughput_ooo(benchmark):
+    trace = get_spec_benchmark("gcc").trace()
+    sim = SnipeSim(cortex_a72_public_config())
+    stats = benchmark(lambda: sim.run(trace))
+    assert stats.instructions == len(trace)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Executes the full experimental flow — validation campaigns for both
+cores, SPEC generalisation, and the near-optimum worst-case studies —
+prints each table/figure, and writes JSON artefacts under ``results/``.
+This is the script behind the numbers recorded in EXPERIMENTS.md.
+
+Run:  python examples/reproduce_paper.py          (~4 minutes)
+"""
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
+
+from neighborhood_common import run_neighborhood_study  # noqa: E402
+
+from repro.analysis.figures import bar_chart, paired_bar_chart  # noqa: E402
+from repro.analysis.io import save_result_json  # noqa: E402
+from repro.analysis.metrics import summarize_errors  # noqa: E402
+from repro.analysis.tables import render_table  # noqa: E402
+from repro.hardware import FireflyRK3399  # noqa: E402
+from repro.simulator import SnipeSim  # noqa: E402
+from repro.tuning.cost import cpi_error  # noqa: E402
+from repro.validation import ValidationCampaign  # noqa: E402
+from repro.workloads.microbench import ALL_MICROBENCHMARKS  # noqa: E402
+from repro.workloads.spec import SPEC_BENCHMARKS, SPEC_PROFILES  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def table1() -> None:
+    rows = [[wl.name, wl.category, wl.paper_instructions, len(wl.trace())]
+            for wl in ALL_MICROBENCHMARKS]
+    print(render_table(["benchmark", "category", "paper instr.", "ours"],
+                       rows, title="\n=== Table I — micro-benchmark suite ==="))
+
+
+def table2() -> None:
+    by_name = {p.name: p for p in SPEC_PROFILES}
+    rows = [[wl.name, f"{by_name[wl.name].paper_file}:{by_name[wl.name].paper_line}",
+             wl.paper_instructions, len(wl.trace())] for wl in SPEC_BENCHMARKS]
+    print(render_table(["benchmark", "paper ROI", "paper instr.", "ours"],
+                       rows, title="\n=== Table II — SPEC CPU2017 workloads ==="))
+
+
+def spec_errors(board, core_name, config) -> dict:
+    core = board.core(core_name)
+    sim = SnipeSim(config)
+    out = {}
+    for wl in SPEC_BENCHMARKS:
+        trace = wl.trace()
+        out[wl.name] = cpi_error(sim.run(trace), core.measure(trace))
+    return out
+
+
+def main() -> None:
+    t0 = time.time()
+    board = FireflyRK3399()
+    table1()
+    table2()
+
+    results = {}
+    for core, profile, seed, fig_micro, fig_spec, fig_worst in (
+        ("a53", "default", 1, "Figure 4", "Figure 5", "Figure 7"),
+        ("a72", "thorough", 3, "(A72 microbench)", "Figure 6", "Figure 8"),
+    ):
+        print(f"\n=== Validation campaign: {core} ({profile} profile) ===")
+        campaign = ValidationCampaign(board, core=core, profile=profile, seed=seed)
+        result = campaign.run(stages=2)
+        print(result.summary())
+        print(f"\n{fig_micro} — micro-benchmark CPI error before/after tuning:")
+        print(paired_bar_chart(result.untuned_errors, result.final_errors))
+
+        errors = spec_errors(board, core, result.final_config)
+        print(f"\n{fig_spec} — SPEC CPI error, tuned {core} model:")
+        print(bar_chart(errors, clip=0.5))
+        print(f"=> {summarize_errors(errors)}")
+
+        print(f"\n{fig_worst} — near-optimum worst-case study ({core}):")
+        worst = run_neighborhood_study(board, core, result, seed=seed)
+        print(worst.summary())
+        print(bar_chart(worst.per_benchmark, clip=1.0))
+
+        results[core] = {
+            "profile": profile,
+            "untuned_microbench_errors": result.untuned_errors,
+            "tuned_microbench_errors": result.final_errors,
+            "spec_errors": errors,
+            "tuned_assignment": result.stages[-1].irace.best_assignment,
+            "worst_near_optimum_mean": worst.worst_mean_error,
+            "worst_near_optimum_per_benchmark": worst.per_benchmark,
+            "tuned_mean_error_probe": worst.tuned_mean_error,
+        }
+        save_result_json(os.path.join(RESULTS_DIR, f"{core}.json"), results[core])
+
+    print(f"\nall experiments done in {time.time() - t0:.0f}s; "
+          f"JSON artefacts in {os.path.abspath(RESULTS_DIR)}")
+
+
+if __name__ == "__main__":
+    main()

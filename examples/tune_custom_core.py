@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Tune a user-defined processor model with iterated racing directly.
+
+The validation methodology is not tied to the A53/A72 models: this
+example defines a small custom parameter space over the out-of-order
+model, tunes it against the board's big cluster using only ten
+micro-benchmarks, and prints the racing telemetry — the workflow a user
+would follow to validate their own simulator configuration against
+their own silicon.
+
+Run:  python examples/tune_custom_core.py
+"""
+
+from repro.core.config import cortex_a72_public_config
+from repro.hardware import FireflyRK3399
+from repro.simulator import SnipeSim
+from repro.tuning import CategoricalParam, IraceTuner, OrdinalParam, ParamSpace
+from repro.tuning.cost import cpi_error
+from repro.workloads.microbench import get_microbenchmark
+
+WORKLOADS = ["ED1", "EM1", "EM5", "EF", "MD", "ML2", "CCh", "CCe", "STL2b", "DPT"]
+
+
+def main() -> None:
+    board = FireflyRK3399()
+    base = cortex_a72_public_config()
+
+    # A deliberately small space: the execution-unit unknowns only.
+    space = ParamSpace([
+        OrdinalParam("execute.imul_latency", [2, 3, 4, 5]),
+        OrdinalParam("execute.idiv_latency", [4, 6, 8, 12, 16, 20]),
+        OrdinalParam("execute.fpalu_latency", [2, 3, 4, 5]),
+        OrdinalParam("execute.fpmul_latency", [3, 4, 5, 6]),
+        OrdinalParam("pipeline.rob_size", [64, 96, 128, 160]),
+        CategoricalParam("branch.predictor", ["bimodal", "gshare", "tournament"]),
+    ])
+    print(f"parameter space: {len(space)} parameters, "
+          f"{space.total_combinations()} total combinations")
+
+    traces = {name: get_microbenchmark(name).trace() for name in WORKLOADS}
+    measurements = {name: board.a72.measure(trace) for name, trace in traces.items()}
+
+    def evaluate(assignment: dict, instance: str) -> float:
+        config = base.with_updates(assignment)
+        return cpi_error(SnipeSim(config).run(traces[instance]), measurements[instance])
+
+    tuner = IraceTuner(
+        space,
+        evaluate,
+        instances=WORKLOADS,
+        budget=300,
+        seed=7,
+        first_test=4,
+        initial_assignments=[space.default_assignment(base.flatten())],
+        verbose=True,
+    )
+    result = tuner.run()
+
+    print()
+    print(result.summary())
+    print("\ntuned assignment:")
+    for name, value in sorted(result.best_assignment.items()):
+        print(f"  {name:<28}{value}")
+    before = sum(evaluate(space.default_assignment(base.flatten()), w) for w in WORKLOADS)
+    after = sum(evaluate(result.best_assignment, w) for w in WORKLOADS)
+    print(f"\nmean CPI error: best-guess {before / len(WORKLOADS):.1%} "
+          f"-> tuned {after / len(WORKLOADS):.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Analysis and reporting: error metrics, ASCII tables and figures."""
+
+from repro.analysis.metrics import ErrorSummary, summarize_errors
+from repro.analysis.tables import render_table, render_error_table
+from repro.analysis.figures import bar_chart, paired_bar_chart
+from repro.analysis.io import load_result_json, save_result_json
+
+__all__ = [
+    "ErrorSummary",
+    "summarize_errors",
+    "render_table",
+    "render_error_table",
+    "bar_chart",
+    "paired_bar_chart",
+    "save_result_json",
+    "load_result_json",
+]

@@ -1,0 +1,59 @@
+"""ASCII bar charts — the harness's rendering of the paper's figures."""
+
+from __future__ import annotations
+
+
+def bar_chart(
+    series: dict,
+    title: str = None,
+    width: int = 50,
+    clip: float = 1.0,
+    fmt: str = "{:.0%}",
+) -> str:
+    """Horizontal bar chart of a ``{name: value}`` series.
+
+    Values beyond ``clip`` are clipped (marked with ``>``), mirroring the
+    paper's figures whose y-axis clips at 100% with callouts.
+    """
+    if not series:
+        raise ValueError("series is empty")
+    lines = []
+    if title:
+        lines.append(title)
+    name_w = max(len(n) for n in series)
+    for name, value in series.items():
+        clipped = min(value, clip)
+        bar = "#" * max(0, int(round(width * clipped / clip)))
+        marker = ">" if value > clip else ""
+        lines.append(f"{name.ljust(name_w)} |{bar}{marker} {fmt.format(value)}")
+    mean = sum(series.values()) / len(series)
+    lines.append(f"{'AVERAGE'.ljust(name_w)} | {fmt.format(mean)}")
+    return "\n".join(lines)
+
+
+def paired_bar_chart(
+    before: dict,
+    after: dict,
+    labels: tuple = ("not tuned", "tuned"),
+    title: str = None,
+    width: int = 40,
+    clip: float = 1.0,
+) -> str:
+    """Two series per benchmark (Figure 4's not-tuned/tuned pairs)."""
+    lines = []
+    if title:
+        lines.append(title)
+    name_w = max(len(n) for n in before)
+    for name in before:
+        for label, series, ch in zip(labels, (before, after), ("#", "=")):
+            value = series.get(name)
+            if value is None:
+                continue
+            clipped = min(value, clip)
+            bar = ch * max(0, int(round(width * clipped / clip)))
+            marker = ">" if value > clip else ""
+            lines.append(f"{name.ljust(name_w)} {label[:9].ljust(9)} |{bar}{marker} {value:.0%}")
+    mean_b = sum(before.values()) / len(before)
+    mean_a = sum(after.values()) / len(after)
+    lines.append(f"AVERAGE {labels[0]}: {mean_b:.1%}   {labels[1]}: {mean_a:.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Result serialisation.
+
+Campaign artefacts (tuned assignments, per-benchmark error series) are
+saved as JSON so the figure benches can regenerate the paper's plots
+without re-running tuning, and EXPERIMENTS.md can cite stable numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+def save_result_json(path: str, payload: dict) -> None:
+    """Write ``payload`` as pretty JSON, creating parent directories."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True, default=_coerce)
+        f.write("\n")
+
+
+def load_result_json(path: str) -> dict:
+    """Read a result JSON written by :func:`save_result_json`."""
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def _coerce(value):
+    """JSON fallback for numpy scalars and other simple objects."""
+    for attr in ("item",):
+        if hasattr(value, attr):
+            return getattr(value, attr)()
+    if isinstance(value, set):
+        return sorted(value)
+    raise TypeError(f"cannot serialise {type(value).__name__}")

@@ -1,0 +1,53 @@
+"""Error-series statistics used by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Summary statistics over a per-benchmark error series."""
+
+    count: int
+    mean: float
+    median: float
+    maximum: float
+    max_benchmark: str
+    geo_mean: float
+
+    def __str__(self) -> str:
+        return (
+            f"mean {self.mean:.1%}, median {self.median:.1%}, "
+            f"max {self.maximum:.1%} ({self.max_benchmark})"
+        )
+
+
+def summarize_errors(errors: dict) -> ErrorSummary:
+    """Summarise a ``{benchmark: error}`` series."""
+    if not errors:
+        raise ValueError("error series is empty")
+    values = sorted(errors.values())
+    n = len(values)
+    median = values[n // 2] if n % 2 else 0.5 * (values[n // 2 - 1] + values[n // 2])
+    max_name = max(errors, key=errors.__getitem__)
+    # Geometric mean of (1 + error) - 1 tolerates zero entries.
+    geo = math.exp(sum(math.log1p(v) for v in values) / n) - 1.0
+    return ErrorSummary(
+        count=n,
+        mean=sum(values) / n,
+        median=median,
+        maximum=values[-1],
+        max_benchmark=max_name,
+        geo_mean=geo,
+    )
+
+
+def error_reduction_factor(before: dict, after: dict) -> float:
+    """How many times smaller the mean error became (the tuning payoff)."""
+    mean_before = sum(before.values()) / len(before)
+    mean_after = sum(after.values()) / len(after)
+    if mean_after <= 0:
+        return float("inf")
+    return mean_before / mean_after

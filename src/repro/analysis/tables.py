@@ -1,0 +1,49 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+
+def render_table(headers: list, rows: list, title: str = None) -> str:
+    """Render an aligned ASCII table.
+
+    ``rows`` contain strings or numbers; floats format to 3 significant
+    decimals unless already strings.
+    """
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_error_table(errors: dict, title: str = None, extra: dict = None) -> str:
+    """Render a ``{benchmark: error}`` series, optionally with a second
+    column (e.g. not-tuned vs tuned)."""
+    if extra is None:
+        headers = ["benchmark", "cpi error"]
+        rows = [[name, f"{err:.1%}"] for name, err in errors.items()]
+    else:
+        headers = ["benchmark", "not tuned", "tuned"]
+        rows = [
+            [name, f"{errors[name]:.1%}", f"{extra.get(name, float('nan')):.1%}"]
+            for name in errors
+        ]
+    return render_table(headers, rows, title=title)

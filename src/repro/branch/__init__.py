@@ -1,0 +1,45 @@
+"""Branch prediction subsystem.
+
+The branch predictor is the paper's canonical example of a *specialised*
+component whose organisation is never disclosed by vendors and therefore
+an "ideal candidate for automated tuning" (§IV-A). We provide a zoo of
+direction predictors (static, bimodal, gshare, tournament), a branch
+target buffer, a return-address stack and two indirect-target predictors
+(last-target and tagged-history), all assembled by
+:class:`~repro.branch.unit.BranchUnit` from configuration values — so the
+racing tuner can select both the predictor *kind* and its geometry.
+"""
+
+from repro.branch.base import DirectionPredictor
+from repro.branch.simple import StaticTakenPredictor, StaticNotTakenPredictor
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GSharePredictor
+from repro.branch.tournament import TournamentPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.indirect import (
+    IndirectPredictor,
+    LastTargetPredictor,
+    NoIndirectPredictor,
+    TaggedIndirectPredictor,
+)
+from repro.branch.unit import BranchStats, BranchUnit, build_direction_predictor, build_indirect_predictor
+
+__all__ = [
+    "DirectionPredictor",
+    "StaticTakenPredictor",
+    "StaticNotTakenPredictor",
+    "BimodalPredictor",
+    "GSharePredictor",
+    "TournamentPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "IndirectPredictor",
+    "NoIndirectPredictor",
+    "LastTargetPredictor",
+    "TaggedIndirectPredictor",
+    "BranchUnit",
+    "BranchStats",
+    "build_direction_predictor",
+    "build_indirect_predictor",
+]

@@ -1,0 +1,51 @@
+"""Bimodal (per-PC 2-bit counter) direction predictor."""
+
+from __future__ import annotations
+
+from repro.branch.base import DirectionPredictor
+
+
+class BimodalPredictor(DirectionPredictor):
+    """Classic table of 2-bit saturating counters indexed by PC.
+
+    ``index_bits`` sets the table size (``2**index_bits`` counters);
+    counters initialise to weakly-taken (2).
+    """
+
+    kind = "bimodal"
+
+    def __init__(self, index_bits: int = 12) -> None:
+        if not 2 <= index_bits <= 24:
+            raise ValueError(f"index_bits out of range [2, 24]: {index_bits}")
+        self.index_bits = index_bits
+        self._mask = (1 << index_bits) - 1
+        self._table = [2] * (1 << index_bits)
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        counter = self._table[idx]
+        if taken:
+            if counter < 3:
+                self._table[idx] = counter + 1
+        elif counter > 0:
+            self._table[idx] = counter - 1
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        idx = (pc >> 2) & self._mask
+        table = self._table
+        counter = table[idx]
+        if taken:
+            if counter < 3:
+                table[idx] = counter + 1
+        elif counter > 0:
+            table[idx] = counter - 1
+        return counter >= 2
+
+    def reset(self) -> None:
+        self._table = [2] * (1 << self.index_bits)

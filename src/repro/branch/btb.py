@@ -1,0 +1,53 @@
+"""Branch target buffer.
+
+A taken branch whose target is absent from the BTB redirects the front
+end even when the direction prediction was correct — the fetch unit only
+learns the target at decode/execute. The core models charge a (smaller)
+bubble for such BTB misses.
+"""
+
+from __future__ import annotations
+
+
+class BranchTargetBuffer:
+    """Set-associative target cache with true-LRU replacement."""
+
+    def __init__(self, entries: int = 256, assoc: int = 2) -> None:
+        if entries <= 0 or assoc <= 0:
+            raise ValueError("entries and assoc must be positive")
+        if entries % assoc:
+            raise ValueError(f"entries ({entries}) must be divisible by assoc ({assoc})")
+        self.entries = entries
+        self.assoc = assoc
+        self.sets = entries // assoc
+        #: Per-set ordered dict of tag -> target; insertion order is LRU
+        #: order (oldest first).
+        self._sets = [dict() for _ in range(self.sets)]
+
+    def _locate(self, pc: int) -> tuple:
+        index = (pc >> 2) % self.sets
+        tag = pc >> 2
+        return self._sets[index], tag
+
+    def lookup(self, pc: int) -> int:
+        """Return the cached target for ``pc``, or -1 on BTB miss."""
+        entries, tag = self._locate(pc)
+        target = entries.get(tag, -1)
+        if target != -1:
+            # Refresh LRU position.
+            del entries[tag]
+            entries[tag] = target
+        return target
+
+    def insert(self, pc: int, target: int) -> None:
+        """Record ``target`` for the taken branch at ``pc``."""
+        entries, tag = self._locate(pc)
+        if tag in entries:
+            del entries[tag]
+        elif len(entries) >= self.assoc:
+            oldest = next(iter(entries))
+            del entries[oldest]
+        entries[tag] = target
+
+    def reset(self) -> None:
+        self._sets = [dict() for _ in range(self.sets)]

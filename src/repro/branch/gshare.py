@@ -1,0 +1,55 @@
+"""Gshare (global-history XOR PC) direction predictor."""
+
+from __future__ import annotations
+
+from repro.branch.base import DirectionPredictor
+
+
+class GSharePredictor(DirectionPredictor):
+    """Two-bit counter table indexed by ``(pc >> 2) XOR global_history``.
+
+    ``history_bits`` both sizes the table (``2**history_bits`` entries)
+    and bounds the history register, the usual gshare organisation.
+    """
+
+    kind = "gshare"
+
+    def __init__(self, history_bits: int = 12) -> None:
+        if not 2 <= history_bits <= 24:
+            raise ValueError(f"history_bits out of range [2, 24]: {history_bits}")
+        self.history_bits = history_bits
+        self._mask = (1 << history_bits) - 1
+        self._table = [2] * (1 << history_bits)
+        self._history = 0
+
+    def predict(self, pc: int) -> bool:
+        idx = ((pc >> 2) ^ self._history) & self._mask
+        return self._table[idx] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = ((pc >> 2) ^ self._history) & self._mask
+        counter = self._table[idx]
+        if taken:
+            if counter < 3:
+                self._table[idx] = counter + 1
+        elif counter > 0:
+            self._table[idx] = counter - 1
+        self._history = ((self._history << 1) | (1 if taken else 0)) & self._mask
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        mask = self._mask
+        history = self._history
+        idx = ((pc >> 2) ^ history) & mask
+        table = self._table
+        counter = table[idx]
+        if taken:
+            if counter < 3:
+                table[idx] = counter + 1
+        elif counter > 0:
+            table[idx] = counter - 1
+        self._history = ((history << 1) | (1 if taken else 0)) & mask
+        return counter >= 2
+
+    def reset(self) -> None:
+        self._table = [2] * (1 << self.history_bits)
+        self._history = 0

@@ -1,0 +1,42 @@
+"""Return-address stack."""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """Circular return-address stack.
+
+    Overflow overwrites the oldest entry (as real RAS hardware does), so
+    deep call chains mispredict the outermost returns — behaviour the
+    call-/return-heavy micro-benchmarks are sensitive to.
+    """
+
+    def __init__(self, entries: int = 8) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._stack = [0] * entries
+        self._top = 0
+        self._depth = 0
+
+    def push(self, return_pc: int) -> None:
+        self._stack[self._top] = return_pc
+        self._top = (self._top + 1) % self.entries
+        if self._depth < self.entries:
+            self._depth += 1
+
+    def pop(self) -> int:
+        """Pop and return the predicted return address (-1 if empty)."""
+        if self._depth == 0:
+            return -1
+        self._top = (self._top - 1) % self.entries
+        self._depth -= 1
+        return self._stack[self._top]
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def reset(self) -> None:
+        self._top = 0
+        self._depth = 0

@@ -1,0 +1,35 @@
+"""Static direction predictors (the weakest baseline configurations)."""
+
+from __future__ import annotations
+
+from repro.branch.base import DirectionPredictor
+
+
+class StaticTakenPredictor(DirectionPredictor):
+    """Always predicts taken."""
+
+    kind = "static-taken"
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+class StaticNotTakenPredictor(DirectionPredictor):
+    """Always predicts not-taken."""
+
+    kind = "static-nottaken"
+
+    def predict(self, pc: int) -> bool:
+        return False
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass

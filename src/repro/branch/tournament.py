@@ -1,0 +1,66 @@
+"""Tournament (Alpha-21264-style) direction predictor."""
+
+from __future__ import annotations
+
+from repro.branch.base import DirectionPredictor
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GSharePredictor
+
+
+class TournamentPredictor(DirectionPredictor):
+    """Bimodal + gshare components arbitrated by a per-PC chooser.
+
+    The chooser is a table of 2-bit counters: >=2 selects the global
+    (gshare) component. Chooser training moves toward whichever component
+    was correct when they disagree.
+    """
+
+    kind = "tournament"
+
+    def __init__(self, history_bits: int = 12, chooser_bits: int = 12) -> None:
+        self.history_bits = history_bits
+        self.chooser_bits = chooser_bits
+        self._bimodal = BimodalPredictor(index_bits=history_bits)
+        self._gshare = GSharePredictor(history_bits=history_bits)
+        self._chooser_mask = (1 << chooser_bits) - 1
+        self._chooser = [2] * (1 << chooser_bits)
+
+    def predict(self, pc: int) -> bool:
+        use_global = self._chooser[(pc >> 2) & self._chooser_mask] >= 2
+        return self._gshare.predict(pc) if use_global else self._bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        local_pred = self._bimodal.predict(pc)
+        global_pred = self._gshare.predict(pc)
+        idx = (pc >> 2) & self._chooser_mask
+        if local_pred != global_pred:
+            counter = self._chooser[idx]
+            if global_pred == taken:
+                if counter < 3:
+                    self._chooser[idx] = counter + 1
+            elif counter > 0:
+                self._chooser[idx] = counter - 1
+        self._bimodal.update(pc, taken)
+        self._gshare.update(pc, taken)
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        local_pred = self._bimodal.predict(pc)
+        global_pred = self._gshare.predict(pc)
+        idx = (pc >> 2) & self._chooser_mask
+        chooser = self._chooser
+        counter = chooser[idx]
+        prediction = global_pred if counter >= 2 else local_pred
+        if local_pred != global_pred:
+            if global_pred == taken:
+                if counter < 3:
+                    chooser[idx] = counter + 1
+            elif counter > 0:
+                chooser[idx] = counter - 1
+        self._bimodal.update(pc, taken)
+        self._gshare.update(pc, taken)
+        return prediction
+
+    def reset(self) -> None:
+        self._bimodal.reset()
+        self._gshare.reset()
+        self._chooser = [2] * (1 << self.chooser_bits)

@@ -1,0 +1,189 @@
+"""Composite branch unit used by the core timing models.
+
+One ``access`` call per dynamic control-flow instruction classifies the
+front-end outcome — no redirect, a full mispredict flush, or a
+BTB-miss fetch bubble — and keeps the per-type counters that the
+component-focused cost functions (§III-A step 5) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.branch.base import DirectionPredictor
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GSharePredictor
+from repro.branch.indirect import (
+    IndirectPredictor,
+    LastTargetPredictor,
+    NoIndirectPredictor,
+    TaggedIndirectPredictor,
+)
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.simple import StaticNotTakenPredictor, StaticTakenPredictor
+from repro.branch.tournament import TournamentPredictor
+from repro.isa.opclasses import OpClass
+
+_BRANCH = int(OpClass.BRANCH)
+_JUMP = int(OpClass.JUMP)
+_IBRANCH = int(OpClass.IBRANCH)
+_CALL = int(OpClass.CALL)
+_RET = int(OpClass.RET)
+
+_DIRECTION_PREDICTORS = {
+    "static-taken": StaticTakenPredictor,
+    "static-nottaken": StaticNotTakenPredictor,
+    "bimodal": BimodalPredictor,
+    "gshare": GSharePredictor,
+    "tournament": TournamentPredictor,
+}
+
+#: ``access`` return codes.
+REDIRECT_NONE = 0
+REDIRECT_MISPREDICT = 1
+REDIRECT_BTB = 2
+
+_INDIRECT_PREDICTORS = {
+    "none": NoIndirectPredictor,
+    "last-target": LastTargetPredictor,
+    "tagged": TaggedIndirectPredictor,
+}
+
+
+def build_direction_predictor(kind: str, bits: int) -> DirectionPredictor:
+    """Instantiate a direction predictor by registry ``kind``.
+
+    ``bits`` sizes the predictor tables; static predictors ignore it.
+    """
+    try:
+        cls = _DIRECTION_PREDICTORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown direction predictor {kind!r}; "
+            f"choose from {sorted(_DIRECTION_PREDICTORS)}"
+        ) from None
+    if kind in ("static-taken", "static-nottaken"):
+        return cls()
+    if kind == "bimodal":
+        return cls(index_bits=bits)
+    if kind == "gshare":
+        return cls(history_bits=bits)
+    return cls(history_bits=bits, chooser_bits=bits)
+
+
+def build_indirect_predictor(kind: str, entries: int, history_bits: int = 8) -> IndirectPredictor:
+    """Instantiate an indirect predictor by registry ``kind``."""
+    try:
+        cls = _INDIRECT_PREDICTORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown indirect predictor {kind!r}; "
+            f"choose from {sorted(_INDIRECT_PREDICTORS)}"
+        ) from None
+    if kind == "none":
+        return cls()
+    if kind == "last-target":
+        return cls(entries=entries)
+    return cls(entries=entries, history_bits=history_bits)
+
+
+@dataclass
+class BranchStats:
+    """Counters exposed to the perf interface and cost functions."""
+
+    branches: int = 0
+    mispredicts: int = 0
+    direction_mispredicts: int = 0
+    btb_misses: int = 0
+    indirect_mispredicts: int = 0
+    ras_mispredicts: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    def merge(self, other: "BranchStats") -> None:
+        self.branches += other.branches
+        self.mispredicts += other.mispredicts
+        self.direction_mispredicts += other.direction_mispredicts
+        self.btb_misses += other.btb_misses
+        self.indirect_mispredicts += other.indirect_mispredicts
+        self.ras_mispredicts += other.ras_mispredicts
+
+
+class BranchUnit:
+    """Direction predictor + BTB + RAS + indirect predictor.
+
+    ``access`` returns ``REDIRECT_NONE`` when fetch continues unhindered,
+    ``REDIRECT_MISPREDICT`` for a full flush (wrong direction, wrong
+    indirect target, wrong RAS prediction) and ``REDIRECT_BTB`` for the
+    cheaper front-end bubble of a correctly predicted taken branch whose
+    target was not in the BTB.
+    """
+
+    def __init__(
+        self,
+        direction: DirectionPredictor,
+        btb: BranchTargetBuffer,
+        ras: ReturnAddressStack,
+        indirect: IndirectPredictor,
+    ) -> None:
+        self.direction = direction
+        self.btb = btb
+        self.ras = ras
+        self.indirect = indirect
+        self.stats = BranchStats()
+
+    def access(self, opclass: int, pc: int, taken: bool, target: int) -> int:
+        """Process one dynamic branch; returns a ``REDIRECT_*`` code."""
+        stats = self.stats
+        stats.branches += 1
+        redirect = REDIRECT_NONE
+
+        if opclass == _BRANCH:
+            prediction = self.direction.predict_update(pc, taken)
+            if prediction != taken:
+                stats.direction_mispredicts += 1
+                redirect = REDIRECT_MISPREDICT
+            if taken:
+                if redirect == REDIRECT_NONE and self.btb.lookup(pc) != target:
+                    stats.btb_misses += 1
+                    redirect = REDIRECT_BTB
+                self.btb.insert(pc, target)
+        elif opclass == _JUMP:
+            if self.btb.lookup(pc) != target:
+                stats.btb_misses += 1
+                redirect = REDIRECT_BTB
+            self.btb.insert(pc, target)
+        elif opclass == _CALL:
+            if self.btb.lookup(pc) != target:
+                stats.btb_misses += 1
+                redirect = REDIRECT_BTB
+            self.btb.insert(pc, target)
+            self.ras.push(pc + 4)
+        elif opclass == _RET:
+            if not taken:
+                # Top-level return treated as fall-through; no redirect.
+                return REDIRECT_NONE
+            if self.ras.pop() != target:
+                stats.ras_mispredicts += 1
+                redirect = REDIRECT_MISPREDICT
+        elif opclass == _IBRANCH:
+            if self.indirect.predict(pc) != target:
+                stats.indirect_mispredicts += 1
+                redirect = REDIRECT_MISPREDICT
+            self.indirect.update(pc, target)
+        else:
+            raise ValueError(f"opclass {opclass} is not a branch")
+
+        if redirect != REDIRECT_NONE:
+            stats.mispredicts += 1
+        return redirect
+
+    def reset(self) -> None:
+        self.direction.reset()
+        self.btb.reset()
+        self.ras.reset()
+        self.indirect.reset()
+        self.stats = BranchStats()

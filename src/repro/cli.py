@@ -1,0 +1,182 @@
+"""Command-line interface.
+
+Mirrors the workflows a user of the paper's framework runs by hand::
+
+    python -m repro list-workloads --category memory
+    python -m repro measure  --core a72 --workload ML2_BWld
+    python -m repro simulate --core a53 --workload CS1 --set l1d.prefetcher=stride
+    python -m repro lmbench  --core a53
+    python -m repro validate --core a53 --profile fast --out results/a53.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.io import save_result_json
+from repro.analysis.tables import render_table
+from repro.core.config import cortex_a53_public_config, cortex_a72_public_config
+from repro.hardware.board import FireflyRK3399
+from repro.hardware.lmbench import lat_mem_rd
+from repro.simulator.simulator import SnipeSim
+from repro.tuning.cost import cpi_error
+from repro.validation.campaign import PROFILES, ValidationCampaign
+from repro.workloads.microbench import MICROBENCHMARKS, list_microbenchmarks
+from repro.workloads.spec import SPEC_WORKLOADS
+
+
+def _lookup_workload(name: str):
+    if name in MICROBENCHMARKS:
+        return MICROBENCHMARKS[name]
+    if name in SPEC_WORKLOADS:
+        return SPEC_WORKLOADS[name]
+    raise SystemExit(f"unknown workload {name!r}; try 'list-workloads'")
+
+
+def _public_config(core: str):
+    key = core.lower().replace("cortex-", "")
+    if key == "a53":
+        return cortex_a53_public_config()
+    if key == "a72":
+        return cortex_a72_public_config()
+    raise SystemExit(f"unknown core {core!r}; the board has a53 and a72")
+
+
+def _parse_overrides(pairs):
+    """``key=value`` strings into a dotted-path update dict."""
+    out = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        for conv in (int, float):
+            try:
+                out[key] = conv(raw)
+                break
+            except ValueError:
+                continue
+        else:
+            if raw.lower() in ("true", "false"):
+                out[key] = raw.lower() == "true"
+            else:
+                out[key] = raw
+    return out
+
+
+def cmd_list_workloads(args) -> int:
+    rows = []
+    for wl in list_microbenchmarks(args.category):
+        rows.append([wl.name, wl.category, wl.paper_instructions])
+    if args.category is None:
+        for wl in SPEC_WORKLOADS.values():
+            rows.append([wl.name, wl.category, wl.paper_instructions])
+    print(render_table(["name", "category", "paper instructions"], rows))
+    return 0
+
+
+def cmd_measure(args) -> int:
+    board = FireflyRK3399()
+    trace = _lookup_workload(args.workload).trace()
+    result = board.core(args.core).measure(trace)
+    rows = [[name, value] for name, value in sorted(result.counters.items())]
+    rows.append(["cpi", f"{result.cpi:.4f}"])
+    print(render_table(["counter", "value"],
+                       rows, title=f"{args.workload} on {result.core}"))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    board = FireflyRK3399()
+    config = _public_config(args.core).with_updates(_parse_overrides(args.set))
+    trace = _lookup_workload(args.workload).trace()
+    stats = SnipeSim(config).run(trace)
+    hw = board.core(args.core).measure(trace)
+    rows = [
+        ["instructions", stats.instructions, hw.instructions],
+        ["cycles", stats.cycles, hw.cycles],
+        ["CPI", f"{stats.cpi:.4f}", f"{hw.cpi:.4f}"],
+        ["branch misses", stats.branch.mispredicts, hw.counter("branch-misses")],
+        ["L1D misses", stats.l1d.misses, hw.counter("L1-dcache-load-misses")],
+        ["L2 misses", stats.l2.misses, hw.counter("l2-misses")],
+    ]
+    print(render_table(["metric", "simulator", "hardware"], rows,
+                       title=f"{args.workload} — {config.name}"))
+    print(f"CPI error: {cpi_error(stats, hw):.1%}")
+    return 0
+
+
+def cmd_lmbench(args) -> int:
+    board = FireflyRK3399()
+    config = _public_config(args.core)
+    estimates = lat_mem_rd(board.core(args.core),
+                           l1_size=config.l1d.size, l2_size=config.l2.size)
+    print(f"lmbench estimates for {args.core}: {estimates.summary()}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    board = FireflyRK3399()
+    campaign = ValidationCampaign(
+        board, core=args.core, profile=args.profile, seed=args.seed, verbose=True
+    )
+    result = campaign.run(stages=args.stages)
+    print(result.summary())
+    if args.out:
+        payload = {
+            "core": result.core,
+            "profile": result.profile,
+            "untuned_errors": result.untuned_errors,
+            "final_errors": result.final_errors,
+            "tuned_assignment": result.stages[-1].irace.best_assignment,
+        }
+        save_result_json(args.out, payload)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Racing to Hardware-Validated Simulation — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list-workloads", help="list micro-benchmarks and SPEC proxies")
+    p.add_argument("--category", choices=["memory", "control", "dataparallel",
+                                          "execution", "store"], default=None)
+    p.set_defaults(func=cmd_list_workloads)
+
+    p = sub.add_parser("measure", help="perf-measure a workload on the board")
+    p.add_argument("--core", default="a53")
+    p.add_argument("--workload", required=True)
+    p.set_defaults(func=cmd_measure)
+
+    p = sub.add_parser("simulate", help="simulate a workload and compare to hardware")
+    p.add_argument("--core", default="a53")
+    p.add_argument("--workload", required=True)
+    p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                   help="override a config parameter (repeatable)")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("lmbench", help="estimate cache/memory latencies (step #2)")
+    p.add_argument("--core", default="a53")
+    p.set_defaults(func=cmd_lmbench)
+
+    p = sub.add_parser("validate", help="run the full validation campaign")
+    p.add_argument("--core", default="a53")
+    p.add_argument("--profile", choices=sorted(PROFILES), default="fast")
+    p.add_argument("--stages", type=int, default=2)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--out", default=None, help="write results JSON here")
+    p.set_defaults(func=cmd_validate)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

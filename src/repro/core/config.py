@@ -1,0 +1,274 @@
+"""Simulator configuration tree.
+
+Sniper "features a couple hundred configuration parameters ... about a
+hundred parameters that define the simulated processor" (§IV-A). This
+module is our equivalent: a nested dataclass tree covering pipeline
+geometry, functional units and latencies, branch prediction, all three
+cache levels, the store buffer and main memory.
+
+Two access styles coexist:
+
+- structured: ``config.l1d.hit_latency``;
+- dotted paths: ``config.get("l1d.hit_latency")`` /
+  ``config.with_updates({"l1d.hit_latency": 3})`` — the interface the
+  racing tuner uses, since its parameter lists are flat name/value pairs.
+
+``cortex_a53_public_config`` and ``cortex_a72_public_config`` encode step
+#1 of the validation methodology: everything the public technical
+reference manuals disclose, with best-effort guesses (step #3 defaults)
+everywhere else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level's parameters."""
+
+    size: int
+    assoc: int
+    line_size: int = 64
+    hit_latency: int = 2
+    serial_tag_data: bool = False
+    ports: int = 1
+    mshr_entries: int = 4
+    hashing: str = "mask"
+    replacement: str = "lru"
+    victim_entries: int = 0
+    prefetcher: str = "none"
+    prefetch_degree: int = 2
+    prefetch_table_entries: int = 64
+    prefetch_on_hit: bool = False
+
+
+@dataclass(frozen=True)
+class BranchConfig:
+    """Branch prediction unit parameters."""
+
+    predictor: str = "bimodal"
+    predictor_bits: int = 12
+    btb_entries: int = 256
+    btb_assoc: int = 2
+    ras_entries: int = 8
+    indirect: str = "none"
+    indirect_entries: int = 256
+    indirect_history_bits: int = 8
+    #: Full pipeline-flush penalty (direction / indirect / RAS wrong).
+    mispredict_penalty: int = 8
+    #: Front-end bubble when the direction was right but the target was
+    #: unknown (BTB miss on a taken branch).
+    btb_miss_penalty: int = 3
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """Functional-unit counts and operation latencies."""
+
+    n_ialu: int = 2
+    n_imul: int = 1
+    n_fpu: int = 1
+    n_ls_pipes: int = 1
+    imul_latency: int = 3
+    idiv_latency: int = 12
+    idiv_pipelined: bool = False
+    fpalu_latency: int = 4
+    fpmul_latency: int = 4
+    fpdiv_latency: int = 12
+    fpdiv_pipelined: bool = False
+    fcvt_latency: int = 3
+    simd_alu_latency: int = 3
+    simd_mul_latency: int = 4
+    #: Address-generation cycles added before a memory access.
+    agu_latency: int = 1
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Pipeline geometry (some fields are OoO-only)."""
+
+    fetch_width: int = 2
+    issue_width: int = 2
+    commit_width: int = 2
+    #: Fetch-to-issue depth; contributes to the mispredict penalty floor.
+    frontend_depth: int = 4
+    rob_size: int = 128
+    iq_size: int = 32
+    ldq_entries: int = 16
+    stq_entries: int = 16
+    #: Enforce in-order dual-issue pairing restrictions (A53-style).
+    dual_issue_rules: bool = True
+    #: Stall at first use of a missing load (True) or at the load itself.
+    stall_on_use: bool = True
+
+
+@dataclass(frozen=True)
+class MemSysConfig:
+    """Store buffer and main-memory parameters."""
+
+    store_buffer_entries: int = 6
+    store_coalescing: bool = False
+    store_forward_latency: int = 1
+    dram_latency: int = 150
+    dram_page_hit_latency: int = 90
+    dram_banks: int = 8
+    dram_bandwidth: int = 4
+    dram_page_policy: str = "open"
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Complete description of one simulated processor."""
+
+    core_type: str  # "inorder" or "ooo"
+    name: str = "custom"
+    frequency_ghz: float = 1.5
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    execute: ExecConfig = field(default_factory=ExecConfig)
+    branch: BranchConfig = field(default_factory=BranchConfig)
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(size=32 * 1024, assoc=2))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(size=32 * 1024, assoc=4))
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size=512 * 1024, assoc=16, hit_latency=12)
+    )
+    memsys: MemSysConfig = field(default_factory=MemSysConfig)
+
+    def __post_init__(self) -> None:
+        if self.core_type not in ("inorder", "ooo"):
+            raise ValueError(f"core_type must be 'inorder' or 'ooo', got {self.core_type!r}")
+
+    # ------------------------------------------------------------------
+    # Dotted-path access (the tuner's interface)
+    # ------------------------------------------------------------------
+    _SECTIONS = ("pipeline", "execute", "branch", "l1i", "l1d", "l2", "memsys")
+
+    def get(self, path: str):
+        """Read a parameter by dotted path, e.g. ``"l1d.prefetcher"``."""
+        obj = self
+        for part in path.split("."):
+            if not hasattr(obj, part):
+                raise KeyError(f"unknown config path {path!r} (no field {part!r})")
+            obj = getattr(obj, part)
+        return obj
+
+    def with_updates(self, updates: dict) -> "SimConfig":
+        """Return a copy with dotted-path ``updates`` applied."""
+        per_section: dict = {}
+        top_level: dict = {}
+        for path, value in updates.items():
+            parts = path.split(".")
+            if len(parts) == 1:
+                if parts[0] in self._SECTIONS:
+                    raise KeyError(f"{path!r} names a section; use 'section.field'")
+                top_level[parts[0]] = value
+            elif len(parts) == 2:
+                section, fieldname = parts
+                if section not in self._SECTIONS:
+                    raise KeyError(f"unknown config section {section!r} in {path!r}")
+                per_section.setdefault(section, {})[fieldname] = value
+            else:
+                raise KeyError(f"config paths have at most two components: {path!r}")
+
+        replacements: dict = dict(top_level)
+        for section, fields in per_section.items():
+            current = getattr(self, section)
+            valid = {f.name for f in dataclasses.fields(current)}
+            unknown = set(fields) - valid
+            if unknown:
+                raise KeyError(f"unknown fields {sorted(unknown)} in section {section!r}")
+            replacements[section] = dataclasses.replace(current, **fields)
+        return dataclasses.replace(self, **replacements)
+
+    def flatten(self) -> dict:
+        """All parameters as a flat dotted-path dict."""
+        out: dict = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if f.name in self._SECTIONS:
+                for sub in dataclasses.fields(value):
+                    out[f"{f.name}.{sub.name}"] = getattr(value, sub.name)
+            else:
+                out[f.name] = value
+        return out
+
+
+# ----------------------------------------------------------------------
+# Public-information configurations (methodology step #1 + #3 defaults)
+# ----------------------------------------------------------------------
+
+def cortex_a53_public_config() -> SimConfig:
+    """In-order model from publicly disclosed Cortex-A53 information.
+
+    Disclosed (TRM / product brief): dual-issue in-order 8-stage
+    pipeline, 32 KB 4-way L1D, 32 KB 2-way L1I, 512 KB 16-way shared L2,
+    1.51 GHz on the validation board. Everything else is a best-effort
+    guess the validation methodology will have to correct.
+    """
+    return SimConfig(
+        core_type="inorder",
+        name="cortex-a53-public",
+        frequency_ghz=1.51,
+        pipeline=PipelineConfig(
+            fetch_width=2,
+            issue_width=2,
+            commit_width=2,
+            frontend_depth=4,
+            dual_issue_rules=True,
+            stall_on_use=True,
+        ),
+        # Divide latencies taken from dated processor documentation — the
+        # kind of best-effort guess §IV-B shows blowing up the
+        # dependence-chain micro-benchmarks before tuning.
+        execute=ExecConfig(idiv_latency=20, fpdiv_latency=20),
+        branch=BranchConfig(predictor="bimodal", mispredict_penalty=8),
+        l1i=CacheConfig(size=32 * 1024, assoc=2, hit_latency=1, ports=1),
+        l1d=CacheConfig(size=32 * 1024, assoc=4, hit_latency=2, ports=1),
+        l2=CacheConfig(size=512 * 1024, assoc=16, hit_latency=12, ports=1, mshr_entries=8),
+        memsys=MemSysConfig(store_buffer_entries=6),
+    )
+
+
+def cortex_a72_public_config() -> SimConfig:
+    """Out-of-order model from publicly disclosed Cortex-A72 information.
+
+    Disclosed: 3-wide decode/dispatch out-of-order core, 32 KB 2-way L1D,
+    48 KB 3-way L1I, 1 MB 16-way L2, 1.99 GHz on the validation board.
+    ROB/queue sizes, unit latencies and all specialised components are
+    best-effort guesses.
+    """
+    return SimConfig(
+        core_type="ooo",
+        name="cortex-a72-public",
+        frequency_ghz=1.99,
+        pipeline=PipelineConfig(
+            fetch_width=3,
+            issue_width=5,
+            commit_width=3,
+            frontend_depth=9,
+            rob_size=128,
+            iq_size=48,
+            ldq_entries=16,
+            stq_entries=16,
+            dual_issue_rules=False,
+            stall_on_use=True,
+        ),
+        execute=ExecConfig(
+            n_ialu=2,
+            n_imul=1,
+            n_fpu=2,
+            n_ls_pipes=2,
+            imul_latency=4,
+            idiv_latency=16,
+            fpalu_latency=4,
+            fpmul_latency=4,
+            fpdiv_latency=16,
+        ),
+        branch=BranchConfig(predictor="gshare", predictor_bits=12, mispredict_penalty=12),
+        l1i=CacheConfig(size=48 * 1024, assoc=3, hit_latency=1, ports=1),
+        l1d=CacheConfig(size=32 * 1024, assoc=2, hit_latency=3, ports=1, mshr_entries=6),
+        l2=CacheConfig(size=1024 * 1024, assoc=16, hit_latency=14, ports=1, mshr_entries=12),
+        memsys=MemSysConfig(store_buffer_entries=8),
+    )

@@ -1,0 +1,134 @@
+"""Functional-unit contention model.
+
+"The contention model defines the functional units in the processor and
+assigns every instruction to its corresponding functional unit ... and
+verifies that instructions issued in the same cycle are compatible, or
+can be dual-issued" (§IV-A). This module provides exactly that: per-pool
+unit reservation with pipelined/non-pipelined occupancy, plus the
+dual-issue pairing predicate used by the in-order core.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ExecConfig
+from repro.isa.opclasses import OpClass
+
+_NOP = int(OpClass.NOP)
+_IALU = int(OpClass.IALU)
+_IMUL = int(OpClass.IMUL)
+_IDIV = int(OpClass.IDIV)
+_FPALU = int(OpClass.FPALU)
+_FPMUL = int(OpClass.FPMUL)
+_FPDIV = int(OpClass.FPDIV)
+_FCVT = int(OpClass.FCVT)
+_SIMD_ALU = int(OpClass.SIMD_ALU)
+_SIMD_MUL = int(OpClass.SIMD_MUL)
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+_LDP = int(OpClass.LDP)
+_STP = int(OpClass.STP)
+_BRANCH_FIRST = int(OpClass.BRANCH)
+_BRANCH_LAST = int(OpClass.RET)
+
+
+class _Pool:
+    """A pool of identical functional units tracked by next-free time."""
+
+    __slots__ = ("free",)
+
+    def __init__(self, count: int) -> None:
+        self.free = [0] * count
+
+    def probe(self, earliest: int) -> int:
+        """Earliest cycle a unit could accept work, given ``earliest``."""
+        best = min(self.free)
+        return earliest if earliest >= best else best
+
+    def commit(self, start: int, occupancy: int) -> None:
+        """Book the least-loaded unit from ``start`` for ``occupancy``."""
+        free = self.free
+        best = 0
+        best_free = free[0]
+        for i in range(1, len(free)):
+            if free[i] < best_free:
+                best_free = free[i]
+                best = i
+        free[best] = start + occupancy
+
+    def reset(self) -> None:
+        self.free = [0] * len(self.free)
+
+
+class ContentionModel:
+    """Maps op classes to unit pools, latencies and occupancies."""
+
+    def __init__(self, execute: ExecConfig) -> None:
+        self.execute = execute
+        self._pools = {
+            "ialu": _Pool(execute.n_ialu),
+            "mul": _Pool(execute.n_imul),
+            "fpu": _Pool(execute.n_fpu),
+            "ls": _Pool(execute.n_ls_pipes),
+            "br": _Pool(1),
+        }
+        e = execute
+        idiv_occ = 1 if e.idiv_pipelined else e.idiv_latency
+        fpdiv_occ = 1 if e.fpdiv_pipelined else e.fpdiv_latency
+        #: opclass int -> (pool, latency, occupancy); None pool = no unit.
+        table = {
+            _NOP: (None, 1, 0),
+            _IALU: (self._pools["ialu"], 1, 1),
+            _IMUL: (self._pools["mul"], e.imul_latency, 1),
+            _IDIV: (self._pools["mul"], e.idiv_latency, idiv_occ),
+            _FPALU: (self._pools["fpu"], e.fpalu_latency, 1),
+            _FPMUL: (self._pools["fpu"], e.fpmul_latency, 1),
+            _FPDIV: (self._pools["fpu"], e.fpdiv_latency, fpdiv_occ),
+            _FCVT: (self._pools["fpu"], e.fcvt_latency, 1),
+            _SIMD_ALU: (self._pools["fpu"], e.simd_alu_latency, 1),
+            _SIMD_MUL: (self._pools["fpu"], e.simd_mul_latency, 1),
+            _LOAD: (self._pools["ls"], e.agu_latency, 1),
+            _STORE: (self._pools["ls"], e.agu_latency, 1),
+            _LDP: (self._pools["ls"], e.agu_latency, 2),
+            _STP: (self._pools["ls"], e.agu_latency, 2),
+        }
+        for opclass in range(_BRANCH_FIRST, _BRANCH_LAST + 1):
+            table[opclass] = (self._pools["br"], 1, 1)
+        self._table = table
+
+    def probe(self, opclass: int, earliest: int) -> int:
+        """Earliest issue cycle honouring unit availability."""
+        pool, _, _ = self._table[opclass]
+        if pool is None:
+            return earliest
+        return pool.probe(earliest)
+
+    def commit(self, opclass: int, start: int) -> int:
+        """Book the unit; returns the execution-complete cycle."""
+        pool, latency, occupancy = self._table[opclass]
+        if pool is not None:
+            pool.commit(start, occupancy)
+        return start + latency
+
+    def latency(self, opclass: int) -> int:
+        return self._table[opclass][1]
+
+    @staticmethod
+    def pairing_conflict(opclass: int, issued_mul: bool, issued_fp: bool) -> bool:
+        """A53-style dual-issue restriction.
+
+        Multiply/divide operations and FP/SIMD operations share result
+        buses on little cores: a MUL-class op cannot issue in the same
+        cycle as an FP-class op, and two MUL-class ops never pair (the
+        pool enforces the latter; this predicate enforces the former).
+        """
+        is_mul = opclass == _IMUL or opclass == _IDIV
+        is_fp = _FPALU <= opclass <= _SIMD_MUL
+        if is_mul and issued_fp:
+            return True
+        if is_fp and issued_mul:
+            return True
+        return False
+
+    def reset(self) -> None:
+        for pool in self._pools.values():
+            pool.reset()

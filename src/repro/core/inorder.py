@@ -1,0 +1,218 @@
+"""In-order core timing model (Cortex-A53-like).
+
+A one-pass timestamp scoreboard in the Sniper high-abstraction style:
+instructions are processed in program order; for each one we compute the
+earliest cycle it can issue given front-end availability (I-cache, branch
+redirects), register dependences, dual-issue slot/pairing limits and
+functional-unit contention, then account its completion. No structure is
+simulated cycle-by-cycle, which is what makes thousands of tuning runs
+affordable — the paper's core argument for using Sniper.
+"""
+
+from __future__ import annotations
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.unit import (
+    REDIRECT_BTB,
+    REDIRECT_MISPREDICT,
+    REDIRECT_NONE,
+    BranchUnit,
+    build_direction_predictor,
+    build_indirect_predictor,
+)
+from repro.core.config import SimConfig
+from repro.core.contention import ContentionModel
+from repro.core.stats import SimStats
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import INT_REG_COUNT, TOTAL_REG_COUNT, ZERO_REG
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.record import Trace
+
+_NOP = int(OpClass.NOP)
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+_LDP = int(OpClass.LDP)
+_STP = int(OpClass.STP)
+_BRANCH_FIRST = int(OpClass.BRANCH)
+_BRANCH_LAST = int(OpClass.RET)
+_IMUL = int(OpClass.IMUL)
+_IDIV = int(OpClass.IDIV)
+_FP_FIRST = int(OpClass.FPALU)
+_FP_LAST = int(OpClass.SIMD_MUL)
+
+
+def _build_branch_unit(config: SimConfig) -> BranchUnit:
+    b = config.branch
+    return BranchUnit(
+        direction=build_direction_predictor(b.predictor, b.predictor_bits),
+        btb=BranchTargetBuffer(entries=b.btb_entries, assoc=b.btb_assoc),
+        ras=ReturnAddressStack(entries=b.ras_entries),
+        indirect=build_indirect_predictor(
+            b.indirect, b.indirect_entries, b.indirect_history_bits
+        ),
+    )
+
+
+class InOrderCore:
+    """Dual-issue in-order pipeline model."""
+
+    def __init__(self, config: SimConfig, effects=None) -> None:
+        if config.core_type != "inorder":
+            raise ValueError(f"InOrderCore requires core_type='inorder', got {config.core_type!r}")
+        self.config = config
+        self.effects = effects
+        self.hierarchy = MemoryHierarchy(config, effects=effects)
+        self.contention = ContentionModel(config.execute)
+        self.branch_unit = _build_branch_unit(config)
+
+    def run(self, trace: Trace, decoded: list) -> SimStats:
+        """Replay ``trace`` (pre-decoded as ``decoded``) and account cycles."""
+        cfg = self.config
+        pipeline = cfg.pipeline
+        issue_width = pipeline.issue_width
+        dual_rules = pipeline.dual_issue_rules
+        stall_on_use = pipeline.stall_on_use
+        frontend_depth = pipeline.frontend_depth
+        mispredict_penalty = cfg.branch.mispredict_penalty
+        btb_miss_penalty = cfg.branch.btb_miss_penalty
+        agu_latency = cfg.execute.agu_latency
+
+        hierarchy = self.hierarchy
+        load = hierarchy.load
+        store = hierarchy.store
+        ifetch = hierarchy.ifetch
+        line_size = hierarchy.line_size
+        l1i_hit = hierarchy.l1i.hit_latency + (1 if hierarchy.l1i.serial_tag_data else 0)
+        contention = self.contention
+        probe = contention.probe
+        commit = contention.commit
+        pairing_conflict = contention.pairing_conflict
+        branch_access = self.branch_unit.access
+        effects = self.effects
+        branch_extra = effects.branch_extra if effects is not None else None
+
+        reg_ready = [0] * (TOTAL_REG_COUNT + 1)  # slot -1 aliases the pad
+        cycle = frontend_depth  # pipeline fill
+        slots_used = 0
+        issued_mul = False
+        issued_fp = False
+        frontend_ready = frontend_depth
+        stall_until = 0
+        current_line = -1
+        max_done = 0
+
+        records = trace.records
+        for i, inst in enumerate(decoded):
+            rec = records[i]
+            opclass = int(inst.opclass)
+            pc = rec.pc
+
+            # ---------------------------------------------- front end
+            pc_line = pc // line_size
+            if pc_line != current_line:
+                fetch_base = cycle if cycle > frontend_ready else frontend_ready
+                done = ifetch(pc, fetch_base)
+                extra = done - fetch_base - l1i_hit
+                if extra > 0:
+                    # Hits are pipelined and hidden; only the miss stalls.
+                    frontend_ready = fetch_base + extra
+                current_line = pc_line
+
+            # ---------------------------------------------- issue time
+            t = cycle
+            if frontend_ready > t:
+                t = frontend_ready
+            if stall_until > t:
+                t = stall_until
+            src1 = inst.src1
+            if src1 >= 0 and reg_ready[src1] > t:
+                t = reg_ready[src1]
+            src2 = inst.src2
+            if src2 >= 0 and reg_ready[src2] > t:
+                t = reg_ready[src2]
+
+            if t == cycle:
+                if slots_used >= issue_width or (
+                    dual_rules and pairing_conflict(opclass, issued_mul, issued_fp)
+                ):
+                    t = cycle + 1
+
+            t2 = probe(opclass, t)
+            if t2 > t:
+                t = t2
+
+            if t == cycle:
+                slots_used += 1
+            else:
+                cycle = t
+                slots_used = 1
+                issued_mul = False
+                issued_fp = False
+            if _IMUL <= opclass <= _IDIV:
+                issued_mul = True
+            elif _FP_FIRST <= opclass <= _FP_LAST:
+                issued_fp = True
+
+            # ---------------------------------------------- execute
+            if opclass == _NOP:
+                continue
+
+            if _BRANCH_FIRST <= opclass <= _BRANCH_LAST:
+                done = commit(opclass, t)
+                redirect = branch_access(opclass, pc, rec.taken, rec.target)
+                if redirect == REDIRECT_MISPREDICT:
+                    frontend_ready = t + mispredict_penalty
+                    current_line = -1
+                elif redirect == REDIRECT_BTB:
+                    frontend_ready = t + btb_miss_penalty
+                    current_line = -1
+                elif rec.taken:
+                    # Correct taken prediction still restarts the fetch
+                    # line; hardware-only extra bubbles hook in here.
+                    current_line = -1
+                    if branch_extra is not None:
+                        frontend_ready = t + branch_extra()
+            elif opclass == _LOAD or opclass == _LDP:
+                commit(opclass, t)
+                data = load(rec.addr, pc, t + agu_latency)
+                dst = inst.dst
+                if dst >= 0 and dst != ZERO_REG:
+                    reg_ready[dst] = data
+                    if opclass == _LDP and dst + 1 < TOTAL_REG_COUNT:
+                        reg_ready[dst + 1] = data + 1
+                if not stall_on_use:
+                    stall_until = data
+                if data > max_done:
+                    max_done = data
+            elif opclass == _STORE or opclass == _STP:
+                commit(opclass, t)
+                ok = store(rec.addr, pc, t + agu_latency)
+                if ok > t + agu_latency:
+                    stall_until = ok
+            else:
+                done = commit(opclass, t)
+                dst = inst.dst
+                if dst >= 0 and not (dst == ZERO_REG and dst < INT_REG_COUNT):
+                    reg_ready[dst] = done
+                if done > max_done:
+                    max_done = done
+
+        total_cycles = max(cycle, max_done)
+        return self._stats(trace, total_cycles)
+
+    def _stats(self, trace: Trace, cycles: int) -> SimStats:
+        hierarchy = self.hierarchy
+        return SimStats(
+            config_name=self.config.name,
+            workload=trace.name,
+            instructions=len(trace),
+            cycles=cycles,
+            branch=self.branch_unit.stats,
+            l1i=hierarchy.l1i.stats,
+            l1d=hierarchy.l1d.stats,
+            l2=hierarchy.l2.stats,
+            store_buffer_full_stalls=hierarchy.store_buffer.full_stalls,
+            store_forwards=hierarchy.store_buffer.forwards,
+            dram_accesses=hierarchy.dram.accesses,
+        )

@@ -1,0 +1,247 @@
+"""Out-of-order core timing model (Cortex-A72-like).
+
+A timestamp ROB model in the interval-simulation spirit: each dynamic
+instruction gets fetch, dispatch, issue, complete and retire timestamps
+computed in one program-order pass. Out-of-order overlap comes from the
+fact that issue waits only on *data* dependences, unit contention and
+window occupancy — not on the issue times of earlier instructions —
+while the ROB, issue-queue, load/store-queue and commit-width constraints
+bound how far the core can run ahead. Memory-level parallelism emerges
+naturally: independent loads issue at overlapping times and the L1D MSHR
+file bounds how many misses proceed concurrently.
+"""
+
+from __future__ import annotations
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.unit import (
+    REDIRECT_BTB,
+    REDIRECT_MISPREDICT,
+    BranchUnit,
+    build_direction_predictor,
+    build_indirect_predictor,
+)
+from repro.core.config import SimConfig
+from repro.core.contention import ContentionModel
+from repro.core.stats import SimStats
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import TOTAL_REG_COUNT, ZERO_REG
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.record import Trace
+
+_NOP = int(OpClass.NOP)
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+_LDP = int(OpClass.LDP)
+_STP = int(OpClass.STP)
+_BRANCH_FIRST = int(OpClass.BRANCH)
+_BRANCH_LAST = int(OpClass.RET)
+
+
+def _build_branch_unit(config: SimConfig) -> BranchUnit:
+    b = config.branch
+    return BranchUnit(
+        direction=build_direction_predictor(b.predictor, b.predictor_bits),
+        btb=BranchTargetBuffer(entries=b.btb_entries, assoc=b.btb_assoc),
+        ras=ReturnAddressStack(entries=b.ras_entries),
+        indirect=build_indirect_predictor(
+            b.indirect, b.indirect_entries, b.indirect_history_bits
+        ),
+    )
+
+
+class OutOfOrderCore:
+    """ROB-based out-of-order pipeline model."""
+
+    def __init__(self, config: SimConfig, effects=None) -> None:
+        if config.core_type != "ooo":
+            raise ValueError(f"OutOfOrderCore requires core_type='ooo', got {config.core_type!r}")
+        self.config = config
+        self.effects = effects
+        self.hierarchy = MemoryHierarchy(config, effects=effects)
+        self.contention = ContentionModel(config.execute)
+        self.branch_unit = _build_branch_unit(config)
+
+    def run(self, trace: Trace, decoded: list) -> SimStats:
+        cfg = self.config
+        pipeline = cfg.pipeline
+        fetch_width = pipeline.fetch_width
+        commit_width = pipeline.commit_width
+        frontend_depth = pipeline.frontend_depth
+        rob_size = pipeline.rob_size
+        iq_size = pipeline.iq_size
+        ldq_entries = pipeline.ldq_entries
+        stq_entries = pipeline.stq_entries
+        mispredict_penalty = cfg.branch.mispredict_penalty
+        btb_miss_penalty = cfg.branch.btb_miss_penalty
+        agu_latency = cfg.execute.agu_latency
+
+        hierarchy = self.hierarchy
+        load = hierarchy.load
+        store = hierarchy.store
+        ifetch = hierarchy.ifetch
+        line_size = hierarchy.line_size
+        l1i_hit = hierarchy.l1i.hit_latency + (1 if hierarchy.l1i.serial_tag_data else 0)
+        contention = self.contention
+        probe = contention.probe
+        commit = contention.commit
+        branch_access = self.branch_unit.access
+        effects = self.effects
+        branch_extra = effects.branch_extra if effects is not None else None
+
+        reg_ready = [0] * (TOTAL_REG_COUNT + 1)
+
+        # Ring buffers for window constraints.
+        retire_ring = [0] * rob_size
+        issue_ring = [0] * iq_size
+        ld_ring = [0] * ldq_entries
+        st_ring = [0] * stq_entries
+        ld_count = 0
+        st_count = 0
+
+        fetch_cycle = 0
+        fetch_slots = 0
+        frontend_ready = 0
+        retire_cycle = 0
+        retire_slots = 0
+        prev_retire = 0
+        current_line = -1
+
+        records = trace.records
+        for i, inst in enumerate(decoded):
+            rec = records[i]
+            opclass = int(inst.opclass)
+            pc = rec.pc
+
+            # ---------------------------------------------- fetch
+            f = fetch_cycle
+            if frontend_ready > f:
+                f = frontend_ready
+            pc_line = pc // line_size
+            if pc_line != current_line:
+                done = ifetch(pc, f)
+                extra = done - f - l1i_hit
+                if extra > 0:
+                    f += extra
+                    frontend_ready = f
+                current_line = pc_line
+            if f == fetch_cycle:
+                fetch_slots += 1
+                if fetch_slots >= fetch_width:
+                    fetch_cycle += 1
+                    fetch_slots = 0
+            else:
+                fetch_cycle = f
+                fetch_slots = 1
+
+            # ---------------------------------------------- dispatch
+            d = f + frontend_depth
+            rob_slot = i % rob_size
+            if retire_ring[rob_slot] > d:  # ROB full: wait for head retire
+                d = retire_ring[rob_slot]
+            iq_slot = i % iq_size
+            if issue_ring[iq_slot] > d:  # IQ full: wait for an issue
+                d = issue_ring[iq_slot]
+            if opclass == _LOAD or opclass == _LDP:
+                slot = ld_count % ldq_entries
+                if ld_ring[slot] > d:
+                    d = ld_ring[slot]
+            elif opclass == _STORE or opclass == _STP:
+                slot = st_count % stq_entries
+                if st_ring[slot] > d:
+                    d = st_ring[slot]
+
+            # ---------------------------------------------- issue
+            t = d
+            src1 = inst.src1
+            if src1 >= 0 and reg_ready[src1] > t:
+                t = reg_ready[src1]
+            src2 = inst.src2
+            if src2 >= 0 and reg_ready[src2] > t:
+                t = reg_ready[src2]
+            t = probe(opclass, t)
+            issue_ring[iq_slot] = t
+
+            # ---------------------------------------------- execute
+            if opclass == _NOP:
+                done = t
+            elif _BRANCH_FIRST <= opclass <= _BRANCH_LAST:
+                done = commit(opclass, t)
+                redirect = branch_access(opclass, pc, rec.taken, rec.target)
+                if redirect == REDIRECT_MISPREDICT:
+                    # Wrong-path flush: fetch restarts after resolution.
+                    restart = done + mispredict_penalty
+                    if restart > frontend_ready:
+                        frontend_ready = restart
+                    current_line = -1
+                elif redirect == REDIRECT_BTB:
+                    restart = f + btb_miss_penalty
+                    if restart > frontend_ready:
+                        frontend_ready = restart
+                    current_line = -1
+                elif rec.taken:
+                    current_line = -1
+                    if branch_extra is not None:
+                        bubble = f + branch_extra()
+                        if bubble > frontend_ready:
+                            frontend_ready = bubble
+            elif opclass == _LOAD or opclass == _LDP:
+                commit(opclass, t)
+                done = load(rec.addr, pc, t + agu_latency)
+                dst = inst.dst
+                if dst >= 0 and dst != ZERO_REG:
+                    reg_ready[dst] = done
+                    if opclass == _LDP and dst + 1 < TOTAL_REG_COUNT:
+                        reg_ready[dst + 1] = done + 1
+                ld_ring[ld_count % ldq_entries] = done
+                ld_count += 1
+            elif opclass == _STORE or opclass == _STP:
+                commit(opclass, t)
+                # The store's data leaves the STQ when it drains to the
+                # store buffer at retire; the queue slot frees then.
+                done = t + agu_latency
+            else:
+                done = commit(opclass, t)
+                dst = inst.dst
+                if dst >= 0 and dst != ZERO_REG:
+                    reg_ready[dst] = done
+
+            # ---------------------------------------------- retire
+            # In-order retirement, commit_width slots per cycle.
+            r = done if done > prev_retire else prev_retire
+            if r < retire_cycle:
+                r = retire_cycle
+            if r == retire_cycle and retire_slots >= commit_width:
+                r += 1
+            if r > retire_cycle:
+                retire_cycle = r
+                retire_slots = 0
+            retire_slots += 1
+            prev_retire = r
+            retire_ring[rob_slot] = r
+
+            if opclass == _STORE or opclass == _STP:
+                # Stores write the memory system post-retire.
+                drained = store(rec.addr, pc, r)
+                st_ring[st_count % stq_entries] = drained
+                st_count += 1
+
+        total_cycles = prev_retire + frontend_depth
+        return self._stats(trace, total_cycles)
+
+    def _stats(self, trace: Trace, cycles: int) -> SimStats:
+        hierarchy = self.hierarchy
+        return SimStats(
+            config_name=self.config.name,
+            workload=trace.name,
+            instructions=len(trace),
+            cycles=cycles,
+            branch=self.branch_unit.stats,
+            l1i=hierarchy.l1i.stats,
+            l1d=hierarchy.l1d.stats,
+            l2=hierarchy.l2.stats,
+            store_buffer_full_stalls=hierarchy.store_buffer.full_stalls,
+            store_forwards=hierarchy.store_buffer.forwards,
+            dram_accesses=hierarchy.dram.accesses,
+        )

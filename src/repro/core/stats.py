@@ -1,0 +1,91 @@
+"""Simulation statistics record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.branch.unit import BranchStats
+from repro.memory.cache import CacheStats
+
+
+@dataclass
+class SimStats:
+    """Everything one simulation run reports.
+
+    ``cycles``/``instructions``/``cpi`` feed the tuning cost function;
+    the component counters feed the step-5 per-component inspection and
+    the weighted cost functions the paper recommends for targeted
+    optimisation rounds.
+    """
+
+    config_name: str
+    workload: str
+    instructions: int
+    cycles: int
+    branch: BranchStats = field(default_factory=BranchStats)
+    l1i: CacheStats = field(default_factory=CacheStats)
+    l1d: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    store_buffer_full_stalls: int = 0
+    store_forwards: int = 0
+    dram_accesses: int = 0
+    decoder: str = "capstone-like"
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction — the paper's headline metric."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_mpki(self) -> float:
+        """Branch mispredictions per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.branch.mispredicts / self.instructions
+
+    @property
+    def l1d_mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.l1d.misses / self.instructions
+
+    @property
+    def l2_mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.l2.misses / self.instructions
+
+    def counter(self, name: str) -> float:
+        """Generic counter accessor used by the perf-style interface.
+
+        Names follow perf-event spelling: ``cycles``, ``instructions``,
+        ``branch-misses``, ``branches``, ``L1-dcache-load-misses``,
+        ``L1-icache-load-misses``, ``l2-misses``, ``cpi``.
+        """
+        mapping = {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "cpi": self.cpi,
+            "ipc": self.ipc,
+            "branches": self.branch.branches,
+            "branch-misses": self.branch.mispredicts,
+            "branch-mpki": self.branch_mpki,
+            "L1-dcache-loads": self.l1d.accesses,
+            "L1-dcache-load-misses": self.l1d.misses,
+            "L1-icache-load-misses": self.l1i.misses,
+            "l2-accesses": self.l2.accesses,
+            "l2-misses": self.l2.misses,
+            "l1d-mpki": self.l1d_mpki,
+            "l2-mpki": self.l2_mpki,
+            "dram-accesses": self.dram_accesses,
+        }
+        try:
+            return mapping[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown counter {name!r}; available: {sorted(mapping)}"
+            ) from None

@@ -1,0 +1,53 @@
+"""Program front-end: the reproduction's DynamoRIO stand-in.
+
+The paper instruments unmodified AArch64 binaries with DynamoRIO to record
+dynamic instruction traces. Here, workloads are synthetic programs —
+static instruction sequences whose memory addresses, branch outcomes and
+indirect targets are driven by deterministic pattern generators — and the
+:class:`~repro.frontend.interpreter.Interpreter` functionally executes them
+to produce the same kind of dynamic record stream (pc, word, address,
+branch outcome) that DBI-based tracing yields.
+"""
+
+from repro.frontend.program import (
+    AddrPattern,
+    BranchPattern,
+    ChaseAddr,
+    CycleTargets,
+    FixedAddr,
+    ListAddr,
+    NeverTaken,
+    AlwaysTaken,
+    PatternTaken,
+    Program,
+    RandomAddr,
+    RandomTaken,
+    RandomTargets,
+    SequentialAddr,
+    StaticInst,
+    TargetPattern,
+)
+from repro.frontend.builder import ProgramBuilder
+from repro.frontend.interpreter import Interpreter, trace_program
+
+__all__ = [
+    "AddrPattern",
+    "BranchPattern",
+    "TargetPattern",
+    "FixedAddr",
+    "SequentialAddr",
+    "RandomAddr",
+    "ChaseAddr",
+    "ListAddr",
+    "AlwaysTaken",
+    "NeverTaken",
+    "PatternTaken",
+    "RandomTaken",
+    "CycleTargets",
+    "RandomTargets",
+    "StaticInst",
+    "Program",
+    "ProgramBuilder",
+    "Interpreter",
+    "trace_program",
+]

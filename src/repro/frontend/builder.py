@@ -1,0 +1,174 @@
+"""Fluent builder for synthetic programs.
+
+Micro-benchmark generators compose kernels from a small vocabulary:
+ALU ops, FP ops, loads/stores with a pattern, and branches. The builder
+assigns encodings, resolves labels to static indices, and wires the
+implicit loop structure.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.program import (
+    AddrPattern,
+    AlwaysTaken,
+    BranchPattern,
+    Program,
+    StaticInst,
+    TargetPattern,
+)
+from repro.isa.encoding import encode
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import LINK_REG, NO_REG
+
+
+class ProgramBuilder:
+    """Accumulates instructions and resolves labels into a Program."""
+
+    def __init__(self, name: str = "program", base_pc: int = 0x40_0000) -> None:
+        self.name = name
+        self.base_pc = base_pc
+        self._insts: list = []
+        self._labels: dict = {}
+        self._fixups: list = []
+        self._gaps: list = []
+        self._gap_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Label management
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> "ProgramBuilder":
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._insts)
+        return self
+
+    def here(self) -> int:
+        """Current static index (next instruction's position)."""
+        return len(self._insts)
+
+    def org_gap(self, nbytes: int) -> "ProgramBuilder":
+        """Leave an address gap before the next instruction.
+
+        Lets kernels place code blocks at controlled distances for
+        instruction-cache capacity/conflict stress; the gap bytes are
+        never executed.
+        """
+        if nbytes <= 0 or nbytes % 4:
+            raise ValueError("gap must be a positive multiple of 4")
+        self._gap_bytes += nbytes
+        return self
+
+    # ------------------------------------------------------------------
+    # Plain operations
+    # ------------------------------------------------------------------
+    def _append(self, inst: StaticInst) -> None:
+        self._gaps.append(self._gap_bytes)
+        self._insts.append(inst)
+
+    def op(
+        self,
+        opclass: OpClass,
+        dst: int = NO_REG,
+        src1: int = NO_REG,
+        src2: int = NO_REG,
+        imm: int = 0,
+    ) -> "ProgramBuilder":
+        """Append a non-memory, non-branch operation."""
+        self._append(StaticInst(encode(opclass, dst, src1, src2, imm)))
+        return self
+
+    def nop(self, count: int = 1) -> "ProgramBuilder":
+        for _ in range(count):
+            self.op(OpClass.NOP)
+        return self
+
+    # ------------------------------------------------------------------
+    # Memory operations
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        dst: int,
+        pattern: AddrPattern,
+        base: int = NO_REG,
+        pair: bool = False,
+    ) -> "ProgramBuilder":
+        """Append a load whose addresses come from ``pattern``.
+
+        ``base`` names the address-base register, which creates a RAW
+        dependence for pointer-chase kernels when it equals the previous
+        load's destination.
+        """
+        opclass = OpClass.LDP if pair else OpClass.LOAD
+        word = encode(opclass, dst, base, NO_REG)
+        self._append(StaticInst(word, addr_pattern=pattern))
+        return self
+
+    def store(
+        self,
+        data: int,
+        pattern: AddrPattern,
+        base: int = NO_REG,
+        pair: bool = False,
+    ) -> "ProgramBuilder":
+        """Append a store of register ``data`` at ``pattern`` addresses."""
+        opclass = OpClass.STP if pair else OpClass.STORE
+        word = encode(opclass, NO_REG, base, data)
+        self._append(StaticInst(word, addr_pattern=pattern))
+        return self
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def branch(
+        self,
+        target: str,
+        pattern: BranchPattern,
+        cond_reg: int = NO_REG,
+    ) -> "ProgramBuilder":
+        """Append a conditional direct branch to label ``target``."""
+        word = encode(OpClass.BRANCH, NO_REG, cond_reg, NO_REG)
+        inst = StaticInst(word, branch_pattern=pattern)
+        self._fixups.append((len(self._insts), target))
+        self._append(inst)
+        return self
+
+    def jump(self, target: str) -> "ProgramBuilder":
+        """Append an unconditional direct branch to label ``target``."""
+        word = encode(OpClass.JUMP)
+        inst = StaticInst(word, branch_pattern=AlwaysTaken())
+        self._fixups.append((len(self._insts), target))
+        self._append(inst)
+        return self
+
+    def indirect(self, pattern: TargetPattern, src: int = NO_REG) -> "ProgramBuilder":
+        """Append an indirect branch whose targets come from ``pattern``."""
+        word = encode(OpClass.IBRANCH, NO_REG, src, NO_REG)
+        self._append(StaticInst(word, branch_pattern=AlwaysTaken(), target_pattern=pattern))
+        return self
+
+    def call(self, target: str) -> "ProgramBuilder":
+        """Append a direct call to label ``target``."""
+        word = encode(OpClass.CALL, LINK_REG)
+        inst = StaticInst(word, branch_pattern=AlwaysTaken())
+        self._fixups.append((len(self._insts), target))
+        self._append(inst)
+        return self
+
+    def ret(self) -> "ProgramBuilder":
+        """Append a function return (target from the call stack)."""
+        word = encode(OpClass.RET, NO_REG, LINK_REG)
+        self._append(StaticInst(word, branch_pattern=AlwaysTaken()))
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Resolve labels and produce the Program."""
+        for index, label in self._fixups:
+            if label not in self._labels:
+                raise ValueError(f"undefined label {label!r}")
+            self._insts[index].branch_target = self._labels[label]
+        pcs = None
+        if self._gap_bytes:
+            pcs = [self.base_pc + 4 * i + gap for i, gap in enumerate(self._gaps)]
+        return Program(self._insts, name=self.name, base_pc=self.base_pc, pcs=pcs)

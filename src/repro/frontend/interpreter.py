@@ -1,0 +1,115 @@
+"""Functional interpreter producing dynamic traces.
+
+This is the tracing half of the DynamoRIO substitution: it "executes" a
+:class:`~repro.frontend.program.Program` by walking its static
+instructions, consulting the behavioural patterns for memory addresses,
+branch outcomes and indirect targets, and emitting one
+:class:`~repro.trace.record.DynInst` per dynamic instruction.
+
+Control-flow semantics:
+
+- conditional branches consult their :class:`BranchPattern`; taken
+  branches redirect to their static ``branch_target``;
+- unconditional jumps always redirect;
+- indirect branches take a target index from their :class:`TargetPattern`;
+- calls push the return index on an interpreter-maintained call stack,
+  returns pop it (a return with an empty stack falls through);
+- falling past the last instruction completes one *iteration* and
+  restarts at index 0.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.program import Program
+from repro.isa.opclasses import OpClass
+from repro.trace.record import DynInst, Trace
+
+_OPCLASS_SHIFT = 27
+
+_BRANCH = int(OpClass.BRANCH)
+_JUMP = int(OpClass.JUMP)
+_IBRANCH = int(OpClass.IBRANCH)
+_CALL = int(OpClass.CALL)
+_RET = int(OpClass.RET)
+_MEM_LO = int(OpClass.LOAD)
+_MEM_HI = int(OpClass.STP)
+
+
+class Interpreter:
+    """Executes programs into dynamic instruction traces."""
+
+    def __init__(self, max_instructions: int = 1_000_000) -> None:
+        #: Hard safety cap on emitted dynamic instructions per trace.
+        self.max_instructions = max_instructions
+
+    def run(self, program: Program, iterations: int = 1) -> Trace:
+        """Trace ``iterations`` passes over ``program``.
+
+        Tracing also stops at :attr:`max_instructions`, which both bounds
+        runaway control flow and lets callers cap trace length directly.
+        """
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        program.reset_patterns()
+        insts = program.insts
+        pcs = program.pcs
+        n = len(insts)
+        limit = self.max_instructions
+
+        records: list = []
+        append = records.append
+        call_stack: list = []
+        index = 0
+        done_iterations = 0
+        emitted = 0
+
+        while done_iterations < iterations and emitted < limit:
+            inst = insts[index]
+            word = inst.word
+            opclass = word >> _OPCLASS_SHIFT
+            pc = pcs[index]
+            addr = 0
+            taken = False
+            target_pc = 0
+            next_index = index + 1
+
+            if _MEM_LO <= opclass <= _MEM_HI:
+                addr = inst.addr_pattern.next_addr()
+            elif opclass == _BRANCH:
+                taken = inst.branch_pattern.next_taken()
+                if taken:
+                    next_index = inst.branch_target
+            elif opclass == _JUMP:
+                taken = True
+                next_index = inst.branch_target
+            elif opclass == _IBRANCH:
+                taken = True
+                next_index = inst.target_pattern.next_target()
+            elif opclass == _CALL:
+                taken = True
+                call_stack.append(index + 1)
+                next_index = inst.branch_target
+            elif opclass == _RET:
+                if call_stack:
+                    taken = True
+                    next_index = call_stack.pop()
+
+            if taken:
+                target_pc = pcs[next_index] if next_index < n else pcs[0]
+
+            append(DynInst(pc, word, addr, taken, target_pc))
+            emitted += 1
+
+            if next_index >= n:
+                done_iterations += 1
+                index = 0
+                call_stack.clear()
+            else:
+                index = next_index
+
+        return Trace(records, name=program.name)
+
+
+def trace_program(program: Program, iterations: int = 1, max_instructions: int = 1_000_000) -> Trace:
+    """Convenience wrapper: trace ``program`` with a fresh interpreter."""
+    return Interpreter(max_instructions=max_instructions).run(program, iterations=iterations)

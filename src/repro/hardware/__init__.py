@@ -1,0 +1,40 @@
+"""The "real hardware" substitute.
+
+The paper validates against a Firefly RK3399 board (Cortex-A53 +
+Cortex-A72 silicon). This package provides the synthetic equivalent: the
+same timing-model engine run with *hidden ground-truth configurations*
+plus hardware-only behaviours the user-facing simulator does not model
+(TLB walks, OS zero-page service of untouched pages, front-end
+taken-branch bubbles) and seeded measurement noise.
+
+That construction gives the oracle exactly the two error sources the
+methodology is designed to attack:
+
+- **specification error** — the ground-truth parameter values are hidden
+  from the simulator user and must be recovered by tuning;
+- **abstraction error** — the hardware-only behaviours and off-grid
+  parameter values cannot be expressed by any simulator configuration,
+  leaving the residual error the paper reports (≈7% for the A53 model,
+  ≈15% for the A72 model).
+
+Ground-truth values live in :mod:`repro.hardware.groundtruth` and must
+never be read by tuning code — only by the board itself (and by
+calibration tests that verify the experiment is well-posed).
+"""
+
+from repro.hardware.effects import HardwareEffects, HardwareEffectsConfig
+from repro.hardware.perf import PerfResult, PERF_EVENTS
+from repro.hardware.board import FireflyRK3399, HardwareCore
+from repro.hardware.lmbench import LatencyEstimates, apply_latency_estimates, lat_mem_rd
+
+__all__ = [
+    "HardwareEffects",
+    "HardwareEffectsConfig",
+    "PerfResult",
+    "PERF_EVENTS",
+    "FireflyRK3399",
+    "HardwareCore",
+    "LatencyEstimates",
+    "apply_latency_estimates",
+    "lat_mem_rd",
+]

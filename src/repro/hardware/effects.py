@@ -1,0 +1,139 @@
+"""Hardware-only behaviours (abstraction-error sources).
+
+These hooks attach to the ground-truth simulations the board runs and
+model behaviours the user-facing simulator deliberately lacks, mirroring
+the abstraction gaps the paper encountered:
+
+- **data/instruction TLBs** — the simulator has no TLB model; the
+  hardware pays page-walk latency on TLB misses;
+- **OS zero-page service** — loads from pages the program never wrote
+  are served as if cached ("a couple memory-intensive micro-benchmarks
+  access an uninitialized array, most of which are considered a cache
+  miss by our model but are reported as hits on real hardware", §IV-B);
+- **taken-branch front-end bubbles** — little cores lose occasional
+  fetch slots on taken branches even when correctly predicted.
+
+The magnitudes are per-core-type configuration
+(:class:`HardwareEffectsConfig`), chosen in
+:mod:`repro.hardware.groundtruth`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HardwareEffectsConfig:
+    """Magnitudes of the hardware-only behaviours."""
+
+    page_size: int = 4096
+    dtlb_entries: int = 32
+    itlb_entries: int = 16
+    tlb_walk_latency: int = 25
+    #: Serve loads from never-written pages at this latency (zero-page
+    #: optimisation); negative disables the behaviour.
+    zero_page_latency: int = 2
+    #: Add one front-end bubble cycle every N-th taken branch (0 = off).
+    taken_branch_bubble_period: int = 0
+
+
+class _TLB:
+    """Fully-associative LRU TLB over page numbers."""
+
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        self._pages: dict = {}
+        self.misses = 0
+        self.accesses = 0
+
+    def access(self, page: int) -> bool:
+        """Returns True on hit; trains LRU state either way."""
+        self.accesses += 1
+        pages = self._pages
+        if page in pages:
+            del pages[page]
+            pages[page] = True
+            return True
+        self.misses += 1
+        if len(pages) >= self.entries:
+            del pages[next(iter(pages))]
+        pages[page] = True
+        return False
+
+    def reset(self) -> None:
+        self._pages = {}
+        self.misses = 0
+        self.accesses = 0
+
+
+class HardwareEffects:
+    """Per-run hardware-only latency adjustments.
+
+    The memory hierarchy calls ``load_extra`` / ``store_extra`` /
+    ``ifetch_extra`` after computing the modelled latency; the cores call
+    ``branch_extra`` on correctly predicted taken branches. The
+    ``load_override`` hook is consulted by the board's hierarchy wrapper
+    *before* the cache access to model zero-page service.
+    """
+
+    def __init__(self, config: HardwareEffectsConfig) -> None:
+        self.config = config
+        self._dtlb = _TLB(config.dtlb_entries)
+        self._itlb = _TLB(config.itlb_entries)
+        self._written_pages: set = set()
+        self._taken_count = 0
+
+    # -- hierarchy hooks ------------------------------------------------
+    def load_extra(self, addr: int, now: int) -> int:
+        page = addr // self.config.page_size
+        if not self._dtlb.access(page):
+            return self.config.tlb_walk_latency
+        return 0
+
+    def store_extra(self, addr: int, now: int) -> int:
+        page = addr // self.config.page_size
+        self._written_pages.add(page)
+        if not self._dtlb.access(page):
+            return self.config.tlb_walk_latency
+        return 0
+
+    def ifetch_extra(self, pc: int, now: int) -> int:
+        page = pc // self.config.page_size
+        if not self._itlb.access(page):
+            return self.config.tlb_walk_latency
+        return 0
+
+    def load_override(self, addr: int, now: int) -> int:
+        """Latency override for zero-page loads, or -1 for no override."""
+        zp = self.config.zero_page_latency
+        if zp < 0:
+            return -1
+        if addr // self.config.page_size in self._written_pages:
+            return -1
+        return zp
+
+    # -- core hooks -----------------------------------------------------
+    def branch_extra(self) -> int:
+        period = self.config.taken_branch_bubble_period
+        if period <= 0:
+            return 0
+        self._taken_count += 1
+        if self._taken_count % period == 0:
+            return 1
+        return 0
+
+    # --------------------------------------------------------------
+    @property
+    def dtlb_misses(self) -> int:
+        return self._dtlb.misses
+
+    @property
+    def itlb_misses(self) -> int:
+        return self._itlb.misses
+
+    def reset(self) -> None:
+        self._dtlb.reset()
+        self._itlb.reset()
+        self._written_pages = set()
+        self._taken_count = 0

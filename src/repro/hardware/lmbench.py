@@ -1,0 +1,162 @@
+"""lmbench-style latency estimation (methodology step #2).
+
+"We estimate the access time of the L1 data and instruction caches in
+addition to the L2 cache using the lmbench micro-benchmarks, and plug
+them into the timing models" (§III-A). The classic ``lat_mem_rd`` tool
+walks a randomly permuted pointer chain over a working set of a chosen
+size; because every load depends on the previous one, per-load time is
+the load-to-use latency of whatever level the working set fits in.
+
+We reproduce that: a chase kernel per probe size, measured on a board
+core *differentially* (two chain lengths, divided difference) so the
+one-time array-initialisation pass cancels out of the estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SimConfig
+from repro.frontend.builder import ProgramBuilder
+from repro.frontend.program import ChaseAddr, PatternTaken, Program, SequentialAddr
+from repro.isa.registers import int_reg
+
+_PAGE = 4096
+_DATA_BASE = 0x10_0000
+_CHASE_UNROLL = 32
+
+
+@dataclass(frozen=True)
+class LatencyEstimates:
+    """Measured load-to-use latencies in core cycles."""
+
+    l1_load_to_use: float
+    l2_load_to_use: float
+    dram_load_to_use: float
+
+    def summary(self) -> str:
+        return (
+            f"L1 {self.l1_load_to_use:.1f} cy, L2 {self.l2_load_to_use:.1f} cy, "
+            f"DRAM {self.dram_load_to_use:.1f} cy (load-to-use)"
+        )
+
+
+def build_chase_program(window: int, loads: int, seed: int = 7, name: str = None) -> Program:
+    """Pointer-chase over ``window`` bytes executing ``loads`` loads.
+
+    Structure: an initialisation loop that writes one word per page
+    (real lmbench must write the chain pointers; here it also marks the
+    pages written, which keeps the OS zero-page behaviour out of the
+    measurement), then an unrolled chase loop where every load's address
+    register is the previous load's destination.
+    """
+    if window < _PAGE:
+        raise ValueError("window must be at least one page")
+    if loads < _CHASE_UNROLL:
+        raise ValueError(f"loads must be >= {_CHASE_UNROLL}")
+    pages = window // _PAGE
+    chase_iters = max(1, loads // _CHASE_UNROLL)
+    name = name or f"lat_mem_rd-{window // 1024}KB-{loads}"
+    b = ProgramBuilder(name)
+
+    ptr = int_reg(5)
+    init_data = int_reg(1)
+    # --- init: touch every page once ---------------------------------
+    init_pattern = SequentialAddr(_DATA_BASE, _PAGE, window)
+    b.label("init")
+    b.store(init_data, init_pattern)
+    if pages > 1:
+        b.branch("init", PatternTaken("T" * (pages - 1) + "N"), cond_reg=init_data)
+
+    # --- chase: serialised dependent loads ----------------------------
+    lines = max(1, window // 64)
+    chase_pattern = ChaseAddr(_DATA_BASE, lines, seed=seed)
+    b.label("chase")
+    for _ in range(_CHASE_UNROLL):
+        b.load(ptr, chase_pattern, base=ptr)
+    if chase_iters > 1:
+        b.branch("chase", PatternTaken("T" * (chase_iters - 1) + "N"), cond_reg=init_data)
+    return b.build()
+
+
+def _measure_per_load(core, window: int, loads: int, seed: int = 7, ensure_warm: bool = True) -> float:
+    """Differential per-load cycles for a chase over ``window`` bytes.
+
+    Short and long runs share their prefix (same seed, same order), so
+    the divided difference isolates the *second* half of the long run.
+    With ``ensure_warm`` the chain is at least one full pass over the
+    window, making that second half a warm pass — the cache-level
+    latency. The memory probe disables it to keep the misses cold.
+    """
+    if ensure_warm:
+        loads = max(loads, window // 64)
+    short = build_chase_program(window, loads, seed, name=f"lmbench-{window}-short")
+    long = build_chase_program(window, loads * 2, seed, name=f"lmbench-{window}-long")
+    trace_short = _trace(short)
+    trace_long = _trace(long)
+    cycles_short = core.measure(trace_short).cycles
+    cycles_long = core.measure(trace_long).cycles
+    extra_loads = _count_loads(trace_long) - _count_loads(trace_short)
+    if extra_loads <= 0:
+        raise RuntimeError("differential measurement produced no extra loads")
+    return (cycles_long - cycles_short) / extra_loads
+
+
+def _trace(program: Program):
+    from repro.frontend.interpreter import trace_program
+
+    return trace_program(program, iterations=1, max_instructions=2_000_000)
+
+
+def _count_loads(trace) -> int:
+    from repro.isa.opclasses import OpClass
+
+    shift = 27
+    load = int(OpClass.LOAD)
+    return sum(1 for rec in trace.records if rec.word >> shift == load)
+
+
+def lat_mem_rd(
+    core,
+    l1_size: int = 32 * 1024,
+    l2_size: int = 512 * 1024,
+    loads: int = 2048,
+) -> LatencyEstimates:
+    """Estimate L1/L2/DRAM load-to-use latency on a board core.
+
+    The probe sizes derive from the publicly disclosed cache sizes (the
+    paper's user knows those from the TRM): half the L1 for the L1
+    plateau, a quarter of the L2 for the L2 plateau, and 8x the L2 for
+    memory.
+    """
+    l1_probe = max(_PAGE, l1_size // 2)
+    l2_probe = max(2 * _PAGE, l2_size // 4)
+    mem_probe = 8 * l2_size
+    return LatencyEstimates(
+        l1_load_to_use=_measure_per_load(core, l1_probe, loads),
+        l2_load_to_use=_measure_per_load(core, l2_probe, loads),
+        dram_load_to_use=_measure_per_load(core, mem_probe, loads, ensure_warm=False),
+    )
+
+
+def apply_latency_estimates(config: SimConfig, estimates: LatencyEstimates) -> SimConfig:
+    """Plug measured latencies into a config (methodology step #2).
+
+    The load-to-use plateau includes address generation (and, for outer
+    levels, the inner levels' tag checks); the inversion below subtracts
+    those pipeline components to recover the per-level array latencies
+    the simulator parameters describe.
+    """
+    agu = config.execute.agu_latency
+    l1_hit = max(1, round(estimates.l1_load_to_use) - agu)
+    l2_hit = max(2, round(estimates.l2_load_to_use) - agu - 1)
+    dram = max(20, round(estimates.dram_load_to_use) - agu - 2)
+    return config.with_updates(
+        {
+            "l1d.hit_latency": l1_hit,
+            "l1i.hit_latency": max(1, l1_hit - 1),
+            "l2.hit_latency": l2_hit,
+            "memsys.dram_latency": dram,
+            "memsys.dram_page_hit_latency": max(10, int(dram * 0.6)),
+        }
+    )

@@ -1,0 +1,65 @@
+"""perf-style measurement interface.
+
+"For the tuning process, we use Perf on the board to gather all the
+relevant performance statistics" (§V). The board exposes the same
+surface: named hardware counters per workload run, with cycle counts
+subject to (seeded, deterministic) measurement noise the way repeated
+real-board runs are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Counter names the board can report (perf-event spelling).
+PERF_EVENTS = (
+    "cycles",
+    "instructions",
+    "branches",
+    "branch-misses",
+    "L1-dcache-loads",
+    "L1-dcache-load-misses",
+    "L1-icache-load-misses",
+    "l2-accesses",
+    "l2-misses",
+)
+
+
+@dataclass
+class PerfResult:
+    """One workload's hardware measurement."""
+
+    workload: str
+    core: str
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.counters["cycles"]
+
+    @property
+    def instructions(self) -> int:
+        return self.counters["instructions"]
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction — the validation cost metric."""
+        instructions = self.counters["instructions"]
+        return self.counters["cycles"] / instructions if instructions else 0.0
+
+    @property
+    def branch_mpki(self) -> float:
+        instructions = self.counters["instructions"]
+        if not instructions:
+            return 0.0
+        return 1000.0 * self.counters["branch-misses"] / instructions
+
+    def counter(self, name: str) -> float:
+        if name == "cpi":
+            return self.cpi
+        if name == "branch-mpki":
+            return self.branch_mpki
+        try:
+            return self.counters[name]
+        except KeyError:
+            raise KeyError(f"counter {name!r} not measured; have {sorted(self.counters)}") from None

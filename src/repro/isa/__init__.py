@@ -1,0 +1,48 @@
+"""Synthetic AArch64-like instruction-set architecture.
+
+This package is the reproduction's stand-in for the ARM AArch64 ISA plus
+the Capstone decoder library used by the paper's Sniper-ARM front-end. It
+defines:
+
+- :mod:`repro.isa.opclasses` — the operation classes the timing models
+  reason about (integer/FP/SIMD execution, loads/stores, branches).
+- :mod:`repro.isa.registers` — the architectural register file namespace.
+- :mod:`repro.isa.encoding` — a fixed-width 32-bit instruction encoding.
+- :mod:`repro.isa.decoder` — the decoder library (including a deliberately
+  buggy mode reproducing the paper's Capstone dependency-extraction bugs).
+- :mod:`repro.isa.uops` — micro-op expansion (load/store-pair cracking).
+"""
+
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import (
+    INT_REG_COUNT,
+    FP_REG_COUNT,
+    NO_REG,
+    int_reg,
+    fp_reg,
+    is_fp_reg,
+    reg_name,
+)
+from repro.isa.encoding import encode, decode_fields, EncodingError
+from repro.isa.instruction import DecodedInst
+from repro.isa.decoder import Decoder, BuggyDecoder
+from repro.isa.uops import MicroOp, expand_to_uops
+
+__all__ = [
+    "OpClass",
+    "INT_REG_COUNT",
+    "FP_REG_COUNT",
+    "NO_REG",
+    "int_reg",
+    "fp_reg",
+    "is_fp_reg",
+    "reg_name",
+    "encode",
+    "decode_fields",
+    "EncodingError",
+    "DecodedInst",
+    "Decoder",
+    "BuggyDecoder",
+    "MicroOp",
+    "expand_to_uops",
+]

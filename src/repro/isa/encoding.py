@@ -1,0 +1,84 @@
+"""Fixed-width 32-bit instruction encoding.
+
+Layout (most-significant bit first)::
+
+    [31:27] opclass   (5 bits)  — :class:`repro.isa.opclasses.OpClass`
+    [26:20] dst       (7 bits)  — flat register id + 1 (0 means NO_REG)
+    [19:13] src1      (7 bits)  — flat register id + 1 (0 means NO_REG)
+    [12: 6] src2      (7 bits)  — flat register id + 1 (0 means NO_REG)
+    [ 5: 0] imm6      (6 bits)  — small immediate / scale hint
+
+The +1 bias lets the all-zero field mean "no operand" so that a zero word
+decodes to a plain NOP with no register traffic, as on most real ISAs.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import NO_REG, TOTAL_REG_COUNT
+
+
+class EncodingError(ValueError):
+    """Raised when a word or field set cannot be encoded/decoded."""
+
+
+_OPCLASS_SHIFT = 27
+_DST_SHIFT = 20
+_SRC1_SHIFT = 13
+_SRC2_SHIFT = 6
+_REG_MASK = 0x7F
+_IMM_MASK = 0x3F
+_MAX_OPCLASS = max(int(c) for c in OpClass)
+
+
+def _encode_reg(reg: int) -> int:
+    if reg == NO_REG:
+        return 0
+    if not 0 <= reg < TOTAL_REG_COUNT:
+        raise EncodingError(f"register id out of range: {reg}")
+    return reg + 1
+
+
+def _decode_reg(field: int) -> int:
+    return field - 1 if field else NO_REG
+
+
+def encode(
+    opclass: OpClass,
+    dst: int = NO_REG,
+    src1: int = NO_REG,
+    src2: int = NO_REG,
+    imm: int = 0,
+) -> int:
+    """Encode an instruction into a 32-bit word."""
+    if not 0 <= int(opclass) <= _MAX_OPCLASS:
+        raise EncodingError(f"invalid opclass: {opclass!r}")
+    if not 0 <= imm <= _IMM_MASK:
+        raise EncodingError(f"immediate out of range [0, 63]: {imm}")
+    return (
+        (int(opclass) << _OPCLASS_SHIFT)
+        | (_encode_reg(dst) << _DST_SHIFT)
+        | (_encode_reg(src1) << _SRC1_SHIFT)
+        | (_encode_reg(src2) << _SRC2_SHIFT)
+        | imm
+    )
+
+
+def decode_fields(word: int) -> tuple:
+    """Decode a 32-bit word into ``(opclass, dst, src1, src2, imm)``.
+
+    Raises :class:`EncodingError` on an undefined opclass or an operand
+    field that names a register outside the architectural file.
+    """
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"word out of 32-bit range: {word:#x}")
+    opclass_bits = word >> _OPCLASS_SHIFT
+    if opclass_bits > _MAX_OPCLASS:
+        raise EncodingError(f"undefined opclass {opclass_bits} in word {word:#010x}")
+    dst = _decode_reg((word >> _DST_SHIFT) & _REG_MASK)
+    src1 = _decode_reg((word >> _SRC1_SHIFT) & _REG_MASK)
+    src2 = _decode_reg((word >> _SRC2_SHIFT) & _REG_MASK)
+    for reg in (dst, src1, src2):
+        if reg != NO_REG and reg >= TOTAL_REG_COUNT:
+            raise EncodingError(f"operand register {reg} out of range in {word:#010x}")
+    return OpClass(opclass_bits), dst, src1, src2, word & _IMM_MASK

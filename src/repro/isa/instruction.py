@@ -1,0 +1,58 @@
+"""Decoded-instruction value type shared by the decoder and timing models."""
+
+from __future__ import annotations
+
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import NO_REG, reg_name
+
+
+class DecodedInst:
+    """The decoder's view of one instruction word.
+
+    Instances are interned per unique word by :class:`repro.isa.decoder.
+    Decoder`, so identity comparison is safe within one decoder and the
+    timing models can hold millions of references cheaply.
+    """
+
+    __slots__ = ("word", "opclass", "dst", "src1", "src2", "imm")
+
+    def __init__(
+        self,
+        word: int,
+        opclass: OpClass,
+        dst: int = NO_REG,
+        src1: int = NO_REG,
+        src2: int = NO_REG,
+        imm: int = 0,
+    ) -> None:
+        self.word = word
+        self.opclass = opclass
+        self.dst = dst
+        self.src1 = src1
+        self.src2 = src2
+        self.imm = imm
+
+    def sources(self) -> tuple:
+        """The register sources actually present (no NO_REG entries)."""
+        return tuple(r for r in (self.src1, self.src2) if r != NO_REG)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DecodedInst):
+            return NotImplemented
+        return (
+            self.word == other.word
+            and self.opclass == other.opclass
+            and self.dst == other.dst
+            and self.src1 == other.src1
+            and self.src2 == other.src2
+            and self.imm == other.imm
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.word, self.opclass, self.dst, self.src1, self.src2, self.imm))
+
+    def __repr__(self) -> str:
+        ops = ", ".join(
+            reg_name(r) for r in (self.dst, self.src1, self.src2) if r != NO_REG
+        )
+        return f"<{self.opclass.name} {ops} imm={self.imm}>"

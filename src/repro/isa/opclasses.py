@@ -1,0 +1,119 @@
+"""Operation classes of the synthetic AArch64-like ISA.
+
+The timing models do not interpret full instruction semantics; they only
+need to know which functional unit an instruction occupies, its dependence
+footprint, and whether it touches memory or redirects control flow. The
+``OpClass`` enumeration captures exactly that, mirroring the granularity at
+which Sniper's contention models classify AArch64 instructions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Classes of dynamic instructions understood by the timing models."""
+
+    NOP = 0
+    #: Simple integer ALU operation (add, sub, logical, shift, compare).
+    IALU = 1
+    #: Integer multiply.
+    IMUL = 2
+    #: Integer divide (non-pipelined on the cores we model).
+    IDIV = 3
+    #: Scalar floating-point add/sub/compare.
+    FPALU = 4
+    #: Scalar floating-point multiply (and fused multiply-add).
+    FPMUL = 5
+    #: Scalar floating-point divide / square root (non-pipelined).
+    FPDIV = 6
+    #: Float <-> int / float <-> double conversions.
+    FCVT = 7
+    #: SIMD (ASIMD/NEON-like) integer or FP lane-parallel arithmetic.
+    SIMD_ALU = 8
+    #: SIMD multiply / multiply-accumulate.
+    SIMD_MUL = 9
+    #: Memory load (scalar or SIMD).
+    LOAD = 10
+    #: Memory store (scalar or SIMD).
+    STORE = 11
+    #: Load-pair: cracked into two load micro-ops.
+    LDP = 12
+    #: Store-pair: cracked into two store micro-ops.
+    STP = 13
+    #: Conditional direct branch.
+    BRANCH = 14
+    #: Unconditional direct branch (always taken).
+    JUMP = 15
+    #: Indirect branch through a register (case statements, virtual calls).
+    IBRANCH = 16
+    #: Direct call (pushes return address on the RAS).
+    CALL = 17
+    #: Function return (pops the RAS, indirect by nature).
+    RET = 18
+
+    @property
+    def is_branch(self) -> bool:
+        """True for every control-flow instruction."""
+        return OpClass.BRANCH <= self <= OpClass.RET
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self is OpClass.BRANCH
+
+    @property
+    def is_indirect(self) -> bool:
+        """True for branches whose target comes from a register."""
+        return self in (OpClass.IBRANCH, OpClass.RET)
+
+    @property
+    def is_load(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.LDP)
+
+    @property
+    def is_store(self) -> bool:
+        return self in (OpClass.STORE, OpClass.STP)
+
+    @property
+    def is_mem(self) -> bool:
+        return OpClass.LOAD <= self <= OpClass.STP
+
+    @property
+    def is_fp(self) -> bool:
+        """True for operations executed by the FP/SIMD cluster."""
+        return self in (
+            OpClass.FPALU,
+            OpClass.FPMUL,
+            OpClass.FPDIV,
+            OpClass.FCVT,
+            OpClass.SIMD_ALU,
+            OpClass.SIMD_MUL,
+        )
+
+    @property
+    def is_pair(self) -> bool:
+        """True for load-pair/store-pair instructions (2 micro-ops)."""
+        return self in (OpClass.LDP, OpClass.STP)
+
+
+#: Fast membership sets used in hot loops (IntEnum attribute access is
+#: comparatively slow; the timing models index these frozensets of ints).
+BRANCH_CLASSES = frozenset(
+    int(c) for c in (OpClass.BRANCH, OpClass.JUMP, OpClass.IBRANCH, OpClass.CALL, OpClass.RET)
+)
+LOAD_CLASSES = frozenset(int(c) for c in (OpClass.LOAD, OpClass.LDP))
+STORE_CLASSES = frozenset(int(c) for c in (OpClass.STORE, OpClass.STP))
+MEM_CLASSES = LOAD_CLASSES | STORE_CLASSES
+FP_CLASSES = frozenset(
+    int(c)
+    for c in (
+        OpClass.FPALU,
+        OpClass.FPMUL,
+        OpClass.FPDIV,
+        OpClass.FCVT,
+        OpClass.SIMD_ALU,
+        OpClass.SIMD_MUL,
+    )
+)
+INDIRECT_CLASSES = frozenset(int(c) for c in (OpClass.IBRANCH, OpClass.RET))

@@ -1,0 +1,61 @@
+"""Architectural register namespace.
+
+The synthetic ISA has 31 general-purpose integer registers (``X0``-``X30``,
+with ``X31`` acting as the zero register, writes to which are discarded —
+mirroring AArch64's XZR) and 32 FP/SIMD registers (``V0``-``V31``).
+
+Internally every register is a small integer so the timing models can use
+flat arrays for scoreboards: integer registers occupy ids ``0..31`` and FP
+registers ids ``32..63``. ``NO_REG`` (-1) marks an absent operand.
+"""
+
+from __future__ import annotations
+
+INT_REG_COUNT = 32
+FP_REG_COUNT = 32
+TOTAL_REG_COUNT = INT_REG_COUNT + FP_REG_COUNT
+
+#: Sentinel for "no operand".
+NO_REG = -1
+
+#: The integer zero register (AArch64 XZR): reads are always ready and
+#: writes are discarded by the scoreboard.
+ZERO_REG = 31
+
+#: Conventional link register used by CALL/RET.
+LINK_REG = 30
+
+#: Conventional stack pointer (not specially modelled, named for programs).
+SP_REG = 29
+
+
+def int_reg(n: int) -> int:
+    """Return the flat register id of integer register ``Xn``."""
+    if not 0 <= n < INT_REG_COUNT:
+        raise ValueError(f"integer register index out of range: {n}")
+    return n
+
+
+def fp_reg(n: int) -> int:
+    """Return the flat register id of FP/SIMD register ``Vn``."""
+    if not 0 <= n < FP_REG_COUNT:
+        raise ValueError(f"FP register index out of range: {n}")
+    return INT_REG_COUNT + n
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True if the flat id ``reg`` names an FP/SIMD register."""
+    return reg >= INT_REG_COUNT
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name of a flat register id (for disassembly)."""
+    if reg == NO_REG:
+        return "-"
+    if reg == ZERO_REG:
+        return "xzr"
+    if reg < INT_REG_COUNT:
+        return f"x{reg}"
+    if reg < TOTAL_REG_COUNT:
+        return f"v{reg - INT_REG_COUNT}"
+    raise ValueError(f"invalid register id: {reg}")

@@ -1,0 +1,67 @@
+"""Micro-op expansion.
+
+The cores we model crack a small number of instructions into multiple
+micro-ops. In this reproduction only the pair memory operations (LDP/STP)
+are cracked — into two loads/stores hitting consecutive addresses — which
+is the behaviour the contention models need to account for when assessing
+load/store-unit occupancy.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import DecodedInst
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import NO_REG
+
+
+class MicroOp:
+    """One micro-operation as seen by the back-end timing model."""
+
+    __slots__ = ("opclass", "dst", "src1", "src2", "addr_offset")
+
+    def __init__(
+        self,
+        opclass: OpClass,
+        dst: int = NO_REG,
+        src1: int = NO_REG,
+        src2: int = NO_REG,
+        addr_offset: int = 0,
+    ) -> None:
+        self.opclass = opclass
+        self.dst = dst
+        self.src1 = src1
+        self.src2 = src2
+        #: Byte offset from the parent instruction's effective address
+        #: (used by the second half of a cracked pair access).
+        self.addr_offset = addr_offset
+
+    def __repr__(self) -> str:
+        return (
+            f"MicroOp({self.opclass.name}, dst={self.dst}, "
+            f"src1={self.src1}, src2={self.src2}, +{self.addr_offset})"
+        )
+
+
+def expand_to_uops(inst: DecodedInst) -> list:
+    """Expand a decoded instruction into its micro-ops.
+
+    Non-pair instructions map to a single micro-op with the same operand
+    footprint. ``LDP`` cracks into two ``LOAD`` micro-ops whose second
+    destination is ``dst + 1`` (pair registers are architecturally
+    adjacent); ``STP`` cracks into two ``STORE`` micro-ops reading ``src2``
+    and ``src2 + 1``.
+    """
+    opclass = inst.opclass
+    if opclass is OpClass.LDP:
+        second_dst = inst.dst + 1 if inst.dst != NO_REG else NO_REG
+        return [
+            MicroOp(OpClass.LOAD, inst.dst, inst.src1, NO_REG, 0),
+            MicroOp(OpClass.LOAD, second_dst, inst.src1, NO_REG, 8),
+        ]
+    if opclass is OpClass.STP:
+        second_data = inst.src2 + 1 if inst.src2 != NO_REG else NO_REG
+        return [
+            MicroOp(OpClass.STORE, NO_REG, inst.src1, inst.src2, 0),
+            MicroOp(OpClass.STORE, NO_REG, inst.src1, second_data, 8),
+        ]
+    return [MicroOp(opclass, inst.dst, inst.src1, inst.src2, 0)]

@@ -1,0 +1,63 @@
+"""Memory hierarchy: caches, prefetchers, store buffer, DRAM.
+
+Implements the cache-side configuration space the paper tunes: address
+hashing (mask, xor-fold, Mersenne-prime modulo — §IV-A), serial vs.
+parallel tag/data access, victim cache entries, MSHR counts, cache
+bandwidth, prefetcher selection (none / next-line / stride / GHB) and
+per-prefetcher parameters, plus main-memory latency and bandwidth.
+"""
+
+from repro.memory.hashing import (
+    AddressHash,
+    MaskHash,
+    MersenneHash,
+    XorHash,
+    build_hash,
+)
+from repro.memory.replacement import (
+    ClockPLRU,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    build_replacement,
+)
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.victim import VictimCache
+from repro.memory.mshr import MSHRFile
+from repro.memory.prefetcher import (
+    GHBPrefetcher,
+    NextLinePrefetcher,
+    NullPrefetcher,
+    Prefetcher,
+    StridePrefetcher,
+    build_prefetcher,
+)
+from repro.memory.storebuffer import StoreBuffer
+from repro.memory.dram import DramModel
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = [
+    "AddressHash",
+    "MaskHash",
+    "XorHash",
+    "MersenneHash",
+    "build_hash",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "ClockPLRU",
+    "RandomPolicy",
+    "build_replacement",
+    "Cache",
+    "CacheStats",
+    "VictimCache",
+    "MSHRFile",
+    "Prefetcher",
+    "NullPrefetcher",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+    "GHBPrefetcher",
+    "build_prefetcher",
+    "StoreBuffer",
+    "DramModel",
+    "MemoryHierarchy",
+]

@@ -1,0 +1,85 @@
+"""Main-memory (DDR-like) timing model.
+
+Models the three externally visible properties the paper's tuning list
+includes for the memory system: access latency, bandwidth, and the
+organisation's row-buffer behaviour (open-page hits are cheaper than row
+conflicts).
+"""
+
+from __future__ import annotations
+
+
+class DramModel:
+    """Latency/bandwidth/row-buffer model of main memory.
+
+    - ``latency``: closed-page access latency in core cycles;
+    - ``page_hit_latency``: latency when the access hits the currently
+      open row of its bank (only with ``page_policy='open'``);
+    - ``banks``: row-buffer count (bank interleaved by line address);
+    - ``bandwidth``: concurrent in-flight requests (channel occupancy is
+      ``1/bandwidth`` cycles per request).
+    """
+
+    def __init__(
+        self,
+        latency: int = 150,
+        page_hit_latency: int = 90,
+        banks: int = 8,
+        row_bytes: int = 2048,
+        bandwidth: int = 4,
+        page_policy: str = "open",
+        line_size: int = 64,
+    ) -> None:
+        if latency <= 0 or page_hit_latency <= 0:
+            raise ValueError("latencies must be positive")
+        if page_hit_latency > latency:
+            raise ValueError("page_hit_latency cannot exceed closed-page latency")
+        if banks <= 0 or bandwidth <= 0:
+            raise ValueError("banks and bandwidth must be positive")
+        if page_policy not in ("open", "closed"):
+            raise ValueError("page_policy must be 'open' or 'closed'")
+        self.latency = latency
+        self.page_hit_latency = page_hit_latency
+        self.banks = banks
+        self.row_bytes = row_bytes
+        self.bandwidth = bandwidth
+        self.page_policy = page_policy
+        self.line_size = line_size
+        self._open_rows = [-1] * banks
+        self._channel_free = [0] * bandwidth
+        self.accesses = 0
+        self.page_hits = 0
+
+    def access(self, line_addr: int, now: int) -> int:
+        """Return the absolute cycle at which the line is available."""
+        self.accesses += 1
+        addr = line_addr * self.line_size
+        bank = (addr // self.row_bytes) % self.banks
+        row = addr // (self.row_bytes * self.banks)
+
+        # Channel occupancy: claim the earliest-free slot.
+        slot = min(range(self.bandwidth), key=self._channel_free.__getitem__)
+        start = max(now, self._channel_free[slot])
+
+        if self.page_policy == "open" and self._open_rows[bank] == row:
+            latency = self.page_hit_latency
+            self.page_hits += 1
+        else:
+            latency = self.latency
+            self._open_rows[bank] = row if self.page_policy == "open" else -1
+
+        done = start + latency
+        # A request occupies the channel for the data-burst duration,
+        # approximated as a constant four cycles per line.
+        self._channel_free[slot] = start + 4
+        return done
+
+    def access_line(self, line_addr: int, now: int, is_write: bool = False, is_prefetch: bool = False) -> int:
+        """Cache-level interface adapter (writes and reads cost the same)."""
+        return self.access(line_addr, now)
+
+    def reset(self) -> None:
+        self._open_rows = [-1] * self.banks
+        self._channel_free = [0] * self.bandwidth
+        self.accesses = 0
+        self.page_hits = 0

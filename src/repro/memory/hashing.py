@@ -1,0 +1,111 @@
+"""Cache set-index hashing functions.
+
+The paper explicitly lists address hashing among the undisclosed
+micro-architectural choices it adds to Sniper and exposes to the tuner:
+"we implement mask-based, xor-based, and Mersenne modulo address hashing
+for cache indexing" (§IV-A, citing Kharbutli et al. for prime-modulo
+indexing). Conflict-miss kernels (MC/MCS) distinguish these empirically.
+"""
+
+from __future__ import annotations
+
+
+class AddressHash:
+    """Maps a line address (byte address / line size) to a set index."""
+
+    kind = "abstract"
+
+    def __init__(self, n_sets: int) -> None:
+        if n_sets <= 0:
+            raise ValueError("n_sets must be positive")
+        self.n_sets = n_sets
+
+    def index(self, line_addr: int) -> int:
+        raise NotImplementedError
+
+    @property
+    def effective_sets(self) -> int:
+        """Number of sets the hash can actually produce."""
+        return self.n_sets
+
+
+class MaskHash(AddressHash):
+    """Plain modulo of the line address — the textbook power-of-two mask."""
+
+    kind = "mask"
+
+    def __init__(self, n_sets: int) -> None:
+        super().__init__(n_sets)
+        self._pow2 = n_sets & (n_sets - 1) == 0
+        self._mask = n_sets - 1
+
+    def index(self, line_addr: int) -> int:
+        if self._pow2:
+            return line_addr & self._mask
+        return line_addr % self.n_sets
+
+
+class XorHash(AddressHash):
+    """XOR-folds upper address bits into the index.
+
+    Spreads power-of-two strided streams across sets, removing the
+    pathological conflict behaviour mask indexing shows on them.
+    """
+
+    kind = "xor"
+
+    def __init__(self, n_sets: int) -> None:
+        super().__init__(n_sets)
+        if n_sets & (n_sets - 1):
+            raise ValueError("xor hashing requires a power-of-two set count")
+        self._mask = n_sets - 1
+        self._bits = n_sets.bit_length() - 1
+
+    def index(self, line_addr: int) -> int:
+        bits = self._bits
+        folded = line_addr ^ (line_addr >> bits) ^ (line_addr >> (2 * bits))
+        return folded & self._mask
+
+
+def _largest_mersenne_at_most(n: int) -> int:
+    """Largest Mersenne prime (2^k - 1, k prime exponent) <= n."""
+    mersenne_primes = [3, 7, 31, 127, 8191, 131071, 524287]
+    candidates = [p for p in mersenne_primes if p <= n]
+    if not candidates:
+        raise ValueError(f"no Mersenne prime <= {n}; cache too small for mersenne hashing")
+    return candidates[-1]
+
+
+class MersenneHash(AddressHash):
+    """Prime-modulo indexing with a Mersenne prime (Kharbutli et al.).
+
+    Uses the largest Mersenne prime not exceeding the set count, so a few
+    sets go unused — the standard trade-off of prime-based indexing, which
+    buys near-uniform distribution of arbitrary strides. The ``mod (2^k -
+    1)`` computation is what makes it implementable in hardware.
+    """
+
+    kind = "mersenne"
+
+    def __init__(self, n_sets: int) -> None:
+        super().__init__(n_sets)
+        self.prime = _largest_mersenne_at_most(n_sets)
+
+    def index(self, line_addr: int) -> int:
+        return line_addr % self.prime
+
+    @property
+    def effective_sets(self) -> int:
+        return self.prime
+
+
+_HASHES = {"mask": MaskHash, "xor": XorHash, "mersenne": MersenneHash}
+
+
+def build_hash(kind: str, n_sets: int) -> AddressHash:
+    """Instantiate an address hash by registry ``kind``."""
+    try:
+        cls = _HASHES[kind]
+    except KeyError:
+        raise ValueError(f"unknown hash {kind!r}; choose from {sorted(_HASHES)}") from None
+    return cls(n_sets)

@@ -1,0 +1,121 @@
+"""Full memory hierarchy assembled from a :class:`SimConfig`.
+
+L1I and L1D in front of a unified L2 backed by DRAM, plus the store
+buffer. The optional ``effects`` hook is how the "real hardware" board
+injects behaviours the simulator model does not have (TLB walks, OS page
+warm-up) — see :mod:`repro.hardware.effects`.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SimConfig
+from repro.memory.cache import Cache
+from repro.memory.dram import DramModel
+from repro.memory.prefetcher import build_prefetcher
+from repro.memory.storebuffer import StoreBuffer
+
+
+def _build_cache(name: str, cfg, next_level) -> Cache:
+    prefetcher = build_prefetcher(
+        cfg.prefetcher,
+        degree=cfg.prefetch_degree,
+        table_entries=cfg.prefetch_table_entries,
+        on_hit=cfg.prefetch_on_hit,
+    )
+    return Cache(
+        name=name,
+        size=cfg.size,
+        assoc=cfg.assoc,
+        line_size=cfg.line_size,
+        hit_latency=cfg.hit_latency,
+        serial_tag_data=cfg.serial_tag_data,
+        ports=cfg.ports,
+        mshr_entries=cfg.mshr_entries,
+        hashing=cfg.hashing,
+        replacement=cfg.replacement,
+        victim_entries=cfg.victim_entries,
+        prefetcher=prefetcher,
+        next_level=next_level,
+    )
+
+
+class MemoryHierarchy:
+    """L1I + L1D + unified L2 + DRAM + store buffer."""
+
+    def __init__(self, config: SimConfig, effects=None) -> None:
+        line_sizes = {config.l1i.line_size, config.l1d.line_size, config.l2.line_size}
+        if len(line_sizes) != 1:
+            raise ValueError(f"all cache levels must share one line size, got {line_sizes}")
+        self.line_size = config.l1i.line_size
+        self.effects = effects
+
+        mem = config.memsys
+        self.dram = DramModel(
+            latency=mem.dram_latency,
+            page_hit_latency=mem.dram_page_hit_latency,
+            banks=mem.dram_banks,
+            bandwidth=mem.dram_bandwidth,
+            page_policy=mem.dram_page_policy,
+            line_size=self.line_size,
+        )
+        self.l2 = _build_cache("L2", config.l2, self.dram)
+        self.l1i = _build_cache("L1I", config.l1i, self.l2)
+        self.l1d = _build_cache("L1D", config.l1d, self.l2)
+        self.store_buffer = StoreBuffer(
+            entries=mem.store_buffer_entries,
+            coalescing=mem.store_coalescing,
+            forward_latency=mem.store_forward_latency,
+        )
+        self._l1d_write = self._make_l1d_write()
+
+    def _make_l1d_write(self):
+        l1d = self.l1d
+
+        def write(line_addr: int, start: int) -> int:
+            return l1d.access_line(line_addr, start, is_write=True, is_prefetch=False)
+
+        return write
+
+    # ------------------------------------------------------------------
+    def ifetch(self, pc: int, now: int) -> int:
+        """Fetch the instruction line holding ``pc``; returns ready cycle."""
+        line_addr = pc // self.line_size
+        done = self.l1i.access_line(line_addr, now, is_write=False, pc=pc)
+        if self.effects is not None:
+            done += self.effects.ifetch_extra(pc, now)
+        return done
+
+    def load(self, addr: int, pc: int, now: int) -> int:
+        """Load from ``addr``; returns the data-ready cycle."""
+        line_addr = addr // self.line_size
+        forwarded = self.store_buffer.forward(line_addr, now)
+        if forwarded >= 0:
+            return forwarded
+        if self.effects is not None:
+            override = self.effects.load_override(addr, now)
+            if override >= 0:
+                # Zero-page service: the OS backs the untouched page with
+                # the shared zero page, so the access behaves like a hit.
+                return now + override
+        done = self.l1d.access_line(line_addr, now, is_write=False, pc=pc)
+        if self.effects is not None:
+            done += self.effects.load_extra(addr, now)
+        return done
+
+    def store(self, addr: int, pc: int, now: int) -> int:
+        """Issue a store; returns the cycle the core may move on."""
+        line_addr = addr // self.line_size
+        issue = self.store_buffer.push(line_addr, now, self._l1d_write)
+        if self.effects is not None:
+            issue += self.effects.store_extra(addr, now)
+        return issue
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.l1i.reset()
+        self.l1d.reset()
+        self.l2.reset()
+        self.dram.reset()
+        self.store_buffer.reset()
+        if self.effects is not None:
+            self.effects.reset()

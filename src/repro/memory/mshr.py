@@ -1,0 +1,66 @@
+"""Miss-status holding registers.
+
+MSHRs bound the number of outstanding misses a cache can sustain, which
+caps memory-level parallelism; the bandwidth micro-benchmarks
+(ML2_BW_*) are sensitive to exactly this limit, making MSHR count one of
+the tunable parameters.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class MSHRFile:
+    """Tracks outstanding line fills as (completion_time, line_addr).
+
+    ``allocate`` returns the time at which the new miss may *start* its
+    downstream access: immediately if a register is free, otherwise when
+    the earliest outstanding fill completes. ``lookup`` implements miss
+    merging — a second miss to an in-flight line shares its completion.
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._heap: list = []
+        self._inflight: dict = {}
+
+    def _expire(self, now: int) -> None:
+        heap = self._heap
+        inflight = self._inflight
+        while heap and heap[0][0] <= now:
+            _, line = heapq.heappop(heap)
+            # Only drop the mapping if it still refers to this fill.
+            done = inflight.get(line)
+            if done is not None and done <= now:
+                del inflight[line]
+
+    def lookup(self, line_addr: int, now: int) -> int:
+        """Completion time of an in-flight fill of ``line_addr``, or -1."""
+        self._expire(now)
+        return self._inflight.get(line_addr, -1)
+
+    def allocate(self, line_addr: int, now: int) -> int:
+        """Reserve a register; returns the earliest cycle the miss may issue."""
+        self._expire(now)
+        if len(self._inflight) < self.entries:
+            return now
+        # Full: wait for the earliest fill to complete.
+        earliest = self._heap[0][0]
+        self._expire(earliest)
+        return max(now, earliest)
+
+    def record(self, line_addr: int, completion: int) -> None:
+        """Register the fill completion time of an allocated miss."""
+        self._inflight[line_addr] = completion
+        heapq.heappush(self._heap, (completion, line_addr))
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._inflight)
+
+    def reset(self) -> None:
+        self._heap = []
+        self._inflight = {}

@@ -1,0 +1,92 @@
+"""Replacement policies.
+
+Policies operate on the per-set tag dictionaries maintained by
+:class:`repro.memory.cache.Cache`. A set is a ``dict`` whose insertion
+order the cache keeps as recency order (oldest first), which gives LRU
+for free and provides the scan order for the clock policy.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ReplacementPolicy:
+    """Chooses an eviction victim among the tags of a full set."""
+
+    kind = "abstract"
+
+    def on_hit(self, entries: dict, tag: int) -> None:
+        """Update recency state after a hit on ``tag``."""
+        raise NotImplementedError
+
+    def choose_victim(self, entries: dict) -> int:
+        """Return the tag to evict from the full set ``entries``."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used via dict insertion order."""
+
+    kind = "lru"
+
+    def on_hit(self, entries: dict, tag: int) -> None:
+        line = entries.pop(tag)
+        entries[tag] = line
+
+    def choose_victim(self, entries: dict) -> int:
+        return next(iter(entries))
+
+
+class ClockPLRU(ReplacementPolicy):
+    """Pseudo-LRU approximated with a second-chance (clock) scheme.
+
+    Each line carries a reference bit (set on hit). The victim is the
+    first line, in insertion order, whose bit is clear; bits are cleared
+    as the scan passes. This is a standard single-bit approximation of
+    tree-PLRU behaviour and, like real PLRU, can evict a recently used
+    line that true LRU would keep.
+    """
+
+    kind = "plru"
+
+    def on_hit(self, entries: dict, tag: int) -> None:
+        entries[tag].referenced = True
+
+    def choose_victim(self, entries: dict) -> int:
+        # Up to two passes: the first pass may clear every bit.
+        for _ in range(2):
+            for tag, line in entries.items():
+                if line.referenced:
+                    line.referenced = False
+                else:
+                    return tag
+        return next(iter(entries))
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim (seeded; many embedded L2s ship this)."""
+
+    kind = "random"
+
+    def __init__(self, seed: int = 0xCAC4E) -> None:
+        self._rng = random.Random(seed)
+
+    def on_hit(self, entries: dict, tag: int) -> None:
+        pass
+
+    def choose_victim(self, entries: dict) -> int:
+        keys = list(entries)
+        return keys[self._rng.randrange(len(keys))]
+
+
+_POLICIES = {"lru": LRUPolicy, "plru": ClockPLRU, "random": RandomPolicy}
+
+
+def build_replacement(kind: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by registry ``kind``."""
+    try:
+        cls = _POLICIES[kind]
+    except KeyError:
+        raise ValueError(f"unknown replacement {kind!r}; choose from {sorted(_POLICIES)}") from None
+    return cls()

@@ -1,0 +1,55 @@
+"""Victim cache.
+
+A small fully-associative buffer holding recently evicted L1 lines;
+"victim cache entries" is one of the tunable parameters listed in §IV-A.
+Conflict-miss kernels (MC/MCS) are the workloads that expose whether the
+modelled processor has one.
+"""
+
+from __future__ import annotations
+
+
+class VictimCache:
+    """Fully-associative FIFO buffer of evicted lines."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        #: line_addr -> dirty flag, insertion-ordered (oldest first).
+        self._lines: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def probe(self, line_addr: int) -> bool:
+        """Check for ``line_addr`` and remove it on hit (swap into L1)."""
+        if line_addr in self._lines:
+            del self._lines[line_addr]
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, line_addr: int, dirty: bool) -> tuple:
+        """Insert an evicted L1 line.
+
+        Returns ``(evicted_line_addr, dirty)`` when the insertion pushes
+        out the oldest victim, else ``(None, False)``.
+        """
+        evicted = (None, False)
+        if line_addr in self._lines:
+            self._lines[line_addr] = self._lines[line_addr] or dirty
+            return evicted
+        if len(self._lines) >= self.entries:
+            old_addr = next(iter(self._lines))
+            evicted = (old_addr, self._lines.pop(old_addr))
+        self._lines[line_addr] = dirty
+        return evicted
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def reset(self) -> None:
+        self._lines = {}
+        self.hits = 0
+        self.misses = 0

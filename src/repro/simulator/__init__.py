@@ -1,0 +1,5 @@
+"""Simulator facade."""
+
+from repro.simulator.simulator import SnipeSim, simulate
+
+__all__ = ["SnipeSim", "simulate"]

@@ -1,0 +1,60 @@
+"""SnipeSim — the user-facing simulator (our Sniper-ARM stand-in).
+
+Wires the decoder library, the configured core model and the memory
+hierarchy together, and runs SIFT traces to produce :class:`SimStats`.
+Each ``run`` uses a fresh core and hierarchy so no micro-architectural
+state leaks between workloads, while the decoder (and therefore its
+decode cache, like a real decoder library) persists across runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SimConfig
+from repro.core.inorder import InOrderCore
+from repro.core.ooo import OutOfOrderCore
+from repro.core.stats import SimStats
+from repro.isa.decoder import Decoder
+from repro.trace.record import Trace
+
+
+class SnipeSim:
+    """Trace-driven cycle-accounting simulator.
+
+    Parameters
+    ----------
+    config:
+        The processor description (:class:`repro.core.config.SimConfig`).
+    decoder:
+        The decoder library; defaults to a correct
+        :class:`repro.isa.decoder.Decoder`. Pass a
+        :class:`repro.isa.decoder.BuggyDecoder` to reproduce the paper's
+        decoder-bug study.
+    effects:
+        Optional hardware-only behaviour hook; ``None`` for the plain
+        simulator (the board injects one for ground-truth runs).
+    """
+
+    def __init__(self, config: SimConfig, decoder: Decoder = None, effects=None) -> None:
+        self.config = config
+        self.decoder = decoder if decoder is not None else Decoder()
+        self.effects = effects
+
+    def run(self, trace: Trace) -> SimStats:
+        """Simulate ``trace`` from cold state; returns the run's stats."""
+        if self.effects is not None:
+            self.effects.reset()
+        core = self._build_core()
+        decoded = trace.decoded_with(self.decoder)
+        stats = core.run(trace, decoded)
+        stats.decoder = self.decoder.name
+        return stats
+
+    def _build_core(self):
+        if self.config.core_type == "inorder":
+            return InOrderCore(self.config, effects=self.effects)
+        return OutOfOrderCore(self.config, effects=self.effects)
+
+
+def simulate(config: SimConfig, trace: Trace, decoder: Decoder = None, effects=None) -> SimStats:
+    """One-shot convenience wrapper around :class:`SnipeSim`."""
+    return SnipeSim(config, decoder=decoder, effects=effects).run(trace)

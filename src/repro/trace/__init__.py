@@ -1,0 +1,24 @@
+"""SIFT-like instruction traces.
+
+The paper's workflow records each workload once on the ARM board (via
+DynamoRIO) into the Sniper Instruction Trace Format (SIFT), then replays
+the trace against every candidate simulator configuration on x86 servers.
+This package provides the equivalent decoupling: :class:`Trace` is the
+in-memory dynamic instruction stream, and :mod:`repro.trace.sift` persists
+it in a compact binary format so a trace is produced once and replayed for
+thousands of tuning simulations.
+"""
+
+from repro.trace.record import DynInst, Trace
+from repro.trace.sift import SiftError, read_trace, write_trace
+from repro.trace.stats import TraceStats, compute_trace_stats
+
+__all__ = [
+    "DynInst",
+    "Trace",
+    "SiftError",
+    "read_trace",
+    "write_trace",
+    "TraceStats",
+    "compute_trace_stats",
+]

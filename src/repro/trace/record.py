@@ -1,0 +1,83 @@
+"""Dynamic instruction records and in-memory traces."""
+
+from __future__ import annotations
+
+from repro.isa.decoder import Decoder
+
+
+class DynInst:
+    """One dynamically executed instruction, as recorded by the front-end.
+
+    This is the SIFT record: the program counter, the raw instruction
+    word (decoded lazily by the back-end's decoder library), the effective
+    memory address for loads/stores, and the control-flow outcome for
+    branches. Timing state lives in the core models, never here, so one
+    trace can be replayed concurrently against many configurations.
+    """
+
+    __slots__ = ("pc", "word", "addr", "taken", "target")
+
+    def __init__(self, pc: int, word: int, addr: int = 0, taken: bool = False, target: int = 0) -> None:
+        self.pc = pc
+        self.word = word
+        #: Effective byte address for memory operations (0 otherwise).
+        self.addr = addr
+        #: Branch outcome (False for non-branches and not-taken branches).
+        self.taken = taken
+        #: Next program counter for taken branches (0 otherwise).
+        self.target = target
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DynInst):
+            return NotImplemented
+        return (
+            self.pc == other.pc
+            and self.word == other.word
+            and self.addr == other.addr
+            and self.taken == other.taken
+            and self.target == other.target
+        )
+
+    def __repr__(self) -> str:
+        flags = " taken" if self.taken else ""
+        return f"DynInst(pc={self.pc:#x}, word={self.word:#010x}, addr={self.addr:#x}{flags})"
+
+
+class Trace:
+    """A dynamic instruction stream plus its decode cache.
+
+    ``decoded_with`` pre-decodes every record with a given decoder library
+    and memoises the result per decoder instance; replaying the same trace
+    under many configurations (the tuning loop) then pays decode cost once.
+    """
+
+    def __init__(self, records: list, name: str = "anonymous") -> None:
+        self.records = records
+        self.name = name
+        self._decoded_cache: dict = {}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, idx):
+        return self.records[idx]
+
+    def decoded_with(self, decoder: Decoder) -> list:
+        """Return per-record :class:`DecodedInst` list for ``decoder``."""
+        key = id(decoder)
+        cached = self._decoded_cache.get(key)
+        if cached is None:
+            decode = decoder.decode
+            cached = [decode(rec.word) for rec in self.records]
+            self._decoded_cache[key] = cached
+        return cached
+
+    def instruction_count(self) -> int:
+        """Number of dynamically executed instructions."""
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name!r}, {len(self.records)} instructions)"

@@ -1,0 +1,144 @@
+"""Binary serialisation of traces — the SIFT stand-in.
+
+Format (little-endian, varint-compressed)::
+
+    header:  magic b"SIFT" | version u8 | name length varint | name utf-8
+             | record count varint
+    record:  flags u8
+             | pc delta zigzag-varint        (vs. previous record's pc)
+             | word varint
+             | [addr zigzag-varint]          if flags & HAS_ADDR (delta vs.
+                                             previous record's addr)
+             | [target zigzag-varint]        if flags & TAKEN (delta vs. pc)
+
+Deltas plus zigzag encoding keep sequential code and strided data accesses
+to one or two bytes per field, the same trick real trace formats use.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.trace.record import DynInst, Trace
+
+_MAGIC = b"SIFT"
+_VERSION = 1
+
+_FLAG_HAS_ADDR = 0x01
+_FLAG_TAKEN = 0x02
+
+
+class SiftError(ValueError):
+    """Raised on malformed trace files."""
+
+
+def _write_varint(out: io.BytesIO, value: int) -> None:
+    if value < 0:
+        raise SiftError(f"varint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.write(bytes((byte | 0x80,)))
+        else:
+            out.write(bytes((byte,)))
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise SiftError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise SiftError("varint too long")
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return -((value + 1) >> 1) if value & 1 else value >> 1
+
+
+def write_trace(trace: Trace) -> bytes:
+    """Serialise ``trace`` to SIFT bytes."""
+    out = io.BytesIO()
+    out.write(_MAGIC)
+    out.write(bytes((_VERSION,)))
+    name_bytes = trace.name.encode("utf-8")
+    _write_varint(out, len(name_bytes))
+    out.write(name_bytes)
+    _write_varint(out, len(trace.records))
+
+    prev_pc = 0
+    prev_addr = 0
+    for rec in trace.records:
+        flags = 0
+        if rec.addr:
+            flags |= _FLAG_HAS_ADDR
+        if rec.taken:
+            flags |= _FLAG_TAKEN
+        out.write(bytes((flags,)))
+        _write_varint(out, _zigzag(rec.pc - prev_pc))
+        _write_varint(out, rec.word)
+        if flags & _FLAG_HAS_ADDR:
+            _write_varint(out, _zigzag(rec.addr - prev_addr))
+            prev_addr = rec.addr
+        if flags & _FLAG_TAKEN:
+            _write_varint(out, _zigzag(rec.target - rec.pc))
+        prev_pc = rec.pc
+    return out.getvalue()
+
+
+def read_trace(data: bytes) -> Trace:
+    """Deserialise SIFT bytes back into a :class:`Trace`."""
+    if data[:4] != _MAGIC:
+        raise SiftError("bad magic; not a SIFT trace")
+    if len(data) < 5:
+        raise SiftError("truncated header")
+    version = data[4]
+    if version != _VERSION:
+        raise SiftError(f"unsupported SIFT version {version}")
+    pos = 5
+    name_len, pos = _read_varint(data, pos)
+    if pos + name_len > len(data):
+        raise SiftError("truncated trace name")
+    name = data[pos : pos + name_len].decode("utf-8")
+    pos += name_len
+    count, pos = _read_varint(data, pos)
+
+    records = []
+    prev_pc = 0
+    prev_addr = 0
+    for _ in range(count):
+        if pos >= len(data):
+            raise SiftError("truncated record stream")
+        flags = data[pos]
+        pos += 1
+        delta, pos = _read_varint(data, pos)
+        pc = prev_pc + _unzigzag(delta)
+        word, pos = _read_varint(data, pos)
+        addr = 0
+        if flags & _FLAG_HAS_ADDR:
+            delta, pos = _read_varint(data, pos)
+            addr = prev_addr + _unzigzag(delta)
+            prev_addr = addr
+        taken = bool(flags & _FLAG_TAKEN)
+        target = 0
+        if taken:
+            delta, pos = _read_varint(data, pos)
+            target = pc + _unzigzag(delta)
+        records.append(DynInst(pc, word, addr, taken, target))
+        prev_pc = pc
+    if pos != len(data):
+        raise SiftError(f"{len(data) - pos} trailing bytes after last record")
+    return Trace(records, name=name)

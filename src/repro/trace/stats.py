@@ -1,0 +1,99 @@
+"""Static/dynamic trace statistics.
+
+Used by workload tests to check that each micro-benchmark actually has the
+instruction-mix signature its category promises (memory kernels are
+load/store heavy, control kernels are branch heavy, ...), and by the
+Table I / Table II benches to print per-workload instruction counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.decoder import Decoder
+from repro.isa.opclasses import (
+    BRANCH_CLASSES,
+    FP_CLASSES,
+    LOAD_CLASSES,
+    OpClass,
+    STORE_CLASSES,
+)
+from repro.trace.record import Trace
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics over one trace."""
+
+    name: str
+    instructions: int
+    loads: int
+    stores: int
+    branches: int
+    taken_branches: int
+    indirect_branches: int
+    fp_ops: int
+    unique_pcs: int
+    unique_cachelines: int
+    opclass_counts: dict = field(default_factory=dict)
+
+    @property
+    def load_fraction(self) -> float:
+        return self.loads / self.instructions if self.instructions else 0.0
+
+    @property
+    def store_fraction(self) -> float:
+        return self.stores / self.instructions if self.instructions else 0.0
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.branches / self.instructions if self.instructions else 0.0
+
+    @property
+    def fp_fraction(self) -> float:
+        return self.fp_ops / self.instructions if self.instructions else 0.0
+
+    @property
+    def mem_fraction(self) -> float:
+        return self.load_fraction + self.store_fraction
+
+
+def compute_trace_stats(trace: Trace, line_size: int = 64) -> TraceStats:
+    """Walk ``trace`` once and summarise its instruction mix."""
+    decoder = Decoder()
+    decoded = trace.decoded_with(decoder)
+    loads = stores = branches = taken = indirect = fp_ops = 0
+    pcs = set()
+    lines = set()
+    opclass_counts: dict = {}
+    for rec, inst in zip(trace.records, decoded):
+        oc = int(inst.opclass)
+        opclass_counts[oc] = opclass_counts.get(oc, 0) + 1
+        pcs.add(rec.pc)
+        if oc in LOAD_CLASSES:
+            loads += 1
+            lines.add(rec.addr // line_size)
+        elif oc in STORE_CLASSES:
+            stores += 1
+            lines.add(rec.addr // line_size)
+        elif oc in BRANCH_CLASSES:
+            branches += 1
+            if rec.taken:
+                taken += 1
+            if OpClass(oc).is_indirect:
+                indirect += 1
+        if oc in FP_CLASSES:
+            fp_ops += 1
+    return TraceStats(
+        name=trace.name,
+        instructions=len(trace.records),
+        loads=loads,
+        stores=stores,
+        branches=branches,
+        taken_branches=taken,
+        indirect_branches=indirect,
+        fp_ops=fp_ops,
+        unique_pcs=len(pcs),
+        unique_cachelines=len(lines),
+        opclass_counts={OpClass(k).name: v for k, v in sorted(opclass_counts.items())},
+    )

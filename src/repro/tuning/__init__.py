@@ -1,0 +1,35 @@
+"""Iterated racing — the machine-learning parameter tuner (§III-C).
+
+A from-scratch Python implementation of the iterated racing algorithm
+(Birattari et al.'s racing; López-Ibáñez et al.'s irace): sample
+candidate configurations from per-parameter distributions, race them
+across workload instances with statistical elimination of dominated
+candidates, then sharpen the distributions around the survivors and
+repeat until the trial budget is exhausted.
+"""
+
+from repro.tuning.parameters import (
+    BooleanParam,
+    CategoricalParam,
+    OrdinalParam,
+    Param,
+    ParamSpace,
+)
+from repro.tuning.cost import cpi_error, make_cpi_cost, make_weighted_cost
+from repro.tuning.race import RaceResult, race
+from repro.tuning.irace import IraceResult, IraceTuner
+
+__all__ = [
+    "Param",
+    "CategoricalParam",
+    "OrdinalParam",
+    "BooleanParam",
+    "ParamSpace",
+    "cpi_error",
+    "make_cpi_cost",
+    "make_weighted_cost",
+    "race",
+    "RaceResult",
+    "IraceTuner",
+    "IraceResult",
+]

@@ -1,0 +1,69 @@
+"""Cost functions for the tuner.
+
+The cost of a (configuration, workload) pair is the simulator's
+prediction error against the hardware measurement. The default is the
+absolute relative CPI error (§III-C input #4); step-5 component-focused
+rounds use a weighted cost mixing CPI with component metrics, exactly as
+the paper recommends ("a weighted cost function that includes both the
+branch misprediction rate and the CPI").
+"""
+
+from __future__ import annotations
+
+from repro.core.stats import SimStats
+from repro.hardware.perf import PerfResult
+
+
+def cpi_error(sim: SimStats, hw: PerfResult) -> float:
+    """Absolute relative CPI error — the paper's headline metric."""
+    hw_cpi = hw.cpi
+    if hw_cpi <= 0:
+        raise ValueError(f"hardware CPI is non-positive for {hw.workload!r}")
+    return abs(sim.cpi - hw_cpi) / hw_cpi
+
+
+def _relative_error(sim_value: float, hw_value: float) -> float:
+    """Relative error robust to near-zero hardware counts."""
+    denom = max(abs(hw_value), 1e-9)
+    if hw_value == 0 and sim_value == 0:
+        return 0.0
+    return abs(sim_value - hw_value) / denom
+
+
+def make_cpi_cost():
+    """Cost callable of ``(SimStats, PerfResult) -> float`` using CPI."""
+    return cpi_error
+
+
+def make_weighted_cost(weights: dict):
+    """Weighted multi-metric cost.
+
+    ``weights`` maps counter names (``"cpi"``, ``"branch-mpki"``,
+    ``"l1d-mpki"``, ``"l2-mpki"``...) to non-negative weights. Each
+    metric contributes its relative error; weights are normalised.
+    """
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    total = float(sum(weights.values()))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    items = [(name, w / total) for name, w in weights.items() if w > 0]
+
+    def cost(sim: SimStats, hw: PerfResult) -> float:
+        acc = 0.0
+        for name, weight in items:
+            if name == "cpi":
+                acc += weight * cpi_error(sim, hw)
+            elif name == "branch-mpki":
+                acc += weight * _relative_error(sim.branch_mpki, hw.branch_mpki)
+            elif name == "l1d-mpki":
+                hw_mpki = 1000.0 * hw.counter("L1-dcache-load-misses") / hw.instructions
+                acc += weight * _relative_error(sim.l1d_mpki, hw_mpki)
+            elif name == "l2-mpki":
+                hw_mpki = 1000.0 * hw.counter("l2-misses") / hw.instructions
+                acc += weight * _relative_error(sim.l2_mpki, hw_mpki)
+            else:
+                acc += weight * _relative_error(sim.counter(name), hw.counter(name))
+        return acc
+
+    return cost

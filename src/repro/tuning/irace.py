@@ -1,0 +1,236 @@
+"""The iterated-racing driver (§III-C, Figure 2).
+
+Each iteration (1) samples new candidate configurations around the
+current elites, (2) races them — with the elites — across the workload
+instances, eliminating statistically dominated candidates early, and
+(3) updates the sampling distributions toward the survivors. The loop
+ends when the trial budget is exhausted; the number of iterations and
+the per-iteration candidate count follow the irace budget-partitioning
+scheme. Evaluations are memoised per (configuration, instance), so
+elites carry their results across iterations as irace does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.tuning.parameters import ParamSpace
+from repro.tuning.race import race
+from repro.tuning.sampling import ConfigSampler
+
+
+def _freeze(assignment: dict) -> tuple:
+    return tuple(sorted(assignment.items(), key=lambda kv: kv[0]))
+
+
+@dataclass
+class IraceIteration:
+    """Telemetry for one iteration (drives the Figure-2 convergence bench)."""
+
+    iteration: int
+    candidates: int
+    evaluations: int
+    best_cost: float
+    survivor_count: int
+    best_assignment: dict = field(default_factory=dict)
+
+
+@dataclass
+class IraceResult:
+    """Final tuner output."""
+
+    best_assignment: dict
+    best_cost: float
+    elites: list
+    history: list
+    total_evaluations: int
+    budget: int
+
+    def summary(self) -> str:
+        lines = [
+            f"irace finished: {self.total_evaluations}/{self.budget} trials, "
+            f"best mean cost {self.best_cost:.4f}"
+        ]
+        for it in self.history:
+            lines.append(
+                f"  iter {it.iteration}: {it.candidates} candidates, "
+                f"{it.evaluations} trials, best {it.best_cost:.4f}, "
+                f"{it.survivor_count} survivors"
+            )
+        return "\n".join(lines)
+
+
+class IraceTuner:
+    """Iterated racing over a :class:`ParamSpace`.
+
+    Parameters
+    ----------
+    space:
+        The tunable parameters with candidate values.
+    evaluate:
+        ``evaluate(assignment, instance) -> cost`` (lower is better).
+        Typically built by the validation layer: apply the assignment to
+        the base config, simulate the instance's trace, compare to the
+        cached hardware measurement.
+    instances:
+        Workload instance identifiers (the micro-benchmark names).
+    budget:
+        Maximum number of (configuration, instance) trials — the paper
+        runs budgets of 10K-100K; scaled-down experiments use hundreds
+        to a few thousands.
+    initial_assignments:
+        Seed configurations for the first race (e.g. the best-guess
+        model of step #3).
+    """
+
+    def __init__(
+        self,
+        space: ParamSpace,
+        evaluate,
+        instances: list,
+        budget: int = 2000,
+        seed: int = 0,
+        n_elites: int = 3,
+        first_test: int = 5,
+        alpha: float = 0.05,
+        test: str = "friedman",
+        min_survivors: int = 2,
+        initial_assignments: list = None,
+        parent_weight: float = 0.55,
+        verbose: bool = False,
+    ) -> None:
+        if budget < len(instances):
+            raise ValueError("budget must allow at least one full race block")
+        self.space = space
+        self.instances = list(instances)
+        self.budget = budget
+        self.n_elites = n_elites
+        self.first_test = min(first_test, len(self.instances))
+        self.alpha = alpha
+        self.test = test
+        self.min_survivors = min_survivors
+        self.parent_weight = parent_weight
+        self.verbose = verbose
+        self._sampler = ConfigSampler(space, seed=seed)
+        self._rng = self._sampler.rng
+        self._raw_evaluate = evaluate
+        self._cache: dict = {}
+        self._initial = [dict(a) for a in (initial_assignments or [])]
+        for assignment in self._initial:
+            space.validate_assignment(assignment)
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, assignment: dict, instance) -> float:
+        key = (_freeze(assignment), instance)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._raw_evaluate(assignment, instance)
+            self._cache[key] = cached
+        return cached
+
+    def _n_iterations(self) -> int:
+        return max(2, 2 + int(math.floor(math.log2(max(2, len(self.space))))))
+
+    def run(self) -> IraceResult:
+        """Execute the iterated race; returns the tuned configuration."""
+        n_iter = self._n_iterations()
+        used = 0
+        elites: list = []
+        history: list = []
+
+        for iteration in range(1, n_iter + 1):
+            remaining = self.budget - used
+            if remaining < len(self.instances) // 2 + self.first_test:
+                break
+            iter_budget = remaining // (n_iter - iteration + 1)
+            # Expected instances per candidate grows with iterations.
+            expected_len = self.first_test + min(5, iteration) + 2
+            n_new = max(3, iter_budget // max(1, expected_len))
+
+            candidates: list = []
+            seen = set()
+
+            def add(assignment: dict) -> None:
+                key = _freeze(assignment)
+                if key not in seen:
+                    seen.add(key)
+                    candidates.append(assignment)
+
+            for elite in elites:
+                add(elite)
+            if iteration == 1:
+                for assignment in self._initial:
+                    add(assignment)
+            parents = elites or [None]
+            attempts = 0
+            while len(candidates) < n_new + len(elites) and attempts < 20 * n_new:
+                parent = parents[self._rng.randrange(len(parents))]
+                add(self._sampler.sample_config(parent, self.parent_weight))
+                attempts += 1
+
+            order = list(self.instances)
+            self._rng.shuffle(order)
+            result = race(
+                candidates,
+                order,
+                self._evaluate,
+                budget=iter_budget,
+                first_test=self.first_test,
+                alpha=self.alpha,
+                min_survivors=self.min_survivors,
+                test=self.test,
+            )
+            used += result.evaluations
+
+            elites = [candidates[i] for i in result.survivors[: self.n_elites]]
+            best_idx = result.survivors[0]
+            best_cost = result.mean_costs[best_idx]
+            history.append(
+                IraceIteration(
+                    iteration=iteration,
+                    candidates=len(candidates),
+                    evaluations=result.evaluations,
+                    best_cost=best_cost,
+                    survivor_count=len(result.survivors),
+                    best_assignment=dict(candidates[best_idx]),
+                )
+            )
+            if self.verbose:
+                print(
+                    f"[irace] iter {iteration}/{n_iter}: {len(candidates)} candidates, "
+                    f"{result.evaluations} trials (total {used}/{self.budget}), "
+                    f"best cost {best_cost:.4f}"
+                )
+            rate = 0.3 + 0.5 * iteration / n_iter
+            self._sampler.update(elites, rate=rate)
+
+        if not elites:
+            raise RuntimeError("irace budget too small: no iteration completed")
+
+        # Definitive comparison on every instance: the final elites plus a
+        # hall of fame of each iteration's race winner. Racing sees random
+        # instance subsets, so this full pass protects the tuned model
+        # against a lucky-subset winner (the cache keeps the cost modest).
+        finalists: list = []
+        seen_final = set()
+        for assignment in elites + [it.best_assignment for it in history]:
+            key = _freeze(assignment)
+            if key not in seen_final:
+                seen_final.add(key)
+                finalists.append(assignment)
+        final_costs = []
+        for finalist in finalists:
+            costs = [self._evaluate(finalist, inst) for inst in self.instances]
+            final_costs.append(sum(costs) / len(costs))
+        best_i = min(range(len(finalists)), key=final_costs.__getitem__)
+        total_eval = len(self._cache)
+
+        return IraceResult(
+            best_assignment=dict(finalists[best_i]),
+            best_cost=final_costs[best_i],
+            elites=[dict(e) for e in elites],
+            history=history,
+            total_evaluations=total_eval,
+            budget=self.budget,
+        )

@@ -1,0 +1,168 @@
+"""Tunable-parameter space.
+
+The user prepares "a list of all the configuration parameters that
+require a best guess ... paired with all the candidate values it could
+take" (§III-A step 4). A :class:`ParamSpace` is exactly that list. Three
+parameter kinds cover the paper's examples:
+
+- :class:`CategoricalParam` — unordered choices (which prefetcher, which
+  address hash, which branch predictor);
+- :class:`OrdinalParam` — ordered discrete numeric candidates (window
+  sizes, latencies, entry counts) — the paper notes ranges are
+  discretised "to avoid wasting irace's budget";
+- :class:`BooleanParam` — true/false features (prefetch on hit, store
+  coalescing).
+
+Parameters may be *conditional* (active only when another parameter
+takes certain values), e.g. prefetch degree only matters when a
+prefetcher is selected — matching irace's conditional parameter support.
+"""
+
+from __future__ import annotations
+
+
+class Param:
+    """Base class: a named parameter with discrete candidate values."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, values, condition=None) -> None:
+        values = list(values)
+        if len(values) < 2:
+            raise ValueError(f"{name}: need at least two candidate values")
+        if len(set(map(repr, values))) != len(values):
+            raise ValueError(f"{name}: duplicate candidate values")
+        self.name = name
+        self.values = values
+        #: Optional ``callable(assignment_dict) -> bool``; inactive
+        #: parameters keep their base-config value.
+        self.condition = condition
+
+    def is_active(self, assignment: dict) -> bool:
+        return self.condition is None or bool(self.condition(assignment))
+
+    def index_of(self, value) -> int:
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ValueError(f"{value!r} is not a candidate of {self.name}") from None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {self.values!r})"
+
+
+class CategoricalParam(Param):
+    """Unordered choice among alternatives."""
+
+    kind = "categorical"
+
+
+class OrdinalParam(Param):
+    """Ordered numeric candidates; sampling respects locality."""
+
+    kind = "ordinal"
+
+    def __init__(self, name: str, values, condition=None) -> None:
+        values = list(values)
+        if sorted(values) != values:
+            raise ValueError(f"{name}: ordinal candidate values must be sorted")
+        super().__init__(name, values, condition)
+
+
+class BooleanParam(CategoricalParam):
+    """True/false feature switch."""
+
+    kind = "boolean"
+
+    def __init__(self, name: str, condition=None) -> None:
+        super().__init__(name, [False, True], condition)
+
+
+class ParamSpace:
+    """An ordered collection of tunable parameters.
+
+    ``neighbors(assignment)`` enumerates one-step deviations (each
+    parameter moved to an adjacent ordinal value or another category),
+    which is the neighbourhood the Figures 7/8 worst-case study searches.
+    """
+
+    def __init__(self, params: list) -> None:
+        names = [p.name for p in params]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names in space")
+        self.params = list(params)
+        self._by_name = {p.name: p for p in params}
+
+    def __len__(self) -> int:
+        return len(self.params)
+
+    def __iter__(self):
+        return iter(self.params)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> Param:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no parameter {name!r} in space") from None
+
+    def names(self) -> list:
+        return [p.name for p in self.params]
+
+    def total_combinations(self) -> int:
+        """Size of the full cross product (why racing is needed)."""
+        total = 1
+        for p in self.params:
+            total *= len(p.values)
+        return total
+
+    def validate_assignment(self, assignment: dict) -> None:
+        """Check every value is a known candidate of a known parameter."""
+        for name, value in assignment.items():
+            self.get(name).index_of(value)
+
+    def active_params(self, assignment: dict) -> list:
+        return [p for p in self.params if p.is_active(assignment)]
+
+    def default_assignment(self, base_values: dict = None) -> dict:
+        """Assignment taking each parameter's value from ``base_values``
+        when it is a valid candidate, else the middle candidate."""
+        base_values = base_values or {}
+        out = {}
+        for p in self.params:
+            value = base_values.get(p.name)
+            if value is not None and value in p.values:
+                out[p.name] = value
+            else:
+                out[p.name] = p.values[len(p.values) // 2]
+        return out
+
+    def neighbor_values(self, param: Param, value) -> list:
+        """One-step deviations of ``param`` away from ``value``.
+
+        Ordinal parameters move to adjacent candidates; categorical and
+        boolean parameters may switch to any other candidate (a single
+        "step" in an unordered domain).
+        """
+        idx = param.index_of(value)
+        if param.kind == "ordinal":
+            out = []
+            if idx > 0:
+                out.append(param.values[idx - 1])
+            if idx + 1 < len(param.values):
+                out.append(param.values[idx + 1])
+            return out
+        return [v for i, v in enumerate(param.values) if i != idx]
+
+    def neighbors(self, assignment: dict) -> list:
+        """All assignments that deviate from ``assignment`` by one step in
+        exactly one active parameter."""
+        out = []
+        for p in self.active_params(assignment):
+            for value in self.neighbor_values(p, assignment[p.name]):
+                neighbor = dict(assignment)
+                neighbor[p.name] = value
+                out.append(neighbor)
+        return out

@@ -1,0 +1,163 @@
+"""Statistical racing of candidate configurations (Figure 2, step 2).
+
+All candidates are evaluated on a first block of instances; from then on
+each additional instance is followed by a statistical test that
+eliminates candidates shown to be worse than the current best — "fast
+elimination of configurations that can be statistically proven to be
+inferior" (§III-C). Two tests are provided:
+
+- ``"friedman"`` — the Friedman rank test with Conover's post-hoc
+  pairwise comparison against the best-ranked candidate (irace's F-race
+  default);
+- ``"ttest"`` — paired one-sided t-test of each candidate against the
+  best (irace's t-race variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass
+class RaceResult:
+    """Outcome of one race."""
+
+    #: Indices into the input config list, best mean cost first.
+    survivors: list
+    #: Mean cost per surviving config index (over instances it saw).
+    mean_costs: dict
+    #: (config, instance) evaluations consumed.
+    evaluations: int
+    #: config index -> instance count seen before elimination.
+    eliminated_after: dict = field(default_factory=dict)
+    #: Number of instances the survivors were evaluated on.
+    instances_used: int = 0
+
+
+def _friedman_eliminate(costs: np.ndarray, alive: list, alpha: float) -> list:
+    """Conover post-hoc elimination; returns the indices to eliminate.
+
+    ``costs`` is (n_alive, n_instances). Candidates whose rank sum
+    exceeds the best's by more than the critical difference go.
+    """
+    k, b = costs.shape
+    if k < 2 or b < 2:
+        return []
+    # Rank within each instance column (1 = best/lowest cost).
+    ranks = np.apply_along_axis(stats.rankdata, 0, costs)
+    rank_sums = ranks.sum(axis=1)
+    a2 = float((ranks**2).sum())
+    b2 = float((rank_sums**2).sum()) / b
+    mean_term = b * k * (k + 1) ** 2 / 4.0
+    numer = b2 - mean_term
+    spread = a2 - b2
+    df = (b - 1) * (k - 1)
+    best = int(np.argmin(rank_sums))
+
+    if spread <= 1e-9:
+        if numer <= 1e-9:
+            return []  # every candidate performs identically
+        # Perfectly consistent rankings across all blocks: maximal
+        # significance, the post-hoc critical difference degenerates to
+        # zero — everything ranked behind the best is dominated.
+        return [alive[i] for i in range(k) if i != best and rank_sums[i] > rank_sums[best]]
+
+    # Conover's F-statistic for the Friedman test.
+    t_stat = (k - 1) * numer / spread
+    p_value = stats.f.sf(t_stat, k - 1, df)
+    if p_value > alpha:
+        return []
+    critical = stats.t.ppf(1 - alpha / 2.0, df) * np.sqrt(2.0 * b * spread / df)
+    out = []
+    for i in range(k):
+        if i != best and rank_sums[i] - rank_sums[best] > critical:
+            out.append(alive[i])
+    return out
+
+
+def _ttest_eliminate(costs: np.ndarray, alive: list, alpha: float) -> list:
+    """Paired t-test of each candidate against the best-mean candidate."""
+    k, b = costs.shape
+    if k < 2 or b < 2:
+        return []
+    means = costs.mean(axis=1)
+    best = int(np.argmin(means))
+    out = []
+    for i in range(k):
+        if i == best:
+            continue
+        diff = costs[i] - costs[best]
+        if np.allclose(diff, 0):
+            continue
+        t_stat, p_two = stats.ttest_rel(costs[i], costs[best])
+        # One-sided: candidate i is worse.
+        if t_stat > 0 and p_two / 2.0 < alpha:
+            out.append(alive[i])
+    return out
+
+
+def race(
+    configs: list,
+    instances: list,
+    evaluate,
+    budget: int = None,
+    first_test: int = 5,
+    alpha: float = 0.05,
+    min_survivors: int = 2,
+    test: str = "friedman",
+) -> RaceResult:
+    """Race ``configs`` (list of assignments) across ``instances``.
+
+    ``evaluate(config, instance) -> cost``; lower is better. The race
+    stops when instances or ``budget`` are exhausted, or when only
+    ``min_survivors`` candidates remain.
+    """
+    if not configs:
+        raise ValueError("need at least one configuration to race")
+    if not instances:
+        raise ValueError("need at least one instance to race on")
+    if test not in ("friedman", "ttest"):
+        raise ValueError(f"unknown test {test!r}; use 'friedman' or 'ttest'")
+    eliminate_fn = _friedman_eliminate if test == "friedman" else _ttest_eliminate
+
+    n = len(configs)
+    alive = list(range(n))
+    cost_rows = {i: [] for i in alive}
+    evaluations = 0
+    eliminated_after: dict = {}
+    instances_used = 0
+
+    for j, instance in enumerate(instances):
+        if budget is not None and evaluations + len(alive) > budget:
+            break
+        for i in alive:
+            cost_rows[i].append(evaluate(configs[i], instance))
+        evaluations += len(alive)
+        instances_used = j + 1
+
+        if j + 1 >= first_test and len(alive) > min_survivors:
+            costs = np.array([cost_rows[i] for i in alive])
+            to_drop = eliminate_fn(costs, alive, alpha)
+            if to_drop:
+                drop_set = set(to_drop)
+                # Never drop below min_survivors: keep the best-mean ones.
+                if len(alive) - len(drop_set) < min_survivors:
+                    means = {i: float(np.mean(cost_rows[i])) for i in alive}
+                    keep = sorted(alive, key=means.__getitem__)[:min_survivors]
+                    drop_set -= set(keep)
+                for i in drop_set:
+                    eliminated_after[i] = j + 1
+                alive = [i for i in alive if i not in drop_set]
+
+    means = {i: float(np.mean(cost_rows[i])) for i in alive}
+    survivors = sorted(alive, key=means.__getitem__)
+    return RaceResult(
+        survivors=survivors,
+        mean_costs=means,
+        evaluations=evaluations,
+        eliminated_after=eliminated_after,
+        instances_used=instances_used,
+    )

@@ -1,0 +1,26 @@
+"""The validation methodology (Figure 1) built on iterated racing."""
+
+from repro.validation.steps import (
+    inorder_param_space,
+    ooo_param_space,
+    param_space_for,
+)
+from repro.validation.campaign import (
+    BudgetProfile,
+    CampaignResult,
+    PROFILES,
+    ValidationCampaign,
+)
+from repro.validation.neighborhood import NeighborhoodResult, worst_near_optimum
+
+__all__ = [
+    "inorder_param_space",
+    "ooo_param_space",
+    "param_space_for",
+    "BudgetProfile",
+    "PROFILES",
+    "ValidationCampaign",
+    "CampaignResult",
+    "worst_near_optimum",
+    "NeighborhoodResult",
+]

@@ -1,0 +1,416 @@
+"""The end-to-end validation campaign (Figure 1).
+
+Steps:
+
+1. build the model from publicly available information
+   (:func:`cortex_a53_public_config` / :func:`cortex_a72_public_config`);
+2. set latency parameters using lmbench micro-benchmarks;
+3. best-effort guesses for the remaining unknowns (the public configs'
+   defaults);
+4. tune the unknown parameters with iterated racing over the targeted
+   micro-benchmark suite;
+5. inspect per-component errors; where a component still shows high
+   error, apply the corresponding *model fix* (add the indirect
+   predictor and GHB prefetcher options, initialise the anomalous
+   arrays, replace a buggy decoder) and run another tuning round;
+6. emit the tuned model.
+
+The campaign reproduces the §IV-B staging: stage 1 races the *initial*
+model's parameter list; the step-5 inspection then unlocks stage 2's
+extended list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import (
+    SimConfig,
+    cortex_a53_public_config,
+    cortex_a72_public_config,
+)
+from repro.hardware.board import FireflyRK3399, HardwareCore
+from repro.hardware.lmbench import apply_latency_estimates, lat_mem_rd
+from repro.isa.decoder import BuggyDecoder, Decoder
+from repro.simulator.simulator import SnipeSim
+from repro.tuning.cost import cpi_error, make_weighted_cost
+from repro.tuning.irace import IraceResult, IraceTuner
+from repro.tuning.parameters import ParamSpace
+from repro.validation.steps import param_space_for
+from repro.workloads.microbench import ALL_MICROBENCHMARKS, MICROBENCHMARKS
+
+#: Step-5 component rounds: which workloads stress a component, which
+#: perf metrics join the weighted cost, and which parameter prefixes are
+#: raced. The paper: "instead of using the CPI error only, a weighted
+#: cost function that includes both the branch misprediction rate and
+#: the CPI can be used" (§III-A).
+_COMPONENT_ROUNDS = {
+    "branch": {
+        "workloads": ("CCa", "CCe", "CCh", "CCl", "CCm", "CF1", "CRd", "CRf",
+                      "CRm", "CS1", "CS3", "MIP"),
+        "weights": {"cpi": 1.0, "branch-mpki": 1.0},
+        "param_prefixes": ("branch.",),
+    },
+    "memory": {
+        "workloads": ("MC", "MCS", "MD", "ML2", "ML2_BWld", "ML2_BWldst",
+                      "ML2_BWst", "ML2_st", "MM", "MM_st", "M_Dyn"),
+        "weights": {"cpi": 1.0, "l1d-mpki": 0.5, "l2-mpki": 0.5},
+        "param_prefixes": ("l1d.", "l2.", "memsys."),
+    },
+    "execution": {
+        "workloads": ("ED1", "EF", "EI", "EM1", "EM5", "DP1d", "DP1f",
+                      "DPcvt", "DPT", "DPTd"),
+        "weights": {"cpi": 1.0},
+        "param_prefixes": ("execute.",),
+    },
+    "store": {
+        "workloads": ("STL2", "STL2b", "STc", "ML2_BWst", "MM_st"),
+        "weights": {"cpi": 1.0},
+        "param_prefixes": ("memsys.", "l1d."),
+    },
+}
+
+
+@dataclass(frozen=True)
+class BudgetProfile:
+    """Scaling knobs: trial budgets and workload scale."""
+
+    name: str
+    stage1_budget: int
+    stage2_budget: int
+    microbench_scale: float = 1.0
+    first_test: int = 6
+    n_elites: int = 3
+
+
+PROFILES = {
+    "fast": BudgetProfile("fast", 350, 350, first_test=5, n_elites=2),
+    "default": BudgetProfile("default", 1000, 1400),
+    "thorough": BudgetProfile("thorough", 3000, 4000),
+    # The paper's 10K/100K budgets, for completeness (hours of runtime).
+    "paper": BudgetProfile("paper", 10_000, 20_000),
+}
+
+
+@dataclass
+class InspectionReport:
+    """Step-5 output: per-category errors and recommended fixes."""
+
+    per_benchmark: dict
+    per_category: dict
+    overall: float
+    recommendations: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [f"overall mean CPI error: {self.overall:.1%}"]
+        for cat, err in sorted(self.per_category.items()):
+            lines.append(f"  {cat:<14}{err:.1%}")
+        for rec in self.recommendations:
+            lines.append(f"  fix: {rec}")
+        return "\n".join(lines)
+
+
+@dataclass
+class StageResult:
+    """One tuning round."""
+
+    stage: int
+    irace: IraceResult
+    tuned_config: SimConfig
+    errors: dict
+    inspection: InspectionReport
+
+
+@dataclass
+class CampaignResult:
+    """Everything the campaign produced."""
+
+    core: str
+    profile: str
+    public_config: SimConfig
+    lmbench_config: SimConfig
+    untuned_errors: dict
+    stages: list
+    final_config: SimConfig
+    final_errors: dict
+
+    @property
+    def untuned_mean_error(self) -> float:
+        return sum(self.untuned_errors.values()) / len(self.untuned_errors)
+
+    @property
+    def tuned_mean_error(self) -> float:
+        return sum(self.final_errors.values()) / len(self.final_errors)
+
+    def summary(self) -> str:
+        lines = [
+            f"validation campaign: {self.core} ({self.profile} profile)",
+            f"  untuned mean CPI error: {self.untuned_mean_error:.1%}",
+        ]
+        for stage in self.stages:
+            mean = sum(stage.errors.values()) / len(stage.errors)
+            lines.append(
+                f"  stage {stage.stage}: tuned mean error {mean:.1%} "
+                f"({stage.irace.total_evaluations} trials)"
+            )
+        lines.append(f"  final mean CPI error: {self.tuned_mean_error:.1%}")
+        return "\n".join(lines)
+
+
+class ValidationCampaign:
+    """Drives the Figure-1 methodology for one board core."""
+
+    def __init__(
+        self,
+        board: FireflyRK3399,
+        core: str = "a53",
+        profile: str = "default",
+        seed: int = 0,
+        verbose: bool = False,
+        decoder: Decoder = None,
+        workloads: list = None,
+    ) -> None:
+        self.board = board
+        self.hw: HardwareCore = board.core(core)
+        self.core_name = core
+        self.profile = PROFILES[profile] if isinstance(profile, str) else profile
+        self.seed = seed
+        self.verbose = verbose
+        #: The decoder library the *simulator* uses. Passing a
+        #: :class:`BuggyDecoder` reproduces the decoder-bug study; the
+        #: step-5 inspection will recommend replacing it.
+        self.decoder = decoder if decoder is not None else Decoder()
+        self.workloads = list(workloads) if workloads is not None else list(ALL_MICROBENCHMARKS)
+        self._workload_by_name = {wl.name: wl for wl in self.workloads}
+        #: Per-workload kwargs overrides (step-5 fixes land here).
+        self.workload_overrides: dict = {}
+        self._hw_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Infrastructure
+    # ------------------------------------------------------------------
+    def _trace(self, name: str):
+        wl = self._workload_by_name[name]
+        kwargs = self.workload_overrides.get(name, {})
+        return wl.trace(scale=self.profile.microbench_scale, **kwargs)
+
+    def _measure_hw(self, name: str):
+        trace = self._trace(name)
+        cached = self._hw_cache.get(trace.name)
+        if cached is None:
+            cached = self.hw.measure(trace)
+            self._hw_cache[trace.name] = cached
+        return cached
+
+    def _simulate(self, config: SimConfig, name: str):
+        return SnipeSim(config, decoder=self.decoder).run(self._trace(name))
+
+    def error_for(self, config: SimConfig, name: str) -> float:
+        """Absolute relative CPI error of ``config`` on one workload."""
+        return cpi_error(self._simulate(config, name), self._measure_hw(name))
+
+    def evaluate(self, config: SimConfig) -> dict:
+        """Per-workload CPI error of ``config`` over the whole suite."""
+        return {wl.name: self.error_for(config, wl.name) for wl in self.workloads}
+
+    #: Per-instance cost saturation. Abstraction-error anomalies (the
+    #: uninitialised-array kernels pre-fix) produce 10-30x errors that no
+    #: configuration can remove; capping them keeps the tuner's mean cost
+    #: from being hijacked by unfixable outliers while preserving their
+    #: ordering. Raw (uncapped) errors are always reported.
+    cost_saturation = 3.0
+
+    def make_evaluator(self, base_config: SimConfig):
+        """The ``evaluate(assignment, instance)`` callable irace needs."""
+
+        def evaluator(assignment: dict, instance: str) -> float:
+            config = base_config.with_updates(assignment)
+            return min(self.error_for(config, instance), self.cost_saturation)
+
+        return evaluator
+
+    # ------------------------------------------------------------------
+    # Methodology steps
+    # ------------------------------------------------------------------
+    def step1_public_config(self) -> SimConfig:
+        """Step #1: model from publicly available information."""
+        if self.core_name in ("a53", "cortex-a53"):
+            return cortex_a53_public_config()
+        return cortex_a72_public_config()
+
+    def step2_lmbench(self, config: SimConfig) -> SimConfig:
+        """Step #2: measure cache/memory latencies and plug them in."""
+        estimates = lat_mem_rd(self.hw, l1_size=config.l1d.size, l2_size=config.l2.size)
+        if self.verbose:
+            print(f"[campaign] lmbench estimates: {estimates.summary()}")
+        return apply_latency_estimates(config, estimates)
+
+    def step4_tune(self, config: SimConfig, stage: int, budget: int) -> tuple:
+        """Step #4: race the unknown parameters; returns (config, result)."""
+        space = param_space_for(config.core_type, stage=stage)
+        initial = space.default_assignment(config.flatten())
+        tuner = IraceTuner(
+            space,
+            self.make_evaluator(config),
+            instances=[wl.name for wl in self.workloads],
+            budget=budget,
+            seed=self.seed + stage,
+            n_elites=self.profile.n_elites,
+            first_test=self.profile.first_test,
+            initial_assignments=[initial],
+            verbose=self.verbose,
+        )
+        result = tuner.run()
+        return config.with_updates(result.best_assignment), result
+
+    def component_round(
+        self,
+        config: SimConfig,
+        component: str,
+        budget: int = 300,
+        stage: int = 2,
+    ) -> tuple:
+        """Step-5 extra optimisation round focused on one component.
+
+        Races only the parameters belonging to ``component`` (e.g. the
+        branch-prediction unit), over the micro-benchmarks that stress
+        it, under a *weighted* cost that mixes the component's perf
+        metrics with CPI — the paper's recipe for polishing a component
+        whose error a low overall average can mask. Returns
+        ``(tuned_config, IraceResult)``.
+        """
+        try:
+            spec = _COMPONENT_ROUNDS[component]
+        except KeyError:
+            raise ValueError(
+                f"unknown component {component!r}; choose from {sorted(_COMPONENT_ROUNDS)}"
+            ) from None
+        full_space = param_space_for(config.core_type, stage=stage)
+        params = [p for p in full_space
+                  if p.name.startswith(spec["param_prefixes"])]
+        space = ParamSpace(params)
+        instances = [n for n in spec["workloads"] if n in self._workload_by_name]
+        if not instances:
+            raise ValueError(f"none of the {component!r} workloads are in this campaign")
+        cost = make_weighted_cost(spec["weights"])
+
+        def evaluator(assignment: dict, instance: str) -> float:
+            candidate = config.with_updates(assignment)
+            sim_stats = self._simulate(candidate, instance)
+            return min(cost(sim_stats, self._measure_hw(instance)), self.cost_saturation)
+
+        tuner = IraceTuner(
+            space,
+            evaluator,
+            instances=instances,
+            budget=budget,
+            seed=self.seed + 97,
+            n_elites=self.profile.n_elites,
+            first_test=min(self.profile.first_test, max(2, len(instances) - 1)),
+            initial_assignments=[space.default_assignment(config.flatten())],
+            verbose=self.verbose,
+        )
+        result = tuner.run()
+        return config.with_updates(result.best_assignment), result
+
+    def step5_inspect(self, errors: dict) -> InspectionReport:
+        """Step #5: per-component error inspection and fix recommendations."""
+        per_category: dict = {}
+        counts: dict = {}
+        for name, err in errors.items():
+            category = self._workload_by_name[name].category
+            per_category[category] = per_category.get(category, 0.0) + err
+            counts[category] = counts.get(category, 0) + 1
+        per_category = {c: per_category[c] / counts[c] for c in per_category}
+        overall = sum(errors.values()) / len(errors)
+        # Thresholds compare against the *median* error: a couple of
+        # anomalous kernels can push the mean so high that every other
+        # outlier hides below it.
+        ordered = sorted(errors.values())
+        typical = ordered[len(ordered) // 2]
+
+        recommendations = []
+        indirect_errs = [errors[n] for n in ("CS1", "CS3") if n in errors]
+        if indirect_errs and max(indirect_errs) > max(2 * typical, 0.20):
+            recommendations.append(
+                "indirect-branch kernels (CS1/CS3) show outlier error: add "
+                "indirect-branch predictor support and re-tune (stage 2 space)"
+            )
+        anomaly_errs = [errors[n] for n in ("MM", "M_Dyn") if n in errors]
+        if anomaly_errs and max(anomaly_errs) > max(3 * typical, 0.50):
+            recommendations.append(
+                "uninitialised-array kernels (MM/M_Dyn) behave like cache hits "
+                "on hardware (OS zero page): initialise the arrays prior to "
+                "simulation"
+            )
+        dp_err = per_category.get("dataparallel", 0.0)
+        if isinstance(self.decoder, BuggyDecoder) and dp_err > max(1.5 * typical, 0.15):
+            recommendations.append(
+                "data-parallel kernels show dependence-modelling error: the "
+                "decoder library drops FP source operands — fix the decoder"
+            )
+        mem_err = per_category.get("memory", 0.0)
+        if mem_err > max(1.5 * typical, 0.25):
+            recommendations.append(
+                "memory kernels still err: widen prefetcher/hashing options "
+                "(GHB prefetching, address hashing) for the next round"
+            )
+        return InspectionReport(
+            per_benchmark=dict(errors),
+            per_category=per_category,
+            overall=overall,
+            recommendations=recommendations,
+        )
+
+    def apply_fixes(self, inspection: InspectionReport) -> None:
+        """Apply the step-5 recommendations that change workloads/decoder."""
+        for rec in inspection.recommendations:
+            if "initialise the arrays" in rec:
+                for name in ("MM", "M_Dyn"):
+                    if name in self._workload_by_name:
+                        self.workload_overrides[name] = {"initialized": True}
+            if "fix the decoder" in rec:
+                self.decoder = Decoder()
+
+    # ------------------------------------------------------------------
+    def run(self, stages: int = 2) -> CampaignResult:
+        """Execute the full campaign; returns all artefacts."""
+        public = self.step1_public_config()
+        config = self.step2_lmbench(public)
+        untuned_errors = self.evaluate(config)
+        if self.verbose:
+            mean = sum(untuned_errors.values()) / len(untuned_errors)
+            print(f"[campaign] untuned mean CPI error: {mean:.1%}")
+
+        stage_results: list = []
+        budgets = [self.profile.stage1_budget, self.profile.stage2_budget]
+        for stage in range(1, stages + 1):
+            budget = budgets[min(stage - 1, len(budgets) - 1)]
+            config, irace_result = self.step4_tune(config, stage, budget)
+            errors = self.evaluate(config)
+            inspection = self.step5_inspect(errors)
+            stage_results.append(
+                StageResult(
+                    stage=stage,
+                    irace=irace_result,
+                    tuned_config=config,
+                    errors=errors,
+                    inspection=inspection,
+                )
+            )
+            if self.verbose:
+                print(f"[campaign] stage {stage}:\n{inspection.summary()}")
+            if stage < stages:
+                self.apply_fixes(inspection)
+
+        final_errors = stage_results[-1].errors
+        return CampaignResult(
+            core=self.core_name,
+            profile=self.profile.name,
+            public_config=public,
+            lmbench_config=self.step2_lmbench(public),
+            untuned_errors=untuned_errors,
+            stages=stage_results,
+            final_config=config,
+            final_errors=final_errors,
+        )

@@ -1,0 +1,5 @@
+"""Workloads: targeted micro-benchmarks and SPEC CPU2017 proxies."""
+
+from repro.workloads.base import Workload
+
+__all__ = ["Workload"]

@@ -1,0 +1,66 @@
+"""Workload abstraction shared by microbench and the SPEC proxies."""
+
+from __future__ import annotations
+
+from repro.frontend.interpreter import trace_program
+from repro.frontend.program import Program
+from repro.trace.record import Trace
+
+
+class Workload:
+    """A named, parameterised program generator with trace caching.
+
+    ``builder(scale, **kwargs)`` must return a fresh
+    :class:`~repro.frontend.program.Program`; traces are deterministic,
+    so they are cached per ``(scale, kwargs)`` — recorded once, replayed
+    for every candidate configuration, exactly the paper's SIFT workflow.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        description: str,
+        builder,
+        paper_instructions: str = "n/a",
+        max_instructions: int = 200_000,
+        default_kwargs: dict = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.description = description
+        self.builder = builder
+        #: Dynamic instruction count the paper reports for this kernel
+        #: (Table I / Table II); ours are scaled down uniformly.
+        self.paper_instructions = paper_instructions
+        self.max_instructions = max_instructions
+        self.default_kwargs = dict(default_kwargs or {})
+        self._trace_cache: dict = {}
+
+    def program(self, scale: float = 1.0, **kwargs) -> Program:
+        """Build the program at ``scale`` (1.0 = default length)."""
+        merged = dict(self.default_kwargs)
+        merged.update(kwargs)
+        return self.builder(scale, **merged)
+
+    def trace(self, scale: float = 1.0, **kwargs) -> Trace:
+        """Record (or fetch the cached) dynamic trace."""
+        merged = dict(self.default_kwargs)
+        merged.update(kwargs)
+        key = (scale, tuple(sorted(merged.items())))
+        cached = self._trace_cache.get(key)
+        if cached is None:
+            program = self.builder(scale, **merged)
+            cached = trace_program(program, iterations=1, max_instructions=self.max_instructions)
+            # Non-default variants get distinct trace names so hardware
+            # measurement caches never conflate them.
+            if merged == self.default_kwargs and scale == 1.0:
+                cached.name = self.name
+            else:
+                variant = ",".join(f"{k}={v}" for k, v in sorted(merged.items()))
+                cached.name = f"{self.name}[scale={scale},{variant}]"
+            self._trace_cache[key] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, category={self.category!r})"

@@ -1,0 +1,61 @@
+"""The 40-kernel targeted micro-benchmark suite (Table I).
+
+Modelled on the VerticalResearchGroup `microbench` suite the paper uses:
+five categories — memory hierarchy, control flow, data-parallel/FP,
+execution dependences, store-intensive — each kernel stressing one
+processor component so the tuner's cost signal isolates modelling errors
+per component (§III-B). Dynamic instruction counts are scaled down
+uniformly from the paper's (kept as metadata) so tens of thousands of
+tuning simulations stay affordable.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.microbench.control import CONTROL_BENCHMARKS
+from repro.workloads.microbench.dataparallel import DATAPARALLEL_BENCHMARKS
+from repro.workloads.microbench.execution import EXECUTION_BENCHMARKS
+from repro.workloads.microbench.memory import MEMORY_BENCHMARKS
+from repro.workloads.microbench.stores import STORE_BENCHMARKS
+
+#: All 40 kernels in Table I order (memory, control, data-parallel,
+#: execution, store).
+ALL_MICROBENCHMARKS = (
+    MEMORY_BENCHMARKS
+    + CONTROL_BENCHMARKS
+    + DATAPARALLEL_BENCHMARKS
+    + EXECUTION_BENCHMARKS
+    + STORE_BENCHMARKS
+)
+
+MICROBENCHMARKS = {wl.name: wl for wl in ALL_MICROBENCHMARKS}
+
+CATEGORIES = ("memory", "control", "dataparallel", "execution", "store")
+
+
+def get_microbenchmark(name: str) -> Workload:
+    """Look up one kernel by its Table I name (e.g. ``"ML2_BWld"``)."""
+    try:
+        return MICROBENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown micro-benchmark {name!r}; see list_microbenchmarks()"
+        ) from None
+
+
+def list_microbenchmarks(category: str = None) -> list:
+    """All kernels, optionally filtered to one category."""
+    if category is None:
+        return list(ALL_MICROBENCHMARKS)
+    if category not in CATEGORIES:
+        raise ValueError(f"unknown category {category!r}; choose from {CATEGORIES}")
+    return [wl for wl in ALL_MICROBENCHMARKS if wl.category == category]
+
+
+__all__ = [
+    "ALL_MICROBENCHMARKS",
+    "MICROBENCHMARKS",
+    "CATEGORIES",
+    "get_microbenchmark",
+    "list_microbenchmarks",
+]

@@ -1,0 +1,62 @@
+"""Shared scaffolding for the micro-benchmark generators.
+
+Conventions: ``x1`` is scratch data, ``x2`` the loop condition register,
+``x5`` the pointer-chase register, ``x6..x13`` parallel load
+destinations; ``v0..v7`` carry FP/SIMD values. Every kernel is an
+initialisation pass (when its arrays must exist as written pages)
+followed by a pattern-driven main loop closed by a counted branch.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.builder import ProgramBuilder
+from repro.frontend.program import PatternTaken, SequentialAddr
+from repro.isa.registers import fp_reg, int_reg
+
+#: Base address of kernel data arrays.
+DATA_BASE = 0x100_0000
+#: Page size assumed by initialisation passes.
+PAGE = 4096
+LINE = 64
+
+X_DATA = int_reg(1)
+X_COND = int_reg(2)
+X_PTR = int_reg(5)
+X_TMP = int_reg(3)
+X_ACC = int_reg(4)
+
+V_ACC = fp_reg(0)
+V_TMP = fp_reg(1)
+
+
+def scaled(n: int, scale: float, minimum: int = 1) -> int:
+    """Scale a loop count, never below ``minimum``."""
+    return max(minimum, int(round(n * scale)))
+
+
+def counted_loop(b: ProgramBuilder, label: str, iters: int, cond: int = X_COND) -> None:
+    """Close a loop at ``label`` that executes ``iters`` times total.
+
+    The closing branch is perfectly predictable after warm-up (taken
+    ``iters - 1`` times, then not taken), so it does not perturb
+    branch-focused kernels.
+    """
+    if iters < 1:
+        raise ValueError("iters must be >= 1")
+    if iters == 1:
+        return
+    b.branch(label, PatternTaken("T" * (iters - 1) + "N"), cond_reg=cond)
+
+
+def init_pages(b: ProgramBuilder, base: int, window: int) -> None:
+    """Touch every page of ``[base, base + window)`` with one store.
+
+    Marks the pages written so the board's zero-page behaviour does not
+    fire; kernels reproducing the paper's uninitialised-array anomaly
+    skip this pass.
+    """
+    pages = max(1, window // PAGE)
+    b.label(f"init-{base:x}")
+    b.store(X_DATA, SequentialAddr(base, PAGE, window))
+    if pages > 1:
+        b.branch(f"init-{base:x}", PatternTaken("T" * (pages - 1) + "N"), cond_reg=X_DATA)

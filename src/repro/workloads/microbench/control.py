@@ -1,0 +1,238 @@
+"""Control-flow micro-benchmarks (Table I, second group).
+
+Twelve kernels spanning easy-to-predict branches, heavily biased
+branches, randomised flow, branches with large flush penalties, and the
+indirect-branch case statements (CS1/CS3) whose high error exposed the
+missing indirect-predictor support in the paper's initial model.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.builder import ProgramBuilder
+from repro.frontend.program import (
+    CycleTargets,
+    PatternTaken,
+    RandomTaken,
+    RandomTargets,
+    SequentialAddr,
+)
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import int_reg
+from repro.workloads.base import Workload
+from repro.workloads.microbench.common import (
+    DATA_BASE,
+    LINE,
+    X_ACC,
+    X_COND,
+    X_DATA,
+    X_TMP,
+    counted_loop,
+    init_pages,
+    scaled,
+)
+
+CATEGORY = "control"
+
+
+def _branch_field(b: ProgramBuilder, n_branches: int, pattern_for) -> None:
+    """A field of forward hammocks, one per branch, with 2-op bodies."""
+    for k in range(n_branches):
+        b.branch(f"skip{k}", pattern_for(k), cond_reg=X_COND)
+        b.op(OpClass.IALU, X_TMP, X_ACC, X_DATA)
+        b.op(OpClass.IALU, X_ACC, X_TMP, X_DATA)
+        b.label(f"skip{k}")
+
+
+def _cca(scale: float) -> "Program":
+    """CCa — always-taken branches (BTB/taken-bubble behaviour)."""
+    b = ProgramBuilder("CCa")
+    b.label("loop")
+    _branch_field(b, 16, lambda k: PatternTaken("T"))
+    counted_loop(b, "loop", scaled(40, scale))
+    return b.build()
+
+
+def _cce(scale: float) -> "Program":
+    """CCe — easy periodic patterns every predictor learns."""
+    b = ProgramBuilder("CCe")
+    b.label("loop")
+    _branch_field(b, 16, lambda k: PatternTaken("TTTN" if k % 2 else "TN"))
+    counted_loop(b, "loop", scaled(40, scale))
+    return b.build()
+
+
+def _cch(scale: float) -> "Program":
+    """CCh — hard 50/50 random branches (mispredict-penalty probe)."""
+    b = ProgramBuilder("CCh")
+    b.label("loop")
+    _branch_field(b, 16, lambda k: RandomTaken(0.5, seed=100 + k))
+    counted_loop(b, "loop", scaled(40, scale))
+    return b.build()
+
+
+def _cch_st(scale: float) -> "Program":
+    """CCh_st — hard branches interleaved with stores."""
+    b = ProgramBuilder("CCh_st")
+    window = 32 * 1024
+    init_pages(b, DATA_BASE, window)
+    sp = SequentialAddr(DATA_BASE, LINE, window)
+    b.label("loop")
+    for k in range(8):
+        b.branch(f"skip{k}", RandomTaken(0.5, seed=200 + k), cond_reg=X_COND)
+        b.store(X_DATA, sp)
+        b.op(OpClass.IALU, X_ACC, X_ACC, X_DATA)
+        b.label(f"skip{k}")
+    counted_loop(b, "loop", scaled(40, scale))
+    return b.build()
+
+
+def _ccl(scale: float) -> "Program":
+    """CCl — branches resolved by long-latency divides (large flush cost).
+
+    Each random branch consumes an integer-divide result, so a
+    mispredict is discovered late; stresses the interaction between
+    divide latency and the flush penalty.
+    """
+    b = ProgramBuilder("CCl")
+    b.label("loop")
+    for k in range(6):
+        b.op(OpClass.IDIV, X_COND, X_ACC, X_DATA)
+        b.branch(f"skip{k}", RandomTaken(0.5, seed=300 + k), cond_reg=X_COND)
+        b.op(OpClass.IALU, X_TMP, X_ACC, X_DATA)
+        b.label(f"skip{k}")
+    counted_loop(b, "loop", scaled(40, scale))
+    return b.build()
+
+
+def _ccm(scale: float) -> "Program":
+    """CCm — moderately biased branches (88% taken)."""
+    b = ProgramBuilder("CCm")
+    b.label("loop")
+    _branch_field(b, 16, lambda k: RandomTaken(0.88, seed=400 + k))
+    counted_loop(b, "loop", scaled(40, scale))
+    return b.build()
+
+
+def _cf1(scale: float) -> "Program":
+    """CF1 — dense if/else diamonds with correlated outcomes."""
+    b = ProgramBuilder("CF1")
+    b.label("loop")
+    for k in range(12):
+        b.branch(f"else{k}", PatternTaken("TTNN"), cond_reg=X_COND)
+        b.op(OpClass.IALU, X_TMP, X_ACC, X_DATA)
+        b.jump(f"join{k}")
+        b.label(f"else{k}")
+        b.op(OpClass.IALU, X_TMP, X_DATA, X_ACC)
+        b.label(f"join{k}")
+        b.op(OpClass.IALU, X_ACC, X_TMP, X_DATA)
+    counted_loop(b, "loop", scaled(30, scale))
+    return b.build()
+
+
+def _crd(scale: float) -> "Program":
+    """CRd — random directions over a deep diamond cascade."""
+    b = ProgramBuilder("CRd")
+    b.label("loop")
+    for k in range(12):
+        b.branch(f"else{k}", RandomTaken(0.5, seed=500 + k), cond_reg=X_COND)
+        b.op(OpClass.IALU, X_TMP, X_ACC, X_DATA)
+        b.jump(f"join{k}")
+        b.label(f"else{k}")
+        b.op(OpClass.IALU, X_TMP, X_DATA, X_ACC)
+        b.label(f"join{k}")
+        b.op(OpClass.IALU, X_ACC, X_TMP, X_DATA)
+    counted_loop(b, "loop", scaled(30, scale))
+    return b.build()
+
+
+def _crf(scale: float) -> "Program":
+    """CRf — randomised flow through indirect jumps (pipeline flushes)."""
+    b = ProgramBuilder("CRf")
+    b.label("loop")
+    dispatch = b.here()
+    # Forward declaration: indirect targets fixed up after blocks exist.
+    targets = []
+    b.indirect(RandomTargets([0], seed=600), src=X_ACC)
+    ind_inst = b._insts[-1]
+    for k in range(8):
+        targets.append(b.here())
+        b.label(f"blk{k}")
+        b.op(OpClass.IALU, X_ACC, X_ACC, X_DATA)
+        if k + 1 < 8:
+            b.jump("tail")
+    b.label("tail")
+    ind_inst.target_pattern = RandomTargets(targets, seed=600)
+    counted_loop(b, "loop", scaled(100, scale))
+    del dispatch
+    return b.build()
+
+
+def _crm(scale: float) -> "Program":
+    """CRm — a mix of biased, periodic and random branches."""
+    b = ProgramBuilder("CRm")
+    b.label("loop")
+
+    def pattern(k: int):
+        if k % 3 == 0:
+            return PatternTaken("TTN")
+        if k % 3 == 1:
+            return RandomTaken(0.9, seed=700 + k)
+        return RandomTaken(0.5, seed=700 + k)
+
+    _branch_field(b, 15, pattern)
+    counted_loop(b, "loop", scaled(40, scale))
+    return b.build()
+
+
+def _case_statement(name: str, n_cases: int, seed: int, random_frac: float, iters: int, scale: float) -> "Program":
+    """Switch-dispatch kernel: one hot indirect branch, ``n_cases`` arms.
+
+    With a cyclic target sequence a history-based indirect predictor
+    captures the dispatch; last-target prediction mispredicts almost
+    every arm — the discriminator the paper's CS kernels provide.
+    """
+    b = ProgramBuilder(name)
+    b.label("loop")
+    b.indirect(CycleTargets([0]), src=X_ACC)
+    ind_inst = b._insts[-1]
+    targets = []
+    for k in range(n_cases):
+        targets.append(b.here())
+        b.label(f"case{k}")
+        b.op(OpClass.IALU, X_TMP, X_ACC, X_DATA)
+        b.op(OpClass.IALU, X_ACC, X_TMP, X_DATA)
+        if k + 1 < n_cases:
+            b.jump("end")
+    b.label("end")
+    if random_frac > 0:
+        ind_inst.target_pattern = RandomTargets(targets, seed=seed)
+    else:
+        ind_inst.target_pattern = CycleTargets(targets)
+    counted_loop(b, "loop", scaled(iters, scale))
+    return b.build()
+
+
+def _cs1(scale: float) -> "Program":
+    """CS1 — small case statement, cyclic dispatch (indirect predictor)."""
+    return _case_statement("CS1", 4, 800, 0.0, 150, scale)
+
+
+def _cs3(scale: float) -> "Program":
+    """CS3 — wide case statement with random dispatch."""
+    return _case_statement("CS3", 16, 900, 1.0, 150, scale)
+
+
+CONTROL_BENCHMARKS = [
+    Workload("CCa", CATEGORY, _cca.__doc__, _cca, "82K"),
+    Workload("CCe", CATEGORY, _cce.__doc__, _cce, "657K"),
+    Workload("CCh", CATEGORY, _cch.__doc__, _cch, "2.6M"),
+    Workload("CCh_st", CATEGORY, _cch_st.__doc__, _cch_st, "157K"),
+    Workload("CCl", CATEGORY, _ccl.__doc__, _ccl, "1.38M"),
+    Workload("CCm", CATEGORY, _ccm.__doc__, _ccm, "656K"),
+    Workload("CF1", CATEGORY, _cf1.__doc__, _cf1, "1.27M"),
+    Workload("CRd", CATEGORY, _crd.__doc__, _crd, "599K"),
+    Workload("CRf", CATEGORY, _crf.__doc__, _crf, "133K"),
+    Workload("CRm", CATEGORY, _crm.__doc__, _crm, "399K"),
+    Workload("CS1", CATEGORY, _cs1.__doc__, _cs1, "58K"),
+    Workload("CS3", CATEGORY, _cs3.__doc__, _cs3, "34.5M"),
+]

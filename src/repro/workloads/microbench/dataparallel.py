@@ -1,0 +1,128 @@
+"""Data-parallel / floating-point micro-benchmarks (Table I, third group).
+
+Five kernels over data-parallel loops with double/float arithmetic and
+conversions of varying complexity — the group whose §IV-B errors traced
+back to arithmetic-unit timing/contention modelling and to decoder bugs
+breaking FP dependences.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.builder import ProgramBuilder
+from repro.frontend.program import SequentialAddr
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import fp_reg, int_reg
+from repro.workloads.base import Workload
+from repro.workloads.microbench.common import (
+    DATA_BASE,
+    LINE,
+    counted_loop,
+    init_pages,
+    scaled,
+)
+
+CATEGORY = "dataparallel"
+
+
+def _dp1(name: str, op: OpClass, lanes: int, iters: int, scale: float) -> "Program":
+    """L1-resident data-parallel loop: load, arithmetic per lane, store."""
+    b = ProgramBuilder(name)
+    window = 4 * 1024
+    init_pages(b, DATA_BASE, window)
+    init_pages(b, DATA_BASE + window, window)
+    lp = SequentialAddr(DATA_BASE, 8, window)
+    sp = SequentialAddr(DATA_BASE + window, 8, window)
+    b.label("loop")
+    for k in range(lanes):
+        v_in = fp_reg(2 + k)
+        v_out = fp_reg(2 + lanes + k)
+        b.load(v_in, lp)
+        b.op(op, v_out, v_in, fp_reg(0))
+        b.store(v_out, sp)
+    counted_loop(b, "loop", scaled(iters, scale))
+    return b.build()
+
+
+def _dp1d(scale: float) -> "Program":
+    """DP1d — double-precision parallel add/store stream."""
+    return _dp1("DP1d", OpClass.FPALU, 4, 180, scale)
+
+
+def _dp1f(scale: float) -> "Program":
+    """DP1f — single-precision parallel multiply/store stream."""
+    return _dp1("DP1f", OpClass.FPMUL, 4, 180, scale)
+
+
+def _dpcvt(scale: float) -> "Program":
+    """DPcvt — conversion-heavy loop (int <-> float traffic)."""
+    b = ProgramBuilder("DPcvt")
+    window = 4 * 1024
+    init_pages(b, DATA_BASE, window)
+    lp = SequentialAddr(DATA_BASE, 8, window)
+    b.label("loop")
+    for k in range(4):
+        v = fp_reg(2 + k)
+        w = fp_reg(6 + k)
+        b.load(v, lp)
+        b.op(OpClass.FCVT, w, v)
+        b.op(OpClass.FPALU, v, w, fp_reg(0))
+        b.op(OpClass.FCVT, fp_reg(10 + k % 2), v)
+    counted_loop(b, "loop", scaled(140, scale))
+    return b.build()
+
+
+def _dpt(scale: float) -> "Program":
+    """DPT — single-precision triad: a[i] = b[i] + s * c[i]."""
+    b = ProgramBuilder("DPT")
+    window = 4 * 1024
+    for region in range(3):
+        init_pages(b, DATA_BASE + region * window, window)
+    bp = SequentialAddr(DATA_BASE, 8, window)
+    cp = SequentialAddr(DATA_BASE + window, 8, window)
+    ap = SequentialAddr(DATA_BASE + 2 * window, 8, window)
+    b.label("loop")
+    for k in range(3):
+        v_b = fp_reg(2 + k)
+        v_c = fp_reg(6 + k)
+        v_a = fp_reg(10 + k)
+        b.load(v_b, bp)
+        b.load(v_c, cp)
+        b.op(OpClass.FPMUL, v_c, v_c, fp_reg(0))
+        b.op(OpClass.FPALU, v_a, v_b, v_c)
+        b.store(v_a, ap)
+    counted_loop(b, "loop", scaled(130, scale))
+    return b.build()
+
+
+def _dptd(scale: float) -> "Program":
+    """DPTd — double-precision triad with a longer multiply-add chain."""
+    b = ProgramBuilder("DPTd")
+    window = 4 * 1024
+    for region in range(3):
+        init_pages(b, DATA_BASE + region * window, window)
+    bp = SequentialAddr(DATA_BASE, 8, window)
+    cp = SequentialAddr(DATA_BASE + window, 8, window)
+    ap = SequentialAddr(DATA_BASE + 2 * window, 8, window)
+    b.label("loop")
+    for k in range(3):
+        v_b = fp_reg(2 + k)
+        v_c = fp_reg(6 + k)
+        v_a = fp_reg(10 + k)
+        b.load(v_b, bp)
+        b.load(v_c, cp)
+        b.op(OpClass.FPMUL, v_c, v_c, fp_reg(0))
+        b.op(OpClass.FPMUL, v_b, v_b, fp_reg(1))
+        b.op(OpClass.FPALU, v_a, v_b, v_c)
+        b.op(OpClass.FPALU, v_a, v_a, fp_reg(0))
+        b.store(v_a, ap)
+    counted_loop(b, "loop", scaled(110, scale))
+    return b.build()
+
+
+DATAPARALLEL_BENCHMARKS = [
+    Workload("DP1d", CATEGORY, _dp1d.__doc__, _dp1d, "5.2M"),
+    Workload("DP1f", CATEGORY, _dp1f.__doc__, _dp1f, "5.2M"),
+    Workload("DPcvt", CATEGORY, _dpcvt.__doc__, _dpcvt, "36.7M"),
+    Workload("DPT", CATEGORY, _dpt.__doc__, _dpt, "542K"),
+    Workload("DPTd", CATEGORY, _dptd.__doc__, _dptd, "1.18M"),
+]

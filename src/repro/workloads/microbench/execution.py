@@ -1,0 +1,88 @@
+"""Execution-unit micro-benchmarks (Table I, fourth group).
+
+Five kernels of integer and floating-point operations with dependence
+chains of varying length — the group that isolates functional-unit
+latency, pipelining and contention parameters. ``ED1`` is the paper's
+Figure-4 outlier: a serial divide chain whose CPI explodes when the
+model carries a dated divide-latency guess.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.builder import ProgramBuilder
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import fp_reg, int_reg
+from repro.workloads.base import Workload
+from repro.workloads.microbench.common import X_ACC, X_DATA, counted_loop, scaled
+
+CATEGORY = "execution"
+
+
+def _ed1(scale: float) -> "Program":
+    """ED1 — serial integer-divide dependence chain (latency-bound).
+
+    Every divide consumes the previous divide's quotient: throughput is
+    exactly the effective divide latency. With the public config's dated
+    20-cycle guess against the silicon's early-exit divider this kernel
+    shows the several-fold untuned error of Figure 4.
+    """
+    b = ProgramBuilder("ED1")
+    acc = int_reg(6)
+    b.label("loop")
+    for _ in range(8):
+        b.op(OpClass.IDIV, acc, acc, X_DATA)
+    counted_loop(b, "loop", scaled(24, scale))
+    return b.build()
+
+
+def _ef(scale: float) -> "Program":
+    """EF — independent FP operations (FP-unit throughput/contention)."""
+    b = ProgramBuilder("EF")
+    b.label("loop")
+    for k in range(4):
+        b.op(OpClass.FPALU, fp_reg(2 + k), fp_reg(10 + k), fp_reg(0))
+        b.op(OpClass.FPMUL, fp_reg(6 + k), fp_reg(10 + k), fp_reg(1))
+    counted_loop(b, "loop", scaled(55, scale))
+    return b.build()
+
+
+def _ei(scale: float) -> "Program":
+    """EI — independent integer ALU operations (dual-issue throughput)."""
+    b = ProgramBuilder("EI")
+    b.label("loop")
+    for k in range(12):
+        b.op(OpClass.IALU, int_reg(6 + k % 8), X_ACC, X_DATA)
+    counted_loop(b, "loop", scaled(40, scale))
+    return b.build()
+
+
+def _em1(scale: float) -> "Program":
+    """EM1 — serial integer-multiply chain (multiply latency probe)."""
+    b = ProgramBuilder("EM1")
+    acc = int_reg(6)
+    b.label("loop")
+    for _ in range(10):
+        b.op(OpClass.IMUL, acc, acc, X_DATA)
+    counted_loop(b, "loop", scaled(40, scale))
+    return b.build()
+
+
+def _em5(scale: float) -> "Program":
+    """EM5 — five independent multiply chains (multiply throughput)."""
+    b = ProgramBuilder("EM5")
+    b.label("loop")
+    for _ in range(2):
+        for k in range(5):
+            reg = int_reg(6 + k)
+            b.op(OpClass.IMUL, reg, reg, X_DATA)
+    counted_loop(b, "loop", scaled(45, scale))
+    return b.build()
+
+
+EXECUTION_BENCHMARKS = [
+    Workload("ED1", CATEGORY, _ed1.__doc__, _ed1, "164K"),
+    Workload("EF", CATEGORY, _ef.__doc__, _ef, "451K"),
+    Workload("EI", CATEGORY, _ei.__doc__, _ei, "5.24M"),
+    Workload("EM1", CATEGORY, _em1.__doc__, _em1, "65K"),
+    Workload("EM5", CATEGORY, _em5.__doc__, _em5, "328K"),
+]

@@ -1,0 +1,297 @@
+"""Memory-hierarchy micro-benchmarks (Table I, first group).
+
+Fifteen kernels touching data sets at every level of the hierarchy:
+conflict misses, dependent (pointer-chase) accesses, instruction-cache
+capacity and conflict stress, L2 latency and bandwidth, DRAM-resident
+working sets, and dynamically random access. ``MM`` and ``M_Dyn``
+default to *uninitialised* arrays to reproduce the §IV-B anomaly (real
+hardware serves untouched pages from the OS zero page and looks like it
+hits, while the simulator model misses); their ``initialized=True``
+variant is the paper's fix.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.builder import ProgramBuilder
+from repro.frontend.program import (
+    ChaseAddr,
+    ListAddr,
+    PatternTaken,
+    RandomAddr,
+    SequentialAddr,
+)
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import int_reg
+from repro.workloads.base import Workload
+from repro.workloads.microbench.common import (
+    DATA_BASE,
+    LINE,
+    X_ACC,
+    X_COND,
+    X_DATA,
+    X_PTR,
+    X_TMP,
+    counted_loop,
+    init_pages,
+    scaled,
+)
+
+CATEGORY = "memory"
+
+
+def _mc(scale: float) -> "Program":
+    """MC — L1D conflict misses.
+
+    Eight addresses spaced exactly one L1D way apart (8 KB for a 32 KB
+    4-way cache) thrash a masked-indexed 4-way set; xor/Mersenne hashing
+    or a victim cache absorbs them. Discriminates the hashing and
+    victim-cache parameters.
+    """
+    b = ProgramBuilder("MC")
+    window = 8 * 8192
+    init_pages(b, DATA_BASE, window)
+    addrs = [DATA_BASE + i * 8192 for i in range(8)]
+    b.label("loop")
+    pattern = ListAddr(addrs)
+    for k in range(8):
+        b.load(int_reg(6 + k), pattern)
+    b.op(OpClass.IALU, X_ACC, X_ACC, int_reg(6))
+    counted_loop(b, "loop", scaled(24, scale))
+    return b.build()
+
+
+def _mcs(scale: float) -> "Program":
+    """MCS — conflict misses with interleaved stores (dirty victims)."""
+    b = ProgramBuilder("MCS")
+    window = 8 * 8192
+    init_pages(b, DATA_BASE, window)
+    addrs = [DATA_BASE + i * 8192 for i in range(8)]
+    b.label("loop")
+    lp = ListAddr(addrs)
+    sp = ListAddr([a + LINE for a in addrs])
+    for k in range(4):
+        b.load(int_reg(6 + k), lp)
+        b.store(X_DATA, sp)
+    counted_loop(b, "loop", scaled(24, scale))
+    return b.build()
+
+
+def _md(scale: float) -> "Program":
+    """MD — dependent loads (pointer chase) resident in the L1D."""
+    b = ProgramBuilder("MD")
+    window = 4096
+    init_pages(b, DATA_BASE, window)
+    chase = ChaseAddr(DATA_BASE, window // LINE, seed=11)
+    b.label("loop")
+    for _ in range(16):
+        b.load(X_PTR, chase, base=X_PTR)
+    counted_loop(b, "loop", scaled(12, scale))
+    return b.build()
+
+
+def _mi(scale: float) -> "Program":
+    """MI — large straight-line code footprint that still fits the L1I."""
+    b = ProgramBuilder("MI")
+    body = 2400  # ~9.6 KB of code
+    b.label("loop")
+    for k in range(body):
+        b.op(OpClass.IALU, int_reg(6 + k % 8), X_ACC, X_DATA)
+    counted_loop(b, "loop", scaled(2, scale))
+    return b.build()
+
+
+def _mim(scale: float) -> "Program":
+    """MIM — instruction-cache capacity misses.
+
+    640 eight-instruction blocks chained by jumps, placed 4160 B apart:
+    640 distinct lines (> 512-line L1I capacity) spread over all sets,
+    so a pass misses continuously once the cache has wrapped.
+    """
+    b = ProgramBuilder("MIM")
+    blocks = 640
+    b.label("loop")
+    for blk in range(blocks):
+        b.label(f"b{blk}")
+        for k in range(7):
+            b.op(OpClass.IALU, int_reg(6 + k % 8), X_ACC, X_DATA)
+        if blk + 1 < blocks:
+            b.jump(f"b{blk + 1}")
+            b.org_gap(4160 - 8 * 4)
+    counted_loop(b, "loop", scaled(2, scale))
+    return b.build()
+
+
+def _mim2(scale: float) -> "Program":
+    """MIM2 — instruction-cache conflict misses.
+
+    Six blocks placed exactly one L1I way apart (16 KB for a 32 KB 2-way
+    cache) map to the same sets and thrash a 2-way cache despite a tiny
+    total footprint.
+    """
+    b = ProgramBuilder("MIM2")
+    blocks = 6
+    b.label("loop")
+    for blk in range(blocks):
+        b.label(f"b{blk}")
+        for k in range(7):
+            b.op(OpClass.IALU, int_reg(6 + k % 8), X_ACC, X_DATA)
+        if blk + 1 < blocks:
+            b.jump(f"b{blk + 1}")
+            b.org_gap(16 * 1024 - 8 * 4)
+    counted_loop(b, "loop", scaled(40, scale))
+    return b.build()
+
+
+def _mip(scale: float) -> "Program":
+    """MIP — instruction footprint plus branch pressure.
+
+    128 blocks, each a conditional hammock, spread over 64 KB: exercises
+    the BTB reach and the L1I at the same time.
+    """
+    b = ProgramBuilder("MIP")
+    blocks = 128
+    b.label("loop")
+    for blk in range(blocks):
+        b.label(f"b{blk}")
+        b.branch(f"s{blk}", PatternTaken("TN"), cond_reg=X_COND)
+        b.op(OpClass.IALU, X_TMP, X_ACC, X_DATA)
+        b.op(OpClass.IALU, X_ACC, X_TMP, X_DATA)
+        b.label(f"s{blk}")
+        b.op(OpClass.IALU, int_reg(6 + blk % 8), X_ACC, X_DATA)
+        if blk + 1 < blocks:
+            b.org_gap(512 - 5 * 4)
+    counted_loop(b, "loop", scaled(4, scale))
+    return b.build()
+
+
+def _ml2(scale: float) -> "Program":
+    """ML2 — dependent loads resident in the L2 (chase over 128 KB)."""
+    b = ProgramBuilder("ML2")
+    window = 128 * 1024
+    init_pages(b, DATA_BASE, window)
+    chase = ChaseAddr(DATA_BASE, window // LINE, seed=13)
+    b.label("loop")
+    for _ in range(16):
+        b.load(X_PTR, chase, base=X_PTR)
+    counted_loop(b, "loop", scaled(10, scale))
+    return b.build()
+
+
+def _ml2_bw(kind: str, scale: float) -> "Program":
+    """Shared body of the ML2 bandwidth kernels (independent accesses)."""
+    b = ProgramBuilder(f"ML2_BW{kind}")
+    window = 128 * 1024
+    init_pages(b, DATA_BASE, window)
+    b.label("loop")
+    lp = SequentialAddr(DATA_BASE, LINE, window)
+    sp = SequentialAddr(DATA_BASE + window, LINE, window)
+    if kind == "ld":
+        for k in range(8):
+            b.load(int_reg(6 + k), lp)
+    elif kind == "st":
+        for _ in range(8):
+            b.store(X_DATA, sp)
+    else:  # ldst
+        for k in range(4):
+            b.load(int_reg(6 + k), lp)
+            b.store(X_DATA, sp)
+    counted_loop(b, "loop", scaled(24, scale))
+    return b.build()
+
+
+def _ml2_bwld(scale: float) -> "Program":
+    """ML2_BWld — independent load stream from the L2 (MSHR/bandwidth)."""
+    return _ml2_bw("ld", scale)
+
+
+def _ml2_bwldst(scale: float) -> "Program":
+    """ML2_BWldst — mixed load/store stream hitting the L2."""
+    return _ml2_bw("ldst", scale)
+
+
+def _ml2_bwst(scale: float) -> "Program":
+    """ML2_BWst — store stream to the L2 (store-buffer drain bound)."""
+    return _ml2_bw("st", scale)
+
+
+def _ml2_st(scale: float) -> "Program":
+    """ML2_st — strided stores over an L2-resident set with reuse."""
+    b = ProgramBuilder("ML2_st")
+    window = 96 * 1024
+    init_pages(b, DATA_BASE, window)
+    b.label("loop")
+    sp = SequentialAddr(DATA_BASE, 2 * LINE, window)
+    for _ in range(6):
+        b.store(X_DATA, sp)
+        b.op(OpClass.IALU, X_ACC, X_ACC, X_DATA)
+    counted_loop(b, "loop", scaled(30, scale))
+    return b.build()
+
+
+def _mm(scale: float, initialized: bool = False) -> "Program":
+    """MM — DRAM-resident loads (4 MB working set).
+
+    Defaults to an *uninitialised* array: the board serves untouched
+    pages from the zero page (fast), the model misses to DRAM — the
+    paper's §IV-B anomaly. ``initialized=True`` is the fix.
+    """
+    b = ProgramBuilder("MM")
+    window = 4 * 1024 * 1024
+    if initialized:
+        init_pages(b, DATA_BASE, window)
+    chase = ChaseAddr(DATA_BASE, window // LINE, seed=17)
+    b.label("loop")
+    for _ in range(8):
+        b.load(X_PTR, chase, base=X_PTR)
+    counted_loop(b, "loop", scaled(20, scale))
+    return b.build()
+
+
+def _mm_st(scale: float) -> "Program":
+    """MM_st — store stream over a DRAM-resident set."""
+    b = ProgramBuilder("MM_st")
+    window = 4 * 1024 * 1024
+    b.label("loop")
+    sp = SequentialAddr(DATA_BASE, LINE, window)
+    for _ in range(8):
+        b.store(X_DATA, sp)
+    counted_loop(b, "loop", scaled(24, scale))
+    return b.build()
+
+
+def _m_dyn(scale: float, initialized: bool = False) -> "Program":
+    """M_Dyn — dynamically random loads over 2 MB (TLB/DRAM stress).
+
+    Also defaults to uninitialised pages (see ``MM``).
+    """
+    b = ProgramBuilder("M_Dyn")
+    window = 2 * 1024 * 1024
+    if initialized:
+        init_pages(b, DATA_BASE, window)
+    b.label("loop")
+    rp = RandomAddr(DATA_BASE, window, seed=19, align=LINE)
+    for k in range(8):
+        b.load(int_reg(6 + k), rp)
+    counted_loop(b, "loop", scaled(20, scale))
+    return b.build()
+
+
+MEMORY_BENCHMARKS = [
+    Workload("MC", CATEGORY, _mc.__doc__, _mc, "1.8M"),
+    Workload("MCS", CATEGORY, _mcs.__doc__, _mcs, "115K"),
+    Workload("MD", CATEGORY, _md.__doc__, _md, "33K"),
+    Workload("MI", CATEGORY, _mi.__doc__, _mi, "22M", max_instructions=12_000),
+    Workload("MIM", CATEGORY, _mim.__doc__, _mim, "5.25M", max_instructions=12_000),
+    Workload("MIM2", CATEGORY, _mim2.__doc__, _mim2, "214K"),
+    Workload("MIP", CATEGORY, _mip.__doc__, _mip, "66M", max_instructions=12_000),
+    Workload("ML2", CATEGORY, _ml2.__doc__, _ml2, "131K"),
+    Workload("ML2_BWld", CATEGORY, _ml2_bwld.__doc__, _ml2_bwld, "3.15M"),
+    Workload("ML2_BWldst", CATEGORY, _ml2_bwldst.__doc__, _ml2_bwldst, "107K"),
+    Workload("ML2_BWst", CATEGORY, _ml2_bwst.__doc__, _ml2_bwst, "8.4K"),
+    Workload("ML2_st", CATEGORY, _ml2_st.__doc__, _ml2_st, "164K"),
+    Workload("MM", CATEGORY, _mm.__doc__, _mm, "1.05M", default_kwargs={"initialized": False}),
+    Workload("MM_st", CATEGORY, _mm_st.__doc__, _mm_st, "1.97M"),
+    Workload(
+        "M_Dyn", CATEGORY, _m_dyn.__doc__, _m_dyn, "1.5M", default_kwargs={"initialized": False}
+    ),
+]

@@ -1,0 +1,81 @@
+"""Store-intensive micro-benchmarks (Table I, fifth group).
+
+Three kernels bounded by the store path: streaming stores past the L1
+into the L2, bursty stores that fill the store buffer, and repeated
+stores to the same lines that discriminate store-buffer coalescing.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.builder import ProgramBuilder
+from repro.frontend.program import ListAddr, SequentialAddr
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import int_reg
+from repro.workloads.base import Workload
+from repro.workloads.microbench.common import (
+    DATA_BASE,
+    LINE,
+    X_ACC,
+    X_DATA,
+    counted_loop,
+    init_pages,
+    scaled,
+)
+
+CATEGORY = "store"
+
+
+def _stl2(scale: float) -> "Program":
+    """STL2 — streaming stores over an L2-resident set (drain-rate bound)."""
+    b = ProgramBuilder("STL2")
+    window = 256 * 1024
+    init_pages(b, DATA_BASE, window)
+    sp = SequentialAddr(DATA_BASE, LINE, window)
+    b.label("loop")
+    for _ in range(8):
+        b.store(X_DATA, sp)
+    counted_loop(b, "loop", scaled(20, scale))
+    return b.build()
+
+
+def _stl2b(scale: float) -> "Program":
+    """STL2b — store bursts separated by compute (buffer-depth probe).
+
+    Twelve back-to-back stores exceed small store buffers and stall; the
+    following ALU stretch lets deep buffers drain. Discriminates the
+    store-buffer entry count.
+    """
+    b = ProgramBuilder("STL2b")
+    window = 256 * 1024
+    init_pages(b, DATA_BASE, window)
+    sp = SequentialAddr(DATA_BASE, LINE, window)
+    b.label("loop")
+    for _ in range(12):
+        b.store(X_DATA, sp)
+    for k in range(12):
+        b.op(OpClass.IALU, int_reg(6 + k % 8), X_ACC, X_DATA)
+    counted_loop(b, "loop", scaled(18, scale))
+    return b.build()
+
+
+def _stc(scale: float) -> "Program":
+    """STc — repeated stores to a handful of hot lines (coalescing probe).
+
+    A coalescing store buffer merges most of these into resident
+    entries; a non-coalescing one pays a drain per store.
+    """
+    b = ProgramBuilder("STc")
+    init_pages(b, DATA_BASE, 4096)
+    hot = ListAddr([DATA_BASE + k * LINE for k in range(4)])
+    b.label("loop")
+    for _ in range(12):
+        b.store(X_DATA, hot)
+    counted_loop(b, "loop", scaled(25, scale))
+    return b.build()
+
+
+STORE_BENCHMARKS = [
+    Workload("STL2", CATEGORY, _stl2.__doc__, _stl2, "4K"),
+    Workload("STL2b", CATEGORY, _stl2b.__doc__, _stl2b, "1.12M"),
+    Workload("STc", CATEGORY, _stc.__doc__, _stc, "400K"),
+]

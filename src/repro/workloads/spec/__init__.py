@@ -1,0 +1,247 @@
+"""SPEC CPU2017 proxy workloads (Table II).
+
+Eleven C/C++ SPEC CPU2017 applications, each represented by a synthetic
+proxy whose mix/working-set/branch signature follows its published
+characterisation. Table II's provenance (source file, region-of-interest
+line, dynamic instruction count on the board) is kept as metadata.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.spec.generator import SpecProfile, build_spec_proxy
+
+KB = 1024
+MB = 1024 * KB
+
+#: Profiles follow each application's dominant behaviour: mcf is
+#: pointer-chasing and DRAM-bound; povray/nab are FP; x264/imagick are
+#: SIMD-streaming (prefetcher-sensitive); omnetpp/xalancbmk are
+#: indirect-branch heavy with large code footprints; deepsjeng/leela are
+#: hard-branch integer codes; gcc is code-footprint + branch bound; xz is
+#: integer compress/decompress with mid-size random working sets.
+SPEC_PROFILES = [
+    SpecProfile(
+        name="mcf",
+        paper_file="psimplex.c",
+        paper_line=331,
+        paper_instructions="12 Billion",
+        frac_load=0.34,
+        frac_store=0.07,
+        frac_branch=0.17,
+        load_windows=((3 * MB, 0.7), (64 * KB, 0.3)),
+        chase_frac=0.5,
+        chase_window=1536 * KB,
+        hard_branch_frac=0.35,
+        code_blocks=6,
+        iterations=18,
+        seed=101,
+    ),
+    SpecProfile(
+        name="povray",
+        paper_file="povray.cpp",
+        paper_line=258,
+        paper_instructions="2.45 Billion",
+        frac_load=0.26,
+        frac_store=0.09,
+        frac_branch=0.14,
+        frac_fp=0.30,
+        frac_mul=0.01,
+        load_windows=((24 * KB, 0.6), (256 * KB, 0.4)),
+        streaming=True,
+        hard_branch_frac=0.15,
+        call_depth=2,
+        code_blocks=10,
+        iterations=8,
+        seed=102,
+    ),
+    SpecProfile(
+        name="omnetpp",
+        paper_file="simulator/cmdenv.cc",
+        paper_line=268,
+        paper_instructions="10.8 Billion",
+        frac_load=0.30,
+        frac_store=0.10,
+        frac_branch=0.16,
+        load_windows=((1536 * KB, 0.6), (32 * KB, 0.4)),
+        chase_frac=0.35,
+        chase_window=768 * KB,
+        hard_branch_frac=0.25,
+        indirect_frac=0.08,
+        indirect_targets=8,
+        call_depth=2,
+        code_blocks=10,
+        iterations=14,
+        seed=103,
+    ),
+    SpecProfile(
+        name="xalancbmk",
+        paper_file="XalanExe.cpp",
+        paper_line=842,
+        paper_instructions="443 Million",
+        frac_load=0.28,
+        frac_store=0.08,
+        frac_branch=0.18,
+        load_windows=((512 * KB, 0.5), (48 * KB, 0.5)),
+        hard_branch_frac=0.2,
+        indirect_frac=0.12,
+        indirect_targets=12,
+        call_depth=2,
+        code_blocks=16,
+        block_spread=3072,
+        iterations=6,
+        seed=104,
+    ),
+    SpecProfile(
+        name="deepsjeng",
+        paper_file="epd.cpp",
+        paper_line=365,
+        paper_instructions="14.9 Billion",
+        frac_load=0.24,
+        frac_store=0.07,
+        frac_branch=0.19,
+        frac_mul=0.02,
+        load_windows=((128 * KB, 0.6), (16 * KB, 0.4)),
+        hard_branch_frac=0.45,
+        code_blocks=8,
+        iterations=9,
+        seed=105,
+    ),
+    SpecProfile(
+        name="x264",
+        paper_file="x264_src/x264.c",
+        paper_line=173,
+        paper_instructions="14.8 Billion",
+        frac_load=0.28,
+        frac_store=0.12,
+        frac_branch=0.10,
+        frac_simd=0.26,
+        load_windows=((1 * MB, 0.7), (32 * KB, 0.3)),
+        streaming=True,
+        hard_branch_frac=0.1,
+        code_blocks=8,
+        iterations=8,
+        seed=106,
+    ),
+    SpecProfile(
+        name="nab",
+        paper_file="nabmd.c",
+        paper_line=127,
+        paper_instructions="14.2 Billion",
+        frac_load=0.25,
+        frac_store=0.08,
+        frac_branch=0.11,
+        frac_fp=0.34,
+        load_windows=((384 * KB, 0.7), (16 * KB, 0.3)),
+        streaming=True,
+        hard_branch_frac=0.08,
+        code_blocks=6,
+        iterations=9,
+        seed=107,
+    ),
+    SpecProfile(
+        name="leela",
+        paper_file="Leela.cpp",
+        paper_line=62,
+        paper_instructions="10.3 Billion",
+        frac_load=0.25,
+        frac_store=0.08,
+        frac_branch=0.18,
+        frac_mul=0.02,
+        load_windows=((96 * KB, 0.7), (16 * KB, 0.3)),
+        hard_branch_frac=0.35,
+        call_depth=3,
+        code_blocks=8,
+        iterations=9,
+        seed=108,
+    ),
+    SpecProfile(
+        name="imagick",
+        paper_file="wang/mogrify.cpp",
+        paper_line=168,
+        paper_instructions="13.4 Billion",
+        frac_load=0.27,
+        frac_store=0.13,
+        frac_branch=0.09,
+        frac_simd=0.30,
+        load_windows=((1536 * KB, 0.8), (16 * KB, 0.2)),
+        streaming=True,
+        hard_branch_frac=0.05,
+        code_blocks=6,
+        iterations=12,
+        seed=109,
+    ),
+    SpecProfile(
+        name="gcc",
+        paper_file="toplev.c",
+        paper_line=2461,
+        paper_instructions="9 Billion",
+        frac_load=0.27,
+        frac_store=0.10,
+        frac_branch=0.20,
+        load_windows=((768 * KB, 0.4), (64 * KB, 0.6)),
+        hard_branch_frac=0.3,
+        indirect_frac=0.05,
+        indirect_targets=10,
+        call_depth=2,
+        code_blocks=20,
+        block_spread=4096,
+        iterations=5,
+        seed=110,
+    ),
+    SpecProfile(
+        name="xz",
+        paper_file="spec_xz.c",
+        paper_line=229,
+        paper_instructions="10.8 Billion",
+        frac_load=0.28,
+        frac_store=0.11,
+        frac_branch=0.15,
+        frac_mul=0.03,
+        load_windows=((1536 * KB, 0.45), (64 * KB, 0.55)),
+        hard_branch_frac=0.3,
+        code_blocks=8,
+        iterations=14,
+        seed=111,
+    ),
+]
+
+
+def _make_workload(profile: SpecProfile) -> Workload:
+    def builder(scale: float, _profile=profile) -> "Program":
+        return build_spec_proxy(_profile, scale)
+
+    description = (
+        f"SPEC CPU2017 {profile.name} proxy (paper ROI: {profile.paper_file}:"
+        f"{profile.paper_line}, {profile.paper_instructions} instructions)"
+    )
+    return Workload(
+        profile.name,
+        "spec",
+        description,
+        builder,
+        paper_instructions=profile.paper_instructions,
+        max_instructions=40_000,
+    )
+
+
+SPEC_BENCHMARKS = [_make_workload(p) for p in SPEC_PROFILES]
+SPEC_WORKLOADS = {wl.name: wl for wl in SPEC_BENCHMARKS}
+
+
+def get_spec_benchmark(name: str) -> Workload:
+    """Look up one SPEC proxy by application name (e.g. ``"mcf"``)."""
+    try:
+        return SPEC_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown SPEC proxy {name!r}; have {sorted(SPEC_WORKLOADS)}") from None
+
+
+__all__ = [
+    "SpecProfile",
+    "SPEC_PROFILES",
+    "SPEC_BENCHMARKS",
+    "SPEC_WORKLOADS",
+    "get_spec_benchmark",
+    "build_spec_proxy",
+]

@@ -1,0 +1,80 @@
+"""Analysis helpers: metrics, tables, figures, IO."""
+
+import pytest
+
+from repro.analysis.figures import bar_chart, paired_bar_chart
+from repro.analysis.io import load_result_json, save_result_json
+from repro.analysis.metrics import error_reduction_factor, summarize_errors
+from repro.analysis.tables import render_error_table, render_table
+
+
+class TestMetrics:
+    def test_summary_values(self):
+        errors = {"a": 0.1, "b": 0.2, "c": 0.6}
+        summary = summarize_errors(errors)
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(0.3)
+        assert summary.median == pytest.approx(0.2)
+        assert summary.maximum == pytest.approx(0.6)
+        assert summary.max_benchmark == "c"
+        assert 0 < summary.geo_mean < summary.mean + 1e-9
+        assert "max" in str(summary)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_errors({})
+
+    def test_reduction_factor(self):
+        before = {"a": 0.4, "b": 0.6}
+        after = {"a": 0.1, "b": 0.1}
+        assert error_reduction_factor(before, after) == pytest.approx(5.0)
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        out = render_table(["name", "value"], [["x", 1.5], ["long-name", 2]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "---" in lines[2]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_error_table_single_and_paired(self):
+        single = render_error_table({"wl": 0.153})
+        assert "15.3%" in single
+        paired = render_error_table({"wl": 0.5}, extra={"wl": 0.1})
+        assert "50.0%" in paired and "10.0%" in paired
+
+
+class TestFigures:
+    def test_bar_chart_scales_and_clips(self):
+        out = bar_chart({"a": 0.5, "b": 2.0}, clip=1.0, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert ">" in lines[1]  # clipped marker
+        assert "AVERAGE" in lines[-1]
+
+    def test_bar_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_paired_chart_has_both_series(self):
+        out = paired_bar_chart({"wl": 0.6}, {"wl": 0.1})
+        assert "not tuned" in out and "tuned" in out
+        assert "AVERAGE" in out
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "sub" / "result.json")
+        payload = {"errors": {"a": 0.1}, "assignment": {"l1d.mshr_entries": 3}}
+        save_result_json(path, payload)
+        assert load_result_json(path) == payload
+
+    def test_set_coerced(self, tmp_path):
+        path = str(tmp_path / "r.json")
+        save_result_json(path, {"s": {3, 1, 2}})
+        assert load_result_json(path)["s"] == [1, 2, 3]

@@ -1,0 +1,117 @@
+"""BTB, return-address stack and indirect predictors."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.indirect import (
+    LastTargetPredictor,
+    NoIndirectPredictor,
+    TaggedIndirectPredictor,
+)
+from repro.branch.ras import ReturnAddressStack
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=16, assoc=2)
+        assert btb.lookup(0x100) == -1
+        btb.insert(0x100, 0x500)
+        assert btb.lookup(0x100) == 0x500
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(entries=2, assoc=2)  # one set
+        btb.insert(0x100, 1)
+        btb.insert(0x200, 2)
+        btb.lookup(0x100)       # refresh 0x100
+        btb.insert(0x300, 3)    # evicts 0x200
+        assert btb.lookup(0x100) == 1
+        assert btb.lookup(0x200) == -1
+        assert btb.lookup(0x300) == 3
+
+    def test_update_existing_entry(self):
+        btb = BranchTargetBuffer(entries=4, assoc=2)
+        btb.insert(0x100, 1)
+        btb.insert(0x100, 9)
+        assert btb.lookup(0x100) == 9
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=10, assoc=4)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=0, assoc=1)
+
+    def test_reset(self):
+        btb = BranchTargetBuffer(entries=4, assoc=2)
+        btb.insert(0x100, 1)
+        btb.reset()
+        assert btb.lookup(0x100) == -1
+
+
+class TestRAS:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(entries=4)
+        ras.push(1)
+        ras.push(2)
+        assert ras.pop() == 2
+        assert ras.pop() == 1
+        assert ras.pop() == -1
+
+    def test_overflow_overwrites_oldest(self):
+        ras = ReturnAddressStack(entries=2)
+        for value in (1, 2, 3):
+            ras.push(value)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        # Entry 1 was overwritten by the circular wrap.
+        assert ras.pop() == -1
+
+    def test_depth_tracking(self):
+        ras = ReturnAddressStack(entries=4)
+        assert ras.depth == 0
+        ras.push(1)
+        assert ras.depth == 1
+        ras.pop()
+        assert ras.depth == 0
+
+
+class TestIndirect:
+    def test_no_indirect_never_predicts(self):
+        p = NoIndirectPredictor()
+        p.update(0x100, 0x900)
+        assert p.predict(0x100) == -1
+
+    def test_last_target_tracks_most_recent(self):
+        p = LastTargetPredictor(entries=32)
+        p.update(0x100, 0x900)
+        assert p.predict(0x100) == 0x900
+        p.update(0x100, 0xA00)
+        assert p.predict(0x100) == 0xA00
+
+    def test_last_target_mispredicts_cycling_dispatch(self):
+        p = LastTargetPredictor(entries=32)
+        targets = [0x900, 0xA00, 0xB00]
+        correct = 0
+        for i in range(90):
+            target = targets[i % 3]
+            if p.predict(0x100) == target:
+                correct += 1
+            p.update(0x100, target)
+        assert correct == 0  # always predicts the previous arm
+
+    def test_tagged_learns_cycling_dispatch(self):
+        p = TaggedIndirectPredictor(entries=256, history_bits=8)
+        targets = [0x900, 0xA00, 0xB00, 0xC00]
+        correct = 0
+        total = 200
+        for i in range(total):
+            target = targets[i % 4]
+            if p.predict(0x100) == target:
+                correct += 1
+            p.update(0x100, target)
+        assert correct / total > 0.8
+
+    def test_tagged_reset(self):
+        p = TaggedIndirectPredictor(entries=64, history_bits=4)
+        p.update(0x100, 0x900)
+        p.reset()
+        assert p.predict(0x100) == -1

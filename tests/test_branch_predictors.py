@@ -1,0 +1,123 @@
+"""Direction predictors."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GSharePredictor
+from repro.branch.simple import StaticNotTakenPredictor, StaticTakenPredictor
+from repro.branch.tournament import TournamentPredictor
+
+ALL_PREDICTORS = [
+    lambda: StaticTakenPredictor(),
+    lambda: StaticNotTakenPredictor(),
+    lambda: BimodalPredictor(index_bits=8),
+    lambda: GSharePredictor(history_bits=8),
+    lambda: TournamentPredictor(history_bits=8, chooser_bits=8),
+]
+
+
+def _accuracy(predictor, outcomes, pc=0x1000):
+    correct = 0
+    for taken in outcomes:
+        if predictor.predict_update(pc, taken) == taken:
+            correct += 1
+    return correct / len(outcomes)
+
+
+class TestStatic:
+    def test_static_taken_predicts_taken(self):
+        p = StaticTakenPredictor()
+        assert p.predict(0x10) is True
+        p.update(0x10, False)
+        assert p.predict(0x10) is True
+
+    def test_static_nottaken(self):
+        assert StaticNotTakenPredictor().predict(0x10) is False
+
+
+class TestBimodal:
+    def test_learns_biased_branch(self):
+        p = BimodalPredictor(index_bits=8)
+        acc = _accuracy(p, [True] * 100)
+        assert acc > 0.95
+
+    def test_hysteresis_tolerates_single_flip(self):
+        p = BimodalPredictor(index_bits=8)
+        for _ in range(10):
+            p.update(0x40, True)
+        p.update(0x40, False)  # one anomaly
+        assert p.predict(0x40) is True
+
+    def test_distinct_pcs_do_not_interfere_without_aliasing(self):
+        p = BimodalPredictor(index_bits=10)
+        for _ in range(5):
+            p.update(0x100, True)
+            p.update(0x200, False)
+        assert p.predict(0x100) is True
+        assert p.predict(0x200) is False
+
+    def test_reset_forgets(self):
+        p = BimodalPredictor(index_bits=6)
+        for _ in range(10):
+            p.update(0x40, False)
+        p.reset()
+        assert p.predict(0x40) is True  # back to weakly-taken init
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(index_bits=1)
+
+
+class TestGShare:
+    def test_learns_alternating_pattern_better_than_bimodal(self):
+        outcomes = [bool(i % 2) for i in range(400)]
+        gshare = _accuracy(GSharePredictor(history_bits=10), outcomes)
+        bimodal = _accuracy(BimodalPredictor(index_bits=10), outcomes)
+        assert gshare > 0.9
+        assert gshare > bimodal
+
+    def test_random_outcomes_near_chance(self):
+        rng = random.Random(3)
+        outcomes = [rng.random() < 0.5 for _ in range(600)]
+        acc = _accuracy(GSharePredictor(history_bits=10), outcomes)
+        assert 0.3 < acc < 0.7
+
+
+class TestTournament:
+    def test_beats_or_matches_components_on_mixed_workload(self):
+        rng = random.Random(7)
+        # One strongly biased branch plus one patterned branch.
+        seq = []
+        for i in range(600):
+            seq.append((0x100, rng.random() < 0.95))
+            seq.append((0x200, bool(i % 2)))
+
+        def run(predictor):
+            correct = 0
+            for pc, taken in seq:
+                if predictor.predict_update(pc, taken) == taken:
+                    correct += 1
+            return correct / len(seq)
+
+        tournament = run(TournamentPredictor(history_bits=10, chooser_bits=10))
+        assert tournament > 0.9
+
+
+class TestPredictUpdateConsistency:
+    @pytest.mark.parametrize("factory", ALL_PREDICTORS)
+    @given(outcomes=st.lists(st.booleans(), min_size=1, max_size=50),
+           pcs=st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_predict_update_equals_predict_then_update(self, factory, outcomes, pcs):
+        """The fused hot-loop helper must match the two-call protocol."""
+        fused = factory()
+        split = factory()
+        for i, taken in enumerate(outcomes):
+            pc = pcs[i % len(pcs)]
+            prediction_fused = fused.predict_update(pc, taken)
+            prediction_split = split.predict(pc)
+            split.update(pc, taken)
+            assert prediction_fused == prediction_split

@@ -1,0 +1,118 @@
+"""Composite branch unit redirect classification."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.indirect import NoIndirectPredictor, TaggedIndirectPredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.simple import StaticTakenPredictor, StaticNotTakenPredictor
+from repro.branch.unit import (
+    REDIRECT_BTB,
+    REDIRECT_MISPREDICT,
+    REDIRECT_NONE,
+    BranchUnit,
+    build_direction_predictor,
+    build_indirect_predictor,
+)
+from repro.isa.opclasses import OpClass
+
+_BRANCH = int(OpClass.BRANCH)
+_JUMP = int(OpClass.JUMP)
+_CALL = int(OpClass.CALL)
+_RET = int(OpClass.RET)
+_IBRANCH = int(OpClass.IBRANCH)
+
+
+def _unit(direction=None, indirect=None):
+    return BranchUnit(
+        direction=direction or StaticTakenPredictor(),
+        btb=BranchTargetBuffer(entries=64, assoc=2),
+        ras=ReturnAddressStack(entries=8),
+        indirect=indirect or NoIndirectPredictor(),
+    )
+
+
+class TestConditional:
+    def test_wrong_direction_is_full_mispredict(self):
+        unit = _unit(direction=StaticNotTakenPredictor())
+        assert unit.access(_BRANCH, 0x100, True, 0x200) == REDIRECT_MISPREDICT
+        assert unit.stats.direction_mispredicts == 1
+
+    def test_correct_direction_unknown_target_is_btb_bubble(self):
+        unit = _unit(direction=StaticTakenPredictor())
+        assert unit.access(_BRANCH, 0x100, True, 0x200) == REDIRECT_BTB
+        # Second time the BTB knows the target.
+        assert unit.access(_BRANCH, 0x100, True, 0x200) == REDIRECT_NONE
+
+    def test_correct_nottaken_needs_no_btb(self):
+        unit = _unit(direction=StaticNotTakenPredictor())
+        assert unit.access(_BRANCH, 0x100, False, 0) == REDIRECT_NONE
+
+
+class TestUnconditional:
+    def test_jump_btb_warmup(self):
+        unit = _unit()
+        assert unit.access(_JUMP, 0x100, True, 0x400) == REDIRECT_BTB
+        assert unit.access(_JUMP, 0x100, True, 0x400) == REDIRECT_NONE
+        assert unit.stats.btb_misses == 1
+
+    def test_call_ret_pair_predicted_by_ras(self):
+        unit = _unit()
+        unit.access(_CALL, 0x100, True, 0x400)   # pushes 0x104
+        assert unit.access(_RET, 0x40C, True, 0x104) == REDIRECT_NONE
+
+    def test_ret_with_wrong_target_mispredicts(self):
+        unit = _unit()
+        unit.access(_CALL, 0x100, True, 0x400)
+        assert unit.access(_RET, 0x40C, True, 0x999) == REDIRECT_MISPREDICT
+        assert unit.stats.ras_mispredicts == 1
+
+    def test_ret_fallthrough_not_counted_as_redirect(self):
+        unit = _unit()
+        assert unit.access(_RET, 0x100, False, 0) == REDIRECT_NONE
+
+
+class TestIndirectDispatch:
+    def test_no_indirect_predictor_always_redirects(self):
+        unit = _unit(indirect=NoIndirectPredictor())
+        for _ in range(3):
+            assert unit.access(_IBRANCH, 0x100, True, 0x700) == REDIRECT_MISPREDICT
+        assert unit.stats.indirect_mispredicts == 3
+
+    def test_tagged_predictor_learns_monomorphic_site(self):
+        unit = _unit(indirect=TaggedIndirectPredictor(entries=64))
+        unit.access(_IBRANCH, 0x100, True, 0x700)
+        assert unit.access(_IBRANCH, 0x100, True, 0x700) == REDIRECT_NONE
+
+
+class TestStatsAndFactories:
+    def test_stats_accumulate(self):
+        unit = _unit(direction=StaticNotTakenPredictor())
+        unit.access(_BRANCH, 0x100, True, 0x200)
+        unit.access(_BRANCH, 0x104, False, 0)
+        assert unit.stats.branches == 2
+        assert unit.stats.mispredicts == 1
+        assert 0 < unit.stats.mispredict_rate < 1
+
+    def test_non_branch_opclass_rejected(self):
+        with pytest.raises(ValueError):
+            _unit().access(int(OpClass.IALU), 0x100, False, 0)
+
+    def test_reset_clears_state(self):
+        unit = _unit()
+        unit.access(_JUMP, 0x100, True, 0x400)
+        unit.reset()
+        assert unit.stats.branches == 0
+        assert unit.access(_JUMP, 0x100, True, 0x400) == REDIRECT_BTB
+
+    def test_direction_factory_known_kinds(self):
+        for kind in ("static-taken", "static-nottaken", "bimodal", "gshare", "tournament"):
+            assert build_direction_predictor(kind, 10) is not None
+        with pytest.raises(ValueError, match="unknown direction predictor"):
+            build_direction_predictor("tage", 10)
+
+    def test_indirect_factory_known_kinds(self):
+        for kind in ("none", "last-target", "tagged"):
+            assert build_indirect_predictor(kind, 128) is not None
+        with pytest.raises(ValueError, match="unknown indirect predictor"):
+            build_indirect_predictor("ittage", 128)

@@ -1,0 +1,65 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_overrides, main
+
+
+class TestParseOverrides:
+    def test_types_inferred(self):
+        out = _parse_overrides(["l1d.mshr_entries=4", "x=1.5", "b=true",
+                                "pf=stride"])
+        assert out == {"l1d.mshr_entries": 4, "x": 1.5, "b": True, "pf": "stride"}
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_overrides(["oops"])
+
+
+class TestCommands:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "MC" in out and "mcf" in out
+
+    def test_list_workloads_category(self, capsys):
+        assert main(["list-workloads", "--category", "store"]) == 0
+        out = capsys.readouterr().out
+        assert "STL2" in out and "mcf" not in out
+
+    def test_measure(self, capsys):
+        assert main(["measure", "--core", "a53", "--workload", "STc"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "cpi" in out
+
+    def test_simulate_with_override(self, capsys):
+        assert main([
+            "simulate", "--core", "a53", "--workload", "STc",
+            "--set", "l1d.prefetcher=stride", "--set", "l1d.prefetch_degree=2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "CPI error" in out
+
+    def test_simulate_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "nope"])
+
+    def test_unknown_core(self):
+        with pytest.raises((SystemExit, ValueError)):
+            main(["measure", "--core", "m1max", "--workload", "STc"])
+
+    def test_lmbench(self, capsys):
+        assert main(["lmbench", "--core", "a53"]) == 0
+        assert "L1" in capsys.readouterr().out
+
+    def test_validate_writes_json(self, capsys, tmp_path):
+        out_path = str(tmp_path / "a53.json")
+        assert main([
+            "validate", "--core", "a53", "--profile", "fast",
+            "--stages", "1", "--out", out_path,
+        ]) == 0
+        from repro.analysis.io import load_result_json
+
+        payload = load_result_json(out_path)
+        assert payload["core"] == "a53"
+        assert len(payload["final_errors"]) == 40

@@ -1,0 +1,82 @@
+"""Configuration tree and dotted-path access."""
+
+import pytest
+
+from repro.core.config import (
+    SimConfig,
+    cortex_a53_public_config,
+    cortex_a72_public_config,
+)
+
+
+class TestPublicConfigs:
+    def test_a53_matches_disclosed_information(self):
+        cfg = cortex_a53_public_config()
+        assert cfg.core_type == "inorder"
+        assert cfg.l1d.size == 32 * 1024 and cfg.l1d.assoc == 4
+        assert cfg.l1i.size == 32 * 1024 and cfg.l1i.assoc == 2
+        assert cfg.l2.size == 512 * 1024 and cfg.l2.assoc == 16
+        assert cfg.pipeline.issue_width == 2
+        assert abs(cfg.frequency_ghz - 1.51) < 1e-9
+
+    def test_a72_matches_disclosed_information(self):
+        cfg = cortex_a72_public_config()
+        assert cfg.core_type == "ooo"
+        assert cfg.l1i.size == 48 * 1024 and cfg.l1i.assoc == 3
+        assert cfg.l2.size == 1024 * 1024
+        assert abs(cfg.frequency_ghz - 1.99) < 1e-9
+
+    def test_invalid_core_type_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(core_type="vliw")
+
+
+class TestDottedAccess:
+    def test_get_reads_nested_fields(self):
+        cfg = cortex_a53_public_config()
+        assert cfg.get("l1d.assoc") == 4
+        assert cfg.get("branch.predictor") == "bimodal"
+        assert cfg.get("core_type") == "inorder"
+
+    def test_get_unknown_path(self):
+        cfg = cortex_a53_public_config()
+        with pytest.raises(KeyError):
+            cfg.get("l1d.bogus")
+        with pytest.raises(KeyError):
+            cfg.get("l9.assoc")
+
+    def test_with_updates_returns_modified_copy(self):
+        cfg = cortex_a53_public_config()
+        new = cfg.with_updates({"l1d.hit_latency": 3, "branch.predictor": "gshare"})
+        assert new.l1d.hit_latency == 3
+        assert new.branch.predictor == "gshare"
+        assert cfg.l1d.hit_latency == 2  # original untouched
+        assert new.l1d.size == cfg.l1d.size
+
+    def test_with_updates_top_level_field(self):
+        cfg = cortex_a53_public_config()
+        assert cfg.with_updates({"name": "mine"}).name == "mine"
+
+    def test_with_updates_validates(self):
+        cfg = cortex_a53_public_config()
+        with pytest.raises(KeyError):
+            cfg.with_updates({"l1d.bogus": 1})
+        with pytest.raises(KeyError):
+            cfg.with_updates({"nosuch.field": 1})
+        with pytest.raises(KeyError):
+            cfg.with_updates({"l1d": 1})  # section without field
+        with pytest.raises(KeyError):
+            cfg.with_updates({"a.b.c": 1})
+
+    def test_flatten_round_trips_through_get(self):
+        cfg = cortex_a72_public_config()
+        flat = cfg.flatten()
+        assert flat["l1d.size"] == 32 * 1024
+        assert flat["pipeline.rob_size"] == cfg.pipeline.rob_size
+        for path, value in list(flat.items())[:20]:
+            assert cfg.get(path) == value
+
+    def test_configs_are_frozen(self):
+        cfg = cortex_a53_public_config()
+        with pytest.raises(Exception):
+            cfg.l1d.size = 1

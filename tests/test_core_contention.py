@@ -1,0 +1,78 @@
+"""Functional-unit contention model."""
+
+from repro.core.config import ExecConfig
+from repro.core.contention import ContentionModel
+from repro.isa.opclasses import OpClass
+
+_IALU = int(OpClass.IALU)
+_IMUL = int(OpClass.IMUL)
+_IDIV = int(OpClass.IDIV)
+_FPALU = int(OpClass.FPALU)
+_FPDIV = int(OpClass.FPDIV)
+_LOAD = int(OpClass.LOAD)
+_NOP = int(OpClass.NOP)
+_BRANCH = int(OpClass.BRANCH)
+
+
+class TestPools:
+    def test_pipelined_unit_accepts_one_per_cycle(self):
+        model = ContentionModel(ExecConfig(n_imul=1, imul_latency=3))
+        t0 = model.probe(_IMUL, 0)
+        model.commit(_IMUL, t0)
+        t1 = model.probe(_IMUL, 0)
+        assert t1 == t0 + 1  # pipelined: next cycle, not after latency
+
+    def test_non_pipelined_divider_blocks_for_latency(self):
+        model = ContentionModel(ExecConfig(idiv_latency=12, idiv_pipelined=False))
+        model.commit(_IDIV, 0)
+        assert model.probe(_IDIV, 0) == 12
+
+    def test_pipelined_divider_option(self):
+        model = ContentionModel(ExecConfig(idiv_latency=12, idiv_pipelined=True))
+        model.commit(_IDIV, 0)
+        assert model.probe(_IDIV, 0) == 1
+
+    def test_multiple_units_absorb_bursts(self):
+        two = ContentionModel(ExecConfig(n_ialu=2))
+        two.commit(_IALU, 0)
+        assert two.probe(_IALU, 0) == 0  # second ALU free
+        two.commit(_IALU, 0)
+        assert two.probe(_IALU, 0) == 1
+
+    def test_mul_and_div_share_the_multiply_pipe(self):
+        model = ContentionModel(ExecConfig(n_imul=1, idiv_latency=10, idiv_pipelined=False))
+        model.commit(_IDIV, 0)
+        assert model.probe(_IMUL, 0) == 10
+
+    def test_nop_uses_no_unit(self):
+        model = ContentionModel(ExecConfig())
+        assert model.probe(_NOP, 5) == 5
+        assert model.commit(_NOP, 5) == 6  # completes next cycle
+
+    def test_commit_returns_completion(self):
+        model = ContentionModel(ExecConfig(fpalu_latency=4))
+        assert model.commit(_FPALU, 10) == 14
+
+    def test_latency_lookup(self):
+        model = ContentionModel(ExecConfig(imul_latency=5))
+        assert model.latency(_IMUL) == 5
+        assert model.latency(_IALU) == 1
+
+    def test_reset_frees_units(self):
+        model = ContentionModel(ExecConfig(idiv_latency=20, idiv_pipelined=False))
+        model.commit(_IDIV, 0)
+        model.reset()
+        assert model.probe(_IDIV, 0) == 0
+
+
+class TestPairingRules:
+    def test_mul_blocks_fp_same_cycle(self):
+        assert ContentionModel.pairing_conflict(_FPALU, issued_mul=True, issued_fp=False)
+        assert ContentionModel.pairing_conflict(_IMUL, issued_mul=False, issued_fp=True)
+
+    def test_alu_pairs_with_anything(self):
+        assert not ContentionModel.pairing_conflict(_IALU, True, True)
+
+    def test_mem_and_branch_unconstrained_by_pairing(self):
+        assert not ContentionModel.pairing_conflict(_LOAD, True, True)
+        assert not ContentionModel.pairing_conflict(_BRANCH, True, True)

@@ -1,0 +1,93 @@
+"""Program builder: labels, fixups, layout gaps."""
+
+import pytest
+
+from repro.frontend.builder import ProgramBuilder
+from repro.frontend.program import AlwaysTaken, FixedAddr, PatternTaken
+from repro.isa.encoding import decode_fields
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import int_reg
+
+
+class TestLabels:
+    def test_branch_target_resolved(self):
+        b = ProgramBuilder()
+        b.label("top").op(OpClass.IALU, int_reg(1))
+        b.branch("top", AlwaysTaken())
+        program = b.build()
+        assert program.insts[1].branch_target == 0
+
+    def test_forward_reference_resolved(self):
+        b = ProgramBuilder()
+        b.branch("end", PatternTaken("TN"))
+        b.op(OpClass.IALU, int_reg(1))
+        b.label("end").op(OpClass.NOP)
+        assert b.build().insts[0].branch_target == 2
+
+    def test_undefined_label_rejected(self):
+        b = ProgramBuilder()
+        b.jump("nowhere")
+        with pytest.raises(ValueError, match="undefined label"):
+            b.build()
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            b.label("x")
+
+
+class TestEncodingOfOps:
+    def test_load_encodes_base_register(self):
+        b = ProgramBuilder()
+        b.load(int_reg(3), FixedAddr(0), base=int_reg(7))
+        opclass, dst, src1, _, _ = decode_fields(b.build().insts[0].word)
+        assert opclass is OpClass.LOAD and dst == 3 and src1 == 7
+
+    def test_store_encodes_data_register(self):
+        b = ProgramBuilder()
+        b.store(int_reg(4), FixedAddr(0), base=int_reg(8))
+        opclass, _, src1, src2, _ = decode_fields(b.build().insts[0].word)
+        assert opclass is OpClass.STORE and src1 == 8 and src2 == 4
+
+    def test_pair_flag_selects_pair_opclass(self):
+        b = ProgramBuilder()
+        b.load(int_reg(1), FixedAddr(0), pair=True)
+        b.store(int_reg(2), FixedAddr(0), pair=True)
+        program = b.build()
+        assert decode_fields(program.insts[0].word)[0] is OpClass.LDP
+        assert decode_fields(program.insts[1].word)[0] is OpClass.STP
+
+    def test_nop_count(self):
+        b = ProgramBuilder()
+        b.nop(3)
+        assert len(b.build()) == 3
+
+
+class TestLayout:
+    def test_default_layout_is_dense(self):
+        b = ProgramBuilder(base_pc=0x400)
+        b.op(OpClass.NOP).op(OpClass.NOP)
+        assert b.build().pcs == [0x400, 0x404]
+
+    def test_org_gap_spreads_code(self):
+        b = ProgramBuilder(base_pc=0)
+        b.op(OpClass.NOP)
+        b.org_gap(4096)
+        b.op(OpClass.NOP)
+        assert b.build().pcs == [0, 4 + 4096]
+
+    def test_org_gap_validates(self):
+        b = ProgramBuilder()
+        with pytest.raises(ValueError):
+            b.org_gap(3)
+        with pytest.raises(ValueError):
+            b.org_gap(0)
+
+    def test_branch_target_outside_program_rejected(self):
+        from repro.frontend.program import Program, StaticInst
+        from repro.isa.encoding import encode
+
+        inst = StaticInst(encode(OpClass.BRANCH), branch_pattern=AlwaysTaken(), branch_target=5)
+        with pytest.raises(ValueError, match="outside program"):
+            Program([inst])

@@ -1,0 +1,132 @@
+"""Interpreter control-flow semantics."""
+
+import pytest
+
+from repro.frontend.builder import ProgramBuilder
+from repro.frontend.interpreter import Interpreter, trace_program
+from repro.frontend.program import (
+    AlwaysTaken,
+    CycleTargets,
+    FixedAddr,
+    NeverTaken,
+    PatternTaken,
+)
+from repro.isa.encoding import decode_fields
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import int_reg
+
+
+def _opclasses(trace):
+    return [decode_fields(rec.word)[0] for rec in trace.records]
+
+
+class TestBasics:
+    def test_straight_line_one_iteration(self):
+        b = ProgramBuilder()
+        b.op(OpClass.IALU, int_reg(1)).op(OpClass.IALU, int_reg(2))
+        trace = trace_program(b.build(), iterations=1)
+        assert len(trace) == 2
+        assert trace[0].pc + 4 == trace[1].pc
+
+    def test_iterations_repeat_program(self):
+        b = ProgramBuilder()
+        b.op(OpClass.IALU, int_reg(1))
+        trace = trace_program(b.build(), iterations=5)
+        assert len(trace) == 5
+        assert len({rec.pc for rec in trace.records}) == 1
+
+    def test_max_instructions_caps_trace(self):
+        b = ProgramBuilder()
+        b.label("top").op(OpClass.IALU, int_reg(1)).jump("top")  # endless loop
+        trace = Interpreter(max_instructions=100).run(b.build(), iterations=1)
+        assert len(trace) == 100
+
+    def test_invalid_iterations_rejected(self):
+        b = ProgramBuilder()
+        b.op(OpClass.NOP)
+        with pytest.raises(ValueError):
+            trace_program(b.build(), iterations=0)
+
+    def test_memory_addresses_recorded(self):
+        b = ProgramBuilder()
+        b.load(int_reg(1), FixedAddr(0xABC0))
+        trace = trace_program(b.build())
+        assert trace[0].addr == 0xABC0
+
+
+class TestControlFlow:
+    def test_taken_branch_redirects(self):
+        b = ProgramBuilder()
+        b.branch("skip", AlwaysTaken())
+        b.op(OpClass.IALU, int_reg(1))  # skipped
+        b.label("skip").op(OpClass.IALU, int_reg(2))
+        trace = trace_program(b.build())
+        assert len(trace) == 2
+        assert trace[0].taken and trace[0].target == trace[1].pc
+
+    def test_not_taken_branch_falls_through(self):
+        b = ProgramBuilder()
+        b.branch("skip", NeverTaken())
+        b.op(OpClass.IALU, int_reg(1))
+        b.label("skip").op(OpClass.IALU, int_reg(2))
+        trace = trace_program(b.build())
+        assert len(trace) == 3
+        assert not trace[0].taken and trace[0].target == 0
+
+    def test_pattern_branch_loop_count(self):
+        b = ProgramBuilder()
+        b.label("top").op(OpClass.IALU, int_reg(1))
+        b.branch("top", PatternTaken("TTN"))
+        trace = trace_program(b.build())
+        # Body+branch executed 3 times (taken, taken, fall out).
+        assert len(trace) == 6
+
+    def test_indirect_branch_follows_target_pattern(self):
+        b = ProgramBuilder()
+        b.indirect(CycleTargets([2, 1]))
+        b.op(OpClass.IALU, int_reg(1))  # index 1
+        b.op(OpClass.IALU, int_reg(2))  # index 2
+        trace = trace_program(b.build(), iterations=2)
+        # First iteration dispatches to index 2, second to index 1.
+        assert trace[1].pc == trace[0].pc + 8
+        assert [rec.taken for rec in trace.records][0] is True
+
+    def test_call_and_ret_use_stack(self):
+        b = ProgramBuilder()
+        b.jump("main")
+        b.label("fn").op(OpClass.IALU, int_reg(1)).ret()
+        b.label("main").call("fn").op(OpClass.IALU, int_reg(2))
+        trace = trace_program(b.build())
+        ops = _opclasses(trace)
+        assert OpClass.CALL in ops and OpClass.RET in ops
+        ret_idx = ops.index(OpClass.RET)
+        call_idx = ops.index(OpClass.CALL)
+        # Return lands right after the call site.
+        assert trace[ret_idx].target == trace[call_idx].pc + 4
+
+    def test_ret_with_empty_stack_falls_through(self):
+        b = ProgramBuilder()
+        b.ret()
+        b.op(OpClass.IALU, int_reg(1))
+        trace = trace_program(b.build())
+        assert len(trace) == 2
+        assert not trace[0].taken
+
+    def test_call_stack_cleared_between_iterations(self):
+        b = ProgramBuilder()
+        b.call("fn")
+        b.label("fn").op(OpClass.IALU, int_reg(1))
+        # Call pushes, but the program ends before any ret; next
+        # iteration must not see a stale return address.
+        trace = trace_program(b.build(), iterations=2)
+        rets = [rec for rec in trace.records if decode_fields(rec.word)[0] is OpClass.RET]
+        assert not rets
+
+    def test_determinism_across_runs(self):
+        b = ProgramBuilder()
+        b.label("top").op(OpClass.IALU, int_reg(1))
+        b.branch("top", PatternTaken("T" * 9 + "N"))
+        program = b.build()
+        t1 = trace_program(program, iterations=1)
+        t2 = trace_program(program, iterations=1)
+        assert t1.records == t2.records

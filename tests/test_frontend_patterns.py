@@ -1,0 +1,117 @@
+"""Behavioural patterns driving the interpreter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend.program import (
+    AlwaysTaken,
+    ChaseAddr,
+    CycleTargets,
+    FixedAddr,
+    ListAddr,
+    NeverTaken,
+    PatternTaken,
+    RandomAddr,
+    RandomTaken,
+    RandomTargets,
+    SequentialAddr,
+)
+
+
+class TestAddrPatterns:
+    def test_fixed_addr_constant(self):
+        p = FixedAddr(0x1234)
+        assert [p.next_addr() for _ in range(3)] == [0x1234] * 3
+
+    def test_sequential_wraps_at_window(self):
+        p = SequentialAddr(100, 8, 24)
+        assert [p.next_addr() for _ in range(5)] == [100, 108, 116, 100, 108]
+
+    def test_sequential_reset_restarts(self):
+        p = SequentialAddr(0, 64, 256)
+        first = [p.next_addr() for _ in range(4)]
+        p.reset()
+        assert [p.next_addr() for _ in range(4)] == first
+
+    def test_sequential_rejects_zero_stride(self):
+        with pytest.raises(ValueError):
+            SequentialAddr(0, 0, 64)
+
+    def test_random_addr_is_deterministic_and_aligned(self):
+        a = RandomAddr(0x1000, 4096, seed=5, align=64)
+        b = RandomAddr(0x1000, 4096, seed=5, align=64)
+        seq = [a.next_addr() for _ in range(20)]
+        assert seq == [b.next_addr() for _ in range(20)]
+        assert all(addr % 64 == 0 for addr in seq)
+        assert all(0x1000 <= addr < 0x1000 + 4096 for addr in seq)
+
+    def test_chase_visits_every_line_once_per_pass(self):
+        lines = 16
+        p = ChaseAddr(0, lines, seed=3)
+        visited = {p.next_addr() // 64 for _ in range(lines)}
+        assert visited == set(range(lines))
+
+    def test_chase_reset_restarts_permutation(self):
+        p = ChaseAddr(0, 8, seed=1)
+        first = [p.next_addr() for _ in range(8)]
+        p.reset()
+        assert [p.next_addr() for _ in range(8)] == first
+
+    def test_list_addr_cycles(self):
+        p = ListAddr([1, 2, 3])
+        assert [p.next_addr() for _ in range(5)] == [1, 2, 3, 1, 2]
+
+    def test_list_addr_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ListAddr([])
+
+
+class TestBranchPatterns:
+    def test_always_and_never(self):
+        assert AlwaysTaken().next_taken() is True
+        assert NeverTaken().next_taken() is False
+
+    def test_pattern_taken_cycles(self):
+        p = PatternTaken("TTN")
+        assert [p.next_taken() for _ in range(6)] == [True, True, False] * 2
+
+    def test_pattern_taken_validates(self):
+        with pytest.raises(ValueError):
+            PatternTaken("TX")
+        with pytest.raises(ValueError):
+            PatternTaken("")
+
+    def test_random_taken_rate_and_determinism(self):
+        p = RandomTaken(0.8, seed=9)
+        outcomes = [p.next_taken() for _ in range(500)]
+        p.reset()
+        assert outcomes == [p.next_taken() for _ in range(500)]
+        rate = sum(outcomes) / len(outcomes)
+        assert 0.7 < rate < 0.9
+
+    @given(prob=st.floats(min_value=-2, max_value=2))
+    def test_random_taken_validates_probability(self, prob):
+        if 0.0 <= prob <= 1.0:
+            RandomTaken(prob, seed=0)
+        else:
+            with pytest.raises(ValueError):
+                RandomTaken(prob, seed=0)
+
+
+class TestTargetPatterns:
+    def test_cycle_targets_round_robin(self):
+        p = CycleTargets([5, 9])
+        assert [p.next_target() for _ in range(4)] == [5, 9, 5, 9]
+
+    def test_random_targets_deterministic_within_set(self):
+        p = RandomTargets([1, 2, 3], seed=4)
+        seq = [p.next_target() for _ in range(30)]
+        assert set(seq) <= {1, 2, 3}
+        p.reset()
+        assert seq == [p.next_target() for _ in range(30)]
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            CycleTargets([])
+        with pytest.raises(ValueError):
+            RandomTargets([], seed=0)

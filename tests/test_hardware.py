@@ -1,0 +1,103 @@
+"""Board, effects and perf interface."""
+
+import pytest
+
+from repro.hardware.board import FireflyRK3399
+from repro.hardware.effects import HardwareEffects, HardwareEffectsConfig
+from repro.hardware.perf import PerfResult
+from tests.conftest import make_alu_loop_trace, make_load_loop_trace
+
+
+class TestEffects:
+    def _effects(self, **kwargs):
+        defaults = dict(dtlb_entries=2, itlb_entries=2, tlb_walk_latency=30)
+        defaults.update(kwargs)
+        return HardwareEffects(HardwareEffectsConfig(**defaults))
+
+    def test_tlb_hit_after_miss(self):
+        eff = self._effects()
+        assert eff.load_extra(0x1000, 0) == 30
+        assert eff.load_extra(0x1008, 1) == 0  # same page now cached
+
+    def test_tlb_capacity_eviction(self):
+        eff = self._effects()
+        eff.load_extra(0x0000, 0)
+        eff.load_extra(0x1000, 0)
+        eff.load_extra(0x2000, 0)   # evicts page 0 (2-entry TLB)
+        assert eff.load_extra(0x0000, 0) == 30
+
+    def test_zero_page_override_lifecycle(self):
+        eff = self._effects(zero_page_latency=2)
+        assert eff.load_override(0x5000, 0) == 2
+        eff.store_extra(0x5000, 0)
+        assert eff.load_override(0x5000, 0) == -1
+
+    def test_zero_page_disabled_by_negative_latency(self):
+        eff = self._effects(zero_page_latency=-1)
+        assert eff.load_override(0x5000, 0) == -1
+
+    def test_branch_bubble_period(self):
+        eff = self._effects(taken_branch_bubble_period=3)
+        bubbles = sum(eff.branch_extra() for _ in range(9))
+        assert bubbles == 3
+
+    def test_branch_bubble_disabled(self):
+        eff = self._effects(taken_branch_bubble_period=0)
+        assert sum(eff.branch_extra() for _ in range(10)) == 0
+
+    def test_reset(self):
+        eff = self._effects(zero_page_latency=2)
+        eff.store_extra(0x5000, 0)
+        eff.reset()
+        assert eff.load_override(0x5000, 0) == 2
+        assert eff.dtlb_misses == 0
+
+
+class TestBoard:
+    def test_measurement_is_deterministic(self, board):
+        trace = make_alu_loop_trace(n_iters=30)
+        a = board.a53.measure(trace)
+        b = board.a53.measure(trace)
+        assert a.cycles == b.cycles
+
+    def test_fresh_board_reproduces_measurements(self):
+        trace = make_alu_loop_trace(n_iters=30)
+        assert FireflyRK3399().a53.measure(trace).cycles == \
+            FireflyRK3399().a53.measure(trace).cycles
+
+    def test_noise_is_small_and_workload_dependent(self):
+        quiet = FireflyRK3399(noise_sigma=0.0)
+        noisy = FireflyRK3399(noise_sigma=0.01)
+        trace = make_load_loop_trace(window=64 * 1024, n_iters=30)
+        exact = quiet.a53.measure(trace).cycles
+        jittered = noisy.a53.measure(trace).cycles
+        assert abs(jittered - exact) / exact < 0.06
+
+    def test_cores_differ(self, board):
+        trace = make_load_loop_trace(window=1024 * 1024, n_iters=30)
+        a53 = board.a53.measure(trace)
+        a72 = board.a72.measure(trace)
+        assert a53.cycles != a72.cycles
+        assert a72.cpi < a53.cpi  # OoO hides the miss latency
+
+    def test_core_lookup(self, board):
+        assert board.core("a53") is board.a53
+        assert board.core("cortex-a72") is board.a72
+        with pytest.raises(ValueError):
+            board.core("m1")
+
+    def test_counters_present(self, board):
+        trace = make_load_loop_trace(window=64 * 1024, n_iters=20)
+        result = board.a53.measure(trace)
+        assert result.instructions == len(trace)
+        for name in ("cycles", "branch-misses", "L1-dcache-load-misses", "l2-misses"):
+            assert result.counter(name) >= 0
+        with pytest.raises(KeyError):
+            result.counter("nonexistent")
+
+    def test_perf_result_derived_metrics(self):
+        result = PerfResult("wl", "a53", {"cycles": 200, "instructions": 100,
+                                          "branch-misses": 5})
+        assert result.cpi == 2.0
+        assert result.branch_mpki == 50.0
+        assert result.counter("cpi") == 2.0

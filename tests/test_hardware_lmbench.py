@@ -1,0 +1,84 @@
+"""lmbench-style latency estimation (methodology step #2)."""
+
+import pytest
+
+from repro.core.config import cortex_a53_public_config
+from repro.hardware.groundtruth import cortex_a53_ground_truth, cortex_a72_ground_truth
+from repro.hardware.lmbench import (
+    LatencyEstimates,
+    apply_latency_estimates,
+    build_chase_program,
+    lat_mem_rd,
+)
+from repro.frontend.interpreter import trace_program
+from repro.isa.opclasses import OpClass
+from repro.trace.stats import compute_trace_stats
+
+
+class TestChaseProgram:
+    def test_loads_are_dependent_chain(self):
+        program = build_chase_program(window=8 * 1024, loads=64)
+        trace = trace_program(program, max_instructions=100_000)
+        stats = compute_trace_stats(trace)
+        assert stats.loads >= 64
+
+    def test_every_page_initialised(self):
+        window = 64 * 1024
+        program = build_chase_program(window=window, loads=64)
+        trace = trace_program(program, max_instructions=100_000)
+        shift = 27
+        store = int(OpClass.STORE)
+        pages = {rec.addr // 4096 for rec in trace.records if rec.word >> shift == store}
+        assert len(pages) == window // 4096
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_chase_program(window=100, loads=64)
+        with pytest.raises(ValueError):
+            build_chase_program(window=8192, loads=4)
+
+
+class TestEstimates:
+    """Calibration: estimates must land near the (hidden) ground truth.
+
+    These tests read the ground truth deliberately — they verify that the
+    measurement tool works, which is a precondition for the experiment
+    being well-posed; tuning code never does this.
+    """
+
+    def test_a53_estimates_near_truth(self, board):
+        truth = cortex_a53_ground_truth()
+        est = lat_mem_rd(board.a53, l1_size=truth.l1d.size, l2_size=truth.l2.size)
+        l1_true = truth.l1d.hit_latency + truth.execute.agu_latency
+        assert abs(est.l1_load_to_use - l1_true) <= 1.5
+        l2_true = truth.l2.hit_latency + truth.execute.agu_latency + 1
+        assert abs(est.l2_load_to_use - l2_true) <= 5
+        # DRAM estimate may exceed truth (TLB walks are real on hardware).
+        assert truth.memsys.dram_latency * 0.8 <= est.dram_load_to_use <= \
+            truth.memsys.dram_latency * 1.5
+
+    def test_a72_estimates_ordered(self, board):
+        truth = cortex_a72_ground_truth()
+        est = lat_mem_rd(board.a72, l1_size=truth.l1d.size, l2_size=truth.l2.size)
+        assert est.l1_load_to_use < est.l2_load_to_use < est.dram_load_to_use
+
+    def test_apply_latency_estimates(self):
+        config = cortex_a53_public_config()
+        est = LatencyEstimates(l1_load_to_use=3.1, l2_load_to_use=17.2, dram_load_to_use=190.0)
+        updated = apply_latency_estimates(config, est)
+        assert updated.l1d.hit_latency == 2
+        assert updated.l2.hit_latency == 15
+        assert 180 <= updated.memsys.dram_latency <= 190
+        assert updated.memsys.dram_page_hit_latency < updated.memsys.dram_latency
+
+    def test_apply_clamps_degenerate_estimates(self):
+        config = cortex_a53_public_config()
+        est = LatencyEstimates(0.1, 0.2, 1.0)
+        updated = apply_latency_estimates(config, est)
+        assert updated.l1d.hit_latency >= 1
+        assert updated.l2.hit_latency >= 2
+        assert updated.memsys.dram_latency >= 20
+
+    def test_summary_string(self):
+        est = LatencyEstimates(3.0, 17.0, 190.0)
+        assert "L1 3.0" in est.summary()

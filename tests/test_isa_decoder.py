@@ -1,0 +1,57 @@
+"""Decoder library behaviour, including the deliberate bug mode."""
+
+from repro.isa.decoder import BuggyDecoder, Decoder
+from repro.isa.encoding import encode
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import NO_REG, fp_reg, int_reg
+
+
+class TestDecoder:
+    def test_decode_extracts_fields(self):
+        word = encode(OpClass.IMUL, int_reg(3), int_reg(4), int_reg(5), imm=7)
+        inst = Decoder().decode(word)
+        assert inst.opclass is OpClass.IMUL
+        assert (inst.dst, inst.src1, inst.src2, inst.imm) == (3, 4, 5, 7)
+
+    def test_decode_is_interned_per_word(self):
+        decoder = Decoder()
+        word = encode(OpClass.IALU, int_reg(1), int_reg(2))
+        assert decoder.decode(word) is decoder.decode(word)
+
+    def test_cache_size_counts_unique_words(self):
+        decoder = Decoder()
+        words = [encode(OpClass.IALU, int_reg(k)) for k in range(5)]
+        for word in words * 3:
+            decoder.decode(word)
+        assert decoder.cache_size() == 5
+
+    def test_decode_many_matches_individual_decodes(self):
+        decoder = Decoder()
+        words = [encode(OpClass.LOAD, int_reg(k), int_reg(2)) for k in range(4)]
+        assert decoder.decode_many(words) == [decoder.decode(w) for w in words]
+
+    def test_sources_skips_absent_operands(self):
+        inst = Decoder().decode(encode(OpClass.IALU, int_reg(1), int_reg(2)))
+        assert inst.sources() == (2,)
+
+
+class TestBuggyDecoder:
+    def test_fp_second_source_dropped(self):
+        word = encode(OpClass.FPMUL, fp_reg(1), fp_reg(2), fp_reg(3))
+        buggy = BuggyDecoder().decode(word)
+        correct = Decoder().decode(word)
+        assert correct.src2 == fp_reg(3)
+        assert buggy.src2 == NO_REG
+        assert buggy.src1 == correct.src1
+
+    def test_integer_instructions_unaffected(self):
+        word = encode(OpClass.IALU, int_reg(1), int_reg(2), int_reg(3))
+        assert BuggyDecoder().decode(word) == Decoder().decode(word)
+
+    def test_all_fp_classes_affected(self):
+        for opclass in (OpClass.FPALU, OpClass.FPDIV, OpClass.SIMD_MUL, OpClass.FCVT):
+            word = encode(opclass, fp_reg(0), fp_reg(1), fp_reg(2))
+            assert BuggyDecoder().decode(word).src2 == NO_REG
+
+    def test_decoder_names_differ(self):
+        assert Decoder().name != BuggyDecoder().name

@@ -1,0 +1,69 @@
+"""Encoding/decoding of the synthetic ISA."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import EncodingError, decode_fields, encode
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import NO_REG, TOTAL_REG_COUNT
+
+OPCLASSES = list(OpClass)
+REGS = st.one_of(st.just(NO_REG), st.integers(0, TOTAL_REG_COUNT - 1))
+
+
+class TestEncode:
+    def test_nop_is_all_zero_word(self):
+        assert encode(OpClass.NOP) == 0
+
+    def test_zero_word_decodes_to_nop_without_operands(self):
+        opclass, dst, src1, src2, imm = decode_fields(0)
+        assert opclass is OpClass.NOP
+        assert (dst, src1, src2, imm) == (NO_REG, NO_REG, NO_REG, 0)
+
+    def test_encode_rejects_out_of_range_register(self):
+        with pytest.raises(EncodingError):
+            encode(OpClass.IALU, dst=TOTAL_REG_COUNT)
+
+    def test_encode_rejects_negative_register_other_than_no_reg(self):
+        with pytest.raises(EncodingError):
+            encode(OpClass.IALU, dst=-2)
+
+    def test_encode_rejects_large_immediate(self):
+        with pytest.raises(EncodingError):
+            encode(OpClass.IALU, imm=64)
+
+    def test_distinct_fields_give_distinct_words(self):
+        w1 = encode(OpClass.IALU, 1, 2, 3)
+        w2 = encode(OpClass.IALU, 1, 3, 2)
+        assert w1 != w2
+
+
+class TestDecode:
+    def test_decode_rejects_undefined_opclass(self):
+        word = 31 << 27  # beyond the highest defined opclass
+        with pytest.raises(EncodingError):
+            decode_fields(word)
+
+    def test_decode_rejects_out_of_range_word(self):
+        with pytest.raises(EncodingError):
+            decode_fields(1 << 32)
+        with pytest.raises(EncodingError):
+            decode_fields(-1)
+
+    def test_decode_rejects_out_of_range_operand_field(self):
+        # Register field 0x7F encodes register id 126, outside the file.
+        word = (int(OpClass.IALU) << 27) | (0x7F << 20)
+        with pytest.raises(EncodingError):
+            decode_fields(word)
+
+    @given(
+        opclass=st.sampled_from(OPCLASSES),
+        dst=REGS,
+        src1=REGS,
+        src2=REGS,
+        imm=st.integers(0, 63),
+    )
+    def test_roundtrip(self, opclass, dst, src1, src2, imm):
+        word = encode(opclass, dst, src1, src2, imm)
+        assert 0 <= word < (1 << 32)
+        assert decode_fields(word) == (opclass, dst, src1, src2, imm)

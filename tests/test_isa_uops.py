@@ -1,0 +1,38 @@
+"""Micro-op expansion."""
+
+from repro.isa.decoder import Decoder
+from repro.isa.encoding import encode
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import NO_REG, int_reg
+from repro.isa.uops import expand_to_uops
+
+
+def _decode(opclass, dst=NO_REG, src1=NO_REG, src2=NO_REG):
+    return Decoder().decode(encode(opclass, dst, src1, src2))
+
+
+class TestUopExpansion:
+    def test_simple_op_is_one_uop(self):
+        uops = expand_to_uops(_decode(OpClass.IALU, int_reg(1), int_reg(2), int_reg(3)))
+        assert len(uops) == 1
+        assert uops[0].opclass is OpClass.IALU
+        assert (uops[0].dst, uops[0].src1, uops[0].src2) == (1, 2, 3)
+
+    def test_ldp_cracks_into_two_loads(self):
+        uops = expand_to_uops(_decode(OpClass.LDP, int_reg(4), int_reg(10)))
+        assert [u.opclass for u in uops] == [OpClass.LOAD, OpClass.LOAD]
+        assert uops[0].dst == 4 and uops[1].dst == 5
+        assert uops[0].addr_offset == 0 and uops[1].addr_offset == 8
+
+    def test_stp_cracks_into_two_stores(self):
+        uops = expand_to_uops(_decode(OpClass.STP, NO_REG, int_reg(10), int_reg(6)))
+        assert [u.opclass for u in uops] == [OpClass.STORE, OpClass.STORE]
+        assert uops[0].src2 == 6 and uops[1].src2 == 7
+
+    def test_pair_with_no_register_keeps_no_reg(self):
+        uops = expand_to_uops(_decode(OpClass.LDP))
+        assert uops[1].dst == NO_REG
+
+    def test_branch_is_single_uop(self):
+        uops = expand_to_uops(_decode(OpClass.BRANCH, NO_REG, int_reg(2)))
+        assert len(uops) == 1 and uops[0].opclass is OpClass.BRANCH

@@ -1,0 +1,140 @@
+"""MSHR file, store buffer, DRAM and victim cache units."""
+
+import pytest
+
+from repro.memory.dram import DramModel
+from repro.memory.mshr import MSHRFile
+from repro.memory.storebuffer import StoreBuffer
+from repro.memory.victim import VictimCache
+
+
+class TestMSHRFile:
+    def test_allocate_free_slot_immediate(self):
+        mshrs = MSHRFile(2)
+        assert mshrs.allocate(1, 10) == 10
+
+    def test_allocate_blocks_when_full(self):
+        mshrs = MSHRFile(1)
+        mshrs.record(1, completion=100)
+        assert mshrs.allocate(2, now=10) == 100
+
+    def test_lookup_finds_inflight(self):
+        mshrs = MSHRFile(4)
+        mshrs.record(7, completion=50)
+        assert mshrs.lookup(7, now=10) == 50
+        assert mshrs.lookup(7, now=60) == -1  # expired
+
+    def test_outstanding_count(self):
+        mshrs = MSHRFile(4)
+        mshrs.record(1, 100)
+        mshrs.record(2, 200)
+        assert mshrs.outstanding == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+
+class TestStoreBuffer:
+    @staticmethod
+    def _write(latency=20):
+        def write(line, start):
+            return start + latency
+        return write
+
+    def test_push_without_pressure_is_free(self):
+        sb = StoreBuffer(entries=4)
+        assert sb.push(1, now=10, write=self._write()) == 10
+
+    def test_full_buffer_stalls_until_drain(self):
+        sb = StoreBuffer(entries=2)
+        write = self._write(latency=50)
+        sb.push(1, 0, write)   # drains at 50
+        sb.push(2, 0, write)   # drains at 100
+        issue = sb.push(3, 0, write)
+        assert issue == 50
+        assert sb.full_stalls == 1
+
+    def test_coalescing_merges_same_line(self):
+        sb = StoreBuffer(entries=2, coalescing=True)
+        write = self._write(latency=50)
+        sb.push(1, 0, write)
+        issue = sb.push(1, 1, write)
+        assert issue == 1
+        assert sb.coalesced == 1
+        assert sb.occupancy == 1
+
+    def test_forwarding_hits_buffered_line(self):
+        sb = StoreBuffer(entries=4, forward_latency=1)
+        sb.push(9, 0, self._write(latency=100))
+        assert sb.forward(9, now=5) == 6
+        assert sb.forward(8, now=5) == -1
+        assert sb.forwards == 1
+
+    def test_forwarding_misses_after_drain(self):
+        sb = StoreBuffer(entries=4)
+        sb.push(9, 0, self._write(latency=10))
+        assert sb.forward(9, now=50) == -1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StoreBuffer(entries=0)
+
+
+class TestVictimCache:
+    def test_probe_hit_removes_line(self):
+        vc = VictimCache(entries=2)
+        vc.insert(5, dirty=False)
+        assert vc.probe(5) is True
+        assert vc.probe(5) is False
+
+    def test_overflow_returns_oldest(self):
+        vc = VictimCache(entries=2)
+        assert vc.insert(1, True) == (None, False)
+        vc.insert(2, False)
+        evicted = vc.insert(3, False)
+        assert evicted == (1, True)
+
+    def test_reinsert_merges_dirty(self):
+        vc = VictimCache(entries=2)
+        vc.insert(1, False)
+        vc.insert(1, True)
+        vc.insert(2, False)
+        evicted = vc.insert(3, False)
+        assert evicted == (1, True)
+
+
+class TestDram:
+    def test_open_page_hit_cheaper(self):
+        dram = DramModel(latency=150, page_hit_latency=90, page_policy="open")
+        first = dram.access(0, 0)
+        second = dram.access(1, first)  # same 2KB row
+        assert first == 150
+        assert second - first <= 90 + 4
+        assert dram.page_hits == 1
+
+    def test_closed_policy_never_hits(self):
+        dram = DramModel(latency=150, page_hit_latency=90, page_policy="closed")
+        dram.access(0, 0)
+        dram.access(1, 200)
+        assert dram.page_hits == 0
+
+    def test_bandwidth_limits_concurrency(self):
+        narrow = DramModel(latency=100, bandwidth=1)
+        times = [narrow.access(line * 64, 0) for line in range(4)]
+        assert times[-1] > 100 + 3  # channel serialisation visible
+        wide = DramModel(latency=100, bandwidth=8)
+        times2 = [wide.access(line * 64, 0) for line in range(4)]
+        assert times2[-1] <= times[-1]
+
+    def test_access_line_adapter(self):
+        dram = DramModel(latency=100)
+        assert dram.access_line(1, 0, is_write=True, is_prefetch=False) >= 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramModel(latency=0)
+        with pytest.raises(ValueError):
+            DramModel(page_hit_latency=200, latency=100)
+        with pytest.raises(ValueError):
+            DramModel(page_policy="weird")

@@ -1,0 +1,83 @@
+"""Cache set-index hashing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.hashing import MaskHash, MersenneHash, XorHash, build_hash
+
+
+class TestMask:
+    def test_power_of_two_masks_low_bits(self):
+        h = MaskHash(128)
+        assert h.index(0) == 0
+        assert h.index(129) == 1
+
+    def test_non_power_of_two_uses_modulo(self):
+        h = MaskHash(100)
+        assert h.index(250) == 50
+
+    def test_same_set_stride_conflicts(self):
+        """The pathological case the MC kernel exploits."""
+        h = MaskHash(128)
+        indices = {h.index(i * 128) for i in range(8)}
+        assert indices == {0}
+
+
+class TestXor:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            XorHash(100)
+
+    def test_spreads_same_set_stride(self):
+        h = XorHash(128)
+        indices = {h.index(i * 128) for i in range(8)}
+        assert len(indices) == 8
+
+    @given(line=st.integers(0, 2**40))
+    def test_index_in_range(self, line):
+        h = XorHash(256)
+        assert 0 <= h.index(line) < 256
+
+
+class TestMersenne:
+    def test_uses_largest_mersenne_prime(self):
+        assert MersenneHash(128).prime == 127
+        assert MersenneHash(127).prime == 127
+        assert MersenneHash(512).prime == 127
+        assert MersenneHash(8192).prime == 8191
+
+    def test_effective_sets_reduced(self):
+        h = MersenneHash(128)
+        assert h.effective_sets == 127
+
+    def test_spreads_power_of_two_strides(self):
+        h = MersenneHash(128)
+        indices = {h.index(i * 128) for i in range(8)}
+        assert len(indices) == 8
+
+    def test_too_small_cache_rejected(self):
+        with pytest.raises(ValueError):
+            MersenneHash(2)
+
+    @given(line=st.integers(0, 2**40))
+    def test_index_within_prime(self, line):
+        h = MersenneHash(256)
+        assert 0 <= h.index(line) < h.prime
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        for kind in ("mask", "xor", "mersenne"):
+            assert build_hash(kind, 128).kind == kind
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown hash"):
+            build_hash("crc", 128)
+
+    @given(
+        kind=st.sampled_from(["mask", "xor", "mersenne"]),
+        line=st.integers(0, 2**48),
+    )
+    def test_all_hashes_stay_in_range(self, kind, line):
+        h = build_hash(kind, 512)
+        assert 0 <= h.index(line) < 512

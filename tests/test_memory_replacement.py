@@ -1,0 +1,62 @@
+"""Replacement policies over the cache's per-set dicts."""
+
+import pytest
+
+from repro.memory.cache import _Line
+from repro.memory.replacement import ClockPLRU, LRUPolicy, RandomPolicy, build_replacement
+
+
+def _set_with(tags):
+    return {tag: _Line() for tag in tags}
+
+
+class TestLRU:
+    def test_victim_is_oldest(self):
+        policy = LRUPolicy()
+        entries = _set_with([1, 2, 3])
+        assert policy.choose_victim(entries) == 1
+
+    def test_hit_refreshes_recency(self):
+        policy = LRUPolicy()
+        entries = _set_with([1, 2, 3])
+        policy.on_hit(entries, 1)
+        assert policy.choose_victim(entries) == 2
+
+
+class TestClockPLRU:
+    def test_unreferenced_line_evicted_first(self):
+        policy = ClockPLRU()
+        entries = _set_with([1, 2, 3])
+        policy.on_hit(entries, 1)  # sets 1's reference bit
+        assert policy.choose_victim(entries) == 2
+
+    def test_all_referenced_second_pass_clears(self):
+        policy = ClockPLRU()
+        entries = _set_with([1, 2])
+        policy.on_hit(entries, 1)
+        policy.on_hit(entries, 2)
+        victim = policy.choose_victim(entries)
+        assert victim in (1, 2)
+        # Scan must have cleared bits on the way.
+        assert not all(line.referenced for line in entries.values())
+
+
+class TestRandom:
+    def test_victim_is_member_and_deterministic_per_seed(self):
+        entries = _set_with([10, 20, 30])
+        a = RandomPolicy(seed=1)
+        b = RandomPolicy(seed=1)
+        seq_a = [a.choose_victim(entries) for _ in range(10)]
+        seq_b = [b.choose_victim(entries) for _ in range(10)]
+        assert seq_a == seq_b
+        assert set(seq_a) <= {10, 20, 30}
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        for kind in ("lru", "plru", "random"):
+            assert build_replacement(kind).kind == kind
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown replacement"):
+            build_replacement("fifo")

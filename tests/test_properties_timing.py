@@ -1,0 +1,129 @@
+"""Property-based invariants of the timing models.
+
+These are the invariants that make tuning *meaningful*: simulated time
+must respond monotonically and deterministically to the parameters the
+racer adjusts, and basic accounting must always balance.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import cortex_a53_public_config, cortex_a72_public_config
+from repro.simulator import SnipeSim
+from repro.workloads.microbench import get_microbenchmark
+from tests.conftest import make_alu_loop_trace, make_load_loop_trace
+
+#: Parameters where "bigger value" must never make the machine faster.
+SLOWER_WHEN_BIGGER = [
+    ("execute.idiv_latency", [4, 8, 16, 20]),
+    ("execute.fpalu_latency", [2, 3, 5]),
+    ("branch.mispredict_penalty", [6, 9, 12]),
+    ("l2.hit_latency", [11, 14, 17]),
+    ("memsys.dram_latency", [140, 170, 200]),
+]
+
+#: Parameters where "bigger value" must never make the machine slower.
+FASTER_WHEN_BIGGER = [
+    ("l1d.mshr_entries", [1, 3, 8]),
+    ("memsys.store_buffer_entries", [2, 6, 16]),
+    ("memsys.dram_bandwidth", [1, 4, 8]),
+]
+
+_WORKLOADS = ["ED1", "ML2_BWld", "CCh", "STL2b", "DPT", "MM_st"]
+
+
+def _cycles(config, trace):
+    return SnipeSim(config).run(trace).cycles
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("path,values", SLOWER_WHEN_BIGGER)
+    def test_latency_parameters_never_speed_things_up(self, path, values):
+        base = cortex_a53_public_config()
+        for name in _WORKLOADS:
+            trace = get_microbenchmark(name).trace()
+            series = [_cycles(base.with_updates({path: v}), trace) for v in values]
+            assert series == sorted(series), f"{path} on {name}: {series}"
+
+    @pytest.mark.parametrize("path,values", FASTER_WHEN_BIGGER)
+    def test_capacity_parameters_never_slow_things_down(self, path, values):
+        base = cortex_a53_public_config()
+        for name in _WORKLOADS:
+            trace = get_microbenchmark(name).trace()
+            series = [_cycles(base.with_updates({path: v}), trace) for v in values]
+            assert series == sorted(series, reverse=True), f"{path} on {name}: {series}"
+
+    def test_ooo_rob_monotone(self):
+        base = cortex_a72_public_config()
+        trace = make_load_loop_trace(window=4 * 1024 * 1024, n_iters=30)
+        series = [
+            _cycles(base.with_updates({"pipeline.rob_size": rob}), trace)
+            for rob in (8, 32, 128)
+        ]
+        assert series == sorted(series, reverse=True)
+
+
+class TestAccounting:
+    @given(
+        n_iters=st.integers(5, 60),
+        body=st.integers(2, 12),
+        dependent=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_cpi_bounds_and_balance(self, n_iters, body, dependent):
+        """CPI is bounded below by 1/issue_width; counters balance."""
+        trace = make_alu_loop_trace(n_iters=n_iters, body=body, dependent=dependent)
+        config = cortex_a53_public_config()
+        stats = SnipeSim(config).run(trace)
+        assert stats.instructions == len(trace)
+        assert stats.cycles >= len(trace) / config.pipeline.issue_width
+        assert stats.branch.branches == sum(1 for _ in range(n_iters))
+        assert stats.l1d.hits + stats.l1d.misses == stats.l1d.accesses
+
+    @given(window_kb=st.sampled_from([4, 16, 64, 512]), n_iters=st.integers(5, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_memory_accounting_balances(self, window_kb, n_iters):
+        trace = make_load_loop_trace(window=window_kb * 1024, n_iters=n_iters)
+        for config in (cortex_a53_public_config(), cortex_a72_public_config()):
+            stats = SnipeSim(config).run(trace)
+            l1d = stats.l1d
+            assert l1d.hits + l1d.misses == l1d.accesses
+            # Demand L2 accesses cannot exceed L1 misses plus writebacks
+            # plus L1I misses (no prefetchers in the public configs).
+            assert stats.l2.accesses <= l1d.misses + l1d.writebacks + stats.l1i.misses + stats.l1i.accesses
+
+    @given(seed=st.integers(0, 5))
+    @settings(max_examples=6, deadline=None)
+    def test_config_hash_equivalence(self, seed):
+        """Two identical configs produce bit-identical results."""
+        import random
+
+        rng = random.Random(seed)
+        updates = {
+            "l1d.mshr_entries": rng.choice([2, 4, 8]),
+            "branch.predictor": rng.choice(["bimodal", "gshare"]),
+            "execute.imul_latency": rng.choice([2, 3, 4]),
+        }
+        trace = get_microbenchmark("CRm").trace()
+        a = SnipeSim(cortex_a53_public_config().with_updates(updates)).run(trace)
+        b = SnipeSim(cortex_a53_public_config().with_updates(updates)).run(trace)
+        assert a.cycles == b.cycles
+        assert a.branch.mispredicts == b.branch.mispredicts
+
+
+class TestOrderingsAcrossCores:
+    def test_ooo_never_slower_on_parallel_memory(self):
+        """Equal hierarchies: the OoO core must exploit MLP the in-order
+        core cannot."""
+        trace = make_load_loop_trace(window=2 * 1024 * 1024, n_iters=40)
+        a53 = SnipeSim(cortex_a53_public_config()).run(trace)
+        a72 = SnipeSim(cortex_a72_public_config()).run(trace)
+        assert a72.cpi < a53.cpi
+
+    def test_serial_chain_immune_to_ooo(self):
+        """A pure dependence chain gains nothing from out-of-order issue."""
+        dep = make_alu_loop_trace(n_iters=100, body=10, dependent=True)
+        a53 = SnipeSim(cortex_a53_public_config()).run(dep)
+        a72 = SnipeSim(cortex_a72_public_config()).run(dep)
+        # Both are latency-bound at ~1 cycle per dependent ALU op.
+        assert abs(a53.cpi - a72.cpi) < 0.4

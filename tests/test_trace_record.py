@@ -1,0 +1,39 @@
+"""In-memory trace behaviour."""
+
+from repro.isa.decoder import BuggyDecoder, Decoder
+from repro.isa.encoding import encode
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import NO_REG, fp_reg
+from repro.trace.record import DynInst, Trace
+
+
+def _fp_trace():
+    word = encode(OpClass.FPMUL, fp_reg(1), fp_reg(2), fp_reg(3))
+    return Trace([DynInst(0x100 + 4 * i, word) for i in range(4)], name="fp")
+
+
+class TestTrace:
+    def test_len_iter_getitem(self):
+        trace = _fp_trace()
+        assert len(trace) == 4
+        assert list(trace)[0] is trace[0]
+        assert trace.instruction_count() == 4
+
+    def test_decoded_with_is_cached_per_decoder(self):
+        trace = _fp_trace()
+        decoder = Decoder()
+        assert trace.decoded_with(decoder) is trace.decoded_with(decoder)
+
+    def test_decoded_with_distinguishes_decoders(self):
+        trace = _fp_trace()
+        correct = trace.decoded_with(Decoder())
+        buggy = trace.decoded_with(BuggyDecoder())
+        assert correct[0].src2 == fp_reg(3)
+        assert buggy[0].src2 == NO_REG
+
+    def test_dyninst_equality_and_repr(self):
+        a = DynInst(0x10, 5, addr=7, taken=True, target=0x20)
+        b = DynInst(0x10, 5, addr=7, taken=True, target=0x20)
+        assert a == b
+        assert a != DynInst(0x10, 5)
+        assert "taken" in repr(a)

@@ -1,0 +1,90 @@
+"""SIFT trace serialisation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.encoding import encode
+from repro.isa.opclasses import OpClass
+from repro.trace.record import DynInst, Trace
+from repro.trace.sift import SiftError, read_trace, write_trace
+
+
+def _simple_trace():
+    word_alu = encode(OpClass.IALU, 1, 2, 3)
+    word_ld = encode(OpClass.LOAD, 4, 5)
+    word_br = encode(OpClass.BRANCH, -1, 2)
+    return Trace(
+        [
+            DynInst(0x1000, word_alu),
+            DynInst(0x1004, word_ld, addr=0xBEEF0),
+            DynInst(0x1008, word_br, taken=True, target=0x1000),
+            DynInst(0x1000, word_alu),
+        ],
+        name="simple",
+    )
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_records_and_name(self):
+        trace = _simple_trace()
+        restored = read_trace(write_trace(trace))
+        assert restored.name == "simple"
+        assert restored.records == trace.records
+
+    def test_empty_trace_roundtrips(self):
+        restored = read_trace(write_trace(Trace([], name="empty")))
+        assert len(restored) == 0 and restored.name == "empty"
+
+    def test_unicode_name_roundtrips(self):
+        trace = Trace([DynInst(0, 0)], name="bênch-µ")
+        assert read_trace(write_trace(trace)).name == "bênch-µ"
+
+    def test_compression_beats_naive_encoding(self):
+        # Sequential pcs and strided addrs should delta-compress well
+        # below 16 bytes/record.
+        word = encode(OpClass.LOAD, 4, 5)
+        records = [DynInst(0x1000 + 4 * i, word, addr=0x2000 + 64 * i) for i in range(1000)]
+        data = write_trace(Trace(records))
+        assert len(data) < 10 * len(records)
+
+    dyninsts = st.builds(
+        DynInst,
+        pc=st.integers(0, 2**40),
+        word=st.integers(0, 2**32 - 1),
+        addr=st.integers(0, 2**40),
+        taken=st.booleans(),
+        target=st.integers(0, 2**40),
+    )
+
+    @given(records=st.lists(dyninsts, max_size=60), name=st.text(max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, records, name):
+        # Normalise the fields the format does not store independently:
+        # addr==0 means "no address", target only exists when taken.
+        for rec in records:
+            if not rec.taken:
+                rec.target = 0
+        restored = read_trace(write_trace(Trace(records, name=name)))
+        assert restored.records == records
+
+
+class TestErrors:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SiftError):
+            read_trace(b"NOPE" + b"\x00" * 10)
+
+    def test_bad_version_rejected(self):
+        data = bytearray(write_trace(_simple_trace()))
+        data[4] = 99
+        with pytest.raises(SiftError):
+            read_trace(bytes(data))
+
+    def test_truncated_stream_rejected(self):
+        data = write_trace(_simple_trace())
+        with pytest.raises(SiftError):
+            read_trace(data[: len(data) - 2])
+
+    def test_trailing_garbage_rejected(self):
+        data = write_trace(_simple_trace())
+        with pytest.raises(SiftError):
+            read_trace(data + b"\x00")

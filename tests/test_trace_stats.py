@@ -1,0 +1,53 @@
+"""Trace mix statistics."""
+
+from repro.isa.encoding import encode
+from repro.isa.opclasses import OpClass
+from repro.isa.registers import int_reg
+from repro.trace.record import DynInst, Trace
+from repro.trace.stats import compute_trace_stats
+
+
+def _mixed_trace():
+    records = []
+    pc = 0x1000
+    word_ld = encode(OpClass.LOAD, int_reg(1), int_reg(2))
+    word_st = encode(OpClass.STORE, -1, int_reg(2), int_reg(1))
+    word_br = encode(OpClass.BRANCH, -1, int_reg(3))
+    word_ind = encode(OpClass.IBRANCH, -1, int_reg(4))
+    word_fp = encode(OpClass.FPALU, 40, 41, 42)
+    for i in range(10):
+        records.append(DynInst(pc, word_ld, addr=0x4000 + i * 64))
+        pc += 4
+    records.append(DynInst(pc, word_st, addr=0x8000)); pc += 4
+    records.append(DynInst(pc, word_br, taken=True, target=0x1000)); pc += 4
+    records.append(DynInst(pc, word_ind, taken=True, target=0x1000)); pc += 4
+    records.append(DynInst(pc, word_fp)); pc += 4
+    return Trace(records, name="mixed")
+
+
+class TestTraceStats:
+    def test_counts(self):
+        stats = compute_trace_stats(_mixed_trace())
+        assert stats.instructions == 14
+        assert stats.loads == 10
+        assert stats.stores == 1
+        assert stats.branches == 2
+        assert stats.taken_branches == 2
+        assert stats.indirect_branches == 1
+        assert stats.fp_ops == 1
+
+    def test_fractions_sum_sensibly(self):
+        stats = compute_trace_stats(_mixed_trace())
+        assert abs(stats.load_fraction - 10 / 14) < 1e-9
+        assert abs(stats.mem_fraction - 11 / 14) < 1e-9
+        assert 0 < stats.branch_fraction < 1
+
+    def test_unique_cachelines_counted_at_line_granularity(self):
+        stats = compute_trace_stats(_mixed_trace(), line_size=64)
+        # 10 loads at 64-byte stride -> 10 lines, plus the store line.
+        assert stats.unique_cachelines == 11
+
+    def test_opclass_breakdown_uses_names(self):
+        stats = compute_trace_stats(_mixed_trace())
+        assert stats.opclass_counts["LOAD"] == 10
+        assert stats.opclass_counts["FPALU"] == 1

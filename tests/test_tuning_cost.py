@@ -1,0 +1,63 @@
+"""Cost functions."""
+
+import pytest
+
+from repro.core.stats import SimStats
+from repro.hardware.perf import PerfResult
+from repro.tuning.cost import cpi_error, make_cpi_cost, make_weighted_cost
+
+
+def _sim(cycles=150, instructions=100, branch_miss=10):
+    stats = SimStats("cfg", "wl", instructions=instructions, cycles=cycles)
+    stats.branch.branches = 30
+    stats.branch.mispredicts = branch_miss
+    return stats
+
+
+def _hw(cycles=100, instructions=100, branch_miss=10):
+    return PerfResult("wl", "a53", {
+        "cycles": cycles,
+        "instructions": instructions,
+        "branch-misses": branch_miss,
+        "L1-dcache-load-misses": 5,
+        "l2-misses": 2,
+    })
+
+
+class TestCpiError:
+    def test_relative_error(self):
+        assert cpi_error(_sim(cycles=150), _hw(cycles=100)) == pytest.approx(0.5)
+
+    def test_symmetric_absolute(self):
+        assert cpi_error(_sim(cycles=50), _hw(cycles=100)) == pytest.approx(0.5)
+
+    def test_perfect_match(self):
+        assert cpi_error(_sim(cycles=100), _hw(cycles=100)) == 0.0
+
+    def test_zero_hw_cpi_rejected(self):
+        with pytest.raises(ValueError):
+            cpi_error(_sim(), PerfResult("wl", "a53", {"cycles": 0, "instructions": 100}))
+
+    def test_factory_returns_callable(self):
+        assert make_cpi_cost()(_sim(cycles=120), _hw()) == pytest.approx(0.2)
+
+
+class TestWeightedCost:
+    def test_pure_cpi_weight_matches_cpi_error(self):
+        cost = make_weighted_cost({"cpi": 1.0})
+        assert cost(_sim(cycles=150), _hw()) == pytest.approx(0.5)
+
+    def test_mixed_weights_average_components(self):
+        cost = make_weighted_cost({"cpi": 1.0, "branch-mpki": 1.0})
+        # CPI error 0.5; branch mpki identical -> 0. Mean = 0.25.
+        assert cost(_sim(cycles=150), _hw()) == pytest.approx(0.25)
+
+    def test_branch_component_reacts(self):
+        cost = make_weighted_cost({"branch-mpki": 1.0})
+        assert cost(_sim(branch_miss=20), _hw(branch_miss=10)) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_weighted_cost({})
+        with pytest.raises(ValueError):
+            make_weighted_cost({"cpi": 0.0})

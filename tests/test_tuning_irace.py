@@ -1,0 +1,129 @@
+"""Iterated racing driver and sampling model."""
+
+import random
+
+import pytest
+
+from repro.tuning.irace import IraceTuner
+from repro.tuning.parameters import CategoricalParam, OrdinalParam, ParamSpace
+from repro.tuning.sampling import CategoricalSampler, ConfigSampler, OrdinalSampler
+
+
+def _quadratic_space():
+    """Cost = distance from a hidden optimum; instances add small noise."""
+    space = ParamSpace([
+        OrdinalParam("a", [0, 1, 2, 3, 4, 5, 6, 7]),
+        OrdinalParam("b", [0, 1, 2, 3, 4, 5, 6, 7]),
+        CategoricalParam("c", ["red", "green", "blue"]),
+    ])
+    optimum = {"a": 5, "b": 2, "c": "green"}
+    rng = random.Random(42)
+    noise = {i: rng.uniform(-0.02, 0.02) for i in range(20)}
+
+    def evaluate(assignment, instance):
+        cost = 0.1 * abs(assignment["a"] - optimum["a"])
+        cost += 0.1 * abs(assignment["b"] - optimum["b"])
+        cost += 0.0 if assignment["c"] == optimum["c"] else 0.3
+        return cost + noise[instance] + 0.05
+
+    return space, evaluate, optimum
+
+
+class TestSamplers:
+    def test_categorical_update_biases_toward_elites(self):
+        param = CategoricalParam("x", ["a", "b", "c"])
+        sampler = CategoricalSampler(param)
+        for _ in range(5):
+            sampler.update(["b", "b", "b"], rate=0.5)
+        probs = dict(zip(param.values, sampler.probs))
+        assert probs["b"] > 0.8
+        assert abs(sum(sampler.probs) - 1.0) < 1e-9
+
+    def test_categorical_sample_respects_parent_weight(self):
+        param = CategoricalParam("x", ["a", "b", "c"])
+        sampler = CategoricalSampler(param)
+        rng = random.Random(0)
+        picks = [sampler.sample(rng, parent_value="c", parent_weight=1.0) for _ in range(20)]
+        assert set(picks) == {"c"}
+
+    def test_ordinal_sampling_localises_around_parent(self):
+        param = OrdinalParam("x", list(range(11)))
+        sampler = OrdinalSampler(param)
+        for _ in range(6):
+            sampler.shrink(0.5)
+        rng = random.Random(1)
+        picks = [sampler.sample(rng, parent_value=5) for _ in range(100)]
+        assert all(3 <= p <= 7 for p in picks)
+
+    def test_ordinal_sampling_stays_in_range(self):
+        param = OrdinalParam("x", [1, 2, 3])
+        sampler = OrdinalSampler(param)
+        rng = random.Random(2)
+        picks = {sampler.sample(rng, parent_value=1) for _ in range(200)}
+        assert picks <= {1, 2, 3}
+
+    def test_config_sampler_produces_valid_assignments(self):
+        space, _, _ = _quadratic_space()
+        sampler = ConfigSampler(space, seed=3)
+        for _ in range(30):
+            assignment = sampler.sample_config()
+            space.validate_assignment(assignment)
+            assert set(assignment) == set(space.names())
+
+
+class TestIraceTuner:
+    def test_recovers_hidden_optimum(self):
+        space, evaluate, optimum = _quadratic_space()
+        tuner = IraceTuner(
+            space, evaluate, instances=list(range(20)), budget=900, seed=5, first_test=4
+        )
+        result = tuner.run()
+        assert result.best_assignment["c"] == optimum["c"]
+        assert abs(result.best_assignment["a"] - optimum["a"]) <= 1
+        assert abs(result.best_assignment["b"] - optimum["b"]) <= 1
+        assert result.best_cost < 0.30
+
+    def test_improves_over_initial_guess(self):
+        space, evaluate, _ = _quadratic_space()
+        initial = {"a": 0, "b": 7, "c": "red"}
+        tuner = IraceTuner(
+            space, evaluate, instances=list(range(20)), budget=600,
+            seed=6, initial_assignments=[initial], first_test=4,
+        )
+        result = tuner.run()
+        initial_cost = sum(evaluate(initial, i) for i in range(20)) / 20
+        assert result.best_cost < initial_cost
+
+    def test_history_recorded(self):
+        space, evaluate, _ = _quadratic_space()
+        tuner = IraceTuner(space, evaluate, instances=list(range(20)), budget=400, seed=7)
+        result = tuner.run()
+        assert result.history
+        assert all(it.evaluations > 0 for it in result.history)
+        assert "irace finished" in result.summary()
+
+    def test_evaluation_cache_prevents_recomputation(self):
+        space, evaluate, _ = _quadratic_space()
+        calls = []
+
+        def counting(assignment, instance):
+            calls.append(1)
+            return evaluate(assignment, instance)
+
+        tuner = IraceTuner(space, counting, instances=list(range(20)), budget=500, seed=8)
+        result = tuner.run()
+        # unique (config, instance) pairs == raw evaluator calls
+        assert len(calls) == result.total_evaluations
+
+    def test_budget_too_small_rejected(self):
+        space, evaluate, _ = _quadratic_space()
+        with pytest.raises(ValueError):
+            IraceTuner(space, evaluate, instances=list(range(20)), budget=5)
+
+    def test_invalid_initial_assignment_rejected(self):
+        space, evaluate, _ = _quadratic_space()
+        with pytest.raises(ValueError):
+            IraceTuner(
+                space, evaluate, instances=list(range(20)), budget=200,
+                initial_assignments=[{"a": 99, "b": 0, "c": "red"}],
+            )

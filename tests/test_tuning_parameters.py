@@ -1,0 +1,107 @@
+"""Parameter-space definition."""
+
+import pytest
+
+from repro.tuning.parameters import (
+    BooleanParam,
+    CategoricalParam,
+    OrdinalParam,
+    ParamSpace,
+)
+
+
+def _space():
+    return ParamSpace([
+        CategoricalParam("pf", ["none", "stride", "ghb"]),
+        OrdinalParam("degree", [1, 2, 4], condition=lambda a: a.get("pf") != "none"),
+        BooleanParam("on_hit"),
+        OrdinalParam("latency", [2, 3, 4]),
+    ])
+
+
+class TestParams:
+    def test_needs_two_values(self):
+        with pytest.raises(ValueError):
+            CategoricalParam("x", ["only"])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalParam("x", ["a", "a"])
+
+    def test_ordinal_requires_sorted(self):
+        with pytest.raises(ValueError):
+            OrdinalParam("x", [3, 1, 2])
+
+    def test_index_of(self):
+        p = OrdinalParam("x", [10, 20, 30])
+        assert p.index_of(20) == 1
+        with pytest.raises(ValueError):
+            p.index_of(15)
+
+    def test_boolean_is_false_true(self):
+        assert BooleanParam("x").values == [False, True]
+
+
+class TestSpace:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ParamSpace([BooleanParam("x"), BooleanParam("x")])
+
+    def test_lookup_and_membership(self):
+        space = _space()
+        assert "pf" in space and "nope" not in space
+        assert space.get("degree").kind == "ordinal"
+        with pytest.raises(KeyError):
+            space.get("nope")
+
+    def test_total_combinations(self):
+        assert _space().total_combinations() == 3 * 3 * 2 * 3
+
+    def test_validate_assignment(self):
+        space = _space()
+        space.validate_assignment({"pf": "ghb", "latency": 3})
+        with pytest.raises(ValueError):
+            space.validate_assignment({"latency": 99})
+        with pytest.raises(KeyError):
+            space.validate_assignment({"bogus": 1})
+
+    def test_conditional_activity(self):
+        space = _space()
+        active = {p.name for p in space.active_params({"pf": "none"})}
+        assert "degree" not in active
+        active = {p.name for p in space.active_params({"pf": "stride"})}
+        assert "degree" in active
+
+    def test_default_assignment_prefers_base_values(self):
+        space = _space()
+        default = space.default_assignment({"latency": 4, "pf": "stride"})
+        assert default["latency"] == 4
+        assert default["pf"] == "stride"
+        # Unknown base value falls back to the middle candidate.
+        default = space.default_assignment({"latency": 99})
+        assert default["latency"] == 3
+
+    def test_neighbor_values_ordinal_are_adjacent(self):
+        space = _space()
+        p = space.get("latency")
+        assert space.neighbor_values(p, 3) == [2, 4]
+        assert space.neighbor_values(p, 2) == [3]
+
+    def test_neighbor_values_categorical_any_other(self):
+        space = _space()
+        p = space.get("pf")
+        assert set(space.neighbor_values(p, "stride")) == {"none", "ghb"}
+
+    def test_neighbors_single_step_only(self):
+        space = _space()
+        assignment = {"pf": "stride", "degree": 2, "on_hit": False, "latency": 3}
+        for neighbor in space.neighbors(assignment):
+            diffs = [k for k in assignment if neighbor[k] != assignment[k]]
+            assert len(diffs) == 1
+
+    def test_neighbors_skip_inactive_params(self):
+        space = _space()
+        assignment = {"pf": "none", "degree": 2, "on_hit": False, "latency": 3}
+        touched = {k for n in space.neighbors(assignment)
+                   for k in n if n[k] != assignment[k]}
+        assert "degree" not in touched

@@ -1,0 +1,98 @@
+"""Statistical racing."""
+
+import random
+
+import pytest
+
+from repro.tuning.race import race
+
+
+def _noisy_evaluator(true_costs, sigma=0.02, seed=0):
+    rng = random.Random(seed)
+
+    def evaluate(config, instance):
+        return true_costs[config["id"]] + rng.gauss(0, sigma)
+
+    return evaluate
+
+
+class TestRace:
+    def test_eliminates_clearly_inferior_configs(self):
+        configs = [{"id": i} for i in range(6)]
+        true_costs = {0: 0.1, 1: 0.12, 2: 0.5, 3: 0.6, 4: 0.7, 5: 0.9}
+        result = race(
+            configs,
+            instances=list(range(30)),
+            evaluate=_noisy_evaluator(true_costs),
+            first_test=4,
+        )
+        assert result.survivors[0] in (0, 1)
+        assert len(result.survivors) < 6
+        assert set(result.eliminated_after) & {2, 3, 4, 5}
+
+    def test_ttest_variant_also_eliminates(self):
+        configs = [{"id": i} for i in range(4)]
+        true_costs = {0: 0.1, 1: 0.8, 2: 0.9, 3: 0.85}
+        result = race(
+            configs,
+            instances=list(range(30)),
+            evaluate=_noisy_evaluator(true_costs),
+            first_test=4,
+            test="ttest",
+        )
+        assert result.survivors[0] == 0
+        assert len(result.survivors) < 4
+
+    def test_min_survivors_respected(self):
+        configs = [{"id": i} for i in range(5)]
+        true_costs = {0: 0.1, 1: 0.9, 2: 0.9, 3: 0.9, 4: 0.9}
+        result = race(
+            configs,
+            instances=list(range(40)),
+            evaluate=_noisy_evaluator(true_costs),
+            first_test=3,
+            min_survivors=3,
+        )
+        assert len(result.survivors) >= 3
+
+    def test_budget_bounds_evaluations(self):
+        configs = [{"id": i} for i in range(5)]
+        true_costs = {i: 0.5 for i in range(5)}
+        result = race(
+            configs,
+            instances=list(range(100)),
+            evaluate=_noisy_evaluator(true_costs),
+            budget=37,
+        )
+        assert result.evaluations <= 37
+
+    def test_identical_configs_not_eliminated(self):
+        configs = [{"id": i} for i in range(3)]
+        result = race(
+            configs,
+            instances=list(range(12)),
+            evaluate=lambda c, i: 0.5,
+            first_test=3,
+        )
+        assert len(result.survivors) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            race([], [1], lambda c, i: 0.0)
+        with pytest.raises(ValueError):
+            race([{}], [], lambda c, i: 0.0)
+        with pytest.raises(ValueError):
+            race([{}], [1], lambda c, i: 0.0, test="anova")
+
+    def test_survivors_ordered_by_mean_cost(self):
+        configs = [{"id": i} for i in range(4)]
+        true_costs = {0: 0.4, 1: 0.2, 2: 0.3, 3: 0.1}
+        result = race(
+            configs,
+            instances=list(range(8)),
+            evaluate=_noisy_evaluator(true_costs, sigma=0.0),
+            first_test=9,  # no elimination: pure evaluation
+        )
+        means = [result.mean_costs[i] for i in result.survivors]
+        assert means == sorted(means)
+        assert result.survivors[0] == 3

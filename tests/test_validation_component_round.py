@@ -1,0 +1,46 @@
+"""Step-5 component-focused tuning rounds (weighted cost)."""
+
+import pytest
+
+from repro.validation.campaign import BudgetProfile, ValidationCampaign
+from repro.workloads.microbench import ALL_MICROBENCHMARKS
+
+
+@pytest.fixture()
+def campaign(board):
+    profile = BudgetProfile("test", 120, 120, first_test=4, n_elites=2)
+    return ValidationCampaign(board, core="a53", profile=profile, seed=17,
+                              workloads=list(ALL_MICROBENCHMARKS))
+
+
+class TestComponentRound:
+    def test_unknown_component_rejected(self, campaign):
+        config = campaign.step1_public_config()
+        with pytest.raises(ValueError, match="unknown component"):
+            campaign.component_round(config, "noc")
+
+    def test_branch_round_tunes_only_branch_parameters(self, campaign):
+        config = campaign.step1_public_config()
+        tuned, result = campaign.component_round(config, "branch", budget=120)
+        assert result.best_assignment
+        assert all(name.startswith("branch.") for name in result.best_assignment)
+        # Non-branch sections untouched.
+        assert tuned.l1d == config.l1d
+        assert tuned.execute == config.execute
+
+    def test_branch_round_improves_branch_workloads(self, campaign):
+        """The public config's bimodal predictor and penalty guesses are
+        wrong; a focused round with the weighted branch cost should cut
+        the error on the control-flow kernels."""
+        config = campaign.step2_lmbench(campaign.step1_public_config())
+        before = sum(campaign.error_for(config, n) for n in ("CCh", "CCe", "CCm", "CCl"))
+        tuned, _ = campaign.component_round(config, "branch", budget=250)
+        after = sum(campaign.error_for(tuned, n) for n in ("CCh", "CCe", "CCm", "CCl"))
+        assert after < before
+
+    def test_execution_round_recovers_divide_latency(self, campaign):
+        config = campaign.step2_lmbench(campaign.step1_public_config())
+        tuned, result = campaign.component_round(config, "execution", budget=250)
+        # The silicon divider early-exits at 4 cycles; the dated guess is 20.
+        assert tuned.execute.idiv_latency <= 8
+        assert campaign.error_for(tuned, "ED1") < campaign.error_for(config, "ED1")

@@ -1,0 +1,60 @@
+"""Near-optimum worst-case search (Figures 7/8 machinery)."""
+
+from repro.tuning.parameters import CategoricalParam, OrdinalParam, ParamSpace
+from repro.validation.neighborhood import worst_near_optimum
+
+
+def _space_and_cost():
+    space = ParamSpace([
+        OrdinalParam("a", [0, 1, 2, 3, 4]),
+        OrdinalParam("b", [0, 1, 2, 3, 4]),
+        CategoricalParam("c", ["x", "y", "z"]),
+    ])
+    tuned = {"a": 2, "b": 2, "c": "y"}
+
+    def mean_error(assignment):
+        err = 0.02
+        err += 0.10 * abs(assignment["a"] - 2)
+        err += 0.20 * abs(assignment["b"] - 2)
+        err += 0.0 if assignment["c"] == "y" else 0.15
+        return err
+
+    return space, tuned, mean_error
+
+
+class TestWorstNearOptimum:
+    def test_finds_multi_parameter_worst_case(self):
+        space, tuned, mean_error = _space_and_cost()
+        result = worst_near_optimum(space, tuned, mean_error)
+        # Every damaging parameter deviated by one step: 0.02+0.1+0.2+0.15.
+        assert result.worst_mean_error >= 0.4
+        assert result.tuned_mean_error == mean_error(tuned)
+        assert len(result.deviated_params) == 3
+
+    def test_deviations_are_single_step(self):
+        space, tuned, mean_error = _space_and_cost()
+        result = worst_near_optimum(space, tuned, mean_error)
+        for name, value in result.worst_assignment.items():
+            param = space.get(name)
+            if value != tuned[name] and param.kind == "ordinal":
+                assert abs(param.index_of(value) - param.index_of(tuned[name])) == 1
+
+    def test_flat_cost_keeps_optimum(self):
+        space, tuned, _ = _space_and_cost()
+        result = worst_near_optimum(space, tuned, lambda a: 0.05)
+        assert result.worst_assignment == tuned
+        assert result.deviated_params == []
+
+    def test_per_benchmark_reporting(self):
+        space, tuned, mean_error = _space_and_cost()
+        result = worst_near_optimum(
+            space, tuned, mean_error,
+            per_benchmark_error=lambda a: {"wl1": mean_error(a)},
+        )
+        assert "wl1" in result.per_benchmark
+        assert "worst near-optimum" in result.summary()
+
+    def test_evaluation_count_reported(self):
+        space, tuned, mean_error = _space_and_cost()
+        result = worst_near_optimum(space, tuned, mean_error, random_restarts=4)
+        assert result.evaluations > len(space)

@@ -1,0 +1,129 @@
+"""The 40-kernel micro-benchmark suite (Table I)."""
+
+import pytest
+
+from repro.trace.stats import compute_trace_stats
+from repro.workloads.microbench import (
+    ALL_MICROBENCHMARKS,
+    CATEGORIES,
+    MICROBENCHMARKS,
+    get_microbenchmark,
+    list_microbenchmarks,
+)
+
+#: Table I names, verbatim.
+TABLE1_NAMES = {
+    "memory": ["MC", "MCS", "MD", "MI", "MIM", "MIM2", "MIP", "ML2", "ML2_BWld",
+               "ML2_BWldst", "ML2_BWst", "ML2_st", "MM", "MM_st", "M_Dyn"],
+    "control": ["CCa", "CCe", "CCh", "CCh_st", "CCl", "CCm", "CF1", "CRd",
+                "CRf", "CRm", "CS1", "CS3"],
+    "dataparallel": ["DP1d", "DP1f", "DPcvt", "DPT", "DPTd"],
+    "execution": ["ED1", "EF", "EI", "EM1", "EM5"],
+    "store": ["STL2", "STL2b", "STc"],
+}
+
+
+class TestRegistry:
+    def test_exactly_forty_kernels(self):
+        assert len(ALL_MICROBENCHMARKS) == 40
+
+    def test_table1_names_all_present(self):
+        for category, names in TABLE1_NAMES.items():
+            for name in names:
+                wl = get_microbenchmark(name)
+                assert wl.category == category
+
+    def test_category_counts_match_table1(self):
+        for category, names in TABLE1_NAMES.items():
+            assert len(list_microbenchmarks(category)) == len(names)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_microbenchmark("XYZZY")
+        with pytest.raises(ValueError):
+            list_microbenchmarks("graphics")
+
+    def test_paper_instruction_counts_recorded(self):
+        assert get_microbenchmark("MIP").paper_instructions == "66M"
+        assert get_microbenchmark("STL2").paper_instructions == "4K"
+        for wl in ALL_MICROBENCHMARKS:
+            assert wl.paper_instructions != "n/a"
+
+
+class TestTraces:
+    @pytest.mark.parametrize("name", sorted(MICROBENCHMARKS))
+    def test_trace_builds_and_is_reasonably_sized(self, name):
+        trace = get_microbenchmark(name).trace()
+        assert 100 <= len(trace) <= 15_000
+
+    def test_traces_cached(self):
+        wl = get_microbenchmark("MC")
+        assert wl.trace() is wl.trace()
+
+    def test_traces_deterministic_across_builds(self):
+        wl = get_microbenchmark("CCh")
+        t1 = wl.builder(1.0)
+        t2 = wl.builder(1.0)
+        from repro.frontend.interpreter import trace_program
+
+        assert trace_program(t1).records == trace_program(t2).records
+
+    def test_scale_grows_trace(self):
+        wl = get_microbenchmark("CCa")
+        assert len(wl.trace(scale=2.0)) > len(wl.trace())
+
+
+class TestCategorySignatures:
+    """Each category must actually stress what it claims to stress."""
+
+    def test_memory_kernels_are_memory_heavy(self):
+        for name in ("MC", "ML2", "MM", "M_Dyn", "ML2_BWld"):
+            stats = compute_trace_stats(get_microbenchmark(name).trace())
+            assert stats.mem_fraction > 0.3, name
+
+    def test_control_kernels_are_branch_heavy(self):
+        for name in ("CCa", "CCh", "CCm", "CRd"):
+            stats = compute_trace_stats(get_microbenchmark(name).trace())
+            assert stats.branch_fraction > 0.25, name
+
+    def test_case_kernels_use_indirect_branches(self):
+        for name in ("CS1", "CS3"):
+            stats = compute_trace_stats(get_microbenchmark(name).trace())
+            assert stats.indirect_branches > 10, name
+
+    def test_dataparallel_kernels_are_fp_heavy(self):
+        for name in ("DP1d", "DP1f", "DPT", "DPTd", "DPcvt"):
+            stats = compute_trace_stats(get_microbenchmark(name).trace())
+            assert stats.fp_fraction > 0.25, name
+
+    def test_store_kernels_are_store_heavy(self):
+        for name in ("STL2", "STL2b", "STc"):
+            stats = compute_trace_stats(get_microbenchmark(name).trace())
+            assert stats.store_fraction > 0.3, name
+
+    def test_icache_kernels_have_large_code_footprints(self):
+        mim = compute_trace_stats(get_microbenchmark("MIM").trace())
+        md = compute_trace_stats(get_microbenchmark("MD").trace())
+        assert mim.unique_pcs > 20 * md.unique_pcs
+
+    def test_mim2_blocks_conflict_in_2way_l1i(self):
+        trace = get_microbenchmark("MIM2").trace()
+        # Block PCs spaced 16 KB apart map to identical 2-way sets.
+        sets = {(rec.pc // 64) % 256 for rec in trace.records}
+        assert len(sets) <= 8
+
+
+class TestUninitializedVariants:
+    def test_mm_defaults_to_uninitialized(self):
+        wl = get_microbenchmark("MM")
+        plain = wl.trace()
+        fixed = wl.trace(initialized=True)
+        assert len(fixed) > len(plain)  # init pass adds page-touch stores
+        assert fixed.name != plain.name  # distinct measurement identity
+
+    def test_initialized_variant_removes_hw_anomaly(self, board):
+        """On the board, the uninitialised kernel looks absurdly fast."""
+        wl = get_microbenchmark("MM")
+        fast = board.a53.measure(wl.trace())
+        slow = board.a53.measure(wl.trace(initialized=True))
+        assert slow.cpi > 3 * fast.cpi

@@ -1,0 +1,106 @@
+"""SPEC CPU2017 proxy workloads (Table II)."""
+
+import pytest
+
+from repro.trace.stats import compute_trace_stats
+from repro.workloads.spec import (
+    SPEC_BENCHMARKS,
+    SPEC_PROFILES,
+    SPEC_WORKLOADS,
+    get_spec_benchmark,
+)
+
+TABLE2 = {
+    "mcf": ("psimplex.c", 331, "12 Billion"),
+    "povray": ("povray.cpp", 258, "2.45 Billion"),
+    "omnetpp": ("simulator/cmdenv.cc", 268, "10.8 Billion"),
+    "xalancbmk": ("XalanExe.cpp", 842, "443 Million"),
+    "deepsjeng": ("epd.cpp", 365, "14.9 Billion"),
+    "x264": ("x264_src/x264.c", 173, "14.8 Billion"),
+    "nab": ("nabmd.c", 127, "14.2 Billion"),
+    "leela": ("Leela.cpp", 62, "10.3 Billion"),
+    "imagick": ("wang/mogrify.cpp", 168, "13.4 Billion"),
+    "gcc": ("toplev.c", 2461, "9 Billion"),
+    "xz": ("spec_xz.c", 229, "10.8 Billion"),
+}
+
+
+class TestRegistry:
+    def test_all_eleven_applications(self):
+        assert len(SPEC_BENCHMARKS) == 11
+        assert set(SPEC_WORKLOADS) == set(TABLE2)
+
+    def test_table2_provenance_recorded(self):
+        by_name = {p.name: p for p in SPEC_PROFILES}
+        for name, (fname, line, insns) in TABLE2.items():
+            profile = by_name[name]
+            assert profile.paper_file == fname
+            assert profile.paper_line == line
+            assert profile.paper_instructions == insns
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_spec_benchmark("blender")
+
+
+class TestTraces:
+    @pytest.mark.parametrize("name", sorted(TABLE2))
+    def test_trace_builds(self, name):
+        trace = get_spec_benchmark(name).trace()
+        assert 1500 <= len(trace) <= 40_000
+
+    def test_determinism(self):
+        wl = get_spec_benchmark("gcc")
+        from repro.frontend.interpreter import trace_program
+
+        assert trace_program(wl.builder(1.0)).records == trace_program(wl.builder(1.0)).records
+
+
+class TestMixSignatures:
+    def test_fp_applications_have_fp(self):
+        for name in ("povray", "nab"):
+            stats = compute_trace_stats(get_spec_benchmark(name).trace())
+            assert stats.fp_fraction > 0.15, name
+
+    def test_simd_applications_have_fp_or_simd(self):
+        for name in ("x264", "imagick"):
+            stats = compute_trace_stats(get_spec_benchmark(name).trace())
+            assert stats.fp_fraction > 0.12, name
+
+    def test_integer_applications_have_no_fp(self):
+        for name in ("mcf", "deepsjeng", "xz", "gcc"):
+            stats = compute_trace_stats(get_spec_benchmark(name).trace())
+            assert stats.fp_fraction < 0.05, name
+
+    def test_pointer_chasers_have_large_footprints(self):
+        mcf = compute_trace_stats(get_spec_benchmark("mcf").trace())
+        leela = compute_trace_stats(get_spec_benchmark("leela").trace())
+        assert mcf.unique_cachelines > 2 * leela.unique_cachelines
+
+    def test_dispatchy_applications_use_indirect_branches(self):
+        for name in ("omnetpp", "xalancbmk", "gcc"):
+            stats = compute_trace_stats(get_spec_benchmark(name).trace())
+            assert stats.indirect_branches > 0, name
+
+    def test_all_have_realistic_mixes(self):
+        for wl in SPEC_BENCHMARKS:
+            stats = compute_trace_stats(wl.trace())
+            assert 0.10 < stats.load_fraction < 0.55, wl.name
+            assert 0.02 < stats.branch_fraction < 0.40, wl.name
+
+    def test_code_footprint_applications(self):
+        gcc = compute_trace_stats(get_spec_benchmark("gcc").trace())
+        nab = compute_trace_stats(get_spec_benchmark("nab").trace())
+        assert gcc.unique_pcs > nab.unique_pcs
+
+
+class TestHardwareBehaviour:
+    def test_mcf_is_memory_bound_on_both_cores(self, board):
+        trace = get_spec_benchmark("mcf").trace()
+        assert board.a53.measure(trace).cpi > 10
+        assert board.a72.measure(trace).cpi > 10
+
+    def test_compute_apps_faster_than_mcf(self, board):
+        mcf = board.a53.measure(get_spec_benchmark("mcf").trace()).cpi
+        povray = board.a53.measure(get_spec_benchmark("povray").trace()).cpi
+        assert povray < mcf / 2
