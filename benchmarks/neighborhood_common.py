@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-from repro.simulator import SnipeSim
-from repro.tuning.cost import cpi_error
+from repro.engine import EvaluationEngine
 from repro.validation.neighborhood import worst_near_optimum
 from repro.validation.steps import param_space_for
-from repro.workloads.microbench import ALL_MICROBENCHMARKS, get_microbenchmark
+from repro.workloads.microbench import ALL_MICROBENCHMARKS
 
 #: Probe sub-suite for the (expensive) search phases; the final report
 #: is produced over the full suite.
@@ -16,43 +15,52 @@ PROBE = ["ED1", "EM1", "EF", "MD", "ML2", "MC", "CCh", "CCe", "CS1",
 #: The campaign's step-5 array-initialisation fix stays applied.
 OVERRIDES = {"MM": {"initialized": True}, "M_Dyn": {"initialized": True}}
 
+#: Per-probe cost saturation (matches the campaign's outlier guard).
+SATURATION = 3.0
 
-def _trace(name):
-    return get_microbenchmark(name).trace(**OVERRIDES.get(name, {}))
 
-
-def run_neighborhood_study(board, core_name, campaign_result, seed=0):
+def run_neighborhood_study(board, core_name, campaign_result, seed=0, jobs=1):
     """Execute the Figures 7/8 experiment for one core."""
-    core = board.core(core_name)
     final_config = campaign_result.final_config
     space = param_space_for(final_config.core_type, stage=2)
     tuned_assignment = campaign_result.stages[-1].irace.best_assignment
 
-    probe_traces = {name: _trace(name) for name in PROBE}
-    probe_hw = {name: core.measure(t) for name, t in probe_traces.items()}
+    engine = EvaluationEngine(
+        hw=board.core(core_name),
+        workloads=ALL_MICROBENCHMARKS,
+        overrides=dict(OVERRIDES),
+        jobs=jobs,
+    )
+
+    def mean_error_batch(assignments):
+        """Phase-1 block scoring: all candidates x probes in one batch."""
+        configs = [final_config.with_updates(a) for a in assignments]
+        pairs = [(config, name) for config in configs for name in PROBE]
+        costs = engine.evaluate_batch(pairs)
+        n = len(PROBE)
+        return [
+            sum(min(c, SATURATION) for c in costs[i * n:(i + 1) * n]) / n
+            for i in range(len(configs))
+        ]
 
     def mean_error(assignment):
-        config = final_config.with_updates(assignment)
-        sim = SnipeSim(config)
-        total = 0.0
-        for name in PROBE:
-            total += min(cpi_error(sim.run(probe_traces[name]), probe_hw[name]), 3.0)
-        return total / len(PROBE)
+        return mean_error_batch([assignment])[0]
 
     def per_benchmark(assignment):
         config = final_config.with_updates(assignment)
-        sim = SnipeSim(config)
-        out = {}
-        for wl in ALL_MICROBENCHMARKS:
-            trace = _trace(wl.name)
-            out[wl.name] = cpi_error(sim.run(trace), core.measure(trace))
-        return out
+        names = [wl.name for wl in ALL_MICROBENCHMARKS]
+        costs = engine.evaluate_batch([(config, name) for name in names])
+        return dict(zip(names, costs))
 
-    return worst_near_optimum(
-        space,
-        tuned_assignment,
-        mean_error,
-        per_benchmark_error=per_benchmark,
-        random_restarts=10,
-        seed=seed,
-    )
+    try:
+        return worst_near_optimum(
+            space,
+            tuned_assignment,
+            mean_error,
+            per_benchmark_error=per_benchmark,
+            random_restarts=10,
+            seed=seed,
+            mean_error_batch=mean_error_batch,
+        )
+    finally:
+        engine.close()

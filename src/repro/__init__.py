@@ -13,6 +13,9 @@ The package implements the paper's entire experimental apparatus:
   configurations and perf-counter measurement (:mod:`repro.hardware`);
 - the 40-kernel targeted micro-benchmark suite and SPEC CPU2017 proxy
   workloads (:mod:`repro.workloads`);
+- a unified evaluation engine — memoised traces, a content-addressed
+  result cache and batched serial/parallel trial execution shared by
+  every layer (:mod:`repro.engine`);
 - an iterated-racing parameter tuner (:mod:`repro.tuning`) and the
   validation methodology built on it (:mod:`repro.validation`);
 - analysis/reporting helpers (:mod:`repro.analysis`).

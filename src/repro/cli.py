@@ -6,23 +6,27 @@ Mirrors the workflows a user of the paper's framework runs by hand::
     python -m repro measure  --core a72 --workload ML2_BWld
     python -m repro simulate --core a53 --workload CS1 --set l1d.prefetcher=stride
     python -m repro lmbench  --core a53
-    python -m repro validate --core a53 --profile fast --out results/a53.json
+    python -m repro validate --core a53 --profile fast --jobs 4 --out results/a53.json
+    python -m repro sweep    --core a53 --workloads STc,MD \\
+        --set l1d.prefetcher=none,stride --set l1d.prefetch_degree=2,4
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import sys
 
 from repro.analysis.io import save_result_json
 from repro.analysis.tables import render_table
 from repro.core.config import cortex_a53_public_config, cortex_a72_public_config
+from repro.engine import EvaluationEngine
 from repro.hardware.board import FireflyRK3399
 from repro.hardware.lmbench import lat_mem_rd
 from repro.simulator.simulator import SnipeSim
 from repro.tuning.cost import cpi_error
 from repro.validation.campaign import PROFILES, ValidationCampaign
-from repro.workloads.microbench import MICROBENCHMARKS, list_microbenchmarks
+from repro.workloads.microbench import ALL_MICROBENCHMARKS, MICROBENCHMARKS, list_microbenchmarks
 from repro.workloads.spec import SPEC_WORKLOADS
 
 
@@ -43,6 +47,18 @@ def _public_config(core: str):
     raise SystemExit(f"unknown core {core!r}; the board has a53 and a72")
 
 
+def _convert_token(raw: str):
+    """One ``--set`` value token to int/float/bool/str."""
+    for conv in (int, float):
+        try:
+            return conv(raw)
+        except ValueError:
+            continue
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    return raw
+
+
 def _parse_overrides(pairs):
     """``key=value`` strings into a dotted-path update dict."""
     out = {}
@@ -50,18 +66,26 @@ def _parse_overrides(pairs):
         if "=" not in pair:
             raise SystemExit(f"--set expects key=value, got {pair!r}")
         key, raw = pair.split("=", 1)
-        for conv in (int, float):
-            try:
-                out[key] = conv(raw)
-                break
-            except ValueError:
-                continue
-        else:
-            if raw.lower() in ("true", "false"):
-                out[key] = raw.lower() == "true"
-            else:
-                out[key] = raw
+        out[key] = _convert_token(raw)
     return out
+
+
+def _parse_sweep_sets(pairs):
+    """``key=v1,v2,...`` strings into an ordered {key: [values]} grid."""
+    if not pairs:
+        raise SystemExit("sweep needs at least one --set key=v1,v2,...")
+    grid = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=v1,v2,..., got {pair!r}")
+        key, raw = pair.split("=", 1)
+        if key in grid:
+            raise SystemExit(f"--set {key} given twice; list all values in one --set")
+        values = [_convert_token(tok) for tok in raw.split(",") if tok != ""]
+        if not values:
+            raise SystemExit(f"--set {key} has no values")
+        grid[key] = values
+    return grid
 
 
 def cmd_list_workloads(args) -> int:
@@ -118,10 +142,15 @@ def cmd_lmbench(args) -> int:
 def cmd_validate(args) -> int:
     board = FireflyRK3399()
     campaign = ValidationCampaign(
-        board, core=args.core, profile=args.profile, seed=args.seed, verbose=True
+        board, core=args.core, profile=args.profile, seed=args.seed, verbose=True,
+        jobs=args.jobs,
     )
-    result = campaign.run(stages=args.stages)
+    try:
+        result = campaign.run(stages=args.stages)
+    finally:
+        campaign.close()
     print(result.summary())
+    print(f"engine: {campaign.engine.telemetry.summary()}")
     if args.out:
         payload = {
             "core": result.core,
@@ -132,6 +161,58 @@ def cmd_validate(args) -> int:
         }
         save_result_json(args.out, payload)
         print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Scenario exploration: cross-product of --set value lists."""
+    board = FireflyRK3399()
+    base = _public_config(args.core)
+    grid = _parse_sweep_sets(args.set)
+    keys = list(grid)
+    combos = [dict(zip(keys, values)) for values in itertools.product(*grid.values())]
+    if args.workloads:
+        names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+        if not names:
+            raise SystemExit("--workloads names no workloads")
+        workloads = [_lookup_workload(n) for n in names]
+    else:
+        workloads = list(ALL_MICROBENCHMARKS)
+        names = [wl.name for wl in workloads]
+
+    try:
+        configs = [base.with_updates(combo) for combo in combos]
+    except KeyError as exc:
+        raise SystemExit(f"bad --set parameter: {exc.args[0]}") from None
+
+    with EvaluationEngine(
+        hw=board.core(args.core), workloads=workloads,
+        scale=args.scale, jobs=args.jobs,
+    ) as engine:
+        pairs = [(config, name) for config in configs for name in names]
+        stats_list = engine.simulate_batch(pairs)
+
+        rows, combo_means = [], []
+        stats_iter = iter(stats_list)
+        for combo in combos:
+            errs = []
+            for name in names:
+                stats = next(stats_iter)
+                hw = engine.measure_hw(name)
+                err = cpi_error(stats, hw)
+                errs.append(err)
+                rows.append([*[combo[k] for k in keys], name,
+                             f"{stats.cpi:.4f}", f"{hw.cpi:.4f}", f"{err:.1%}"])
+            combo_means.append(sum(errs) / len(errs))
+        telemetry = engine.telemetry
+
+    print(render_table([*keys, "workload", "sim CPI", "hw CPI", "CPI err"],
+                       rows, title=f"sweep — {base.name} on {args.core}"))
+    best = min(range(len(combos)), key=combo_means.__getitem__)
+    best_desc = ", ".join(f"{k}={combos[best][k]}" for k in keys)
+    print(f"{len(combos)} configurations x {len(names)} workloads "
+          f"= {len(pairs)} trials ({telemetry.unique_trials} unique simulations)")
+    print(f"best mean CPI error: {combo_means[best]:.1%} ({best_desc})")
     return 0
 
 
@@ -168,8 +249,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", choices=sorted(PROFILES), default="fast")
     p.add_argument("--stages", type=int, default=2)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel simulation processes (1 = serial)")
     p.add_argument("--out", default=None, help="write results JSON here")
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "sweep",
+        help="simulate the cross-product of --set value lists over workloads",
+    )
+    p.add_argument("--core", default="a53")
+    p.add_argument("--workloads", default=None,
+                   help="comma-separated workload names (default: all 40 kernels)")
+    p.add_argument("--set", action="append", metavar="KEY=V1,V2,...",
+                   help="parameter value list to sweep (repeatable)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="trace scale (1.0 = nominal length)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel simulation processes (1 = serial)")
+    p.set_defaults(func=cmd_sweep)
     return parser
 
 

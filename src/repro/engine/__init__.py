@@ -1,0 +1,44 @@
+"""Unified evaluation engine: cached, batched, parallel trial execution.
+
+One subsystem owns every (configuration, workload) experiment the
+reproduction runs — trace recording, simulator runs, hardware
+ground-truth measurement — behind a content-addressed result cache and
+a batch API with pluggable serial/process executors. The tuning,
+validation and CLI layers all submit their trials here.
+"""
+
+from repro.engine.keys import (
+    config_token,
+    decoder_token,
+    freeze_assignment,
+    hw_key,
+    overrides_token,
+    sim_key,
+    trace_key,
+)
+from repro.engine.tracestore import TraceStore
+from repro.engine.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.evaluator import AssignmentEvaluator, TrialCache
+from repro.engine.engine import EngineTelemetry, EvaluationEngine
+
+__all__ = [
+    "EvaluationEngine",
+    "EngineTelemetry",
+    "TraceStore",
+    "TrialCache",
+    "AssignmentEvaluator",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "config_token",
+    "decoder_token",
+    "freeze_assignment",
+    "overrides_token",
+    "trace_key",
+    "sim_key",
+    "hw_key",
+]

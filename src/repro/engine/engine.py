@@ -1,0 +1,232 @@
+"""The unified evaluation engine.
+
+The paper's methodology is an experiment-execution problem: tens of
+thousands of (configuration, workload) trials raced under irace, each
+trial a simulator run compared against a hardware measurement. The
+:class:`EvaluationEngine` is the one place those trials execute for every
+layer of this reproduction — the irace tuner, the validation campaign,
+the near-optimum worst-case search, and the CLI all submit work here.
+
+It owns:
+
+- a :class:`~repro.engine.tracestore.TraceStore`, so each workload trace
+  is recorded at most once per (scale, overrides);
+- a content-addressed result cache keyed by
+  ``(config hash via SimConfig.flatten(), workload, scale, overrides,
+  decoder)`` covering simulator runs *and* hardware ground-truth
+  measurements;
+- a batch API (:meth:`simulate_batch` / :meth:`evaluate_batch`) with
+  pluggable executors — serial, or a process pool selected by ``jobs``;
+- unified trial telemetry (requested vs unique trials, cache hits).
+
+Parallel and serial execution produce bit-identical results: simulation
+is pure and all randomness stays in the drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.executors import make_executor
+from repro.engine.keys import hw_key, sim_key
+from repro.engine.tracestore import TraceStore
+from repro.isa.decoder import Decoder
+from repro.tuning.cost import cpi_error
+
+
+@dataclass
+class EngineTelemetry:
+    """Unified trial accounting across all engine consumers."""
+
+    #: Trials submitted (including ones answered from the cache).
+    requested_trials: int = 0
+    #: Trials that actually ran the simulator (cache misses).
+    unique_trials: int = 0
+    #: Trials answered from the result cache (or deduplicated in-batch).
+    sim_cache_hits: int = 0
+    #: Hardware measurements taken / answered from the cache.
+    hw_measurements: int = 0
+    hw_cache_hits: int = 0
+
+    def hit_rate(self) -> float:
+        if not self.requested_trials:
+            return 0.0
+        return self.sim_cache_hits / self.requested_trials
+
+    def summary(self) -> str:
+        return (
+            f"{self.requested_trials} trials requested, "
+            f"{self.unique_trials} unique simulations "
+            f"({self.hit_rate():.0%} cache hits), "
+            f"{self.hw_measurements} hardware measurements"
+        )
+
+
+class EvaluationEngine:
+    """Cached, batched, optionally parallel experiment execution.
+
+    Parameters
+    ----------
+    hw:
+        The :class:`~repro.hardware.board.HardwareCore` providing ground
+        truth (``None`` for simulate-only engines; hardware-comparing
+        calls then fail).
+    workloads:
+        Workload objects this engine can run.
+    scale:
+        Trace scale applied to every recording.
+    decoder:
+        Decoder library for *simulator* runs (hardware measurement uses
+        the board's own path). Reassignable: cache keys include the
+        decoder identity, so swapping libraries never reuses stale runs.
+    jobs:
+        Parallelism knob: 1 = serial, N>1 = N worker processes.
+    overrides:
+        Optional shared per-workload kwargs dict (e.g. step-5 fixes);
+        mutating it takes effect on the next trial.
+    """
+
+    def __init__(
+        self,
+        hw=None,
+        workloads=(),
+        scale: float = 1.0,
+        decoder: Decoder = None,
+        jobs: int = 1,
+        executor: str = None,
+        overrides: dict = None,
+    ) -> None:
+        self.hw = hw
+        self.decoder = decoder if decoder is not None else Decoder()
+        self.traces = TraceStore(workloads, scale=scale)
+        self.overrides = overrides if overrides is not None else {}
+        self.jobs = max(1, int(jobs))
+        self._executor = make_executor(self.jobs, executor)
+        self._results: dict = {}
+        self.telemetry = EngineTelemetry()
+
+    # ------------------------------------------------------------------
+    # Keys and traces
+    # ------------------------------------------------------------------
+    @property
+    def scale(self) -> float:
+        return self.traces.scale
+
+    def _wl_overrides(self, name: str) -> dict:
+        return self.overrides.get(name, {})
+
+    def result_key(self, config, name: str) -> tuple:
+        """Public cache-key view (content-addressed; see :mod:`.keys`)."""
+        return sim_key(config, name, self.scale, self._wl_overrides(name), self.decoder)
+
+    def trace(self, name: str):
+        """The (memoised) trace of workload ``name`` under current overrides."""
+        return self.traces.get(name, self._wl_overrides(name))
+
+    # ------------------------------------------------------------------
+    # Hardware ground truth
+    # ------------------------------------------------------------------
+    def measure_hw(self, name: str):
+        """Measure ``name`` on the board once; cached thereafter."""
+        if self.hw is None:
+            raise RuntimeError("this engine has no hardware core attached")
+        key = hw_key(name, self.scale, self._wl_overrides(name))
+        cached = self._results.get(key)
+        if cached is not None:
+            self.telemetry.hw_cache_hits += 1
+            return cached
+        result = self.hw.measure(self.trace(name))
+        self._results[key] = result
+        self.telemetry.hw_measurements += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(self, config, name: str):
+        """Simulate one (config, workload) pair; cached by content."""
+        return self.simulate_batch([(config, name)])[0]
+
+    def simulate_batch(self, pairs) -> list:
+        """Simulate ``[(config, workload), ...]``; returns aligned stats.
+
+        Cached results are returned directly; duplicate uncached pairs
+        within the batch run once; the remainder is dispatched to the
+        executor as one parallel block grouped by trace.
+        """
+        pairs = list(pairs)
+        results = [None] * len(pairs)
+        pending: dict = {}  # key -> [indices]
+        for idx, (config, name) in enumerate(pairs):
+            self.telemetry.requested_trials += 1
+            key = self.result_key(config, name)
+            cached = self._results.get(key)
+            if cached is not None:
+                self.telemetry.sim_cache_hits += 1
+                results[idx] = cached
+            elif key in pending:
+                self.telemetry.sim_cache_hits += 1
+                pending[key].append(idx)
+            else:
+                pending[key] = [idx]
+
+        if pending:
+            # Group the unique jobs by trace so each trace crosses the
+            # executor boundary (at most) once per batch.
+            groups: dict = {}  # trace_key -> (trace, [(key, config)])
+            order = []
+            for key, indices in pending.items():
+                config, name = pairs[indices[0]]
+                tkey = self.traces.key(name, self._wl_overrides(name))
+                if tkey not in groups:
+                    groups[tkey] = (self.trace(name), [])
+                    order.append(tkey)
+                groups[tkey][1].append((key, config))
+
+            exec_groups = [
+                ([config for _key, config in groups[tkey][1]], tkey, groups[tkey][0])
+                for tkey in order
+            ]
+            group_stats = self._executor.run(
+                exec_groups, self.decoder, self.traces.items()
+            )
+            for tkey, stats_list in zip(order, group_stats):
+                for (key, _config), stats in zip(groups[tkey][1], stats_list):
+                    self._results[key] = stats
+                    self.telemetry.unique_trials += 1
+                    for idx in pending[key]:
+                        results[idx] = stats
+        return results
+
+    # ------------------------------------------------------------------
+    # Costs
+    # ------------------------------------------------------------------
+    def evaluate(self, config, name: str, cost=None) -> float:
+        """Cost of one pair (default: absolute relative CPI error)."""
+        return self.evaluate_batch([(config, name)], cost=cost)[0]
+
+    def evaluate_batch(self, pairs, cost=None) -> list:
+        """Costs for ``[(config, workload), ...]`` against hardware.
+
+        Costs are computed from cached stats, so racing the same runs
+        under a different cost function (the step-5 weighted rounds)
+        re-simulates nothing.
+        """
+        pairs = list(pairs)
+        cost_fn = cost if cost is not None else cpi_error
+        stats_list = self.simulate_batch(pairs)
+        return [
+            cost_fn(stats, self.measure_hw(name))
+            for stats, (_config, name) in zip(stats_list, pairs)
+        ]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release executor resources (worker processes)."""
+        self._executor.close()
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,117 @@
+"""Evaluator adapters between the tuner's assignment space and the engine.
+
+The racing tuner speaks ``evaluate(assignment, instance) -> cost`` over
+flat parameter assignments; the engine speaks ``(SimConfig, workload)``
+pairs. Two adapters bridge them:
+
+- :class:`TrialCache` — memoises *any* trial evaluator (engine-backed or
+  a plain function) per (assignment, instance) and keeps the unified
+  requested/unique trial accounting. This replaces the private memo
+  dicts that used to live inside :class:`~repro.tuning.irace.IraceTuner`.
+- :class:`AssignmentEvaluator` — applies an assignment to a base config
+  and submits the pair to an :class:`~repro.engine.engine.EvaluationEngine`,
+  with an optional cost function and cost saturation; its batch method
+  lets a whole race block execute as one parallel submission.
+
+Only ``repro.engine.keys`` is imported here (no engine/tuning modules),
+which keeps the tuning <-> engine import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.engine.keys import freeze_assignment
+
+
+class TrialCache:
+    """Memoising wrapper around ``evaluate(assignment, instance)``.
+
+    Exposes both the scalar call the race's statistics expect and a
+    batch call (``evaluate_batch(pairs) -> costs``) that deduplicates
+    against the memo and forwards the remainder to the wrapped batch
+    evaluator in one block (falling back to a serial loop when the
+    underlying evaluator has no batch path).
+    """
+
+    def __init__(self, evaluate=None, batch_evaluate=None) -> None:
+        if evaluate is None and batch_evaluate is None:
+            raise ValueError("need evaluate and/or batch_evaluate")
+        if batch_evaluate is None:
+            batch_evaluate = getattr(evaluate, "evaluate_batch", None)
+        self._evaluate = evaluate
+        self._batch = batch_evaluate
+        self._memo: dict = {}
+        #: Trials requested, including memo hits.
+        self.requested_trials = 0
+        #: Trials that reached the underlying evaluator.
+        self.unique_trials = 0
+
+    @staticmethod
+    def key(assignment: dict, instance) -> tuple:
+        return (freeze_assignment(assignment), instance)
+
+    def __call__(self, assignment: dict, instance) -> float:
+        return self.evaluate_batch([(assignment, instance)])[0]
+
+    def evaluate_batch(self, pairs) -> list:
+        pairs = list(pairs)
+        costs = [None] * len(pairs)
+        pending: dict = {}  # key -> [indices]
+        for idx, (assignment, instance) in enumerate(pairs):
+            self.requested_trials += 1
+            key = self.key(assignment, instance)
+            if key in self._memo:
+                costs[idx] = self._memo[key]
+            elif key in pending:
+                pending[key].append(idx)
+            else:
+                pending[key] = [idx]
+
+        if pending:
+            todo = [pairs[indices[0]] for indices in pending.values()]
+            if self._batch is not None:
+                fresh = list(self._batch(todo))
+            else:
+                fresh = [self._evaluate(a, i) for a, i in todo]
+            self.unique_trials += len(todo)
+            for key, value in zip(pending, fresh):
+                self._memo[key] = value
+                for idx in pending[key]:
+                    costs[idx] = value
+        return costs
+
+
+class AssignmentEvaluator:
+    """Engine-backed ``evaluate(assignment, instance)`` for the tuner.
+
+    Parameters
+    ----------
+    engine:
+        The shared :class:`~repro.engine.engine.EvaluationEngine`.
+    base_config:
+        Configuration the raced assignments are applied to.
+    cost:
+        Optional ``cost(SimStats, PerfResult) -> float`` (defaults to the
+        engine's CPI error).
+    saturation:
+        Optional per-trial cost cap (the campaign's outlier guard).
+    """
+
+    def __init__(self, engine, base_config, cost=None, saturation: float = None) -> None:
+        self.engine = engine
+        self.base_config = base_config
+        self.cost = cost
+        self.saturation = saturation
+
+    def __call__(self, assignment: dict, instance) -> float:
+        return self.evaluate_batch([(assignment, instance)])[0]
+
+    def evaluate_batch(self, pairs) -> list:
+        pairs = list(pairs)
+        configs = [
+            (self.base_config.with_updates(assignment), instance)
+            for assignment, instance in pairs
+        ]
+        costs = self.engine.evaluate_batch(configs, cost=self.cost)
+        if self.saturation is None:
+            return costs
+        return [min(c, self.saturation) for c in costs]

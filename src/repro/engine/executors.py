@@ -1,0 +1,167 @@
+"""Pluggable batch executors for the evaluation engine.
+
+A batch is a list of *groups*, each group pairing one recorded trace
+with the configurations to simulate on it. Two executors are provided:
+
+- :class:`SerialExecutor` — runs everything in-process, in order;
+- :class:`ProcessExecutor` — fans groups out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Simulation is pure — a run is fully determined by (config, trace,
+decoder library) and the driver owns all randomness — so both executors
+return bit-identical results; only wall-clock differs. The engine relies
+on that to make ``jobs`` a pure throughput knob.
+
+On fork-capable platforms the process executor avoids re-pickling traces
+on every task: whenever the trace registry has grown it refreshes its
+pool, first snapshotting the registry into a module global that the
+forked workers inherit copy-on-write; tasks then carry only the trace
+key. The engine records a batch's traces while grouping it — before the
+executor runs — so steady-state batches (the tuning loop) reuse one
+pool and send keys only. On spawn platforms the snapshot never reaches
+the workers, so the pool is created once and traces ship inline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.isa.decoder import decoder_library
+from repro.simulator.simulator import SnipeSim
+
+#: Per-executor trace snapshots inherited by forked workers.
+_TRACE_SNAPSHOTS: dict = {}
+
+_executor_ids = itertools.count(1)
+
+
+def _simulate_chunk(payload):
+    """Worker entry point: simulate one chunk of configs on one trace."""
+    configs, snapshot_token, key, trace, decoder_cls = payload
+    if trace is None:
+        trace = _TRACE_SNAPSHOTS[snapshot_token][key]
+    decoder = decoder_cls()
+    return [SnipeSim(config, decoder=decoder).run(trace) for config in configs]
+
+
+class SerialExecutor:
+    """In-process, in-order execution (the ``jobs=1`` path)."""
+
+    name = "serial"
+    jobs = 1
+
+    def run(self, groups, decoder, registry_items=None) -> list:
+        out = []
+        for configs, _key, trace in groups:
+            out.append([SnipeSim(config, decoder=decoder).run(trace) for config in configs])
+        return out
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessExecutor:
+    """Parallel execution over a process pool (the ``jobs>1`` path)."""
+
+    name = "process"
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 2:
+            raise ValueError("ProcessExecutor needs jobs >= 2; use SerialExecutor")
+        self.jobs = jobs
+        self._pool = None
+        self._token = next(_executor_ids)
+        self._snapshot_keys: frozenset = frozenset()
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+            self._fork = True
+        except ValueError:
+            self._ctx = multiprocessing.get_context()
+            self._fork = False
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, registry_items) -> None:
+        """(Re)create the pool when new traces appeared since the snapshot.
+
+        The snapshot global must be updated *before* the pool exists:
+        workers fork lazily at first submit and inherit whatever the
+        module global holds at that moment.
+        """
+        if self._pool is not None:
+            if not self._fork:
+                return  # workers never see the snapshot; nothing to refresh
+            if frozenset(dict(registry_items or [])) == self._snapshot_keys:
+                return
+        registry = dict(registry_items or [])
+        self.close()
+        if self._fork:
+            _TRACE_SNAPSHOTS[self._token] = registry
+        self._snapshot_keys = frozenset(registry)
+        self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=self._ctx)
+
+    def _chunks(self, configs: list) -> list:
+        n = min(self.jobs, len(configs))
+        base, extra = divmod(len(configs), n)
+        out, start = [], 0
+        for i in range(n):
+            size = base + (1 if i < extra else 0)
+            out.append(configs[start:start + size])
+            start += size
+        return out
+
+    def run(self, groups, decoder, registry_items=None) -> list:
+        self._ensure_pool(registry_items)
+        decoder_cls = type(decoder)
+        # Workers rebuild the decoder as decoder_cls(); prove parent-side
+        # that this reproduces the same library, so a stateful/parameterised
+        # decoder fails loudly here instead of silently diverging from the
+        # serial path.
+        try:
+            reconstructible = decoder_library(decoder_cls()) == decoder_library(decoder)
+        except TypeError:
+            reconstructible = False
+        if not reconstructible:
+            raise ValueError(
+                f"{decoder_cls.__name__} is not reconstructible as "
+                f"{decoder_cls.__name__}(); the process executor needs "
+                "stateless per-class decoders — use jobs=1"
+            )
+        futures = []  # (group_index, future)
+        for gi, (configs, key, trace) in enumerate(groups):
+            in_snapshot = self._fork and key in self._snapshot_keys
+            ship = None if in_snapshot else trace
+            for chunk in self._chunks(list(configs)):
+                payload = (chunk, self._token, key, ship, decoder_cls)
+                futures.append((gi, self._pool.submit(_simulate_chunk, payload)))
+        out = [[] for _ in groups]
+        # Collect in submission order: deterministic regardless of which
+        # worker finishes first.
+        for gi, future in futures:
+            out[gi].extend(future.result())
+        return out
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        # Unpin the snapshot traces; _ensure_pool re-registers on reuse.
+        _TRACE_SNAPSHOTS.pop(self._token, None)
+
+    def __del__(self):  # best-effort; engines call close() explicitly
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_executor(jobs: int = 1, kind: str = None):
+    """Executor factory: ``kind`` overrides the jobs-derived default."""
+    if kind is None:
+        kind = "serial" if jobs <= 1 else "process"
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "process":
+        return ProcessExecutor(jobs)  # raises for jobs < 2
+    raise ValueError(f"unknown executor kind {kind!r}; use 'serial' or 'process'")

@@ -1,0 +1,68 @@
+"""Content-addressed cache keys for the evaluation engine.
+
+Every result the engine stores — a simulator run, a hardware
+measurement, a memoised trial cost — is addressed by the *content* of
+the experiment that produced it, never by object identity. Two
+:class:`~repro.core.config.SimConfig` objects that flatten to the same
+parameter dict share one key (and therefore one simulation); any
+difference in a parameter, the workload, the trace scale, the
+per-workload overrides or the decoder library yields a different key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.config import SimConfig
+from repro.isa.decoder import decoder_library
+
+
+def freeze_assignment(assignment: dict) -> tuple:
+    """A hashable, order-insensitive token for a parameter assignment."""
+    return tuple(sorted(assignment.items(), key=lambda kv: kv[0]))
+
+
+def config_token(config: SimConfig) -> str:
+    """Content hash of a configuration via :meth:`SimConfig.flatten`.
+
+    The digest is taken over the sorted flat parameter list, so field
+    declaration order and construction style cannot perturb the key.
+    """
+    flat = freeze_assignment(config.flatten())
+    return hashlib.sha256(repr(flat).encode("utf-8")).hexdigest()
+
+
+def decoder_token(decoder) -> tuple:
+    """Identity of a decoder *library*, not a decoder instance.
+
+    Shared with the trace decode cache so both layers key results at the
+    same granularity (see :func:`repro.isa.decoder.decoder_library`).
+    """
+    return decoder_library(decoder)
+
+
+def overrides_token(overrides: dict) -> tuple:
+    """Hashable token for a workload's kwargs overrides."""
+    return tuple(sorted((overrides or {}).items()))
+
+
+def trace_key(workload: str, scale: float, overrides: dict) -> tuple:
+    """Key of one recorded trace: (workload, scale, overrides)."""
+    return (workload, scale, overrides_token(overrides))
+
+
+def sim_key(config: SimConfig, workload: str, scale: float, overrides: dict, decoder) -> tuple:
+    """Key of one simulator run — the engine's result-cache address."""
+    return (
+        "sim",
+        config_token(config),
+        workload,
+        scale,
+        overrides_token(overrides),
+        decoder_token(decoder),
+    )
+
+
+def hw_key(workload: str, scale: float, overrides: dict) -> tuple:
+    """Key of one hardware ground-truth measurement (config-independent)."""
+    return ("hw", workload, scale, overrides_token(overrides))

@@ -1,0 +1,72 @@
+"""Memoising trace store.
+
+The paper's SIFT workflow records each workload once and replays the
+trace for every candidate configuration. The :class:`TraceStore` is that
+recording step made explicit and shared: every layer (tuning, validation,
+CLI, sweeps) asks the store, and the store builds each trace at most once
+per ``(workload, scale, overrides)`` — the telemetry counters prove it.
+"""
+
+from __future__ import annotations
+
+from repro.engine.keys import trace_key
+
+
+class TraceStore:
+    """Builds and memoises workload traces for one engine.
+
+    Parameters
+    ----------
+    workloads:
+        The :class:`~repro.workloads.base.Workload` objects this store
+        can record.
+    scale:
+        Default trace scale (1.0 = the workload's nominal length).
+    """
+
+    def __init__(self, workloads, scale: float = 1.0) -> None:
+        self._by_name = {wl.name: wl for wl in workloads}
+        self.scale = scale
+        self._traces: dict = {}
+        #: Number of traces actually recorded (cache misses).
+        self.builds = 0
+        #: Number of store lookups served from the cache.
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def workload(self, name: str):
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown workload {name!r} in this trace store") from None
+
+    def names(self) -> list:
+        return list(self._by_name)
+
+    def key(self, name: str, overrides: dict = None, scale: float = None) -> tuple:
+        return trace_key(name, self.scale if scale is None else scale, overrides or {})
+
+    def get(self, name: str, overrides: dict = None, scale: float = None):
+        """The trace of ``name`` at ``scale`` with kwargs ``overrides``.
+
+        Recorded on first request, replayed from the cache afterwards.
+        """
+        key = self.key(name, overrides, scale)
+        cached = self._traces.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        wl = self.workload(name)
+        use_scale = self.scale if scale is None else scale
+        trace = wl.trace(scale=use_scale, **(overrides or {}))
+        self._traces[key] = trace
+        self.builds += 1
+        return trace
+
+    def items(self):
+        return self._traces.items()

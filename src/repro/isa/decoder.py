@@ -23,6 +23,22 @@ from repro.isa.opclasses import FP_CLASSES
 from repro.isa.registers import NO_REG
 
 
+def decoder_library(decoder) -> tuple:
+    """Identity of a decoder *library*: class plus reported ``name``.
+
+    Decoding is pure per class, so all instances of one decoder class
+    are interchangeable. This single identity rule backs both the trace
+    decode cache and the evaluation engine's result-cache keys.
+
+    Contract for subclasses: any constructor parameter that changes
+    decoding behaviour MUST be reflected in the instance's ``name`` —
+    that is what separates the cached decode streams and simulation
+    results of two differently-parameterised instances.
+    """
+    cls = type(decoder)
+    return (cls.__module__, cls.__qualname__, getattr(decoder, "name", cls.__name__))
+
+
 class Decoder:
     """Decodes 32-bit words into interned :class:`DecodedInst` objects."""
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.isa.decoder import Decoder
+from repro.isa.decoder import Decoder, decoder_library
 
 
 class DynInst:
@@ -47,8 +47,12 @@ class Trace:
     """A dynamic instruction stream plus its decode cache.
 
     ``decoded_with`` pre-decodes every record with a given decoder library
-    and memoises the result per decoder instance; replaying the same trace
-    under many configurations (the tuning loop) then pays decode cost once.
+    and memoises the result per decoder *library* (class identity, not
+    instance id — decoding is pure per class, instances are
+    interchangeable, and id-keying could silently alias a freed decoder
+    with a newly allocated one at the same address); replaying the same
+    trace under many configurations (the tuning loop) then pays decode
+    cost once.
     """
 
     def __init__(self, records: list, name: str = "anonymous") -> None:
@@ -65,9 +69,16 @@ class Trace:
     def __getitem__(self, idx):
         return self.records[idx]
 
+    def __getstate__(self) -> dict:
+        # Decoded lists are bulky and cheap to rebuild; ship the trace
+        # without them to keep pickles small.
+        state = self.__dict__.copy()
+        state["_decoded_cache"] = {}
+        return state
+
     def decoded_with(self, decoder: Decoder) -> list:
         """Return per-record :class:`DecodedInst` list for ``decoder``."""
-        key = id(decoder)
+        key = decoder_library(decoder)
         cached = self._decoded_cache.get(key)
         if cached is None:
             decode = decoder.decode

@@ -15,13 +15,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.engine.evaluator import TrialCache
+from repro.engine.keys import freeze_assignment as _freeze
 from repro.tuning.parameters import ParamSpace
 from repro.tuning.race import race
 from repro.tuning.sampling import ConfigSampler
-
-
-def _freeze(assignment: dict) -> tuple:
-    return tuple(sorted(assignment.items(), key=lambda kv: kv[0]))
 
 
 @dataclass
@@ -38,7 +36,15 @@ class IraceIteration:
 
 @dataclass
 class IraceResult:
-    """Final tuner output."""
+    """Final tuner output.
+
+    Trial accounting distinguishes *unique* trials (distinct
+    (configuration, instance) pairs that actually ran — what the budget
+    buys) from *requested* trials (every evaluation the race asked for,
+    including ones answered by the memo, as elites re-race across
+    iterations). ``total_evaluations`` is kept as an alias of
+    ``unique_trials`` for backwards compatibility.
+    """
 
     best_assignment: dict
     best_cost: float
@@ -46,16 +52,19 @@ class IraceResult:
     history: list
     total_evaluations: int
     budget: int
+    unique_trials: int = 0
+    requested_trials: int = 0
 
     def summary(self) -> str:
         lines = [
-            f"irace finished: {self.total_evaluations}/{self.budget} trials, "
+            f"irace finished: {self.unique_trials} unique trials "
+            f"({self.requested_trials} requested) / budget {self.budget}, "
             f"best mean cost {self.best_cost:.4f}"
         ]
         for it in self.history:
             lines.append(
                 f"  iter {it.iteration}: {it.candidates} candidates, "
-                f"{it.evaluations} trials, best {it.best_cost:.4f}, "
+                f"{it.evaluations} requested trials, best {it.best_cost:.4f}, "
                 f"{it.survivor_count} survivors"
             )
         return "\n".join(lines)
@@ -114,20 +123,14 @@ class IraceTuner:
         self.verbose = verbose
         self._sampler = ConfigSampler(space, seed=seed)
         self._rng = self._sampler.rng
-        self._raw_evaluate = evaluate
-        self._cache: dict = {}
+        #: Shared memo + trial telemetry (replaces a private cache dict).
+        #: When ``evaluate`` exposes ``evaluate_batch`` (an engine-backed
+        #: AssignmentEvaluator), each race block runs as one parallel
+        #: batch through it.
+        self._trials = TrialCache(evaluate)
         self._initial = [dict(a) for a in (initial_assignments or [])]
         for assignment in self._initial:
             space.validate_assignment(assignment)
-
-    # ------------------------------------------------------------------
-    def _evaluate(self, assignment: dict, instance) -> float:
-        key = (_freeze(assignment), instance)
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = self._raw_evaluate(assignment, instance)
-            self._cache[key] = cached
-        return cached
 
     def _n_iterations(self) -> int:
         return max(2, 2 + int(math.floor(math.log2(max(2, len(self.space))))))
@@ -174,7 +177,8 @@ class IraceTuner:
             result = race(
                 candidates,
                 order,
-                self._evaluate,
+                self._trials,
+                batch_evaluate=self._trials.evaluate_batch,
                 budget=iter_budget,
                 first_test=self.first_test,
                 alpha=self.alpha,
@@ -219,18 +223,22 @@ class IraceTuner:
             if key not in seen_final:
                 seen_final.add(key)
                 finalists.append(assignment)
-        final_costs = []
-        for finalist in finalists:
-            costs = [self._evaluate(finalist, inst) for inst in self.instances]
-            final_costs.append(sum(costs) / len(costs))
+        pairs = [(f, inst) for f in finalists for inst in self.instances]
+        all_costs = self._trials.evaluate_batch(pairs)
+        n_inst = len(self.instances)
+        final_costs = [
+            sum(all_costs[i * n_inst:(i + 1) * n_inst]) / n_inst
+            for i in range(len(finalists))
+        ]
         best_i = min(range(len(finalists)), key=final_costs.__getitem__)
-        total_eval = len(self._cache)
 
         return IraceResult(
             best_assignment=dict(finalists[best_i]),
             best_cost=final_costs[best_i],
             elites=[dict(e) for e in elites],
             history=history,
-            total_evaluations=total_eval,
+            total_evaluations=self._trials.unique_trials,
             budget=self.budget,
+            unique_trials=self._trials.unique_trials,
+            requested_trials=self._trials.requested_trials,
         )

@@ -102,23 +102,32 @@ def _ttest_eliminate(costs: np.ndarray, alive: list, alpha: float) -> list:
 def race(
     configs: list,
     instances: list,
-    evaluate,
+    evaluate=None,
     budget: int = None,
     first_test: int = 5,
     alpha: float = 0.05,
     min_survivors: int = 2,
     test: str = "friedman",
+    batch_evaluate=None,
 ) -> RaceResult:
     """Race ``configs`` (list of assignments) across ``instances``.
 
     ``evaluate(config, instance) -> cost``; lower is better. The race
     stops when instances or ``budget`` are exhausted, or when only
     ``min_survivors`` candidates remain.
+
+    When ``batch_evaluate`` is given (``batch_evaluate(pairs) -> costs``
+    over ``(config, instance)`` pairs), each instance step submits all
+    alive candidates as one block — the embarrassingly parallel unit of
+    F-race — instead of looping; statistics, elimination order and
+    results are unchanged, only execution differs.
     """
     if not configs:
         raise ValueError("need at least one configuration to race")
     if not instances:
         raise ValueError("need at least one instance to race on")
+    if evaluate is None and batch_evaluate is None:
+        raise ValueError("need evaluate and/or batch_evaluate")
     if test not in ("friedman", "ttest"):
         raise ValueError(f"unknown test {test!r}; use 'friedman' or 'ttest'")
     eliminate_fn = _friedman_eliminate if test == "friedman" else _ttest_eliminate
@@ -133,8 +142,13 @@ def race(
     for j, instance in enumerate(instances):
         if budget is not None and evaluations + len(alive) > budget:
             break
-        for i in alive:
-            cost_rows[i].append(evaluate(configs[i], instance))
+        if batch_evaluate is not None:
+            block = batch_evaluate([(configs[i], instance) for i in alive])
+            for i, cost in zip(alive, block):
+                cost_rows[i].append(cost)
+        else:
+            for i in alive:
+                cost_rows[i].append(evaluate(configs[i], instance))
         evaluations += len(alive)
         instances_used = j + 1
 

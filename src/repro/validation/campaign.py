@@ -29,11 +29,11 @@ from repro.core.config import (
     cortex_a53_public_config,
     cortex_a72_public_config,
 )
+from repro.engine import AssignmentEvaluator, EvaluationEngine
 from repro.hardware.board import FireflyRK3399, HardwareCore
 from repro.hardware.lmbench import apply_latency_estimates, lat_mem_rd
 from repro.isa.decoder import BuggyDecoder, Decoder
-from repro.simulator.simulator import SnipeSim
-from repro.tuning.cost import cpi_error, make_weighted_cost
+from repro.tuning.cost import make_weighted_cost
 from repro.tuning.irace import IraceResult, IraceTuner
 from repro.tuning.parameters import ParamSpace
 from repro.validation.steps import param_space_for
@@ -151,7 +151,8 @@ class CampaignResult:
             mean = sum(stage.errors.values()) / len(stage.errors)
             lines.append(
                 f"  stage {stage.stage}: tuned mean error {mean:.1%} "
-                f"({stage.irace.total_evaluations} trials)"
+                f"({stage.irace.unique_trials} unique trials, "
+                f"{stage.irace.requested_trials} requested)"
             )
         lines.append(f"  final mean CPI error: {self.tuned_mean_error:.1%}")
         return "\n".join(lines)
@@ -169,6 +170,8 @@ class ValidationCampaign:
         verbose: bool = False,
         decoder: Decoder = None,
         workloads: list = None,
+        jobs: int = 1,
+        engine: EvaluationEngine = None,
     ) -> None:
         self.board = board
         self.hw: HardwareCore = board.core(core)
@@ -176,42 +179,94 @@ class ValidationCampaign:
         self.profile = PROFILES[profile] if isinstance(profile, str) else profile
         self.seed = seed
         self.verbose = verbose
-        #: The decoder library the *simulator* uses. Passing a
-        #: :class:`BuggyDecoder` reproduces the decoder-bug study; the
-        #: step-5 inspection will recommend replacing it.
-        self.decoder = decoder if decoder is not None else Decoder()
         self.workloads = list(workloads) if workloads is not None else list(ALL_MICROBENCHMARKS)
         self._workload_by_name = {wl.name: wl for wl in self.workloads}
-        #: Per-workload kwargs overrides (step-5 fixes land here).
-        self.workload_overrides: dict = {}
-        self._hw_cache: dict = {}
-
+        #: Every trial — simulator run or hardware measurement — executes
+        #: through the shared engine: one trace store, one
+        #: content-addressed result cache, ``jobs``-way parallelism.
+        if engine is not None:
+            # A supplied engine brings its own executor and scale; don't
+            # let conflicting knobs get silently ignored.
+            if jobs != 1:
+                raise ValueError("pass jobs via the engine when supplying one")
+            if engine.hw is not self.hw:
+                raise ValueError(
+                    "supplied engine measures a different hardware core "
+                    f"than {core!r}; build it with hw=board.core({core!r})"
+                )
+            missing = [wl.name for wl in self.workloads if wl.name not in engine.traces]
+            if missing:
+                raise ValueError(
+                    f"supplied engine cannot run campaign workloads: {missing}"
+                )
+            if engine.scale != self.profile.microbench_scale:
+                raise ValueError(
+                    f"engine scale {engine.scale} conflicts with profile "
+                    f"microbench_scale {self.profile.microbench_scale}"
+                )
+            if engine.overrides:
+                raise ValueError(
+                    "supplied engine carries per-workload overrides "
+                    f"{sorted(engine.overrides)}; pass a clean engine — the "
+                    "campaign's step-5 fixes must start from none"
+                )
+            if decoder is not None:
+                engine.decoder = decoder
+            self.engine = engine
+        else:
+            self.engine = EvaluationEngine(
+                hw=self.hw,
+                workloads=self.workloads,
+                scale=self.profile.microbench_scale,
+                decoder=decoder,
+                jobs=jobs,
+            )
     # ------------------------------------------------------------------
     # Infrastructure
     # ------------------------------------------------------------------
-    def _trace(self, name: str):
-        wl = self._workload_by_name[name]
-        kwargs = self.workload_overrides.get(name, {})
-        return wl.trace(scale=self.profile.microbench_scale, **kwargs)
+    @property
+    def workload_overrides(self) -> dict:
+        """Per-workload kwargs overrides (step-5 fixes land here).
 
-    def _measure_hw(self, name: str):
-        trace = self._trace(name)
-        cached = self._hw_cache.get(trace.name)
-        if cached is None:
-            cached = self.hw.measure(trace)
-            self._hw_cache[trace.name] = cached
-        return cached
+        This *is* the engine's overrides dict — the engine folds it into
+        its cache keys — so both mutation and wholesale assignment reach
+        the engine."""
+        return self.engine.overrides
 
-    def _simulate(self, config: SimConfig, name: str):
-        return SnipeSim(config, decoder=self.decoder).run(self._trace(name))
+    @workload_overrides.setter
+    def workload_overrides(self, value: dict) -> None:
+        if value is not self.engine.overrides:
+            self.engine.overrides.clear()
+            self.engine.overrides.update(value or {})
+
+    @property
+    def decoder(self) -> Decoder:
+        """The decoder library the *simulator* uses. Constructing the
+        campaign with a :class:`BuggyDecoder` reproduces the decoder-bug
+        study; the step-5 inspection will recommend replacing it."""
+        return self.engine.decoder
+
+    @decoder.setter
+    def decoder(self, decoder: Decoder) -> None:
+        self.engine.decoder = decoder
 
     def error_for(self, config: SimConfig, name: str) -> float:
         """Absolute relative CPI error of ``config`` on one workload."""
-        return cpi_error(self._simulate(config, name), self._measure_hw(name))
+        return self.engine.evaluate(config, name)
 
     def evaluate(self, config: SimConfig) -> dict:
-        """Per-workload CPI error of ``config`` over the whole suite."""
-        return {wl.name: self.error_for(config, wl.name) for wl in self.workloads}
+        """Per-workload CPI error of ``config`` over the whole suite.
+
+        Submitted as one batch, so with ``jobs > 1`` the suite runs in
+        parallel.
+        """
+        names = [wl.name for wl in self.workloads]
+        costs = self.engine.evaluate_batch([(config, name) for name in names])
+        return dict(zip(names, costs))
+
+    def close(self) -> None:
+        """Release engine resources (worker processes)."""
+        self.engine.close()
 
     #: Per-instance cost saturation. Abstraction-error anomalies (the
     #: uninitialised-array kernels pre-fix) produce 10-30x errors that no
@@ -220,14 +275,16 @@ class ValidationCampaign:
     #: ordering. Raw (uncapped) errors are always reported.
     cost_saturation = 3.0
 
-    def make_evaluator(self, base_config: SimConfig):
-        """The ``evaluate(assignment, instance)`` callable irace needs."""
+    def make_evaluator(self, base_config: SimConfig) -> AssignmentEvaluator:
+        """The ``evaluate(assignment, instance)`` callable irace needs.
 
-        def evaluator(assignment: dict, instance: str) -> float:
-            config = base_config.with_updates(assignment)
-            return min(self.error_for(config, instance), self.cost_saturation)
-
-        return evaluator
+        Engine-backed: it also exposes ``evaluate_batch``, which lets the
+        race submit each instance step's alive candidates as one
+        parallel block.
+        """
+        return AssignmentEvaluator(
+            self.engine, base_config, saturation=self.cost_saturation
+        )
 
     # ------------------------------------------------------------------
     # Methodology steps
@@ -292,12 +349,14 @@ class ValidationCampaign:
         instances = [n for n in spec["workloads"] if n in self._workload_by_name]
         if not instances:
             raise ValueError(f"none of the {component!r} workloads are in this campaign")
-        cost = make_weighted_cost(spec["weights"])
-
-        def evaluator(assignment: dict, instance: str) -> float:
-            candidate = config.with_updates(assignment)
-            sim_stats = self._simulate(candidate, instance)
-            return min(cost(sim_stats, self._measure_hw(instance)), self.cost_saturation)
+        # The engine caches raw SimStats, so racing the same runs under
+        # this weighted cost reuses any CPI-cost simulations already done.
+        evaluator = AssignmentEvaluator(
+            self.engine,
+            config,
+            cost=make_weighted_cost(spec["weights"]),
+            saturation=self.cost_saturation,
+        )
 
         tuner = IraceTuner(
             space,
@@ -376,7 +435,8 @@ class ValidationCampaign:
     def run(self, stages: int = 2) -> CampaignResult:
         """Execute the full campaign; returns all artefacts."""
         public = self.step1_public_config()
-        config = self.step2_lmbench(public)
+        lmbench_config = self.step2_lmbench(public)
+        config = lmbench_config
         untuned_errors = self.evaluate(config)
         if self.verbose:
             mean = sum(untuned_errors.values()) / len(untuned_errors)
@@ -408,7 +468,9 @@ class ValidationCampaign:
             core=self.core_name,
             profile=self.profile.name,
             public_config=public,
-            lmbench_config=self.step2_lmbench(public),
+            # Reuse the step-2 config computed above; re-running lmbench
+            # here would repeat its hardware measurements for a field.
+            lmbench_config=lmbench_config,
             untuned_errors=untuned_errors,
             stages=stage_results,
             final_config=config,

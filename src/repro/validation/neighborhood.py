@@ -48,6 +48,7 @@ def worst_near_optimum(
     per_benchmark_error=None,
     random_restarts: int = 12,
     seed: int = 0,
+    mean_error_batch=None,
 ) -> NeighborhoodResult:
     """Find a damaging one-step-per-parameter deviation of ``tuned``.
 
@@ -66,26 +67,44 @@ def worst_near_optimum(
     random_restarts:
         Number of random multi-parameter perturbations tried after the
         greedy phase.
+    mean_error_batch:
+        Optional ``mean_error_batch(assignments) -> list`` used to score
+        whole candidate blocks at once. Phase 1 (every single-parameter
+        deviation, the bulk of the search's evaluations) is one such
+        block; an engine-backed batch evaluator runs it in parallel.
     """
     space.validate_assignment(tuned)
     rng = random.Random(seed)
     evaluations = 0
 
-    def score(assignment: dict) -> float:
+    def score_many(assignments: list) -> list:
         nonlocal evaluations
-        evaluations += 1
-        return mean_error(assignment)
+        evaluations += len(assignments)
+        if mean_error_batch is not None:
+            return list(mean_error_batch(assignments))
+        return [mean_error(a) for a in assignments]
+
+    def score(assignment: dict) -> float:
+        return score_many([assignment])[0]
 
     tuned_error = score(tuned)
 
-    # Phase 1: damage of each single-parameter one-step deviation.
-    single_damage = []  # (damage, name, value)
+    # Phase 1: damage of each single-parameter one-step deviation,
+    # scored as a single batch (embarrassingly parallel).
+    deviations = []  # (name, value)
     for param in space.active_params(tuned):
         for value in space.neighbor_values(param, tuned[param.name]):
-            candidate = dict(tuned)
-            candidate[param.name] = value
-            err = score(candidate)
-            single_damage.append((err - tuned_error, param.name, value))
+            deviations.append((param.name, value))
+    candidates = []
+    for name, value in deviations:
+        candidate = dict(tuned)
+        candidate[name] = value
+        candidates.append(candidate)
+    errs = score_many(candidates)
+    single_damage = [
+        (err - tuned_error, name, value)
+        for err, (name, value) in zip(errs, deviations)
+    ]
     single_damage.sort(reverse=True)
 
     # Phase 2: greedily stack damaging deviations (one per parameter).

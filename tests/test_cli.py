@@ -16,6 +16,41 @@ class TestParseOverrides:
             _parse_overrides(["oops"])
 
 
+class TestSweep:
+    def test_value_lists_parsed(self):
+        from repro.cli import _parse_sweep_sets
+
+        grid = _parse_sweep_sets(
+            ["l1d.hit_latency=2,3", "l1d.prefetcher=none,stride", "b=true,false"]
+        )
+        assert grid == {
+            "l1d.hit_latency": [2, 3],
+            "l1d.prefetcher": ["none", "stride"],
+            "b": [True, False],
+        }
+
+    def test_sweep_requires_set(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workloads", "STc"])
+
+    def test_sweep_rejects_duplicate_set_key(self):
+        with pytest.raises(SystemExit, match="given twice"):
+            main(["sweep", "--workloads", "STc",
+                  "--set", "l1d.hit_latency=2,3", "--set", "l1d.hit_latency=4"])
+
+    def test_sweep_renders_cross_product(self, capsys):
+        assert main([
+            "sweep", "--core", "a53", "--workloads", "STc,MD",
+            "--set", "l1d.prefetcher=none,stride",
+            "--set", "l1d.hit_latency=2,3",
+            "--scale", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 configurations x 2 workloads = 8 trials" in out
+        assert out.count("STc") >= 4  # one row per combo
+        assert "best mean CPI error" in out
+
+
 class TestCommands:
     def test_list_workloads(self, capsys):
         assert main(["list-workloads"]) == 0

@@ -24,6 +24,12 @@ class TestTrace:
         decoder = Decoder()
         assert trace.decoded_with(decoder) is trace.decoded_with(decoder)
 
+    def test_decoded_with_cached_per_library_not_instance(self):
+        # Temporary decoder instances of one class share the cache entry;
+        # id-keying would let a freed decoder alias a new allocation.
+        trace = _fp_trace()
+        assert trace.decoded_with(Decoder()) is trace.decoded_with(Decoder())
+
     def test_decoded_with_distinguishes_decoders(self):
         trace = _fp_trace()
         correct = trace.decoded_with(Decoder())
