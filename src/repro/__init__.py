@@ -16,6 +16,9 @@ The package implements the paper's entire experimental apparatus:
 - a unified evaluation engine — memoised traces, a content-addressed
   result cache and batched serial/parallel trial execution shared by
   every layer (:mod:`repro.engine`);
+- a persistent experiment store — durable content-addressed results
+  (SQLite/WAL), a run registry with provenance, and stage-granular
+  checkpoints that make campaigns resumable (:mod:`repro.store`);
 - an iterated-racing parameter tuner (:mod:`repro.tuning`) and the
   validation methodology built on it (:mod:`repro.validation`);
 - analysis/reporting helpers (:mod:`repro.analysis`).
@@ -31,4 +34,4 @@ Quickstart::
     print(stats.cpi)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

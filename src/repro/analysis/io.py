@@ -7,8 +7,21 @@ without re-running tuning, and EXPERIMENTS.md can cite stable numbers.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+
+
+def result_fingerprint(payload: dict) -> str:
+    """Content hash of a result payload (canonical JSON, sha256).
+
+    Two runs that produced bit-identical results — e.g. an uninterrupted
+    campaign and its killed-and-resumed twin — have equal fingerprints;
+    any numeric drift changes the hash. Used by the resume tests and the
+    CI store round-trip check.
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=_coerce)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def save_result_json(path: str, payload: dict) -> None:

@@ -9,6 +9,12 @@ Mirrors the workflows a user of the paper's framework runs by hand::
     python -m repro validate --core a53 --profile fast --jobs 4 --out results/a53.json
     python -m repro sweep    --core a53 --workloads STc,MD \\
         --set l1d.prefetcher=none,stride --set l1d.prefetch_degree=2,4
+
+Every experiment-running subcommand accepts ``--store PATH`` to read and
+write a persistent experiment store (SQLite): results survive the
+process, successive runs share cache hits, and ``validate``/``sweep``
+runs become resumable via ``--resume RUN_ID``. The ``store`` subcommand
+(``stats | ls | gc | export | import``) manages a store directly.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ from __future__ import annotations
 import argparse
 import itertools
 import sys
+import time
+from dataclasses import asdict
 
 from repro.analysis.io import save_result_json
 from repro.analysis.tables import render_table
@@ -23,7 +31,7 @@ from repro.core.config import cortex_a53_public_config, cortex_a72_public_config
 from repro.engine import EvaluationEngine
 from repro.hardware.board import FireflyRK3399
 from repro.hardware.lmbench import lat_mem_rd
-from repro.simulator.simulator import SnipeSim
+from repro.store import open_store
 from repro.tuning.cost import cpi_error
 from repro.validation.campaign import PROFILES, ValidationCampaign
 from repro.workloads.microbench import ALL_MICROBENCHMARKS, MICROBENCHMARKS, list_microbenchmarks
@@ -99,34 +107,107 @@ def cmd_list_workloads(args) -> int:
     return 0
 
 
+def _open_store(args):
+    """The run's persistent store, or ``None`` without ``--store``."""
+    path = getattr(args, "store", None)
+    return open_store(path) if path else None
+
+
+def _resolve_resume(store, run_id: str, kind: str):
+    """Fetch and reopen the run record behind ``--resume RUN_ID``."""
+    if store is None:
+        raise SystemExit("--resume needs --store (the run lives in a store)")
+    try:
+        record = store.registry.get(run_id)
+    except KeyError:
+        raise SystemExit(f"unknown run id {run_id!r}; try 'store ls'") from None
+    if record.kind != kind:
+        raise SystemExit(f"run {run_id!r} is a {record.kind!r} run, not {kind}")
+    store.registry.reopen(record.run_id)
+    return record
+
+
+def _register_run(store, kind: str, args, params: dict):
+    """Record a CLI run in the store's registry (no-op without a store)."""
+    if store is None:
+        return None
+    return store.registry.create(
+        kind, core=getattr(args, "core", None), params=params
+    )
+
+
+def _finish_run(store, record, engine, status: str = "completed") -> None:
+    if store is None or record is None:
+        return
+    store.registry.finish(
+        record.run_id, status=status, telemetry=asdict(engine.telemetry)
+    )
+
+
 def cmd_measure(args) -> int:
+    """Hardware ground truth for one workload — through the engine, so a
+    ``--store`` makes the measurement durable and shareable."""
     board = FireflyRK3399()
-    trace = _lookup_workload(args.workload).trace()
-    result = board.core(args.core).measure(trace)
-    rows = [[name, value] for name, value in sorted(result.counters.items())]
-    rows.append(["cpi", f"{result.cpi:.4f}"])
-    print(render_table(["counter", "value"],
-                       rows, title=f"{args.workload} on {result.core}"))
+    wl = _lookup_workload(args.workload)
+    store = _open_store(args)
+    record = _register_run(store, "measure", args, {"workload": args.workload})
+    status = "failed"
+    try:
+        with EvaluationEngine(hw=board.core(args.core), workloads=[wl],
+                              store=store) as engine:
+            result = engine.measure_hw(args.workload)
+            rows = [[name, value] for name, value in sorted(result.counters.items())]
+            rows.append(["cpi", f"{result.cpi:.4f}"])
+            print(render_table(["counter", "value"],
+                               rows, title=f"{args.workload} on {result.core}"))
+            status = "completed"
+            _finish_run(store, record, engine, status=status)
+    finally:
+        if store is not None:
+            if status != "completed":
+                store.registry.finish(record.run_id, status=status)
+            else:
+                print(f"engine: {engine.telemetry.summary()}")
+            store.close()
     return 0
 
 
 def cmd_simulate(args) -> int:
+    """One (config, workload) trial vs hardware — engine-routed: cached,
+    telemetered, and persistent when ``--store`` is given."""
     board = FireflyRK3399()
-    config = _public_config(args.core).with_updates(_parse_overrides(args.set))
-    trace = _lookup_workload(args.workload).trace()
-    stats = SnipeSim(config).run(trace)
-    hw = board.core(args.core).measure(trace)
-    rows = [
-        ["instructions", stats.instructions, hw.instructions],
-        ["cycles", stats.cycles, hw.cycles],
-        ["CPI", f"{stats.cpi:.4f}", f"{hw.cpi:.4f}"],
-        ["branch misses", stats.branch.mispredicts, hw.counter("branch-misses")],
-        ["L1D misses", stats.l1d.misses, hw.counter("L1-dcache-load-misses")],
-        ["L2 misses", stats.l2.misses, hw.counter("l2-misses")],
-    ]
-    print(render_table(["metric", "simulator", "hardware"], rows,
-                       title=f"{args.workload} — {config.name}"))
-    print(f"CPI error: {cpi_error(stats, hw):.1%}")
+    overrides = _parse_overrides(args.set)
+    config = _public_config(args.core).with_updates(overrides)
+    wl = _lookup_workload(args.workload)
+    store = _open_store(args)
+    record = _register_run(store, "simulate", args,
+                           {"workload": args.workload, "set": overrides})
+    status = "failed"
+    try:
+        with EvaluationEngine(hw=board.core(args.core), workloads=[wl],
+                              store=store) as engine:
+            stats = engine.simulate(config, args.workload)
+            hw = engine.measure_hw(args.workload)
+            rows = [
+                ["instructions", stats.instructions, hw.instructions],
+                ["cycles", stats.cycles, hw.cycles],
+                ["CPI", f"{stats.cpi:.4f}", f"{hw.cpi:.4f}"],
+                ["branch misses", stats.branch.mispredicts, hw.counter("branch-misses")],
+                ["L1D misses", stats.l1d.misses, hw.counter("L1-dcache-load-misses")],
+                ["L2 misses", stats.l2.misses, hw.counter("l2-misses")],
+            ]
+            print(render_table(["metric", "simulator", "hardware"], rows,
+                               title=f"{args.workload} — {config.name}"))
+            print(f"CPI error: {cpi_error(stats, hw):.1%}")
+            status = "completed"
+            _finish_run(store, record, engine, status=status)
+    finally:
+        if store is not None:
+            if status != "completed":
+                store.registry.finish(record.run_id, status=status)
+            else:
+                print(f"engine: {engine.telemetry.summary()}")
+            store.close()
     return 0
 
 
@@ -141,38 +222,80 @@ def cmd_lmbench(args) -> int:
 
 def cmd_validate(args) -> int:
     board = FireflyRK3399()
-    campaign = ValidationCampaign(
-        board, core=args.core, profile=args.profile, seed=args.seed, verbose=True,
-        jobs=args.jobs,
-    )
+    store = _open_store(args)
+    core, profile, seed, stages = args.core, args.profile, args.seed, args.stages
+    resume, record = False, None
     try:
-        result = campaign.run(stages=args.stages)
+        if args.resume:
+            record = _resolve_resume(store, args.resume, "validate")
+            # The record carries the run's identity; only --jobs may
+            # differ (parallelism never changes results).
+            core, profile, seed = record.core, record.profile, record.seed
+            stages = record.params.get("stages", stages)
+            resume = True
+            print(f"resuming run {record.run_id} ({core}, {profile} profile)")
+        elif store is not None:
+            record = store.registry.create(
+                "validate", core=core, profile=profile, seed=seed,
+                params={"stages": stages, "jobs": args.jobs}, run_id=args.run_id,
+            )
+            print(f"run id: {record.run_id}")
+        campaign = ValidationCampaign(
+            board, core=core, profile=profile, seed=seed, verbose=True,
+            jobs=args.jobs, store=store, run_id=record.run_id if record else None,
+        )
+        status = "interrupted"
+        try:
+            result = campaign.run(stages=stages, resume=resume)
+            status = "completed"
+        finally:
+            campaign.close()
+            if store is not None:
+                store.registry.finish(
+                    record.run_id, status=status,
+                    telemetry=asdict(campaign.engine.telemetry),
+                )
+        print(result.summary())
+        print(f"engine: {campaign.engine.telemetry.summary()}")
+        if args.out:
+            payload = {
+                "core": result.core,
+                "profile": result.profile,
+                "untuned_errors": result.untuned_errors,
+                "final_errors": result.final_errors,
+                "tuned_assignment": result.stages[-1].irace.best_assignment,
+            }
+            save_result_json(args.out, payload)
+            print(f"wrote {args.out}")
     finally:
-        campaign.close()
-    print(result.summary())
-    print(f"engine: {campaign.engine.telemetry.summary()}")
-    if args.out:
-        payload = {
-            "core": result.core,
-            "profile": result.profile,
-            "untuned_errors": result.untuned_errors,
-            "final_errors": result.final_errors,
-            "tuned_assignment": result.stages[-1].irace.best_assignment,
-        }
-        save_result_json(args.out, payload)
-        print(f"wrote {args.out}")
+        if store is not None:
+            store.close()
     return 0
 
 
 def cmd_sweep(args) -> int:
     """Scenario exploration: cross-product of --set value lists."""
     board = FireflyRK3399()
-    base = _public_config(args.core)
-    grid = _parse_sweep_sets(args.set)
+    store = _open_store(args)
+    core, scale, workload_arg = args.core, args.scale, args.workloads
+    record, resume = None, False
+    if args.resume:
+        record = _resolve_resume(store, args.resume, "sweep")
+        core = record.core
+        scale = record.params["scale"]
+        workload_arg = record.params["workloads"]
+        # The grid is recorded as ordered [key, values] pairs: canonical
+        # JSON sorts dict keys, and axis order defines trial order.
+        grid = dict(record.params["grid"])
+        resume = True
+        print(f"resuming run {record.run_id} ({core})")
+    else:
+        grid = _parse_sweep_sets(args.set)
+    base = _public_config(core)
     keys = list(grid)
     combos = [dict(zip(keys, values)) for values in itertools.product(*grid.values())]
-    if args.workloads:
-        names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    if workload_arg:
+        names = [n.strip() for n in workload_arg.split(",") if n.strip()]
         if not names:
             raise SystemExit("--workloads names no workloads")
         workloads = [_lookup_workload(n) for n in names]
@@ -185,34 +308,126 @@ def cmd_sweep(args) -> int:
     except KeyError as exc:
         raise SystemExit(f"bad --set parameter: {exc.args[0]}") from None
 
-    with EvaluationEngine(
-        hw=board.core(args.core), workloads=workloads,
-        scale=args.scale, jobs=args.jobs,
-    ) as engine:
-        pairs = [(config, name) for config in configs for name in names]
-        stats_list = engine.simulate_batch(pairs)
+    if store is not None and not resume:
+        record = store.registry.create(
+            "sweep", core=core,
+            params={"grid": [[key, values] for key, values in grid.items()],
+                    "workloads": workload_arg, "scale": scale,
+                    "jobs": args.jobs},
+        )
+        print(f"run id: {record.run_id}")
 
-        rows, combo_means = [], []
-        stats_iter = iter(stats_list)
-        for combo in combos:
-            errs = []
-            for name in names:
-                stats = next(stats_iter)
-                hw = engine.measure_hw(name)
-                err = cpi_error(stats, hw)
-                errs.append(err)
-                rows.append([*[combo[k] for k in keys], name,
-                             f"{stats.cpi:.4f}", f"{hw.cpi:.4f}", f"{err:.1%}"])
-            combo_means.append(sum(errs) / len(errs))
-        telemetry = engine.telemetry
+    status, telemetry = "interrupted", None
+    try:
+        with EvaluationEngine(
+            hw=board.core(core), workloads=workloads,
+            scale=scale, jobs=args.jobs, store=store,
+        ) as engine:
+            pairs = [(config, name) for config in configs for name in names]
+            stats_list = engine.simulate_batch(pairs)
+
+            rows, results, combo_means = [], [], []
+            stats_iter = iter(stats_list)
+            for combo in combos:
+                errs = []
+                for name in names:
+                    stats = next(stats_iter)
+                    hw = engine.measure_hw(name)
+                    err = cpi_error(stats, hw)
+                    errs.append(err)
+                    rows.append([*[combo[k] for k in keys], name,
+                                 f"{stats.cpi:.4f}", f"{hw.cpi:.4f}", f"{err:.1%}"])
+                    results.append({"workload": name, **combo,
+                                    "sim_cpi": stats.cpi, "hw_cpi": hw.cpi,
+                                    "cpi_error": err})
+                combo_means.append(sum(errs) / len(errs))
+            telemetry = engine.telemetry
+            status = "completed"
+    finally:
+        if store is not None:
+            if record is not None:
+                store.registry.finish(record.run_id, status=status,
+                                      telemetry=asdict(telemetry) if telemetry else None)
+            if status != "completed":
+                store.close()
 
     print(render_table([*keys, "workload", "sim CPI", "hw CPI", "CPI err"],
-                       rows, title=f"sweep — {base.name} on {args.core}"))
+                       rows, title=f"sweep — {base.name} on {core}"))
     best = min(range(len(combos)), key=combo_means.__getitem__)
     best_desc = ", ".join(f"{k}={combos[best][k]}" for k in keys)
     print(f"{len(combos)} configurations x {len(names)} workloads "
           f"= {len(pairs)} trials ({telemetry.unique_trials} unique simulations)")
     print(f"best mean CPI error: {combo_means[best]:.1%} ({best_desc})")
+    if args.out:
+        payload = {
+            "core": core,
+            "base_config": base.name,
+            "grid": grid,
+            "workloads": names,
+            "scale": scale,
+            "trials": results,
+            "best": {"mean_cpi_error": combo_means[best], **combos[best]},
+        }
+        save_result_json(args.out, payload)
+        print(f"wrote {args.out}")
+    if store is not None:
+        store.close()
+    return 0
+
+
+def cmd_store_stats(args) -> int:
+    with open_store(args.store) as store:
+        stats = store.stats()
+    rows = [[key, stats[key]] for key in
+            ("backend", "path", "schema_version", "sim_results", "hw_results",
+             "trial_costs", "runs", "checkpoints", "size_bytes")]
+    print(render_table(["field", "value"], rows, title=f"store — {args.store}"))
+    return 0
+
+
+def cmd_store_ls(args) -> int:
+    with open_store(args.store) as store:
+        records = store.registry.list(kind=args.kind, status=args.status)
+    rows = []
+    for r in records:
+        started = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(r.started))
+        wall = f"{r.wall_seconds:.1f}s" if r.wall_seconds is not None else "-"
+        trials = "-"
+        if r.telemetry:
+            trials = (f"{r.telemetry.get('unique_trials', 0)}"
+                      f"/{r.telemetry.get('requested_trials', 0)}")
+        rows.append([r.run_id, r.kind, r.core or "-", r.profile or "-",
+                     r.status, started, wall, trials])
+    print(render_table(
+        ["run id", "kind", "core", "profile", "status", "started",
+         "wall", "trials (unique/req)"],
+        rows, title=f"runs — {args.store}"))
+    return 0
+
+
+def cmd_store_gc(args) -> int:
+    with open_store(args.store) as store:
+        removed = store.gc(days=args.days)
+    print(f"gc: removed {removed['checkpoints_removed']} checkpoints of finished runs, "
+          f"pruned {removed['rows_pruned']} result rows")
+    return 0
+
+
+def cmd_store_export(args) -> int:
+    with open_store(args.store) as store:
+        counts = store.export_json(args.file)
+    total = sum(counts.values())
+    print(f"exported {total} rows ({', '.join(f'{k}={v}' for k, v in counts.items())}) "
+          f"to {args.file}")
+    return 0
+
+
+def cmd_store_import(args) -> int:
+    with open_store(args.store) as store:
+        counts = store.import_json(args.file, replace=args.replace)
+    total = sum(counts.values())
+    print(f"imported {total} new rows "
+          f"({', '.join(f'{k}={v}' for k, v in counts.items())}) from {args.file}")
     return 0
 
 
@@ -231,6 +446,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("measure", help="perf-measure a workload on the board")
     p.add_argument("--core", default="a53")
     p.add_argument("--workload", required=True)
+    p.add_argument("--store", default=None,
+                   help="persistent experiment store (SQLite path)")
     p.set_defaults(func=cmd_measure)
 
     p = sub.add_parser("simulate", help="simulate a workload and compare to hardware")
@@ -238,6 +455,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", required=True)
     p.add_argument("--set", action="append", metavar="KEY=VALUE",
                    help="override a config parameter (repeatable)")
+    p.add_argument("--store", default=None,
+                   help="persistent experiment store (SQLite path)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("lmbench", help="estimate cache/memory latencies (step #2)")
@@ -252,6 +471,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="parallel simulation processes (1 = serial)")
     p.add_argument("--out", default=None, help="write results JSON here")
+    p.add_argument("--store", default=None,
+                   help="persistent experiment store (SQLite path)")
+    p.add_argument("--resume", default=None, metavar="RUN_ID",
+                   help="resume an interrupted run from its checkpoints")
+    p.add_argument("--run-id", default=None,
+                   help="explicit run id for the registry (default: generated)")
     p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser(
@@ -267,7 +492,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace scale (1.0 = nominal length)")
     p.add_argument("--jobs", type=int, default=1,
                    help="parallel simulation processes (1 = serial)")
+    p.add_argument("--out", default=None, help="write sweep results JSON here")
+    p.add_argument("--store", default=None,
+                   help="persistent experiment store (SQLite path)")
+    p.add_argument("--resume", default=None, metavar="RUN_ID",
+                   help="re-run a recorded sweep (warm store makes it cheap)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("store", help="manage a persistent experiment store")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    sp = store_sub.add_parser("stats", help="row counts, schema, size")
+    sp.add_argument("--store", required=True)
+    sp.set_defaults(func=cmd_store_stats)
+
+    sp = store_sub.add_parser("ls", help="list registered runs")
+    sp.add_argument("--store", required=True)
+    sp.add_argument("--kind", default=None,
+                    choices=["validate", "sweep", "measure", "simulate"])
+    sp.add_argument("--status", default=None,
+                    choices=["running", "interrupted", "completed", "failed"])
+    sp.set_defaults(func=cmd_store_ls)
+
+    sp = store_sub.add_parser("gc", help="drop finished runs' checkpoints, prune old rows")
+    sp.add_argument("--store", required=True)
+    sp.add_argument("--days", type=float, default=None,
+                    help="also prune result rows older than this many days")
+    sp.set_defaults(func=cmd_store_gc)
+
+    sp = store_sub.add_parser("export", help="dump the store to a portable JSON file")
+    sp.add_argument("--store", required=True)
+    sp.add_argument("file")
+    sp.set_defaults(func=cmd_store_export)
+
+    sp = store_sub.add_parser("import", help="merge an exported JSON file into the store")
+    sp.add_argument("--store", required=True)
+    sp.add_argument("file")
+    sp.add_argument("--replace", action="store_true",
+                    help="overwrite rows that already exist (default: skip)")
+    sp.set_defaults(func=cmd_store_import)
     return parser
 
 

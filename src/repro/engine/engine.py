@@ -47,6 +47,9 @@ class EngineTelemetry:
     #: Hardware measurements taken / answered from the cache.
     hw_measurements: int = 0
     hw_cache_hits: int = 0
+    #: Cache hits served by the persistent store (counted inside
+    #: ``sim_cache_hits``/``hw_cache_hits`` as well).
+    store_hits: int = 0
 
     def hit_rate(self) -> float:
         if not self.requested_trials:
@@ -54,12 +57,15 @@ class EngineTelemetry:
         return self.sim_cache_hits / self.requested_trials
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.requested_trials} trials requested, "
             f"{self.unique_trials} unique simulations "
             f"({self.hit_rate():.0%} cache hits), "
             f"{self.hw_measurements} hardware measurements"
         )
+        if self.store_hits:
+            text += f", {self.store_hits} store hits"
+        return text
 
 
 class EvaluationEngine:
@@ -84,6 +90,12 @@ class EvaluationEngine:
     overrides:
         Optional shared per-workload kwargs dict (e.g. step-5 fixes);
         mutating it takes effect on the next trial.
+    store:
+        Optional persistent :class:`~repro.store.resultstore.ResultStore`
+        the engine reads/writes through. The in-memory ``_results`` dict
+        stays the first-level cache; the store is the durable second
+        level shared across engines, processes and sessions. The engine
+        never closes a store it was given.
     """
 
     def __init__(
@@ -95,6 +107,7 @@ class EvaluationEngine:
         jobs: int = 1,
         executor: str = None,
         overrides: dict = None,
+        store=None,
     ) -> None:
         self.hw = hw
         self.decoder = decoder if decoder is not None else Decoder()
@@ -103,6 +116,7 @@ class EvaluationEngine:
         self.jobs = max(1, int(jobs))
         self._executor = make_executor(self.jobs, executor)
         self._results: dict = {}
+        self.store = store
         self.telemetry = EngineTelemetry()
 
     # ------------------------------------------------------------------
@@ -130,14 +144,23 @@ class EvaluationEngine:
         """Measure ``name`` on the board once; cached thereafter."""
         if self.hw is None:
             raise RuntimeError("this engine has no hardware core attached")
-        key = hw_key(name, self.scale, self._wl_overrides(name))
+        key = hw_key(self.hw.name, name, self.scale, self._wl_overrides(name))
         cached = self._results.get(key)
         if cached is not None:
             self.telemetry.hw_cache_hits += 1
             return cached
+        if self.store is not None:
+            stored = self.store.get_hw(key)
+            if stored is not None:
+                self._results[key] = stored
+                self.telemetry.hw_cache_hits += 1
+                self.telemetry.store_hits += 1
+                return stored
         result = self.hw.measure(self.trace(name))
         self._results[key] = result
         self.telemetry.hw_measurements += 1
+        if self.store is not None:
+            self.store.put_hw(key, result)
         return result
 
     # ------------------------------------------------------------------
@@ -161,6 +184,11 @@ class EvaluationEngine:
             self.telemetry.requested_trials += 1
             key = self.result_key(config, name)
             cached = self._results.get(key)
+            if cached is None and key not in pending and self.store is not None:
+                cached = self.store.get_sim(key)
+                if cached is not None:
+                    self._results[key] = cached
+                    self.telemetry.store_hits += 1
             if cached is not None:
                 self.telemetry.sim_cache_hits += 1
                 results[idx] = cached
@@ -190,12 +218,16 @@ class EvaluationEngine:
             group_stats = self._executor.run(
                 exec_groups, self.decoder, self.traces.items()
             )
+            fresh = []
             for tkey, stats_list in zip(order, group_stats):
                 for (key, _config), stats in zip(groups[tkey][1], stats_list):
                     self._results[key] = stats
                     self.telemetry.unique_trials += 1
+                    fresh.append((key, stats))
                     for idx in pending[key]:
                         results[idx] = stats
+            if self.store is not None and fresh:
+                self.store.put_sim_many(fresh)
         return results
 
     # ------------------------------------------------------------------

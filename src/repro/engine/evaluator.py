@@ -30,20 +30,32 @@ class TrialCache:
     against the memo and forwards the remainder to the wrapped batch
     evaluator in one block (falling back to a serial loop when the
     underlying evaluator has no batch path).
+
+    Given a persistent ``store`` plus a ``context`` token, the memo also
+    reads/writes the store's trial-costs table under
+    ``(context, assignment, instance)`` keys — a resumed tuning stage
+    (same context) then replays its memo from disk instead of
+    recomputing it. The context must uniquely identify everything the
+    wrapped evaluator closes over (base config, cost function, stage),
+    which is why persistence stays off unless one is supplied.
     """
 
-    def __init__(self, evaluate=None, batch_evaluate=None) -> None:
+    def __init__(self, evaluate=None, batch_evaluate=None, store=None, context=None) -> None:
         if evaluate is None and batch_evaluate is None:
             raise ValueError("need evaluate and/or batch_evaluate")
         if batch_evaluate is None:
             batch_evaluate = getattr(evaluate, "evaluate_batch", None)
         self._evaluate = evaluate
         self._batch = batch_evaluate
+        self._store = store if context is not None else None
+        self._context = context
         self._memo: dict = {}
         #: Trials requested, including memo hits.
         self.requested_trials = 0
         #: Trials that reached the underlying evaluator.
         self.unique_trials = 0
+        #: Memo entries replayed from the persistent store.
+        self.store_hits = 0
 
     @staticmethod
     def key(assignment: dict, instance) -> tuple:
@@ -52,6 +64,9 @@ class TrialCache:
     def __call__(self, assignment: dict, instance) -> float:
         return self.evaluate_batch([(assignment, instance)])[0]
 
+    def _store_key(self, key: tuple) -> tuple:
+        return ("cost", self._context, *key)
+
     def evaluate_batch(self, pairs) -> list:
         pairs = list(pairs)
         costs = [None] * len(pairs)
@@ -59,6 +74,11 @@ class TrialCache:
         for idx, (assignment, instance) in enumerate(pairs):
             self.requested_trials += 1
             key = self.key(assignment, instance)
+            if key not in self._memo and key not in pending and self._store is not None:
+                stored = self._store.get_cost(self._store_key(key))
+                if stored is not None:
+                    self._memo[key] = stored
+                    self.store_hits += 1
             if key in self._memo:
                 costs[idx] = self._memo[key]
             elif key in pending:
@@ -77,6 +97,10 @@ class TrialCache:
                 self._memo[key] = value
                 for idx in pending[key]:
                     costs[idx] = value
+            if self._store is not None:
+                self._store.put_cost_many(
+                    [(self._store_key(key), value) for key, value in zip(pending, fresh)]
+                )
         return costs
 
 

@@ -63,6 +63,11 @@ def sim_key(config: SimConfig, workload: str, scale: float, overrides: dict, dec
     )
 
 
-def hw_key(workload: str, scale: float, overrides: dict) -> tuple:
-    """Key of one hardware ground-truth measurement (config-independent)."""
-    return ("hw", workload, scale, overrides_token(overrides))
+def hw_key(core: str, workload: str, scale: float, overrides: dict) -> tuple:
+    """Key of one hardware ground-truth measurement.
+
+    Config-independent, but *core*-dependent: a persistent store is
+    shared by engines measuring different board cores, so the measuring
+    core is part of the measurement's content.
+    """
+    return ("hw", core, workload, scale, overrides_token(overrides))

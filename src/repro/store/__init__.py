@@ -1,0 +1,61 @@
+"""Persistent experiment store: durable results, runs, checkpoints.
+
+The durable counterpart of the in-memory evaluation engine cache. One
+subsystem, three pieces:
+
+- :class:`ResultStore` (:func:`open_store`) — content-addressed
+  simulator stats, hardware measurements and trial costs behind a
+  pluggable backend (``memory`` | ``sqlite`` WAL file). The engine's
+  ``store=`` argument reads/writes through it, so successive processes
+  share cache hits.
+- :class:`RunRegistry` — provenance records (run id, core, profile,
+  seed, git describe, wall time, telemetry) for every campaign, tuner
+  and CLI run against a store.
+- checkpoints (:mod:`repro.store.checkpoint`) — stage-granular campaign
+  state enabling ``validate --resume <run-id>``.
+"""
+
+from repro.store.backend import (
+    SCHEMA_VERSION,
+    TABLES,
+    MemoryBackend,
+    SqliteBackend,
+    make_backend,
+)
+from repro.store.checkpoint import (
+    SETUP_STAGE,
+    irace_result_from_payload,
+    irace_result_to_payload,
+    stage_name,
+)
+from repro.store.registry import RunRecord, RunRegistry, git_describe
+from repro.store.resultstore import ResultStore, open_store
+from repro.store.serialize import (
+    encode_key,
+    perf_from_payload,
+    perf_to_payload,
+    stats_from_payload,
+    stats_to_payload,
+)
+
+__all__ = [
+    "ResultStore",
+    "open_store",
+    "RunRegistry",
+    "RunRecord",
+    "git_describe",
+    "MemoryBackend",
+    "SqliteBackend",
+    "make_backend",
+    "SCHEMA_VERSION",
+    "TABLES",
+    "SETUP_STAGE",
+    "stage_name",
+    "irace_result_to_payload",
+    "irace_result_from_payload",
+    "encode_key",
+    "stats_to_payload",
+    "stats_from_payload",
+    "perf_to_payload",
+    "perf_from_payload",
+]

@@ -1,0 +1,205 @@
+"""Storage backends for the persistent experiment store.
+
+Two interchangeable backends implement the same five-table key/value
+protocol (``sim_results``, ``hw_results``, ``trial_costs``, ``runs``,
+``checkpoints`` — every row is ``(key, value, created)`` with JSON text
+values):
+
+- :class:`MemoryBackend` — plain dicts, process-local. The default when
+  no ``--store`` path is given; it makes the :class:`ResultStore` layer
+  testable without touching disk and gives an engine-without-store the
+  exact same code path.
+- :class:`SqliteBackend` — one SQLite file in WAL mode. WAL plus a busy
+  timeout makes concurrent engines (separate processes, successive CLI
+  runs, CI jobs sharing a cache artifact) safe: readers never block the
+  writer and point lookups stay lock-free.
+
+The schema carries an explicit version stamp; opening a store written
+by an incompatible schema fails loudly instead of silently misreading
+rows.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import time
+
+#: Bump when a table's row format changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Every logical table both backends expose.
+TABLES = ("sim_results", "hw_results", "trial_costs", "runs", "checkpoints")
+
+
+class MemoryBackend:
+    """In-process backend: one dict per table, values kept as text."""
+
+    kind = "memory"
+    path = None
+
+    def __init__(self) -> None:
+        self._tables = {name: {} for name in TABLES}
+        self.schema_version = SCHEMA_VERSION
+
+    def get(self, table: str, key: str):
+        row = self._tables[table].get(key)
+        return row[0] if row is not None else None
+
+    def put(self, table: str, key: str, value: str, replace: bool = True) -> bool:
+        if not replace and key in self._tables[table]:
+            return False
+        self._tables[table][key] = (value, time.time())
+        return True
+
+    def put_many(self, table: str, items, replace: bool = True) -> int:
+        return sum(self.put(table, key, value, replace=replace) for key, value in items)
+
+    def delete(self, table: str, key: str) -> bool:
+        return self._tables[table].pop(key, None) is not None
+
+    def items(self, table: str):
+        """All rows of ``table`` as ``(key, value, created)`` tuples."""
+        return [(k, v, c) for k, (v, c) in sorted(self._tables[table].items())]
+
+    def count(self, table: str) -> int:
+        return len(self._tables[table])
+
+    def prune(self, table: str, older_than: float) -> int:
+        doomed = [k for k, (_v, c) in self._tables[table].items() if c < older_than]
+        for key in doomed:
+            del self._tables[table][key]
+        return len(doomed)
+
+    def size_bytes(self) -> int:
+        return sum(
+            len(k) + len(v)
+            for table in self._tables.values()
+            for k, (v, _c) in table.items()
+        )
+
+    def vacuum(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class SqliteBackend:
+    """SQLite-file backend (WAL mode, concurrency-safe).
+
+    One connection per backend instance, guarded by a lock so a single
+    engine driving parallel workers stays thread-safe; cross-process
+    safety comes from WAL + ``busy_timeout``.
+    """
+
+    kind = "sqlite"
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            self.path, timeout=30.0, check_same_thread=False, isolation_level=None
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self._init_schema()
+
+    def _init_schema(self) -> None:
+        with self._lock:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS store_meta"
+                " (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            row = self._conn.execute(
+                "SELECT value FROM store_meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO store_meta VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+                row = (str(SCHEMA_VERSION),)
+            self.schema_version = int(row[0])
+            if self.schema_version != SCHEMA_VERSION:
+                raise RuntimeError(
+                    f"store {self.path!r} has schema v{self.schema_version}, "
+                    f"this code speaks v{SCHEMA_VERSION}; export from the old "
+                    "code and import here"
+                )
+            for table in TABLES:
+                self._conn.execute(
+                    f"CREATE TABLE IF NOT EXISTS {table} (key TEXT PRIMARY KEY,"
+                    " value TEXT NOT NULL, created REAL NOT NULL)"
+                )
+
+    def get(self, table: str, key: str):
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT value FROM {table} WHERE key = ?", (key,)
+            ).fetchone()
+        return row[0] if row is not None else None
+
+    def put(self, table: str, key: str, value: str, replace: bool = True) -> bool:
+        return self.put_many(table, [(key, value)], replace=replace) == 1
+
+    def put_many(self, table: str, items, replace: bool = True) -> int:
+        verb = "INSERT OR REPLACE" if replace else "INSERT OR IGNORE"
+        now = time.time()
+        rows = [(key, value, now) for key, value in items]
+        if not rows:
+            return 0
+        with self._lock:
+            cursor = self._conn.executemany(
+                f"{verb} INTO {table} VALUES (?, ?, ?)", rows
+            )
+            return cursor.rowcount
+
+    def delete(self, table: str, key: str) -> bool:
+        with self._lock:
+            cursor = self._conn.execute(f"DELETE FROM {table} WHERE key = ?", (key,))
+            return cursor.rowcount > 0
+
+    def items(self, table: str):
+        with self._lock:
+            return list(
+                self._conn.execute(
+                    f"SELECT key, value, created FROM {table} ORDER BY key"
+                )
+            )
+
+    def count(self, table: str) -> int:
+        with self._lock:
+            return self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+
+    def prune(self, table: str, older_than: float) -> int:
+        with self._lock:
+            cursor = self._conn.execute(
+                f"DELETE FROM {table} WHERE created < ?", (older_than,)
+            )
+            return cursor.rowcount
+
+    def size_bytes(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def vacuum(self) -> None:
+        with self._lock:
+            self._conn.execute("VACUUM")
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+def make_backend(spec):
+    """``spec`` to backend: ``None``/``"memory"``/``":memory:"`` or a path."""
+    if spec is None or spec in ("memory", ":memory:"):
+        return MemoryBackend()
+    return SqliteBackend(spec)

@@ -1,0 +1,43 @@
+"""Stage-granular checkpoints for resumable campaigns.
+
+A checkpoint is one JSON payload per completed unit of work — the
+campaign's lmbench/untuned setup, then each tuning stage — written to
+the store under ``(run_id, stage)``. Resume loads completed stages
+verbatim (bit-identical to the uninterrupted run, because payloads are
+canonical JSON of exact Python floats) and re-enters the first missing
+stage; trials inside that stage then replay from the store's
+content-addressed results, so even a mid-stage kill loses almost
+nothing.
+
+This module owns the generic payload plumbing plus the
+:class:`~repro.tuning.irace.IraceResult` (de)serialisers; the
+campaign-shaped payloads live with
+:class:`~repro.validation.campaign.ValidationCampaign`, which knows its
+own dataclasses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.tuning.irace import IraceIteration, IraceResult
+
+#: Checkpoint name of the campaign's pre-stage work (lmbench + untuned).
+SETUP_STAGE = "setup"
+
+
+def stage_name(stage: int) -> str:
+    return f"stage{stage}"
+
+
+# ----------------------------------------------------------------------
+# IraceResult payloads
+# ----------------------------------------------------------------------
+def irace_result_to_payload(result: IraceResult) -> dict:
+    return dataclasses.asdict(result)
+
+
+def irace_result_from_payload(payload: dict) -> IraceResult:
+    d = dict(payload)
+    d["history"] = [IraceIteration(**it) for it in d.get("history", [])]
+    return IraceResult(**d)

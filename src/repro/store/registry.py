@@ -1,0 +1,155 @@
+"""Run registry: provenance for every campaign, tuner and CLI run.
+
+Each run that touches a store gets a :class:`RunRecord` — what was run
+(kind, core, profile, seed, free-form params), against which code
+(``git describe``), when, for how long, with what outcome, and the
+engine telemetry snapshot at the end. The registry is what makes a
+store auditable ("which runs produced these rows?") and what makes
+``--resume <run-id>`` possible: the record carries everything needed to
+re-enter the run deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+import time
+import uuid
+from dataclasses import dataclass, field
+
+from repro.store.serialize import dumps, loads
+
+#: Run states. "running" rows belong to live or interrupted-without-
+#: cleanup processes; "interrupted" rows were cleanly marked resumable.
+RUN_STATUSES = ("running", "interrupted", "completed", "failed")
+
+
+def git_describe() -> str:
+    """Best-effort code identity of the running checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True, text=True, timeout=5.0, check=False,
+        )
+        described = out.stdout.strip()
+        return described if out.returncode == 0 and described else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+@dataclass
+class RunRecord:
+    """One registered run."""
+
+    run_id: str
+    kind: str
+    core: str = None
+    profile: str = None
+    seed: int = None
+    params: dict = field(default_factory=dict)
+    git: str = "unknown"
+    started: float = 0.0
+    finished: float = None
+    wall_seconds: float = None
+    status: str = "running"
+    telemetry: dict = None
+
+    def summary(self) -> str:
+        parts = [f"{self.run_id} [{self.kind}]", self.status]
+        if self.core:
+            parts.append(f"core={self.core}")
+        if self.profile:
+            parts.append(f"profile={self.profile}")
+        if self.wall_seconds is not None:
+            parts.append(f"{self.wall_seconds:.1f}s")
+        return " ".join(parts)
+
+
+class RunRegistry:
+    """Query/record runs in one :class:`~repro.store.resultstore.ResultStore`."""
+
+    def __init__(self, store) -> None:
+        self.store = store
+
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        kind: str,
+        core: str = None,
+        profile: str = None,
+        seed: int = None,
+        params: dict = None,
+        run_id: str = None,
+    ) -> RunRecord:
+        """Register a new run (status "running"); returns its record."""
+        record = RunRecord(
+            run_id=run_id or f"{kind}-{uuid.uuid4().hex[:8]}",
+            kind=kind,
+            core=core,
+            profile=profile,
+            seed=seed,
+            params=dict(params or {}),
+            git=git_describe(),
+            started=time.time(),
+        )
+        if self.store.backend.get("runs", record.run_id) is not None:
+            raise ValueError(f"run id {record.run_id!r} already registered")
+        self.save(record)
+        return record
+
+    def save(self, record: RunRecord) -> None:
+        self.store.backend.put("runs", record.run_id, dumps(dataclasses.asdict(record)))
+
+    def get(self, run_id: str) -> RunRecord:
+        text = self.store.backend.get("runs", run_id)
+        if text is None:
+            raise KeyError(f"unknown run id {run_id!r}")
+        return RunRecord(**loads(text))
+
+    def finish(
+        self, run_id: str, status: str = "completed", telemetry: dict = None
+    ) -> RunRecord:
+        """Mark a run terminal (or "interrupted") with its telemetry."""
+        if status not in RUN_STATUSES:
+            raise ValueError(f"unknown run status {status!r}; use one of {RUN_STATUSES}")
+        record = self.get(run_id)
+        record.finished = time.time()
+        record.wall_seconds = max(0.0, record.finished - record.started)
+        record.status = status
+        if telemetry is not None:
+            record.telemetry = dict(telemetry)
+        self.save(record)
+        return record
+
+    def reopen(self, run_id: str) -> RunRecord:
+        """Mark a resumable run as running again (``--resume`` path).
+
+        ``started`` is reset so ``wall_seconds`` measures the resumed
+        session's work, not the idle days between kill and resume.
+        """
+        record = self.get(run_id)
+        record.status = "running"
+        record.started = time.time()
+        record.finished = None
+        record.wall_seconds = None
+        self.save(record)
+        return record
+
+    def list(self, kind: str = None, status: str = None) -> list:
+        """All matching records, most recently started first."""
+        records = [
+            RunRecord(**loads(text))
+            for _key, text, _created in self.store.backend.items("runs")
+        ]
+        if kind is not None:
+            records = [r for r in records if r.kind == kind]
+        if status is not None:
+            records = [r for r in records if r.status == status]
+        records.sort(key=lambda r: r.started, reverse=True)
+        return records
+
+    def latest(self, kind: str = None) -> RunRecord:
+        records = self.list(kind=kind)
+        if not records:
+            raise KeyError(f"no registered runs{f' of kind {kind!r}' if kind else ''}")
+        return records[0]

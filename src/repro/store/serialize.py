@@ -1,0 +1,70 @@
+"""Row (de)serialisation for the persistent experiment store.
+
+The store keeps three result payload shapes: simulator statistics
+(:class:`~repro.core.stats.SimStats`, with nested branch/cache counter
+dataclasses), hardware measurements
+(:class:`~repro.hardware.perf.PerfResult`) and scalar trial costs.
+Payloads are canonical JSON (sorted keys, no whitespace) so identical
+results always serialise to identical bytes — the property the
+byte-identical resume guarantee rests on.
+
+Keys stay the engine's own content-addressed tuples
+(:mod:`repro.engine.keys`); :func:`encode_key` renders them to text.
+The tuples contain only ``str``/``int``/``float``/``bool`` leaves, whose
+``repr`` is deterministic across processes and Python sessions, so the
+text form is as content-addressed as the tuple.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.branch.unit import BranchStats
+from repro.core.stats import SimStats
+from repro.hardware.perf import PerfResult
+from repro.memory.cache import CacheStats
+
+
+def encode_key(key) -> str:
+    """Deterministic text form of an engine cache-key tuple."""
+    return repr(key)
+
+
+def dumps(payload) -> str:
+    """Canonical JSON text: sorted keys, compact separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def loads(text: str):
+    return json.loads(text)
+
+
+# ----------------------------------------------------------------------
+# Simulator statistics
+# ----------------------------------------------------------------------
+def stats_to_payload(stats: SimStats) -> dict:
+    return dataclasses.asdict(stats)
+
+
+def stats_from_payload(payload: dict) -> SimStats:
+    d = dict(payload)
+    d["branch"] = BranchStats(**d["branch"])
+    for level in ("l1i", "l1d", "l2"):
+        d[level] = CacheStats(**d[level])
+    return SimStats(**d)
+
+
+# ----------------------------------------------------------------------
+# Hardware measurements
+# ----------------------------------------------------------------------
+def perf_to_payload(result: PerfResult) -> dict:
+    return dataclasses.asdict(result)
+
+
+def perf_from_payload(payload: dict) -> PerfResult:
+    return PerfResult(
+        workload=payload["workload"],
+        core=payload["core"],
+        counters=dict(payload["counters"]),
+    )

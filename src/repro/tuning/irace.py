@@ -91,6 +91,13 @@ class IraceTuner:
     initial_assignments:
         Seed configurations for the first race (e.g. the best-guess
         model of step #3).
+    store / trial_context:
+        Optional persistent :class:`~repro.store.resultstore.ResultStore`
+        plus a context token identifying this tuning run (e.g.
+        ``"<run-id>/stage1"``). When both are given the trial memo is
+        written through to the store's trial-costs table, so a killed
+        tuner resumed under the same context replays its completed
+        trials from disk (see :class:`~repro.engine.evaluator.TrialCache`).
     """
 
     def __init__(
@@ -108,6 +115,8 @@ class IraceTuner:
         initial_assignments: list = None,
         parent_weight: float = 0.55,
         verbose: bool = False,
+        store=None,
+        trial_context=None,
     ) -> None:
         if budget < len(instances):
             raise ValueError("budget must allow at least one full race block")
@@ -127,7 +136,7 @@ class IraceTuner:
         #: When ``evaluate`` exposes ``evaluate_batch`` (an engine-backed
         #: AssignmentEvaluator), each race block runs as one parallel
         #: batch through it.
-        self._trials = TrialCache(evaluate)
+        self._trials = TrialCache(evaluate, store=store, context=trial_context)
         self._initial = [dict(a) for a in (initial_assignments or [])]
         for assignment in self._initial:
             space.validate_assignment(assignment)

@@ -22,7 +22,8 @@ extended list.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import asdict, dataclass, field
 
 from repro.core.config import (
     SimConfig,
@@ -30,9 +31,16 @@ from repro.core.config import (
     cortex_a72_public_config,
 )
 from repro.engine import AssignmentEvaluator, EvaluationEngine
+from repro.engine.keys import config_token, decoder_token, overrides_token
 from repro.hardware.board import FireflyRK3399, HardwareCore
 from repro.hardware.lmbench import apply_latency_estimates, lat_mem_rd
 from repro.isa.decoder import BuggyDecoder, Decoder
+from repro.store.checkpoint import (
+    SETUP_STAGE,
+    irace_result_from_payload,
+    irace_result_to_payload,
+    stage_name,
+)
 from repro.tuning.cost import make_weighted_cost
 from repro.tuning.irace import IraceResult, IraceTuner
 from repro.tuning.parameters import ParamSpace
@@ -172,6 +180,8 @@ class ValidationCampaign:
         workloads: list = None,
         jobs: int = 1,
         engine: EvaluationEngine = None,
+        store=None,
+        run_id: str = None,
     ) -> None:
         self.board = board
         self.hw: HardwareCore = board.core(core)
@@ -179,6 +189,10 @@ class ValidationCampaign:
         self.profile = PROFILES[profile] if isinstance(profile, str) else profile
         self.seed = seed
         self.verbose = verbose
+        #: Persistent experiment store + run identity. With both set the
+        #: campaign writes stage-granular checkpoints under ``run_id``
+        #: and ``run(resume=True)`` replays completed stages from them.
+        self.run_id = run_id
         self.workloads = list(workloads) if workloads is not None else list(ALL_MICROBENCHMARKS)
         self._workload_by_name = {wl.name: wl for wl in self.workloads}
         #: Every trial — simulator run or hardware measurement — executes
@@ -212,6 +226,8 @@ class ValidationCampaign:
                 )
             if decoder is not None:
                 engine.decoder = decoder
+            if store is not None and engine.store is None:
+                engine.store = store
             self.engine = engine
         else:
             self.engine = EvaluationEngine(
@@ -220,7 +236,9 @@ class ValidationCampaign:
                 scale=self.profile.microbench_scale,
                 decoder=decoder,
                 jobs=jobs,
+                store=store,
             )
+        self.store = self.engine.store
     # ------------------------------------------------------------------
     # Infrastructure
     # ------------------------------------------------------------------
@@ -265,8 +283,66 @@ class ValidationCampaign:
         return dict(zip(names, costs))
 
     def close(self) -> None:
-        """Release engine resources (worker processes)."""
+        """Release engine resources (worker processes). The store, if
+        any, is shared with the caller and stays open."""
         self.engine.close()
+
+    # ------------------------------------------------------------------
+    # Checkpoints (stage-granular, written to the store under run_id)
+    # ------------------------------------------------------------------
+    @property
+    def _checkpointing(self) -> bool:
+        return self.store is not None and self.run_id is not None
+
+    def _trial_context(self, tag: str, config: SimConfig, weights: dict = None) -> str:
+        """Store context for one tuning round's trial-cost memo.
+
+        The memoised costs depend on everything the evaluator closes
+        over — base config, decoder, per-workload overrides, cost
+        weights, saturation — so all of it is folded into the token;
+        two rounds share persisted costs only when genuinely identical.
+        """
+        if not self._checkpointing:
+            return None
+        ident = (
+            config_token(config),
+            decoder_token(self.engine.decoder),
+            tuple(sorted(
+                (name, overrides_token(ovr))
+                for name, ovr in self.engine.overrides.items()
+            )),
+            tuple(sorted((weights or {}).items())),
+            self.cost_saturation,
+        )
+        digest = hashlib.sha256(repr(ident).encode("utf-8")).hexdigest()[:16]
+        return f"{self.run_id}/{tag}/{digest}"
+
+    def _save_checkpoint(self, name: str, payload: dict) -> None:
+        if self._checkpointing:
+            self.store.put_checkpoint(self.run_id, name, payload)
+
+    def _load_checkpoint(self, name: str):
+        if not self._checkpointing:
+            return None
+        return self.store.get_checkpoint(self.run_id, name)
+
+    def _stage_to_payload(self, stage_result: "StageResult") -> dict:
+        return {
+            "stage": stage_result.stage,
+            "irace": irace_result_to_payload(stage_result.irace),
+            "tuned_flat": stage_result.tuned_config.flatten(),
+            "errors": stage_result.errors,
+            "inspection": asdict(stage_result.inspection),
+        }
+
+    def _stage_from_payload(self, payload: dict, base_config: SimConfig) -> "StageResult":
+        return StageResult(
+            stage=payload["stage"],
+            irace=irace_result_from_payload(payload["irace"]),
+            tuned_config=base_config.with_updates(payload["tuned_flat"]),
+            errors=dict(payload["errors"]),
+            inspection=InspectionReport(**payload["inspection"]),
+        )
 
     #: Per-instance cost saturation. Abstraction-error anomalies (the
     #: uninitialised-array kernels pre-fix) produce 10-30x errors that no
@@ -316,6 +392,8 @@ class ValidationCampaign:
             first_test=self.profile.first_test,
             initial_assignments=[initial],
             verbose=self.verbose,
+            store=self.store,
+            trial_context=self._trial_context(f"stage{stage}", config),
         )
         result = tuner.run()
         return config.with_updates(result.best_assignment), result
@@ -368,6 +446,10 @@ class ValidationCampaign:
             first_test=min(self.profile.first_test, max(2, len(instances) - 1)),
             initial_assignments=[space.default_assignment(config.flatten())],
             verbose=self.verbose,
+            store=self.store,
+            trial_context=self._trial_context(
+                f"component-{component}", config, weights=spec["weights"]
+            ),
         )
         result = tuner.run()
         return config.with_updates(result.best_assignment), result
@@ -432,34 +514,63 @@ class ValidationCampaign:
                 self.decoder = Decoder()
 
     # ------------------------------------------------------------------
-    def run(self, stages: int = 2) -> CampaignResult:
-        """Execute the full campaign; returns all artefacts."""
+    def run(self, stages: int = 2, resume: bool = False) -> CampaignResult:
+        """Execute the full campaign; returns all artefacts.
+
+        With a store and a run id attached, every completed unit of work
+        (the lmbench/untuned setup, then each stage) is checkpointed;
+        ``resume=True`` replays checkpointed units verbatim — the step-5
+        fixes are re-applied from the restored inspections, so a live
+        stage after restored ones sees the exact state the uninterrupted
+        run would have had — and continues from the first missing one.
+        """
+        if resume and not self._checkpointing:
+            raise ValueError("resume=True needs both a store and a run_id")
         public = self.step1_public_config()
-        lmbench_config = self.step2_lmbench(public)
+        setup = self._load_checkpoint(SETUP_STAGE) if resume else None
+        if setup is not None:
+            lmbench_config = public.with_updates(setup["lmbench_flat"])
+            untuned_errors = dict(setup["untuned_errors"])
+            if self.verbose:
+                print(f"[campaign] setup restored from checkpoint ({self.run_id})")
+        else:
+            lmbench_config = self.step2_lmbench(public)
+            untuned_errors = self.evaluate(lmbench_config)
+            self._save_checkpoint(SETUP_STAGE, {
+                "lmbench_flat": lmbench_config.flatten(),
+                "untuned_errors": untuned_errors,
+            })
+            if self.verbose:
+                mean = sum(untuned_errors.values()) / len(untuned_errors)
+                print(f"[campaign] untuned mean CPI error: {mean:.1%}")
         config = lmbench_config
-        untuned_errors = self.evaluate(config)
-        if self.verbose:
-            mean = sum(untuned_errors.values()) / len(untuned_errors)
-            print(f"[campaign] untuned mean CPI error: {mean:.1%}")
 
         stage_results: list = []
         budgets = [self.profile.stage1_budget, self.profile.stage2_budget]
         for stage in range(1, stages + 1):
-            budget = budgets[min(stage - 1, len(budgets) - 1)]
-            config, irace_result = self.step4_tune(config, stage, budget)
-            errors = self.evaluate(config)
-            inspection = self.step5_inspect(errors)
-            stage_results.append(
-                StageResult(
+            payload = self._load_checkpoint(stage_name(stage)) if resume else None
+            if payload is not None:
+                stage_result = self._stage_from_payload(payload, public)
+                config = stage_result.tuned_config
+                inspection = stage_result.inspection
+                if self.verbose:
+                    print(f"[campaign] stage {stage} restored from checkpoint")
+            else:
+                budget = budgets[min(stage - 1, len(budgets) - 1)]
+                config, irace_result = self.step4_tune(config, stage, budget)
+                errors = self.evaluate(config)
+                inspection = self.step5_inspect(errors)
+                stage_result = StageResult(
                     stage=stage,
                     irace=irace_result,
                     tuned_config=config,
                     errors=errors,
                     inspection=inspection,
                 )
-            )
-            if self.verbose:
-                print(f"[campaign] stage {stage}:\n{inspection.summary()}")
+                self._save_checkpoint(stage_name(stage), self._stage_to_payload(stage_result))
+                if self.verbose:
+                    print(f"[campaign] stage {stage}:\n{inspection.summary()}")
+            stage_results.append(stage_result)
             if stage < stages:
                 self.apply_fixes(inspection)
 

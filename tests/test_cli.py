@@ -98,3 +98,141 @@ class TestCommands:
         payload = load_result_json(out_path)
         assert payload["core"] == "a53"
         assert len(payload["final_errors"]) == 40
+
+
+class TestStoreCLI:
+    def test_measure_and_simulate_share_a_store(self, capsys, tmp_path):
+        store_path = str(tmp_path / "exp.sqlite")
+        assert main(["measure", "--core", "a53", "--workload", "STc",
+                     "--store", store_path]) == 0
+        first = capsys.readouterr().out
+        assert "engine:" in first and "store hits" not in first
+
+        # simulate measures hardware again — from the store this time.
+        assert main(["simulate", "--core", "a53", "--workload", "STc",
+                     "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "CPI error" in out and "store hits" in out
+
+        # Both runs are on the registry.
+        assert main(["store", "ls", "--store", store_path]) == 0
+        listing = capsys.readouterr().out
+        assert "measure" in listing and "simulate" in listing
+        assert listing.count("completed") == 2
+
+    def test_simulate_twice_hits_store(self, capsys, tmp_path):
+        store_path = str(tmp_path / "exp.sqlite")
+        argv = ["simulate", "--core", "a53", "--workload", "STc",
+                "--set", "l1d.prefetcher=stride", "--store", store_path]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "1 unique simulations" in first
+        assert "0 unique simulations" in second
+        # The rendered comparison table is identical.
+        assert first.split("engine:")[0] == second.split("engine:")[0]
+
+    def test_sweep_out_json_and_store_resume(self, capsys, tmp_path):
+        store_path = str(tmp_path / "exp.sqlite")
+        out_path = str(tmp_path / "sweep.json")
+        # Two grid axes in anti-alphabetical order: resume must preserve
+        # the user's axis order, not the registry JSON's sorted keys.
+        argv = ["sweep", "--core", "a53", "--workloads", "STc,MD",
+                "--set", "l2.hit_latency=11,12",
+                "--set", "l1d.prefetcher=none,stride", "--scale", "0.5",
+                "--store", store_path, "--out", out_path]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 configurations x 2 workloads = 8 trials" in out
+        run_id = [ln for ln in out.splitlines() if ln.startswith("run id:")][0].split()[-1]
+
+        from repro.analysis.io import load_result_json
+
+        payload = load_result_json(out_path)
+        assert payload["core"] == "a53"
+        assert len(payload["trials"]) == 8
+        assert {t["workload"] for t in payload["trials"]} == {"STc", "MD"}
+        assert "mean_cpi_error" in payload["best"]
+
+        # Resume replays the recorded sweep entirely from the store.
+        out2_path = str(tmp_path / "sweep2.json")
+        assert main(["sweep", "--resume", run_id, "--store", store_path,
+                     "--out", out2_path]) == 0
+        out2 = capsys.readouterr().out
+        assert "(0 unique simulations)" in out2
+        assert load_result_json(out2_path) == payload
+
+    def test_sweep_out_without_store(self, capsys, tmp_path):
+        out_path = str(tmp_path / "sweep.json")
+        assert main(["sweep", "--workloads", "STc", "--set",
+                     "l1d.hit_latency=2,3", "--scale", "0.5",
+                     "--out", out_path]) == 0
+        from repro.analysis.io import load_result_json
+
+        assert len(load_result_json(out_path)["trials"]) == 2
+
+    def test_validate_store_roundtrip_bit_identical(self, capsys, tmp_path):
+        store_path = str(tmp_path / "exp.sqlite")
+        one, two = str(tmp_path / "r1.json"), str(tmp_path / "r2.json")
+        base = ["validate", "--core", "a53", "--profile", "fast", "--stages", "1",
+                "--store", store_path]
+        assert main(base + ["--out", one, "--run-id", "first"]) == 0
+        first = capsys.readouterr().out
+        assert "run id: first" in first
+
+        assert main(base + ["--out", two]) == 0
+        second = capsys.readouterr().out
+        assert "0 unique simulations" in second and "store hits" in second
+
+        with open(one, "rb") as f1, open(two, "rb") as f2:
+            assert f1.read() == f2.read()
+
+        assert main(["store", "stats", "--store", store_path]) == 0
+        stats_out = capsys.readouterr().out
+        assert "sim_results" in stats_out and "sqlite" in stats_out
+
+        # Resume of the completed run replays checkpoints verbatim.
+        three = str(tmp_path / "r3.json")
+        assert main(["validate", "--resume", "first", "--store", store_path,
+                     "--out", three]) == 0
+        resumed = capsys.readouterr().out
+        assert "resuming run first" in resumed
+        assert "restored from checkpoint" in resumed
+        with open(one, "rb") as f1, open(three, "rb") as f3:
+            assert f1.read() == f3.read()
+
+    def test_validate_resume_requires_store(self):
+        with pytest.raises(SystemExit, match="store"):
+            main(["validate", "--resume", "whatever"])
+
+    def test_validate_resume_unknown_run(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown run id"):
+            main(["validate", "--resume", "ghost",
+                  "--store", str(tmp_path / "exp.sqlite")])
+
+    def test_sweep_resume_rejects_validate_run(self, capsys, tmp_path):
+        store_path = str(tmp_path / "exp.sqlite")
+        from repro.store import open_store
+
+        with open_store(store_path) as store:
+            store.registry.create("validate", run_id="v1", core="a53")
+        with pytest.raises(SystemExit, match="not sweep"):
+            main(["sweep", "--resume", "v1", "--store", store_path])
+
+    def test_store_gc_and_export_import(self, capsys, tmp_path):
+        store_path = str(tmp_path / "exp.sqlite")
+        assert main(["measure", "--workload", "STc", "--store", store_path]) == 0
+        capsys.readouterr()
+        export_path = str(tmp_path / "dump.json")
+        assert main(["store", "export", "--store", store_path, export_path]) == 0
+        assert "exported" in capsys.readouterr().out
+
+        other_path = str(tmp_path / "other.sqlite")
+        assert main(["store", "import", "--store", other_path, export_path]) == 0
+        assert "imported" in capsys.readouterr().out
+        assert main(["store", "stats", "--store", other_path]) == 0
+        assert "hw_results" in capsys.readouterr().out
+
+        assert main(["store", "gc", "--store", store_path]) == 0
+        assert "gc:" in capsys.readouterr().out

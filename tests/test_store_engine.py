@@ -1,0 +1,160 @@
+"""Engine <-> persistent store integration and telemetry edge cases."""
+
+import pytest
+
+from repro.core.config import cortex_a53_public_config
+from repro.engine import EngineTelemetry, EvaluationEngine, TrialCache
+from repro.store import open_store
+from repro.workloads.microbench import get_microbenchmark
+
+NAMES = ("ED1", "CCh", "STc", "MD")
+WORKLOADS = [get_microbenchmark(n) for n in NAMES]
+
+
+def make_engine(board, store=None, **kwargs):
+    kwargs.setdefault("scale", 0.5)
+    return EvaluationEngine(hw=board.core("a53"), workloads=WORKLOADS,
+                            store=store, **kwargs)
+
+
+class TestEngineTelemetry:
+    def test_zero_trial_hit_rate_is_zero(self):
+        telemetry = EngineTelemetry()
+        assert telemetry.hit_rate() == 0.0
+
+    def test_hit_rate(self):
+        telemetry = EngineTelemetry(requested_trials=4, sim_cache_hits=3)
+        assert telemetry.hit_rate() == pytest.approx(0.75)
+
+    def test_summary_wording(self):
+        telemetry = EngineTelemetry(
+            requested_trials=10, unique_trials=4, sim_cache_hits=6,
+            hw_measurements=2,
+        )
+        assert telemetry.summary() == (
+            "10 trials requested, 4 unique simulations "
+            "(60% cache hits), 2 hardware measurements"
+        )
+
+    def test_zero_trial_summary(self):
+        assert EngineTelemetry().summary() == (
+            "0 trials requested, 0 unique simulations "
+            "(0% cache hits), 0 hardware measurements"
+        )
+
+    def test_summary_mentions_store_hits_only_when_present(self):
+        quiet = EngineTelemetry(requested_trials=1, unique_trials=1)
+        assert "store" not in quiet.summary()
+        warm = EngineTelemetry(requested_trials=1, sim_cache_hits=1, store_hits=1)
+        assert warm.summary().endswith("1 store hits")
+
+
+class TestStoreSharing:
+    def test_two_engines_share_one_sqlite_store(self, board, tmp_path):
+        path = str(tmp_path / "exp.sqlite")
+        config = cortex_a53_public_config()
+        pairs = [(config, name) for name in NAMES]
+
+        with open_store(path) as store:
+            cold = make_engine(board, store=store)
+            first = cold.evaluate_batch(pairs)
+            assert cold.telemetry.unique_trials == len(NAMES)
+            assert cold.telemetry.store_hits == 0
+            cold.close()
+
+        # A separate connection — as another process would open.
+        with open_store(path) as store:
+            warm = make_engine(board, store=store)
+            second = warm.evaluate_batch(pairs)
+            assert second == first
+            assert warm.telemetry.unique_trials == 0
+            assert warm.telemetry.hw_measurements == 0
+            assert warm.telemetry.hit_rate() == 1.0
+            # sim results + hw measurements all served from the store
+            assert warm.telemetry.store_hits == 2 * len(NAMES)
+            warm.close()
+
+    def test_interleaved_engines_on_one_store(self, board, tmp_path):
+        config = cortex_a53_public_config()
+        with open_store(str(tmp_path / "exp.sqlite")) as store:
+            a = make_engine(board, store=store)
+            b = make_engine(board, store=store)
+            ra = a.simulate(config, "ED1")
+            rb = b.simulate(config, "ED1")  # hits via the store, not memory
+            assert ra == rb
+            assert b.telemetry.unique_trials == 0
+            assert b.telemetry.store_hits == 1
+            a.close(), b.close()
+
+    def test_jobs2_workers_share_warm_store_hits(self, board, tmp_path):
+        """A parallel engine re-simulates nothing the store already has."""
+        config = cortex_a53_public_config()
+        variant = config.with_updates({"l1d.hit_latency": 4})
+        warm_pairs = [(config, name) for name in NAMES]
+        all_pairs = warm_pairs + [(variant, name) for name in NAMES]
+
+        with open_store(str(tmp_path / "exp.sqlite")) as store:
+            serial = make_engine(board, store=store)
+            warm = serial.simulate_batch(warm_pairs)
+            serial.close()
+
+            parallel = make_engine(board, store=store, jobs=2)
+            try:
+                results = parallel.simulate_batch(all_pairs)
+            finally:
+                parallel.close()
+        # Warm half came from the store; only the variant half simulated,
+        # and the parallel results are bit-identical to the serial ones.
+        assert parallel.telemetry.store_hits == len(NAMES)
+        assert parallel.telemetry.unique_trials == len(NAMES)
+        assert results[:len(NAMES)] == warm
+
+        fresh = make_engine(board)
+        expected = fresh.simulate_batch(all_pairs)
+        fresh.close()
+        assert results == expected
+
+    def test_store_survives_for_memory_backend_too(self, board):
+        config = cortex_a53_public_config()
+        with open_store("memory") as store:
+            one = make_engine(board, store=store)
+            one.evaluate(config, "ED1")
+            one.close()
+            two = make_engine(board, store=store)
+            two.evaluate(config, "ED1")
+            assert two.telemetry.unique_trials == 0
+            assert two.telemetry.store_hits == 2  # sim + hw
+            two.close()
+
+
+class TestTrialCachePersistence:
+    def test_costs_replay_from_store_under_same_context(self):
+        calls = []
+
+        def evaluate(assignment, instance):
+            calls.append((tuple(sorted(assignment.items())), instance))
+            return float(len(calls))
+
+        with open_store("memory") as store:
+            first = TrialCache(evaluate, store=store, context="run/stage1")
+            assert first({"a": 1}, "ED1") == 1.0
+            assert first({"a": 2}, "ED1") == 2.0
+            assert len(calls) == 2
+
+            # Same context: replayed from the store, evaluator untouched.
+            second = TrialCache(evaluate, store=store, context="run/stage1")
+            assert second({"a": 1}, "ED1") == 1.0
+            assert second({"a": 2}, "ED1") == 2.0
+            assert len(calls) == 2
+            assert second.unique_trials == 0 and second.store_hits == 2
+
+            # Different context: recomputed.
+            third = TrialCache(evaluate, store=store, context="run/stage2")
+            third({"a": 1}, "ED1")
+            assert len(calls) == 3
+
+    def test_no_context_disables_persistence(self):
+        with open_store("memory") as store:
+            cache = TrialCache(lambda a, i: 1.0, store=store, context=None)
+            cache({"a": 1}, "ED1")
+            assert store.stats()["trial_costs"] == 0

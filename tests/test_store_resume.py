@@ -1,0 +1,144 @@
+"""Checkpoint/resume: interrupted campaigns replay bit-identically."""
+
+import pytest
+
+from repro.analysis.io import result_fingerprint
+from repro.store import open_store
+from repro.validation.campaign import BudgetProfile, ValidationCampaign
+from repro.workloads.microbench import get_microbenchmark
+
+SUBSET = [get_microbenchmark(n) for n in
+          ("ED1", "EM1", "EF", "MD", "CCh", "CS1", "STc")]
+
+PROFILE = BudgetProfile("test", 120, 120, first_test=4, n_elites=2)
+
+
+def make_campaign(board, store=None, run_id=None):
+    return ValidationCampaign(board, core="a53", profile=PROFILE, seed=11,
+                              workloads=SUBSET, store=store, run_id=run_id)
+
+
+def result_payload(result) -> dict:
+    """The CLI's --out payload — the byte-identity acceptance artefact."""
+    return {
+        "core": result.core,
+        "profile": result.profile,
+        "untuned_errors": result.untuned_errors,
+        "final_errors": result.final_errors,
+        "tuned_assignment": result.stages[-1].irace.best_assignment,
+    }
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(board):
+    """Reference: the same campaign run start-to-finish without a store."""
+    campaign = make_campaign(board)
+    result = campaign.run(stages=2)
+    campaign.close()
+    return result
+
+
+class TestCheckpointResume:
+    def test_store_attaches_without_changing_results(self, board, uninterrupted):
+        with open_store("memory") as store:
+            campaign = make_campaign(board, store=store, run_id="run-attach")
+            result = campaign.run(stages=2)
+            campaign.close()
+        assert result_fingerprint(result_payload(result)) == \
+            result_fingerprint(result_payload(uninterrupted))
+
+    def test_killed_after_stage1_resumes_bit_identically(self, board, uninterrupted, tmp_path):
+        path = str(tmp_path / "exp.sqlite")
+        # "Kill" the campaign after stage 1: run only one stage, drop the
+        # process state, keep the store.
+        with open_store(path) as store:
+            partial = make_campaign(board, store=store, run_id="run-killed")
+            partial.run(stages=1)
+            partial.close()
+            assert sorted(store.list_checkpoints("run-killed")) == ["setup", "stage1"]
+
+        # A fresh process resumes from the checkpoints and finishes.
+        with open_store(path) as store:
+            resumed = make_campaign(board, store=store, run_id="run-killed")
+            result = resumed.run(stages=2, resume=True)
+            resumed.close()
+            # Stage 1 was not re-tuned: no stage-1-budget worth of trials.
+            assert result.stages[0].irace.requested_trials > 0
+            assert sorted(store.list_checkpoints("run-killed")) == \
+                ["setup", "stage1", "stage2"]
+
+        assert result_fingerprint(result_payload(result)) == \
+            result_fingerprint(result_payload(uninterrupted))
+
+    def test_mid_stage_kill_replays_trials_from_store(self, board, uninterrupted, tmp_path):
+        """Losing the stage-2 checkpoint (a mid-stage kill) still resumes:
+        the stage re-races, but every trial replays from the store."""
+        path = str(tmp_path / "exp.sqlite")
+        with open_store(path) as store:
+            full = make_campaign(board, store=store, run_id="run-mid")
+            full.run(stages=2)
+            full.close()
+            assert store.delete_checkpoints("run-mid") == 3
+            # Re-create the pre-kill checkpoints only.
+            partial = make_campaign(board, store=store, run_id="run-mid2")
+            partial.run(stages=1)
+            partial.close()
+
+        with open_store(path) as store:
+            resumed = make_campaign(board, store=store, run_id="run-mid2")
+            result = resumed.run(stages=2, resume=True)
+            telemetry = resumed.engine.telemetry
+            resumed.close()
+            # Zero new simulations: stage 2's trials were all in the store.
+            assert telemetry.unique_trials == 0
+            assert telemetry.hw_measurements == 0
+
+        assert result_fingerprint(result_payload(result)) == \
+            result_fingerprint(result_payload(uninterrupted))
+
+    def test_completed_run_resumes_from_checkpoints_alone(self, board, uninterrupted):
+        with open_store("memory") as store:
+            first = make_campaign(board, store=store, run_id="run-done")
+            first.run(stages=2)
+            first.close()
+
+            replay = make_campaign(board, store=store, run_id="run-done")
+            result = replay.run(stages=2, resume=True)
+            telemetry = replay.engine.telemetry
+            replay.close()
+            # Every stage restored verbatim: no trials at all.
+            assert telemetry.requested_trials == 0
+            assert telemetry.unique_trials == 0
+        assert result_fingerprint(result_payload(result)) == \
+            result_fingerprint(result_payload(uninterrupted))
+
+    def test_second_full_run_against_warm_store_simulates_nothing(self, board, uninterrupted):
+        with open_store("memory") as store:
+            first = make_campaign(board, store=store, run_id="warm-1")
+            first.run(stages=2)
+            first.close()
+
+            second = make_campaign(board, store=store, run_id="warm-2")
+            result = second.run(stages=2)  # fresh run id, no checkpoints
+            telemetry = second.engine.telemetry
+            second.close()
+            assert telemetry.unique_trials == 0
+            assert telemetry.hw_measurements == 0
+            assert telemetry.store_hits > 0
+        assert result_fingerprint(result_payload(result)) == \
+            result_fingerprint(result_payload(uninterrupted))
+
+    def test_resume_without_store_rejected(self, board):
+        campaign = make_campaign(board)
+        with pytest.raises(ValueError, match="resume"):
+            campaign.run(stages=1, resume=True)
+        campaign.close()
+
+    def test_resume_with_foreign_run_id_runs_fresh(self, board, uninterrupted):
+        """resume=True with no checkpoints yet just runs (and checkpoints)."""
+        with open_store("memory") as store:
+            campaign = make_campaign(board, store=store, run_id="never-ran")
+            result = campaign.run(stages=1, resume=True)
+            campaign.close()
+            assert sorted(store.list_checkpoints("never-ran")) == ["setup", "stage1"]
+        assert result.stages[0].errors
