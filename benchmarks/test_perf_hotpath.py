@@ -1,0 +1,47 @@
+"""Hot-path throughput benchmarks (the `repro bench` suite via pytest).
+
+Drives the perf layer's deterministic quick scenarios through
+pytest-benchmark so the simulator/trace/engine throughput trajectory is
+measured alongside the paper's tables and figures. `repro bench`
+remains the canonical recorder (it writes ``BENCH_<host>.json``); this
+file makes regressions visible inside the benchmark suite itself.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_scenario
+
+
+def _bench_scenario(benchmark, scn):
+    record = benchmark.pedantic(
+        lambda: run_scenario(scn, repeats=1), rounds=1, iterations=1
+    )
+    assert record["instructions"] > 0
+    rate = record["instructions_per_second"]
+    print(f"\n{scn.name}: {rate:,.0f} instructions/s "
+          f"({record['instructions']} instr in "
+          f"{record['wall_seconds'] * 1e3:.1f} ms)")
+    return record
+
+
+def test_table1_inorder_throughput(benchmark, perf_scenarios):
+    """Table-I kernels on the in-order (A53) core, steady state."""
+    _bench_scenario(benchmark, perf_scenarios["table1-a53-quick"])
+
+
+def test_table1_ooo_throughput(benchmark, perf_scenarios):
+    """Table-I kernels on the out-of-order (A72) core, steady state."""
+    _bench_scenario(benchmark, perf_scenarios["table1-a72-quick"])
+
+
+def test_trace_recording_throughput(benchmark, perf_scenarios):
+    """Front-end (interpreter) dynamic-instruction recording rate."""
+    _bench_scenario(benchmark, perf_scenarios["trace-record-quick"])
+
+
+def test_engine_batch_caching(benchmark, perf_scenarios):
+    """Engine batch throughput; the warm resubmission must be all hits."""
+    record = _bench_scenario(benchmark, perf_scenarios["engine-batch-quick"])
+    telemetry = record["telemetry"]
+    assert telemetry["unique_trials"] * 2 == telemetry["requested_trials"]
+    assert telemetry["sim_cache_hits"] == telemetry["unique_trials"]

@@ -1,0 +1,48 @@
+"""Performance layer: benchmark scenarios, harness and perf baselines.
+
+``repro bench`` (and this package's API) measures a fixed suite of
+micro-benchmark, SPEC-proxy, trace-recording and engine scenarios and
+records instructions/sec, simulated cycles/sec and engine telemetry in
+a versioned ``BENCH_<host>.json`` — the perf baseline every future PR
+is compared against.
+
+>>> from repro.bench import run_suite
+>>> entry = run_suite("quick")           # doctest: +SKIP
+>>> entry["totals"]["simulate_instructions_per_second"]  # doctest: +SKIP
+"""
+
+from repro.bench.harness import (
+    MAX_RUNS,
+    SCHEMA_VERSION,
+    default_bench_path,
+    host_fingerprint,
+    load_report,
+    run_bench,
+    run_scenario,
+    run_suite,
+    update_report_file,
+    validate_report,
+)
+from repro.bench.scenarios import (
+    BenchScenario,
+    full_suite,
+    get_suite,
+    quick_suite,
+)
+
+__all__ = [
+    "BenchScenario",
+    "MAX_RUNS",
+    "SCHEMA_VERSION",
+    "default_bench_path",
+    "full_suite",
+    "get_suite",
+    "host_fingerprint",
+    "load_report",
+    "quick_suite",
+    "run_bench",
+    "run_scenario",
+    "run_suite",
+    "update_report_file",
+    "validate_report",
+]

@@ -1,0 +1,316 @@
+"""Benchmark harness: run scenarios, record ``BENCH_<host>.json``.
+
+Every future PR inherits a perf baseline from the JSON reports this
+module writes: instructions simulated per second, simulated cycles per
+second, trace-recording throughput and engine telemetry, per scenario,
+per host, with history. The report format is versioned and validated
+(:func:`validate_report`), and updating an existing file appends a run
+instead of clobbering the history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import subprocess
+import time
+from dataclasses import asdict
+
+from repro.bench.scenarios import BenchScenario, get_suite
+
+#: Bump on any incompatible change to the report layout.
+SCHEMA_VERSION = 1
+
+#: Bounded history per file: oldest runs fall off.
+MAX_RUNS = 50
+
+
+# ----------------------------------------------------------------------
+# Host identity and file naming
+# ----------------------------------------------------------------------
+def host_fingerprint() -> dict:
+    """Stable description of the measuring host, recorded per report.
+
+    ``REPRO_BENCH_HOST`` overrides the hostname-derived label (CI sets
+    it so cached artifacts keep one name across ephemeral runners).
+    """
+    label = os.environ.get("REPRO_BENCH_HOST") or platform.node() or "unknown"
+    return {
+        "label": _sanitize(label),
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
+def _sanitize(label: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-") or "unknown"
+
+
+def default_bench_path(root: str = ".") -> str:
+    """``BENCH_<host>.json`` in ``root`` for the current host."""
+    return os.path.join(root, f"BENCH_{host_fingerprint()['label']}.json")
+
+
+def _git_describe() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+        return out.stdout.strip() or None
+    except OSError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Scenario execution
+# ----------------------------------------------------------------------
+def _config_for(core: str):
+    from repro.core.config import cortex_a53_public_config, cortex_a72_public_config
+
+    if core == "a53":
+        return cortex_a53_public_config()
+    if core == "a72":
+        return cortex_a72_public_config()
+    raise ValueError(f"unknown core {core!r}")
+
+
+def _workload(name: str):
+    from repro.workloads.microbench import MICROBENCHMARKS
+    from repro.workloads.spec import SPEC_WORKLOADS
+
+    if name in MICROBENCHMARKS:
+        return MICROBENCHMARKS[name]
+    if name in SPEC_WORKLOADS:
+        return SPEC_WORKLOADS[name]
+    raise KeyError(f"unknown workload {name!r}")
+
+
+def _run_simulate(scn: BenchScenario, repeats: int) -> dict:
+    """Steady-state simulator throughput over pre-recorded traces."""
+    from repro.simulator import simulate
+
+    config = _config_for(scn.core)
+    traces = [_workload(n).trace(scale=scn.scale) for n in scn.workloads]
+    instructions = sum(len(t) for t in traces)
+    # Warm pass: records decode/stream caches and yields the cycle count
+    # (identical on every pass — simulation is deterministic).
+    cycles = sum(simulate(config, t).cycles for t in traces)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for trace in traces:
+            simulate(config, trace)
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "instructions": instructions,
+        "cycles": cycles,
+        "wall_seconds": best,
+        "instructions_per_second": instructions / best,
+        "cycles_per_second": cycles / best,
+        "telemetry": None,
+    }
+
+
+def _run_trace(scn: BenchScenario, repeats: int) -> dict:
+    """Front-end (interpreter) trace-recording throughput."""
+    from repro.frontend.interpreter import trace_program
+
+    workloads = [_workload(n) for n in scn.workloads]
+    programs = [w.program(scale=scn.scale) for w in workloads]
+    caps = [w.max_instructions for w in workloads]
+    instructions = sum(
+        len(trace_program(p, max_instructions=c))
+        for p, c in zip(programs, caps)
+    )
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for program, cap in zip(programs, caps):
+            trace_program(program, max_instructions=cap)
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "instructions": instructions,
+        "cycles": 0,
+        "wall_seconds": best,
+        "instructions_per_second": instructions / best,
+        "cycles_per_second": 0.0,
+        "telemetry": None,
+    }
+
+
+def _run_engine(scn: BenchScenario, repeats: int) -> dict:
+    """Batched engine throughput + telemetry over a config grid.
+
+    Submits the grid twice: the first batch simulates every unique
+    trial, the second is answered entirely from the engine cache — the
+    recorded telemetry shows both.
+    """
+    import itertools
+
+    from repro.engine import EvaluationEngine
+
+    base = _config_for(scn.core)
+    keys = [k for k, _values in scn.grid]
+    axes = [values for _k, values in scn.grid]
+    configs = [
+        base.with_updates(dict(zip(keys, combo)))
+        for combo in itertools.product(*axes)
+    ]
+    workloads = [_workload(n) for n in scn.workloads]
+    with EvaluationEngine(workloads=workloads, scale=scn.scale) as engine:
+        pairs = [(c, w.name) for c in configs for w in workloads]
+        t0 = time.perf_counter()
+        stats_list = engine.simulate_batch(pairs)
+        wall = time.perf_counter() - t0
+        engine.simulate_batch(pairs)  # warm pass: pure cache hits
+        telemetry = asdict(engine.telemetry)
+    instructions = sum(s.instructions for s in stats_list)
+    cycles = sum(s.cycles for s in stats_list)
+    return {
+        "instructions": instructions,
+        "cycles": cycles,
+        "wall_seconds": wall,
+        "instructions_per_second": instructions / wall,
+        "cycles_per_second": cycles / wall,
+        "telemetry": telemetry,
+    }
+
+
+_RUNNERS = {"simulate": _run_simulate, "trace": _run_trace, "engine": _run_engine}
+
+
+def run_scenario(scn: BenchScenario, repeats: int = None) -> dict:
+    """Execute one scenario; returns its report record."""
+    runner = _RUNNERS.get(scn.kind)
+    if runner is None:
+        raise ValueError(f"unknown scenario kind {scn.kind!r}")
+    reps = max(1, repeats if repeats is not None else scn.repeats)
+    record = runner(scn, reps)
+    record.update(
+        name=scn.name,
+        kind=scn.kind,
+        core=scn.core if scn.kind != "trace" else None,
+        workloads=len(scn.workloads),
+        repeats=reps,
+        scale=scn.scale,
+    )
+    return record
+
+
+def run_suite(suite: str = "full", repeats: int = None, progress=None) -> dict:
+    """Run a named suite; returns the report *run entry* (one per call).
+
+    ``progress`` is an optional ``callable(str)`` invoked per scenario.
+    """
+    scenarios = get_suite(suite)
+    results = []
+    for scn in scenarios:
+        if progress is not None:
+            progress(f"bench: {scn.name} ({scn.kind}, {len(scn.workloads)} workloads)")
+        results.append(run_scenario(scn, repeats=repeats))
+    sim_records = [r for r in results if r["kind"] == "simulate"]
+    total_instr = sum(r["instructions"] for r in sim_records)
+    total_wall = sum(r["wall_seconds"] for r in sim_records)
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "suite": suite,
+        "git": _git_describe(),
+        "scenarios": results,
+        "totals": {
+            "simulate_instructions": total_instr,
+            "simulate_wall_seconds": total_wall,
+            "simulate_instructions_per_second":
+                total_instr / total_wall if total_wall else 0.0,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Report files
+# ----------------------------------------------------------------------
+def validate_report(report) -> None:
+    """Schema check for a ``BENCH_*.json`` payload; raises ``ValueError``.
+
+    Used by the tests and the CI smoke job so that a malformed report
+    fails loudly instead of silently breaking the perf history.
+    """
+    def need(cond, msg):
+        if not cond:
+            raise ValueError(f"invalid bench report: {msg}")
+
+    need(isinstance(report, dict), "not an object")
+    need(report.get("schema_version") == SCHEMA_VERSION,
+         f"schema_version != {SCHEMA_VERSION}")
+    host = report.get("host")
+    need(isinstance(host, dict), "missing host")
+    for key in ("label", "machine", "platform", "python", "cpu_count"):
+        need(key in host, f"host.{key} missing")
+    runs = report.get("runs")
+    need(isinstance(runs, list) and runs, "runs missing or empty")
+    for run in runs:
+        need(isinstance(run.get("timestamp"), str), "run.timestamp missing")
+        need(run.get("suite") in ("full", "quick"), "run.suite invalid")
+        need(isinstance(run.get("scenarios"), list) and run["scenarios"],
+             "run.scenarios missing or empty")
+        for scn in run["scenarios"]:
+            for key in ("name", "kind", "workloads", "repeats", "instructions",
+                        "cycles", "wall_seconds", "instructions_per_second",
+                        "cycles_per_second"):
+                need(key in scn, f"scenario.{key} missing")
+            need(scn["kind"] in ("simulate", "trace", "engine"),
+                 f"scenario kind {scn['kind']!r} invalid")
+            need(scn["wall_seconds"] > 0, "non-positive wall_seconds")
+            need(scn["instructions"] > 0, "non-positive instructions")
+        totals = run.get("totals")
+        need(isinstance(totals, dict), "run.totals missing")
+        need("simulate_instructions_per_second" in totals,
+             "totals.simulate_instructions_per_second missing")
+
+
+def load_report(path: str) -> dict:
+    """Read and validate an existing report file."""
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    validate_report(report)
+    return report
+
+
+def update_report_file(path: str, run_entry: dict) -> dict:
+    """Append ``run_entry`` to the report at ``path`` (creating it).
+
+    An existing valid report keeps its history (bounded at
+    :data:`MAX_RUNS`); an existing *invalid* file raises instead of
+    being clobbered.
+    """
+    if os.path.exists(path):
+        report = load_report(path)
+        report["host"] = host_fingerprint()
+    else:
+        report = {
+            "schema_version": SCHEMA_VERSION,
+            "host": host_fingerprint(),
+            "runs": [],
+        }
+    report["runs"].append(run_entry)
+    report["runs"] = report["runs"][-MAX_RUNS:]
+    validate_report(report)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return report
+
+
+def run_bench(suite: str = "full", repeats: int = None, out: str = None,
+              progress=None) -> tuple:
+    """Run a suite and record it; returns ``(report, run_entry, path)``."""
+    run_entry = run_suite(suite, repeats=repeats, progress=progress)
+    path = out if out else default_bench_path()
+    report = update_report_file(path, run_entry)
+    return report, run_entry, path

@@ -1,0 +1,129 @@
+"""Deterministic benchmark scenario definitions.
+
+The performance layer measures a *fixed* suite of scenarios so that
+every run of ``repro bench`` — today, next PR, another machine — times
+exactly the same work. Three scenario kinds cover the layers of the
+simulation stack:
+
+- ``simulate`` — steady-state simulator throughput: replay pre-recorded
+  traces (the tuning-loop workload, where thousands of configurations
+  share one trace);
+- ``trace`` — front-end recording throughput: the DynamoRIO-substitute
+  interpreter producing dynamic traces;
+- ``engine`` — batched engine throughput: a configuration grid submitted
+  through :class:`~repro.engine.EvaluationEngine`, exercising the
+  content-addressed cache and reporting its telemetry.
+
+Scenario *lists* are deterministic (names, workloads, order); only the
+measured wall-clock varies between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One named, reproducible measurement unit.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier recorded in ``BENCH_*.json``.
+    kind:
+        ``"simulate"``, ``"trace"`` or ``"engine"`` (see module docs).
+    core:
+        Public configuration to simulate with (``a53`` or ``a72``);
+        unused by ``trace`` scenarios.
+    workloads:
+        Workload names (micro-benchmarks or SPEC proxies) the scenario
+        runs, in order.
+    repeats:
+        Timed passes; the harness reports the best (minimum-wall) pass,
+        the standard way to suppress scheduler noise.
+    scale:
+        Trace scale forwarded to the workloads.
+    grid:
+        For ``engine`` scenarios: configuration override axes as a
+        tuple of ``(dotted_key, (value, ...))`` pairs whose cross
+        product forms the submitted configurations.
+    """
+
+    name: str
+    kind: str
+    core: str = "a53"
+    workloads: tuple = ()
+    repeats: int = 3
+    scale: float = 1.0
+    grid: tuple = field(default=())
+
+
+#: Category-balanced ten-kernel subset used by the quick suite.
+QUICK_KERNELS = ("MC", "ML2_BWld", "MM", "CCa", "CRd", "CS1", "DP1f", "ED1",
+                 "STc", "STL2")
+
+#: SPEC-proxy subset for the quick suite.
+QUICK_SPEC = ("mcf", "x264", "leela")
+
+#: Engine-scenario override grid (kept tiny; the point is measuring the
+#: batch/caching machinery, not sweeping a large space).
+ENGINE_GRID = (
+    ("l1d.size", (16384, 32768)),
+    ("branch.btb_entries", (256, 512)),
+)
+
+
+def _microbench_names() -> tuple:
+    from repro.workloads.microbench import MICROBENCHMARKS
+
+    return tuple(MICROBENCHMARKS)
+
+
+def _spec_names() -> tuple:
+    from repro.workloads.spec import SPEC_WORKLOADS
+
+    return tuple(SPEC_WORKLOADS)
+
+
+def full_suite() -> list:
+    """The complete scenario list (the default for ``repro bench``)."""
+    micro = _microbench_names()
+    spec = _spec_names()
+    return [
+        BenchScenario("table1-a53", "simulate", core="a53", workloads=micro,
+                      repeats=5),
+        BenchScenario("table1-a72", "simulate", core="a72", workloads=micro,
+                      repeats=5),
+        BenchScenario("spec-a53", "simulate", core="a53", workloads=spec),
+        BenchScenario("spec-a72", "simulate", core="a72", workloads=spec),
+        BenchScenario("trace-record", "trace", workloads=micro),
+        BenchScenario("engine-batch-a53", "engine", core="a53",
+                      workloads=QUICK_KERNELS, grid=ENGINE_GRID, repeats=1),
+    ]
+
+
+def quick_suite() -> list:
+    """Reduced suite for CI smoke runs (seconds, not minutes)."""
+    return [
+        BenchScenario("table1-a53-quick", "simulate", core="a53",
+                      workloads=QUICK_KERNELS, repeats=2),
+        BenchScenario("table1-a72-quick", "simulate", core="a72",
+                      workloads=QUICK_KERNELS, repeats=2),
+        BenchScenario("spec-a53-quick", "simulate", core="a53",
+                      workloads=QUICK_SPEC, repeats=2),
+        BenchScenario("trace-record-quick", "trace", workloads=QUICK_KERNELS,
+                      repeats=2),
+        BenchScenario("engine-batch-quick", "engine", core="a53",
+                      workloads=QUICK_KERNELS[:4], grid=ENGINE_GRID,
+                      repeats=1),
+    ]
+
+
+def get_suite(name: str) -> list:
+    """Suite registry: ``full`` or ``quick``."""
+    if name == "full":
+        return full_suite()
+    if name == "quick":
+        return quick_suite()
+    raise ValueError(f"unknown bench suite {name!r}; choose 'full' or 'quick'")

@@ -13,6 +13,8 @@ class DirectionPredictor:
     #: Registry key used by configuration / the tuner.
     kind = "abstract"
 
+    __slots__ = ()
+
     def predict(self, pc: int) -> bool:
         """Return the predicted direction for the branch at ``pc``."""
         raise NotImplementedError

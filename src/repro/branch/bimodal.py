@@ -14,6 +14,8 @@ class BimodalPredictor(DirectionPredictor):
 
     kind = "bimodal"
 
+    __slots__ = ("index_bits", "_mask", "_table")
+
     def __init__(self, index_bits: int = 12) -> None:
         if not 2 <= index_bits <= 24:
             raise ValueError(f"index_bits out of range [2, 24]: {index_bits}")

@@ -12,6 +12,8 @@ from __future__ import annotations
 class BranchTargetBuffer:
     """Set-associative target cache with true-LRU replacement."""
 
+    __slots__ = ("entries", "assoc", "sets", "_sets")
+
     def __init__(self, entries: int = 256, assoc: int = 2) -> None:
         if entries <= 0 or assoc <= 0:
             raise ValueError("entries and assoc must be positive")
@@ -21,17 +23,15 @@ class BranchTargetBuffer:
         self.assoc = assoc
         self.sets = entries // assoc
         #: Per-set ordered dict of tag -> target; insertion order is LRU
-        #: order (oldest first).
-        self._sets = [dict() for _ in range(self.sets)]
-
-    def _locate(self, pc: int) -> tuple:
-        index = (pc >> 2) % self.sets
-        tag = pc >> 2
-        return self._sets[index], tag
+        #: order (oldest first). Sets materialise lazily on first insert.
+        self._sets = [None] * self.sets
 
     def lookup(self, pc: int) -> int:
         """Return the cached target for ``pc``, or -1 on BTB miss."""
-        entries, tag = self._locate(pc)
+        tag = pc >> 2
+        entries = self._sets[tag % self.sets]
+        if entries is None:
+            return -1
         target = entries.get(tag, -1)
         if target != -1:
             # Refresh LRU position.
@@ -41,7 +41,11 @@ class BranchTargetBuffer:
 
     def insert(self, pc: int, target: int) -> None:
         """Record ``target`` for the taken branch at ``pc``."""
-        entries, tag = self._locate(pc)
+        tag = pc >> 2
+        idx = tag % self.sets
+        entries = self._sets[idx]
+        if entries is None:
+            entries = self._sets[idx] = {}
         if tag in entries:
             del entries[tag]
         elif len(entries) >= self.assoc:
@@ -49,5 +53,24 @@ class BranchTargetBuffer:
             del entries[oldest]
         entries[tag] = target
 
+    def lookup_insert(self, pc: int, target: int) -> int:
+        """Fused :meth:`lookup` + :meth:`insert` for one taken branch.
+
+        Returns the previously cached target (-1 on BTB miss) and
+        records ``target``, touching the set once. State-identical to
+        the two separate calls.
+        """
+        tag = pc >> 2
+        idx = tag % self.sets
+        entries = self._sets[idx]
+        if entries is None:
+            self._sets[idx] = {tag: target}
+            return -1
+        old = entries.pop(tag, -1)
+        if old == -1 and len(entries) >= self.assoc:
+            del entries[next(iter(entries))]
+        entries[tag] = target
+        return old
+
     def reset(self) -> None:
-        self._sets = [dict() for _ in range(self.sets)]
+        self._sets = [None] * self.sets

@@ -14,6 +14,8 @@ class GSharePredictor(DirectionPredictor):
 
     kind = "gshare"
 
+    __slots__ = ("history_bits", "_mask", "_table", "_history")
+
     def __init__(self, history_bits: int = 12) -> None:
         if not 2 <= history_bits <= 24:
             raise ValueError(f"history_bits out of range [2, 24]: {history_bits}")

@@ -11,6 +11,8 @@ class ReturnAddressStack:
     call-/return-heavy micro-benchmarks are sensitive to.
     """
 
+    __slots__ = ("entries", "_stack", "_top", "_depth")
+
     def __init__(self, entries: int = 8) -> None:
         if entries <= 0:
             raise ValueError("entries must be positive")

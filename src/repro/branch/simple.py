@@ -10,6 +10,8 @@ class StaticTakenPredictor(DirectionPredictor):
 
     kind = "static-taken"
 
+    __slots__ = ()
+
     def predict(self, pc: int) -> bool:
         return True
 
@@ -24,6 +26,8 @@ class StaticNotTakenPredictor(DirectionPredictor):
     """Always predicts not-taken."""
 
     kind = "static-nottaken"
+
+    __slots__ = ()
 
     def predict(self, pc: int) -> bool:
         return False

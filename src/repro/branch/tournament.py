@@ -17,6 +17,9 @@ class TournamentPredictor(DirectionPredictor):
 
     kind = "tournament"
 
+    __slots__ = ("history_bits", "chooser_bits", "_bimodal", "_gshare",
+                 "_chooser_mask", "_chooser")
+
     def __init__(self, history_bits: int = 12, chooser_bits: int = 12) -> None:
         self.history_bits = history_bits
         self.chooser_bits = chooser_bits

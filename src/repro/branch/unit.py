@@ -88,7 +88,7 @@ def build_indirect_predictor(kind: str, entries: int, history_bits: int = 8) -> 
     return cls(entries=entries, history_bits=history_bits)
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchStats:
     """Counters exposed to the perf interface and cost functions."""
 
@@ -122,6 +122,10 @@ class BranchUnit:
     target was not in the BTB.
     """
 
+    __slots__ = ("direction", "btb", "ras", "indirect", "stats",
+                 "_predict", "_btb_insert", "_btb_lookup_insert",
+                 "_ras_push", "_ras_pop", "_ind_predict", "_ind_update")
+
     def __init__(
         self,
         direction: DirectionPredictor,
@@ -134,6 +138,16 @@ class BranchUnit:
         self.ras = ras
         self.indirect = indirect
         self.stats = BranchStats()
+        # Pre-resolved component entry points for the per-branch hot
+        # call (the components mutate in place on reset, so these bound
+        # methods stay valid for the unit's lifetime).
+        self._predict = direction.predict_update
+        self._btb_insert = btb.insert
+        self._btb_lookup_insert = btb.lookup_insert
+        self._ras_push = ras.push
+        self._ras_pop = ras.pop
+        self._ind_predict = indirect.predict
+        self._ind_update = indirect.update
 
     def access(self, opclass: int, pc: int, taken: bool, target: int) -> int:
         """Process one dynamic branch; returns a ``REDIRECT_*`` code."""
@@ -142,38 +156,40 @@ class BranchUnit:
         redirect = REDIRECT_NONE
 
         if opclass == _BRANCH:
-            prediction = self.direction.predict_update(pc, taken)
+            prediction = self._predict(pc, taken)
             if prediction != taken:
                 stats.direction_mispredicts += 1
                 redirect = REDIRECT_MISPREDICT
             if taken:
-                if redirect == REDIRECT_NONE and self.btb.lookup(pc) != target:
-                    stats.btb_misses += 1
-                    redirect = REDIRECT_BTB
-                self.btb.insert(pc, target)
+                if redirect == REDIRECT_NONE:
+                    # Fused lookup+insert; a skipped lookup (mispredict)
+                    # must not refresh LRU state, hence the split below.
+                    if self._btb_lookup_insert(pc, target) != target:
+                        stats.btb_misses += 1
+                        redirect = REDIRECT_BTB
+                else:
+                    self._btb_insert(pc, target)
         elif opclass == _JUMP:
-            if self.btb.lookup(pc) != target:
+            if self._btb_lookup_insert(pc, target) != target:
                 stats.btb_misses += 1
                 redirect = REDIRECT_BTB
-            self.btb.insert(pc, target)
         elif opclass == _CALL:
-            if self.btb.lookup(pc) != target:
+            if self._btb_lookup_insert(pc, target) != target:
                 stats.btb_misses += 1
                 redirect = REDIRECT_BTB
-            self.btb.insert(pc, target)
-            self.ras.push(pc + 4)
+            self._ras_push(pc + 4)
         elif opclass == _RET:
             if not taken:
                 # Top-level return treated as fall-through; no redirect.
                 return REDIRECT_NONE
-            if self.ras.pop() != target:
+            if self._ras_pop() != target:
                 stats.ras_mispredicts += 1
                 redirect = REDIRECT_MISPREDICT
         elif opclass == _IBRANCH:
-            if self.indirect.predict(pc) != target:
+            if self._ind_predict(pc) != target:
                 stats.indirect_mispredicts += 1
                 redirect = REDIRECT_MISPREDICT
-            self.indirect.update(pc, target)
+            self._ind_update(pc, target)
         else:
             raise ValueError(f"opclass {opclass} is not a branch")
 

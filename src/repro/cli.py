@@ -375,6 +375,55 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the perf suite and record/update ``BENCH_<host>.json``."""
+    from repro.bench import default_bench_path, get_suite, run_bench
+
+    suite = "quick" if args.quick else args.suite
+    if args.list:
+        rows = [[s.name, s.kind, s.core if s.kind != "trace" else "-",
+                 len(s.workloads), s.repeats]
+                for s in get_suite(suite)]
+        print(render_table(["scenario", "kind", "core", "workloads", "repeats"],
+                           rows, title=f"bench suite — {suite}"))
+        return 0
+
+    report, entry, path = run_bench(
+        suite=suite, repeats=args.repeat,
+        out=args.out if args.out else default_bench_path(),
+        progress=print,
+    )
+    rows = []
+    for scn in entry["scenarios"]:
+        rows.append([
+            scn["name"], scn["kind"], scn["core"] or "-", scn["workloads"],
+            f"{scn['wall_seconds'] * 1e3:.1f}",
+            f"{scn['instructions_per_second']:,.0f}",
+            f"{scn['cycles_per_second']:,.0f}" if scn["cycles_per_second"] else "-",
+        ])
+    print(render_table(
+        ["scenario", "kind", "core", "workloads", "wall ms",
+         "instr/s", "sim cycles/s"],
+        rows, title=f"repro bench — {suite} suite"))
+    totals = entry["totals"]
+    print(f"simulate scenarios: {totals['simulate_instructions']} instructions "
+          f"in {totals['simulate_wall_seconds'] * 1e3:.1f} ms = "
+          f"{totals['simulate_instructions_per_second']:,.0f} instr/s")
+    for scn in entry["scenarios"]:
+        if scn["telemetry"]:
+            t = scn["telemetry"]
+            print(f"engine telemetry ({scn['name']}): "
+                  f"{t['requested_trials']} requested, "
+                  f"{t['unique_trials']} unique, "
+                  f"{t['sim_cache_hits']} cache hits")
+    print(f"wrote {len(report['runs'])} run(s) to {path}")
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(entry, indent=1, sort_keys=True))
+    return 0
+
+
 def cmd_store_stats(args) -> int:
     with open_store(args.store) as store:
         stats = store.stats()
@@ -498,6 +547,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", default=None, metavar="RUN_ID",
                    help="re-run a recorded sweep (warm store makes it cheap)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the perf scenario suite, update BENCH_<host>.json",
+    )
+    p.add_argument("--suite", choices=["full", "quick"], default="full")
+    p.add_argument("--quick", action="store_true",
+                   help="shorthand for --suite quick (CI smoke)")
+    p.add_argument("--repeat", type=int, default=None,
+                   help="override per-scenario repeat count")
+    p.add_argument("--out", default=None,
+                   help="report path (default: BENCH_<host>.json)")
+    p.add_argument("--list", action="store_true",
+                   help="print the scenario list without running")
+    p.add_argument("--json", action="store_true",
+                   help="also print this run's entry as JSON")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("store", help="manage a persistent experiment store")
     store_sub = p.add_subparsers(dest="store_command", required=True)

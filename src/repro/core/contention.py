@@ -56,7 +56,10 @@ class _Pool:
         free[best] = start + occupancy
 
     def reset(self) -> None:
-        self.free = [0] * len(self.free)
+        # In place: the hot-path dispatch table aliases this list.
+        free = self.free
+        for i in range(len(free)):
+            free[i] = 0
 
 
 class ContentionModel:
@@ -94,19 +97,40 @@ class ContentionModel:
         for opclass in range(_BRANCH_FIRST, _BRANCH_LAST + 1):
             table[opclass] = (self._pools["br"], 1, 1)
         self._table = table
+        # Hot-path dispatch: a dense list indexed by the opclass int,
+        # holding each pool's next-free list directly (aliased, so pool
+        # reset stays visible) plus its size. The core timing loops
+        # inline probe/commit against these entries, avoiding dict
+        # hashing and two method calls per dynamic instruction.
+        self._fast = [None] * (max(table) + 1)
+        for opclass, (pool, latency, occupancy) in table.items():
+            free = pool.free if pool is not None else None
+            self._fast[opclass] = (
+                free, latency, occupancy, len(free) if free is not None else 0
+            )
 
     def probe(self, opclass: int, earliest: int) -> int:
         """Earliest issue cycle honouring unit availability."""
-        pool, _, _ = self._table[opclass]
-        if pool is None:
+        free, _latency, _occupancy, nunits = self._fast[opclass]
+        if free is None:
             return earliest
-        return pool.probe(earliest)
+        best = free[0] if nunits == 1 else min(free)
+        return earliest if earliest >= best else best
 
     def commit(self, opclass: int, start: int) -> int:
         """Book the unit; returns the execution-complete cycle."""
-        pool, latency, occupancy = self._table[opclass]
-        if pool is not None:
-            pool.commit(start, occupancy)
+        free, latency, occupancy, nunits = self._fast[opclass]
+        if free is not None:
+            if nunits == 1:
+                free[0] = start + occupancy
+            else:
+                best = 0
+                best_free = free[0]
+                for i in range(1, nunits):
+                    if free[i] < best_free:
+                        best_free = free[i]
+                        best = i
+                free[best] = start + occupancy
         return start + latency
 
     def latency(self, opclass: int) -> int:

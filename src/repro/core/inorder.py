@@ -27,7 +27,7 @@ from repro.core.stats import SimStats
 from repro.isa.opclasses import OpClass
 from repro.isa.registers import INT_REG_COUNT, TOTAL_REG_COUNT, ZERO_REG
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.trace.record import Trace
+from repro.trace.record import Trace, build_stream
 
 _NOP = int(OpClass.NOP)
 _LOAD = int(OpClass.LOAD)
@@ -67,7 +67,16 @@ class InOrderCore:
         self.branch_unit = _build_branch_unit(config)
 
     def run(self, trace: Trace, decoded: list) -> SimStats:
-        """Replay ``trace`` (pre-decoded as ``decoded``) and account cycles."""
+        """Replay ``trace`` (pre-decoded as ``decoded``) and account cycles.
+
+        Compatibility wrapper: flattens the records on the fly and defers
+        to :meth:`run_stream`. Callers with a memoised stream (the
+        simulator) should use :meth:`run_stream` directly.
+        """
+        return self.run_stream(trace, build_stream(trace.records, decoded))
+
+    def run_stream(self, trace: Trace, stream: list) -> SimStats:
+        """Replay the flattened ``stream`` of ``trace`` and account cycles."""
         cfg = self.config
         pipeline = cfg.pipeline
         issue_width = pipeline.issue_width
@@ -81,13 +90,14 @@ class InOrderCore:
         hierarchy = self.hierarchy
         load = hierarchy.load
         store = hierarchy.store
-        ifetch = hierarchy.ifetch
+        ifetch_line = hierarchy.ifetch_line
         line_size = hierarchy.line_size
         l1i_hit = hierarchy.l1i.hit_latency + (1 if hierarchy.l1i.serial_tag_data else 0)
-        contention = self.contention
-        probe = contention.probe
-        commit = contention.commit
-        pairing_conflict = contention.pairing_conflict
+        # Contention dispatch inlined below: one dense-table fetch per
+        # instruction replaces the probe() + commit() call pair (the
+        # single hottest call overhead of the loop). Entries are
+        # (unit next-free list | None, latency, occupancy, unit count).
+        contention_fast = self.contention._fast
         branch_access = self.branch_unit.access
         effects = self.effects
         branch_extra = effects.branch_extra if effects is not None else None
@@ -102,17 +112,14 @@ class InOrderCore:
         current_line = -1
         max_done = 0
 
-        records = trace.records
-        for i, inst in enumerate(decoded):
-            rec = records[i]
-            opclass = int(inst.opclass)
-            pc = rec.pc
+        for opclass, kind, dst, src1, src2, pc, addr, taken, target in stream:
+            cfree, latency, occupancy, nunits = contention_fast[opclass]
 
             # ---------------------------------------------- front end
             pc_line = pc // line_size
             if pc_line != current_line:
                 fetch_base = cycle if cycle > frontend_ready else frontend_ready
-                done = ifetch(pc, fetch_base)
+                done = ifetch_line(pc_line, fetch_base, False, False, pc)
                 extra = done - fetch_base - l1i_hit
                 if extra > 0:
                     # Hits are pipelined and hidden; only the miss stalls.
@@ -125,22 +132,46 @@ class InOrderCore:
                 t = frontend_ready
             if stall_until > t:
                 t = stall_until
-            src1 = inst.src1
-            if src1 >= 0 and reg_ready[src1] > t:
-                t = reg_ready[src1]
-            src2 = inst.src2
-            if src2 >= 0 and reg_ready[src2] > t:
-                t = reg_ready[src2]
+            # NO_REG (-1) aliases the always-zero pad slot, so source
+            # reads need no bounds check.
+            rr = reg_ready[src1]
+            if rr > t:
+                t = rr
+            rr = reg_ready[src2]
+            if rr > t:
+                t = rr
 
             if t == cycle:
-                if slots_used >= issue_width or (
-                    dual_rules and pairing_conflict(opclass, issued_mul, issued_fp)
-                ):
+                # Inlined ContentionModel.pairing_conflict (A53 dual-issue
+                # rules): MUL-class and FP-class ops never pair.
+                if slots_used >= issue_width:
                     t = cycle + 1
+                elif dual_rules and kind & 48:  # KF_MUL | KF_FP
+                    if kind & 16:
+                        if issued_fp:
+                            t = cycle + 1
+                    elif issued_mul:
+                        t = cycle + 1
 
-            t2 = probe(opclass, t)
-            if t2 > t:
-                t = t2
+            # Inlined ContentionModel.probe: wait for a free unit.
+            if cfree is not None:
+                # bi = the least-loaded unit, reused by the commit
+                # below (no pool changes between probe and commit).
+                if nunits == 1:
+                    bi = 0
+                    best = cfree[0]
+                elif nunits == 2:
+                    b = cfree[1]
+                    best = cfree[0]
+                    if b < best:
+                        best = b
+                        bi = 1
+                    else:
+                        bi = 0
+                else:
+                    best = min(cfree)
+                if best > t:
+                    t = best
 
             if t == cycle:
                 slots_used += 1
@@ -149,54 +180,66 @@ class InOrderCore:
                 slots_used = 1
                 issued_mul = False
                 issued_fp = False
-            if _IMUL <= opclass <= _IDIV:
-                issued_mul = True
-            elif _FP_FIRST <= opclass <= _FP_LAST:
-                issued_fp = True
+            if kind & 48:
+                if kind & 16:
+                    issued_mul = True
+                else:
+                    issued_fp = True
 
             # ---------------------------------------------- execute
-            if opclass == _NOP:
+            if kind & 8:  # KF_NOP
                 continue
 
-            if _BRANCH_FIRST <= opclass <= _BRANCH_LAST:
-                done = commit(opclass, t)
-                redirect = branch_access(opclass, pc, rec.taken, rec.target)
+            # Inlined ContentionModel.commit: book the least-loaded unit
+            # and compute the completion cycle. Pools are untouched by
+            # the memory system, so booking before the hierarchy calls
+            # is order-equivalent to the per-branch commit() calls.
+            if cfree is not None:
+                if nunits <= 2:
+                    cfree[bi] = t + occupancy
+                else:
+                    best = 0
+                    best_free = cfree[0]
+                    for u in range(1, nunits):
+                        if cfree[u] < best_free:
+                            best_free = cfree[u]
+                            best = u
+                    cfree[best] = t + occupancy
+            done = t + latency
+
+            if not kind & 15:  # plain register op (incl. MUL/FP classes)
+                if dst >= 0 and not (dst == ZERO_REG and dst < INT_REG_COUNT):
+                    reg_ready[dst] = done
+                if done > max_done:
+                    max_done = done
+            elif kind & 4:  # KF_BRANCH
+                redirect = branch_access(opclass, pc, taken, target)
                 if redirect == REDIRECT_MISPREDICT:
                     frontend_ready = t + mispredict_penalty
                     current_line = -1
                 elif redirect == REDIRECT_BTB:
                     frontend_ready = t + btb_miss_penalty
                     current_line = -1
-                elif rec.taken:
+                elif taken:
                     # Correct taken prediction still restarts the fetch
                     # line; hardware-only extra bubbles hook in here.
                     current_line = -1
                     if branch_extra is not None:
                         frontend_ready = t + branch_extra()
-            elif opclass == _LOAD or opclass == _LDP:
-                commit(opclass, t)
-                data = load(rec.addr, pc, t + agu_latency)
-                dst = inst.dst
+            elif kind & 1:  # KF_LOAD
+                data = load(addr, pc, t + agu_latency)
                 if dst >= 0 and dst != ZERO_REG:
                     reg_ready[dst] = data
-                    if opclass == _LDP and dst + 1 < TOTAL_REG_COUNT:
+                    if kind & 64 and dst + 1 < TOTAL_REG_COUNT:  # KF_PAIR
                         reg_ready[dst + 1] = data + 1
                 if not stall_on_use:
                     stall_until = data
                 if data > max_done:
                     max_done = data
-            elif opclass == _STORE or opclass == _STP:
-                commit(opclass, t)
-                ok = store(rec.addr, pc, t + agu_latency)
+            else:  # KF_STORE
+                ok = store(addr, pc, t + agu_latency)
                 if ok > t + agu_latency:
                     stall_until = ok
-            else:
-                done = commit(opclass, t)
-                dst = inst.dst
-                if dst >= 0 and not (dst == ZERO_REG and dst < INT_REG_COUNT):
-                    reg_ready[dst] = done
-                if done > max_done:
-                    max_done = done
 
         total_cycles = max(cycle, max_done)
         return self._stats(trace, total_cycles)

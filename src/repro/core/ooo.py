@@ -28,7 +28,7 @@ from repro.core.stats import SimStats
 from repro.isa.opclasses import OpClass
 from repro.isa.registers import TOTAL_REG_COUNT, ZERO_REG
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.trace.record import Trace
+from repro.trace.record import Trace, build_stream
 
 _NOP = int(OpClass.NOP)
 _LOAD = int(OpClass.LOAD)
@@ -64,6 +64,16 @@ class OutOfOrderCore:
         self.branch_unit = _build_branch_unit(config)
 
     def run(self, trace: Trace, decoded: list) -> SimStats:
+        """Replay ``trace`` (pre-decoded as ``decoded``) and account cycles.
+
+        Compatibility wrapper: flattens the records on the fly and defers
+        to :meth:`run_stream`. Callers with a memoised stream (the
+        simulator) should use :meth:`run_stream` directly.
+        """
+        return self.run_stream(trace, build_stream(trace.records, decoded))
+
+    def run_stream(self, trace: Trace, stream: list) -> SimStats:
+        """Replay the flattened ``stream`` of ``trace`` and account cycles."""
         cfg = self.config
         pipeline = cfg.pipeline
         fetch_width = pipeline.fetch_width
@@ -80,12 +90,12 @@ class OutOfOrderCore:
         hierarchy = self.hierarchy
         load = hierarchy.load
         store = hierarchy.store
-        ifetch = hierarchy.ifetch
+        ifetch_line = hierarchy.ifetch_line
         line_size = hierarchy.line_size
         l1i_hit = hierarchy.l1i.hit_latency + (1 if hierarchy.l1i.serial_tag_data else 0)
-        contention = self.contention
-        probe = contention.probe
-        commit = contention.commit
+        # Contention dispatch inlined below (see ContentionModel._fast):
+        # entries are (next-free list | None, latency, occupancy, units).
+        contention_fast = self.contention._fast
         branch_access = self.branch_unit.access
         effects = self.effects
         branch_extra = effects.branch_extra if effects is not None else None
@@ -97,8 +107,11 @@ class OutOfOrderCore:
         issue_ring = [0] * iq_size
         ld_ring = [0] * ldq_entries
         st_ring = [0] * stq_entries
-        ld_count = 0
-        st_count = 0
+        # Wrapping ring cursors (avoid a modulo per instruction).
+        rob_slot = -1
+        iq_slot = -1
+        ld_slot = 0
+        st_slot = 0
 
         fetch_cycle = 0
         fetch_slots = 0
@@ -108,19 +121,14 @@ class OutOfOrderCore:
         prev_retire = 0
         current_line = -1
 
-        records = trace.records
-        for i, inst in enumerate(decoded):
-            rec = records[i]
-            opclass = int(inst.opclass)
-            pc = rec.pc
-
+        for opclass, kind, dst, src1, src2, pc, addr, taken, target in stream:
             # ---------------------------------------------- fetch
             f = fetch_cycle
             if frontend_ready > f:
                 f = frontend_ready
             pc_line = pc // line_size
             if pc_line != current_line:
-                done = ifetch(pc, f)
+                done = ifetch_line(pc_line, f, False, False, pc)
                 extra = done - f - l1i_hit
                 if extra > 0:
                     f += extra
@@ -137,38 +145,82 @@ class OutOfOrderCore:
 
             # ---------------------------------------------- dispatch
             d = f + frontend_depth
-            rob_slot = i % rob_size
-            if retire_ring[rob_slot] > d:  # ROB full: wait for head retire
-                d = retire_ring[rob_slot]
-            iq_slot = i % iq_size
-            if issue_ring[iq_slot] > d:  # IQ full: wait for an issue
-                d = issue_ring[iq_slot]
-            if opclass == _LOAD or opclass == _LDP:
-                slot = ld_count % ldq_entries
-                if ld_ring[slot] > d:
-                    d = ld_ring[slot]
-            elif opclass == _STORE or opclass == _STP:
-                slot = st_count % stq_entries
-                if st_ring[slot] > d:
-                    d = st_ring[slot]
+            rob_slot += 1
+            if rob_slot == rob_size:
+                rob_slot = 0
+            ring_free = retire_ring[rob_slot]
+            if ring_free > d:  # ROB full: wait for head retire
+                d = ring_free
+            iq_slot += 1
+            if iq_slot == iq_size:
+                iq_slot = 0
+            ring_free = issue_ring[iq_slot]
+            if ring_free > d:  # IQ full: wait for an issue
+                d = ring_free
+            if kind & 3:  # KF_LOAD | KF_STORE
+                ring_free = ld_ring[ld_slot] if kind & 1 else st_ring[st_slot]
+                if ring_free > d:
+                    d = ring_free
 
             # ---------------------------------------------- issue
             t = d
-            src1 = inst.src1
-            if src1 >= 0 and reg_ready[src1] > t:
-                t = reg_ready[src1]
-            src2 = inst.src2
-            if src2 >= 0 and reg_ready[src2] > t:
-                t = reg_ready[src2]
-            t = probe(opclass, t)
+            # NO_REG (-1) aliases the always-zero pad slot, so source
+            # reads need no bounds check.
+            rr = reg_ready[src1]
+            if rr > t:
+                t = rr
+            rr = reg_ready[src2]
+            if rr > t:
+                t = rr
+            # Inlined ContentionModel.probe: wait for a free unit.
+            cfree, latency, occupancy, nunits = contention_fast[opclass]
+            if cfree is not None:
+                # bi = the least-loaded unit, reused by the commit
+                # below (no pool changes between probe and commit).
+                if nunits == 1:
+                    bi = 0
+                    best = cfree[0]
+                elif nunits == 2:
+                    b = cfree[1]
+                    best = cfree[0]
+                    if b < best:
+                        best = b
+                        bi = 1
+                    else:
+                        bi = 0
+                else:
+                    best = min(cfree)
+                if best > t:
+                    t = best
             issue_ring[iq_slot] = t
 
             # ---------------------------------------------- execute
-            if opclass == _NOP:
+            # Inlined ContentionModel.commit: book the least-loaded
+            # unit up front (a NOP's pool is None, so it books nothing;
+            # pools are independent of the memory system, so booking
+            # before the per-kind work matches the original per-branch
+            # commit calls). Each arm then sets its completion time.
+            if cfree is not None:
+                if nunits <= 2:
+                    cfree[bi] = t + occupancy
+                else:
+                    best = 0
+                    best_free = cfree[0]
+                    for u in range(1, nunits):
+                        if cfree[u] < best_free:
+                            best_free = cfree[u]
+                            best = u
+                    cfree[best] = t + occupancy
+
+            if not kind & 15:  # plain register op (incl. MUL/FP classes)
+                done = t + latency
+                if dst >= 0 and dst != ZERO_REG:
+                    reg_ready[dst] = done
+            elif kind & 8:  # KF_NOP
                 done = t
-            elif _BRANCH_FIRST <= opclass <= _BRANCH_LAST:
-                done = commit(opclass, t)
-                redirect = branch_access(opclass, pc, rec.taken, rec.target)
+            elif kind & 4:  # KF_BRANCH
+                done = t + latency
+                redirect = branch_access(opclass, pc, taken, target)
                 if redirect == REDIRECT_MISPREDICT:
                     # Wrong-path flush: fetch restarts after resolution.
                     restart = done + mispredict_penalty
@@ -180,38 +232,33 @@ class OutOfOrderCore:
                     if restart > frontend_ready:
                         frontend_ready = restart
                     current_line = -1
-                elif rec.taken:
+                elif taken:
                     current_line = -1
                     if branch_extra is not None:
                         bubble = f + branch_extra()
                         if bubble > frontend_ready:
                             frontend_ready = bubble
-            elif opclass == _LOAD or opclass == _LDP:
-                commit(opclass, t)
-                done = load(rec.addr, pc, t + agu_latency)
-                dst = inst.dst
-                if dst >= 0 and dst != ZERO_REG:
-                    reg_ready[dst] = done
-                    if opclass == _LDP and dst + 1 < TOTAL_REG_COUNT:
-                        reg_ready[dst + 1] = done + 1
-                ld_ring[ld_count % ldq_entries] = done
-                ld_count += 1
-            elif opclass == _STORE or opclass == _STP:
-                commit(opclass, t)
-                # The store's data leaves the STQ when it drains to the
-                # store buffer at retire; the queue slot frees then.
-                done = t + agu_latency
-            else:
-                done = commit(opclass, t)
-                dst = inst.dst
-                if dst >= 0 and dst != ZERO_REG:
-                    reg_ready[dst] = done
+            else:  # KF_LOAD / KF_STORE share the LS pipes
+                if kind & 1:  # KF_LOAD
+                    done = load(addr, pc, t + agu_latency)
+                    if dst >= 0 and dst != ZERO_REG:
+                        reg_ready[dst] = done
+                        if kind & 64 and dst + 1 < TOTAL_REG_COUNT:  # KF_PAIR
+                            reg_ready[dst + 1] = done + 1
+                    ld_ring[ld_slot] = done
+                    ld_slot += 1
+                    if ld_slot == ldq_entries:
+                        ld_slot = 0
+                else:  # KF_STORE
+                    # The store's data leaves the STQ when it drains to
+                    # the store buffer at retire; the slot frees then.
+                    done = t + agu_latency
 
             # ---------------------------------------------- retire
             # In-order retirement, commit_width slots per cycle.
+            # prev_retire >= retire_cycle is a loop invariant, so
+            # r >= retire_cycle always holds here.
             r = done if done > prev_retire else prev_retire
-            if r < retire_cycle:
-                r = retire_cycle
             if r == retire_cycle and retire_slots >= commit_width:
                 r += 1
             if r > retire_cycle:
@@ -221,11 +268,13 @@ class OutOfOrderCore:
             prev_retire = r
             retire_ring[rob_slot] = r
 
-            if opclass == _STORE or opclass == _STP:
+            if kind & 2:  # KF_STORE
                 # Stores write the memory system post-retire.
-                drained = store(rec.addr, pc, r)
-                st_ring[st_count % stq_entries] = drained
-                st_count += 1
+                drained = store(addr, pc, r)
+                st_ring[st_slot] = drained
+                st_slot += 1
+                if st_slot == stq_entries:
+                    st_slot = 0
 
         total_cycles = prev_retire + frontend_depth
         return self._stats(trace, total_cycles)

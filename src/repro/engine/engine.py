@@ -52,11 +52,13 @@ class EngineTelemetry:
     store_hits: int = 0
 
     def hit_rate(self) -> float:
+        """Fraction of requested trials answered without simulating."""
         if not self.requested_trials:
             return 0.0
         return self.sim_cache_hits / self.requested_trials
 
     def summary(self) -> str:
+        """One-line human-readable account (used by the CLI)."""
         text = (
             f"{self.requested_trials} trials requested, "
             f"{self.unique_trials} unique simulations "
@@ -124,6 +126,7 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     @property
     def scale(self) -> float:
+        """Trace scale every recording in this engine uses."""
         return self.traces.scale
 
     def _wl_overrides(self, name: str) -> dict:

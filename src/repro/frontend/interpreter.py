@@ -34,6 +34,15 @@ _RET = int(OpClass.RET)
 _MEM_LO = int(OpClass.LOAD)
 _MEM_HI = int(OpClass.STP)
 
+#: Dispatch kinds for the precomputed per-static-instruction table.
+_KIND_PLAIN = 0
+_KIND_MEM = 1
+_KIND_BRANCH = 2
+_KIND_JUMP = 3
+_KIND_IBRANCH = 4
+_KIND_CALL = 5
+_KIND_RET = 6
+
 
 class Interpreter:
     """Executes programs into dynamic instruction traces."""
@@ -56,6 +65,31 @@ class Interpreter:
         n = len(insts)
         limit = self.max_instructions
 
+        # Per-static-instruction dispatch table, computed once per run:
+        # (word, kind, pattern callable, static branch target). The
+        # dynamic loop — which typically revisits each static
+        # instruction many times — then chases no attributes at all.
+        table = []
+        for inst in insts:
+            word = inst.word
+            opclass = word >> _OPCLASS_SHIFT
+            if _MEM_LO <= opclass <= _MEM_HI:
+                entry = (word, _KIND_MEM, inst.addr_pattern.next_addr, 0)
+            elif opclass == _BRANCH:
+                entry = (word, _KIND_BRANCH, inst.branch_pattern.next_taken,
+                         inst.branch_target)
+            elif opclass == _JUMP:
+                entry = (word, _KIND_JUMP, None, inst.branch_target)
+            elif opclass == _IBRANCH:
+                entry = (word, _KIND_IBRANCH, inst.target_pattern.next_target, 0)
+            elif opclass == _CALL:
+                entry = (word, _KIND_CALL, None, inst.branch_target)
+            elif opclass == _RET:
+                entry = (word, _KIND_RET, None, 0)
+            else:
+                entry = (word, _KIND_PLAIN, None, 0)
+            table.append(entry)
+
         records: list = []
         append = records.append
         call_stack: list = []
@@ -64,32 +98,32 @@ class Interpreter:
         emitted = 0
 
         while done_iterations < iterations and emitted < limit:
-            inst = insts[index]
-            word = inst.word
-            opclass = word >> _OPCLASS_SHIFT
+            word, kind, action, branch_target = table[index]
             pc = pcs[index]
             addr = 0
             taken = False
             target_pc = 0
             next_index = index + 1
 
-            if _MEM_LO <= opclass <= _MEM_HI:
-                addr = inst.addr_pattern.next_addr()
-            elif opclass == _BRANCH:
-                taken = inst.branch_pattern.next_taken()
+            if kind == _KIND_MEM:
+                addr = action()
+            elif kind == _KIND_PLAIN:
+                pass
+            elif kind == _KIND_BRANCH:
+                taken = action()
                 if taken:
-                    next_index = inst.branch_target
-            elif opclass == _JUMP:
+                    next_index = branch_target
+            elif kind == _KIND_JUMP:
                 taken = True
-                next_index = inst.branch_target
-            elif opclass == _IBRANCH:
+                next_index = branch_target
+            elif kind == _KIND_IBRANCH:
                 taken = True
-                next_index = inst.target_pattern.next_target()
-            elif opclass == _CALL:
+                next_index = action()
+            elif kind == _KIND_CALL:
                 taken = True
                 call_stack.append(index + 1)
-                next_index = inst.branch_target
-            elif opclass == _RET:
+                next_index = branch_target
+            else:  # _KIND_RET
                 if call_stack:
                     taken = True
                     next_index = call_stack.pop()

@@ -10,12 +10,13 @@ in-flight prefetch fills.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
-from repro.memory.hashing import AddressHash, build_hash
+from repro.memory.hashing import AddressHash, MaskHash, build_hash
 from repro.memory.mshr import MSHRFile
 from repro.memory.prefetcher import NullPrefetcher, Prefetcher
-from repro.memory.replacement import ReplacementPolicy, build_replacement
+from repro.memory.replacement import LRUPolicy, ReplacementPolicy, build_replacement
 from repro.memory.victim import VictimCache
 
 
@@ -33,7 +34,7 @@ class _Line:
         self.prefetched = prefetched
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Demand-access counters for one cache level."""
 
@@ -65,6 +66,12 @@ class Cache:
     ``next_level`` must expose ``access_line(line_addr, now, is_write,
     is_prefetch) -> completion_cycle`` (another Cache or the DRAM model).
     """
+
+    __slots__ = ("name", "size", "assoc", "line_size", "n_sets", "hit_latency",
+                 "serial_tag_data", "ports", "hash", "policy", "victim",
+                 "prefetcher", "mshrs", "next_level", "stats", "_sets",
+                 "_port_free", "_hit_time", "_tag_time", "_index",
+                 "_single_port", "_lru", "_no_prefetch", "access_line")
 
     def __init__(
         self,
@@ -105,12 +112,23 @@ class Cache:
         self.mshrs = MSHRFile(mshr_entries)
         self.next_level = next_level
         self.stats = CacheStats()
-        self._sets = [dict() for _ in range(self.n_sets)]
+        # Set dicts materialise lazily (most runs touch a fraction of
+        # the sets; building hundreds of dicts per run is pure overhead).
+        self._sets = [None] * self.n_sets
         self._port_free = [0] * ports
         # Effective latencies: serial tag->data access adds one cycle to
         # hits; the miss determination needs only the tag array.
         self._hit_time = hit_latency + (1 if serial_tag_data else 0)
         self._tag_time = 2 if serial_tag_data else 1
+        # Hot-path shortcuts resolved once: the set-index function, the
+        # common single-ported geometry, LRU recency maintenance (dict
+        # pop/reinsert, inlined to skip a method call per hit) and the
+        # no-op prefetcher (skips the observe call entirely).
+        self._index = self.hash.index
+        self._single_port = ports == 1
+        self._lru = isinstance(self.policy, LRUPolicy)
+        self._no_prefetch = isinstance(self.prefetcher, NullPrefetcher)
+        self._install_access_path()
 
     # ------------------------------------------------------------------
     def _claim_port(self, now: int) -> int:
@@ -127,8 +145,10 @@ class Cache:
 
     def _fill(self, line_addr: int, ready: int, dirty: bool, prefetched: bool) -> None:
         """Install ``line_addr``; evict (and maybe write back) a victim."""
-        set_idx = self.hash.index(line_addr)
-        entries = self._sets[set_idx]
+        idx = self._index(line_addr)
+        entries = self._sets[idx]
+        if entries is None:
+            entries = self._sets[idx] = {}
         existing = entries.get(line_addr)
         if existing is not None:
             existing.dirty = existing.dirty or dirty
@@ -152,10 +172,147 @@ class Cache:
     def _writeback(self, line_addr: int, now: int) -> None:
         self.stats.writebacks += 1
         if self.next_level is not None:
-            self.next_level.access_line(line_addr, now, is_write=True, is_prefetch=False)
+            self.next_level.access_line(line_addr, now, True, False)
 
     # ------------------------------------------------------------------
-    def access_line(
+    def _install_access_path(self) -> None:
+        """Bind ``access_line`` to the fastest applicable implementation.
+
+        For the common geometry — single-ported, LRU, victimless, no
+        prefetcher — a monomorphic closure with every per-access
+        attribute pre-resolved replaces the general method. The closure
+        is timing- and stats-identical to :meth:`_access_line_general`
+        (whose code paths it specialises); anything fancier falls back
+        to the general method. Re-installed by :meth:`reset`, which
+        replaces the bound state objects.
+        """
+        if not (self._single_port and self._lru and self._no_prefetch
+                and self.victim is None):
+            self.access_line = self._access_line_general
+            return
+
+        stats = self.stats
+        sets = self._sets
+        index = self._index
+        # Power-of-two mask indexing (the default) inlines to one AND.
+        mask = -1
+        if isinstance(self.hash, MaskHash) and self.hash._pow2:
+            mask = self.hash._mask
+        ports = self._port_free
+        hit_time = self._hit_time
+        tag_time = self._tag_time
+        assoc = self.assoc
+        mshrs = self.mshrs
+        mshr_entries = mshrs.entries
+        mshr_heap = mshrs._heap
+        mshr_inflight = mshrs._inflight
+        mshr_expire = mshrs._expire
+        fill = self._fill
+        next_level = self.next_level
+        next_access = next_level.access_line if next_level is not None else None
+        heappush = heapq.heappush
+        line_cls = _Line
+
+        def access_line(
+            line_addr: int,
+            now: int,
+            is_write: bool = False,
+            is_prefetch: bool = False,
+            pc: int = 0,
+        ) -> int:
+            """Access one line; returns the absolute data-ready cycle."""
+            if not is_prefetch:
+                stats.accesses += 1
+            free = ports[0]
+            start = now if now > free else free
+            ports[0] = start + 1
+
+            idx = line_addr & mask if mask >= 0 else index(line_addr)
+            entries = sets[idx]
+            if entries is None:
+                entries = sets[idx] = {}
+                line = None
+            else:
+                line = entries.get(line_addr)
+
+            if line is not None:
+                done = start + hit_time
+                if line.ready > done:
+                    # In-flight line: a delayed hit (merged into the
+                    # outstanding miss).
+                    done = line.ready
+                    if not is_prefetch:
+                        if line.prefetched:
+                            stats.late_prefetch_hits += 1
+                        else:
+                            stats.mshr_merges += 1
+                if not is_prefetch:
+                    stats.hits += 1
+                    if line.prefetched:
+                        stats.prefetch_hits += 1
+                        line.prefetched = False
+                # Inlined LRUPolicy.on_hit: move to the recency tail.
+                entries[line_addr] = entries.pop(line_addr)
+                if is_write:
+                    line.dirty = True
+                return done
+
+            # -------------------------------------------------- miss path
+            tag_done = start + tag_time
+            if not is_prefetch:
+                stats.misses += 1
+
+            # Inlined MSHRFile lookup + allocate: one expiry sweep serves
+            # both (identical state evolution — lookup's sweep is what
+            # allocate would repeat at the same cycle).
+            if mshr_inflight:
+                if mshr_heap[0][0] <= tag_done:
+                    mshr_expire(tag_done)
+                inflight = mshr_inflight.get(line_addr, -1)
+                if inflight >= 0:
+                    if not is_prefetch:
+                        stats.mshr_merges += 1
+                    if is_write:
+                        fill(line_addr, inflight, True, False)
+                    return tag_done if tag_done > inflight else inflight
+                if len(mshr_inflight) < mshr_entries:
+                    issue = tag_done
+                else:
+                    earliest = mshr_heap[0][0]
+                    mshr_expire(earliest)
+                    issue = tag_done if tag_done > earliest else earliest
+            else:
+                issue = tag_done
+
+            if next_access is not None:
+                done = next_access(line_addr, issue, False, is_prefetch)
+            else:
+                done = issue  # no backing level configured (unit tests)
+            # Inlined MSHRFile.record.
+            mshr_inflight[line_addr] = done
+            heappush(mshr_heap, (done, line_addr))
+
+            # Inlined _fill for the victimless-LRU fast path.
+            existing = entries.get(line_addr)
+            if existing is not None:
+                existing.dirty = existing.dirty or is_write
+                if done < existing.ready:
+                    existing.ready = done
+            else:
+                if len(entries) >= assoc:
+                    victim_tag = next(iter(entries))  # LRU victim
+                    victim_line = entries.pop(victim_tag)
+                    if victim_line.dirty:
+                        # Inlined _writeback.
+                        stats.writebacks += 1
+                        if next_access is not None:
+                            next_access(victim_tag, done, True, False)
+                entries[line_addr] = line_cls(is_write, done, is_prefetch)
+            return done
+
+        self.access_line = access_line
+
+    def _access_line_general(
         self,
         line_addr: int,
         now: int,
@@ -167,11 +324,23 @@ class Cache:
         stats = self.stats
         if not is_prefetch:
             stats.accesses += 1
-        start = self._claim_port(now)
+        if self._single_port:
+            # Inlined single-port claim (the overwhelmingly common
+            # geometry): same arithmetic as _claim_port for one port.
+            ports = self._port_free
+            free = ports[0]
+            start = now if now > free else free
+            ports[0] = start + 1
+        else:
+            start = self._claim_port(now)
 
-        set_idx = self.hash.index(line_addr)
-        entries = self._sets[set_idx]
-        line = entries.get(line_addr)
+        idx = self._index(line_addr)
+        entries = self._sets[idx]
+        if entries is None:
+            entries = self._sets[idx] = {}
+            line = None
+        else:
+            line = entries.get(line_addr)
 
         if line is not None:
             done = start + self._hit_time
@@ -189,10 +358,15 @@ class Cache:
                 if line.prefetched:
                     stats.prefetch_hits += 1
                     line.prefetched = False
-            self.policy.on_hit(entries, line_addr)
+            if self._lru:
+                # Inlined LRUPolicy.on_hit: move to the recency tail.
+                entries[line_addr] = entries.pop(line_addr)
+            else:
+                self.policy.on_hit(entries, line_addr)
             if is_write:
                 line.dirty = True
-            self._maybe_prefetch(line_addr, pc, hit=True, now=done, is_demand=not is_prefetch)
+            if not self._no_prefetch:
+                self._maybe_prefetch(line_addr, pc, True, done, not is_prefetch)
             return done
 
         # ------------------------------------------------------ miss path
@@ -203,8 +377,9 @@ class Cache:
                 stats.hits += 1
                 stats.victim_hits += 1
             done = tag_done + self.hit_latency  # swap takes an extra access
-            self._fill(line_addr, done, dirty=is_write, prefetched=False)
-            self._maybe_prefetch(line_addr, pc, hit=True, now=done, is_demand=not is_prefetch)
+            self._fill(line_addr, done, is_write, False)
+            if not self._no_prefetch:
+                self._maybe_prefetch(line_addr, pc, True, done, not is_prefetch)
             return done
 
         if not is_prefetch:
@@ -215,19 +390,18 @@ class Cache:
             if not is_prefetch:
                 stats.mshr_merges += 1
             if is_write:
-                self._fill(line_addr, inflight, dirty=True, prefetched=False)
+                self._fill(line_addr, inflight, True, False)
             return max(tag_done, inflight)
 
         issue = self.mshrs.allocate(line_addr, tag_done)
         if self.next_level is not None:
-            done = self.next_level.access_line(
-                line_addr, issue, is_write=False, is_prefetch=is_prefetch
-            )
+            done = self.next_level.access_line(line_addr, issue, False, is_prefetch)
         else:
             done = issue  # no backing level configured (unit tests)
         self.mshrs.record(line_addr, done)
-        self._fill(line_addr, done, dirty=is_write, prefetched=is_prefetch)
-        self._maybe_prefetch(line_addr, pc, hit=False, now=tag_done, is_demand=not is_prefetch)
+        self._fill(line_addr, done, is_write, is_prefetch)
+        if not self._no_prefetch:
+            self._maybe_prefetch(line_addr, pc, False, tag_done, not is_prefetch)
         return done
 
     def _maybe_prefetch(self, line_addr: int, pc: int, hit: bool, now: int, is_demand: bool) -> None:
@@ -239,8 +413,8 @@ class Cache:
         for pf_addr in candidates:
             if pf_addr < 0:
                 continue
-            set_idx = self.hash.index(pf_addr)
-            if pf_addr in self._sets[set_idx]:
+            pf_set = self._sets[self._index(pf_addr)]
+            if pf_set is not None and pf_addr in pf_set:
                 continue
             if self.mshrs.lookup(pf_addr, now) >= 0:
                 continue
@@ -248,7 +422,7 @@ class Cache:
                 break  # never stall demand traffic for prefetches
             self.stats.prefetches_issued += 1
             if self.next_level is not None:
-                done = self.next_level.access_line(pf_addr, now, is_write=False, is_prefetch=True)
+                done = self.next_level.access_line(pf_addr, now, False, True)
             else:
                 done = now
             self.mshrs.record(pf_addr, done)
@@ -257,16 +431,19 @@ class Cache:
     # ------------------------------------------------------------------
     def contains(self, line_addr: int) -> bool:
         """Tag-array probe without timing side effects (for tests)."""
-        return line_addr in self._sets[self.hash.index(line_addr)]
+        entries = self._sets[self.hash.index(line_addr)]
+        return entries is not None and line_addr in entries
 
     def resident_lines(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return sum(len(s) for s in self._sets if s is not None)
 
     def reset(self) -> None:
-        self._sets = [dict() for _ in range(self.n_sets)]
+        self._sets = [None] * self.n_sets
         self._port_free = [0] * self.ports
         self.mshrs.reset()
         self.prefetcher.reset()
         if self.victim is not None:
             self.victim.reset()
         self.stats = CacheStats()
+        # Rebind the fast path to the fresh stats/sets/ports objects.
+        self._install_access_path()

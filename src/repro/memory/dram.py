@@ -20,6 +20,11 @@ class DramModel:
       ``1/bandwidth`` cycles per request).
     """
 
+    __slots__ = ("latency", "page_hit_latency", "banks", "row_bytes", "bandwidth",
+                 "page_policy", "line_size", "_open_rows", "_channel_free",
+                 "accesses", "page_hits", "_open_page", "_row_span",
+                 "_lines_per_row")
+
     def __init__(
         self,
         latency: int = 150,
@@ -49,34 +54,54 @@ class DramModel:
         self._channel_free = [0] * bandwidth
         self.accesses = 0
         self.page_hits = 0
+        self._open_page = page_policy == "open"
+        self._row_span = row_bytes * banks
+        # When lines tile rows exactly (the practical case), bank/row
+        # derive from the line address without the byte multiply.
+        self._lines_per_row = row_bytes // line_size if row_bytes % line_size == 0 else 0
 
-    def access(self, line_addr: int, now: int) -> int:
-        """Return the absolute cycle at which the line is available."""
+    def access_line(self, line_addr: int, now: int, is_write: bool = False, is_prefetch: bool = False) -> int:
+        """Cache-level interface: absolute cycle the line is available.
+
+        Reads, writes and prefetches cost the same at this level.
+        """
         self.accesses += 1
-        addr = line_addr * self.line_size
-        bank = (addr // self.row_bytes) % self.banks
-        row = addr // (self.row_bytes * self.banks)
+        lines_per_row = self._lines_per_row
+        if lines_per_row:
+            row_index = line_addr // lines_per_row
+            bank = row_index % self.banks
+            row = row_index // self.banks
+        else:
+            addr = line_addr * self.line_size
+            bank = (addr // self.row_bytes) % self.banks
+            row = addr // self._row_span
 
         # Channel occupancy: claim the earliest-free slot.
-        slot = min(range(self.bandwidth), key=self._channel_free.__getitem__)
-        start = max(now, self._channel_free[slot])
+        channel_free = self._channel_free
+        slot = 0
+        slot_free = channel_free[0]
+        for i in range(1, self.bandwidth):
+            if channel_free[i] < slot_free:
+                slot_free = channel_free[i]
+                slot = i
+        start = now if now > slot_free else slot_free
 
-        if self.page_policy == "open" and self._open_rows[bank] == row:
+        if self._open_page and self._open_rows[bank] == row:
             latency = self.page_hit_latency
             self.page_hits += 1
         else:
             latency = self.latency
-            self._open_rows[bank] = row if self.page_policy == "open" else -1
+            self._open_rows[bank] = row if self._open_page else -1
 
         done = start + latency
         # A request occupies the channel for the data-burst duration,
         # approximated as a constant four cycles per line.
-        self._channel_free[slot] = start + 4
+        channel_free[slot] = start + 4
         return done
 
-    def access_line(self, line_addr: int, now: int, is_write: bool = False, is_prefetch: bool = False) -> int:
-        """Cache-level interface adapter (writes and reads cost the same)."""
-        return self.access(line_addr, now)
+    def access(self, line_addr: int, now: int) -> int:
+        """Convenience alias of :meth:`access_line` (reads = writes)."""
+        return self.access_line(line_addr, now)
 
     def reset(self) -> None:
         self._open_rows = [-1] * self.banks

@@ -15,6 +15,8 @@ class AddressHash:
 
     kind = "abstract"
 
+    __slots__ = ("n_sets",)
+
     def __init__(self, n_sets: int) -> None:
         if n_sets <= 0:
             raise ValueError("n_sets must be positive")
@@ -33,6 +35,8 @@ class MaskHash(AddressHash):
     """Plain modulo of the line address — the textbook power-of-two mask."""
 
     kind = "mask"
+
+    __slots__ = ("_pow2", "_mask")
 
     def __init__(self, n_sets: int) -> None:
         super().__init__(n_sets)
@@ -53,6 +57,8 @@ class XorHash(AddressHash):
     """
 
     kind = "xor"
+
+    __slots__ = ("_mask", "_bits")
 
     def __init__(self, n_sets: int) -> None:
         super().__init__(n_sets)
@@ -86,6 +92,8 @@ class MersenneHash(AddressHash):
     """
 
     kind = "mersenne"
+
+    __slots__ = ("prime",)
 
     def __init__(self, n_sets: int) -> None:
         super().__init__(n_sets)

@@ -67,20 +67,111 @@ class MemoryHierarchy:
             forward_latency=mem.store_forward_latency,
         )
         self._l1d_write = self._make_l1d_write()
+        if effects is None:
+            # The pure-simulator case (every tuning trial): shadow the
+            # effect-aware methods with closures that skip the hook
+            # checks and bind the per-level access functions once.
+            self._bind_fast_paths()
 
     def _make_l1d_write(self):
         l1d = self.l1d
 
         def write(line_addr: int, start: int) -> int:
-            return l1d.access_line(line_addr, start, is_write=True, is_prefetch=False)
+            return l1d.access_line(line_addr, start, True, False)
 
         return write
+
+    def _bind_fast_paths(self) -> None:
+        """Install effect-free ``ifetch``/``load``/``store`` instance shims.
+
+        Timing-identical to the method path with ``effects=None``; the
+        closures only pre-resolve the attribute chains the hot loop would
+        otherwise walk on every dynamic instruction.
+        """
+        line_size = self.line_size
+        l1i_access = self.l1i.access_line
+        l1d_access = self.l1d.access_line
+        sb = self.store_buffer
+        forward = sb.forward
+        sb_fifo = sb._fifo
+        sb_by_line = sb._by_line
+        sb_entries = sb.entries
+        sb_coalescing = sb.coalescing
+        sb_expire = sb._expire
+
+        def ifetch(pc: int, now: int) -> int:
+            return l1i_access(pc // line_size, now, False, False, pc)
+
+        def load(addr: int, pc: int, now: int) -> int:
+            line_addr = addr // line_size
+            if sb_by_line:
+                # Store-buffer snoop only when something is buffered (an
+                # empty snoop map implies an empty FIFO — see forward()).
+                forwarded = forward(line_addr, now)
+                if forwarded >= 0:
+                    return forwarded
+            return l1d_access(line_addr, now, False, False, pc)
+
+        def store(addr: int, pc: int, now: int) -> int:
+            # Inlined StoreBuffer.push with the L1D write bound directly
+            # (state-identical to push(); spares two calls per store).
+            line_addr = addr // line_size
+            sb.pushes += 1
+            if sb_fifo and sb_fifo[0][1] <= now:
+                sb_expire(now)
+            if sb_coalescing and line_addr in sb_by_line:
+                sb.coalesced += 1
+                return now
+            issue = now
+            if len(sb_fifo) >= sb_entries:
+                # Stall until the oldest buffered store drains.
+                oldest_done = sb_fifo[0][1]
+                sb.full_stalls += 1
+                if oldest_done > issue:
+                    issue = oldest_done
+                sb_expire(issue)
+            last = sb._last_drain_done
+            done = l1d_access(line_addr, issue if issue > last else last,
+                              True, False)
+            sb._last_drain_done = done
+            sb_fifo.append((line_addr, done))
+            sb_by_line[line_addr] = done
+            return issue
+
+        self.ifetch = ifetch
+        # The effect-free instruction fetch IS a plain L1I access; bind
+        # it with no wrapper at all (same signature as access_line).
+        self.ifetch_line = l1i_access
+        self.load = load
+        self.store = store
 
     # ------------------------------------------------------------------
     def ifetch(self, pc: int, now: int) -> int:
         """Fetch the instruction line holding ``pc``; returns ready cycle."""
         line_addr = pc // self.line_size
         done = self.l1i.access_line(line_addr, now, is_write=False, pc=pc)
+        if self.effects is not None:
+            done += self.effects.ifetch_extra(pc, now)
+        return done
+
+    def ifetch_line(
+        self,
+        line_addr: int,
+        now: int,
+        is_write: bool = False,
+        is_prefetch: bool = False,
+        pc: int = 0,
+    ) -> int:
+        """Like :meth:`ifetch` with the L1I line address precomputed.
+
+        The core loops already derive the fetch line per instruction;
+        this variant spares the hot path a second division and, in the
+        effect-free case, binds straight to the L1I's ``access_line``
+        (whose signature it mirrors — all arguments are forwarded, so
+        both forms behave identically). All cache levels share one line
+        size, so the caller's line is the L1I's.
+        """
+        done = self.l1i.access_line(line_addr, now, is_write, is_prefetch, pc)
         if self.effects is not None:
             done += self.effects.ifetch_extra(pc, now)
         return done
@@ -112,10 +203,15 @@ class MemoryHierarchy:
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
+        # Downstream first: each cache's reset rebinds its fast access
+        # path, and the L1 paths capture the L2's current one.
+        self.dram.reset()
+        self.l2.reset()
         self.l1i.reset()
         self.l1d.reset()
-        self.l2.reset()
-        self.dram.reset()
         self.store_buffer.reset()
+        self._l1d_write = self._make_l1d_write()
         if self.effects is not None:
             self.effects.reset()
+        else:
+            self._bind_fast_paths()

@@ -20,6 +20,8 @@ class MSHRFile:
     merging — a second miss to an in-flight line shares its completion.
     """
 
+    __slots__ = ("entries", "_heap", "_inflight")
+
     def __init__(self, entries: int) -> None:
         if entries <= 0:
             raise ValueError("entries must be positive")
@@ -29,6 +31,8 @@ class MSHRFile:
 
     def _expire(self, now: int) -> None:
         heap = self._heap
+        if not heap or heap[0][0] > now:
+            return
         inflight = self._inflight
         while heap and heap[0][0] <= now:
             _, line = heapq.heappop(heap)
@@ -39,8 +43,11 @@ class MSHRFile:
 
     def lookup(self, line_addr: int, now: int) -> int:
         """Completion time of an in-flight fill of ``line_addr``, or -1."""
+        inflight = self._inflight
+        if not inflight:
+            return -1
         self._expire(now)
-        return self._inflight.get(line_addr, -1)
+        return inflight.get(line_addr, -1)
 
     def allocate(self, line_addr: int, now: int) -> int:
         """Reserve a register; returns the earliest cycle the miss may issue."""
@@ -62,5 +69,6 @@ class MSHRFile:
         return len(self._inflight)
 
     def reset(self) -> None:
-        self._heap = []
-        self._inflight = {}
+        # In place: cache fast-path closures alias these containers.
+        self._heap.clear()
+        self._inflight.clear()

@@ -10,6 +10,8 @@ ground-truth hardware enables.
 
 from __future__ import annotations
 
+from collections import deque
+
 
 class StoreBuffer:
     """In-order draining store buffer.
@@ -18,6 +20,9 @@ class StoreBuffer:
     (its visible issue stall); the actual L1D write is scheduled through
     the ``write`` callable handed in by the hierarchy.
     """
+
+    __slots__ = ("entries", "coalescing", "forward_latency", "_fifo", "_by_line",
+                 "_last_drain_done", "pushes", "coalesced", "full_stalls", "forwards")
 
     def __init__(self, entries: int, coalescing: bool = False, forward_latency: int = 1) -> None:
         if entries <= 0:
@@ -28,7 +33,7 @@ class StoreBuffer:
         self.coalescing = coalescing
         self.forward_latency = forward_latency
         #: FIFO of (line_addr, drain_completion_cycle).
-        self._fifo: list = []
+        self._fifo: deque = deque()
         #: line_addr -> newest drain completion (forwarding snoop).
         self._by_line: dict = {}
         self._last_drain_done = 0
@@ -39,10 +44,13 @@ class StoreBuffer:
 
     def _expire(self, now: int) -> None:
         fifo = self._fifo
+        if not fifo or fifo[0][1] > now:
+            return
+        by_line = self._by_line
         while fifo and fifo[0][1] <= now:
-            line_addr, done = fifo.pop(0)
-            if self._by_line.get(line_addr) == done:
-                del self._by_line[line_addr]
+            line_addr, done = fifo.popleft()
+            if by_line.get(line_addr) == done:
+                del by_line[line_addr]
 
     def push(self, line_addr: int, now: int, write) -> int:
         """Buffer a store; returns the cycle the core may proceed.
@@ -51,29 +59,38 @@ class StoreBuffer:
         L1D write access when the store drains.
         """
         self.pushes += 1
-        self._expire(now)
+        fifo = self._fifo
+        by_line = self._by_line
+        if fifo and fifo[0][1] <= now:
+            self._expire(now)
 
-        if self.coalescing and line_addr in self._by_line:
+        if self.coalescing and line_addr in by_line:
             self.coalesced += 1
             return now
 
         issue = now
-        if len(self._fifo) >= self.entries:
+        if len(fifo) >= self.entries:
             # Stall until the oldest buffered store drains.
-            oldest_done = self._fifo[0][1]
+            oldest_done = fifo[0][1]
             self.full_stalls += 1
-            issue = max(now, oldest_done)
+            if oldest_done > issue:
+                issue = oldest_done
             self._expire(issue)
 
-        drain_start = max(issue, self._last_drain_done)
-        done = write(line_addr, drain_start)
+        last = self._last_drain_done
+        done = write(line_addr, issue if issue > last else last)
         self._last_drain_done = done
-        self._fifo.append((line_addr, done))
-        self._by_line[line_addr] = done
+        fifo.append((line_addr, done))
+        by_line[line_addr] = done
         return issue
 
     def forward(self, line_addr: int, now: int) -> int:
         """Forwarding snoop for a load: cycle data is available, or -1."""
+        if not self._by_line:
+            # Empty buffer (no line can be newer in the FIFO than in the
+            # snoop map, so an empty map means an empty FIFO): nothing
+            # to expire, nothing to forward.
+            return -1
         self._expire(now)
         if line_addr in self._by_line:
             self.forwards += 1
@@ -85,8 +102,9 @@ class StoreBuffer:
         return len(self._fifo)
 
     def reset(self) -> None:
-        self._fifo = []
-        self._by_line = {}
+        # In place: the hierarchy fast-path closure aliases these.
+        self._fifo.clear()
+        self._by_line.clear()
         self._last_drain_done = 0
         self.pushes = 0
         self.coalesced = 0

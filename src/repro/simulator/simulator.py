@@ -40,12 +40,18 @@ class SnipeSim:
         self.effects = effects
 
     def run(self, trace: Trace) -> SimStats:
-        """Simulate ``trace`` from cold state; returns the run's stats."""
+        """Simulate ``trace`` from cold state; returns the run's stats.
+
+        The trace's flattened issue stream (decode + record fields) is
+        memoised per decoder library on the trace itself, so replaying
+        one trace under many configurations — the tuning loop — pays
+        decode and flattening exactly once.
+        """
         if self.effects is not None:
             self.effects.reset()
         core = self._build_core()
-        decoded = trace.decoded_with(self.decoder)
-        stats = core.run(trace, decoded)
+        stream = trace.stream_with(self.decoder)
+        stats = core.run_stream(trace, stream)
         stats.decoder = self.decoder.name
         return stats
 

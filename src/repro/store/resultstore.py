@@ -54,13 +54,16 @@ class ResultStore:
     # Simulator statistics
     # ------------------------------------------------------------------
     def get_sim(self, key):
+        """Stored :class:`SimStats` for an engine sim key, or ``None``."""
         text = self.backend.get("sim_results", encode_key(key))
         return stats_from_payload(loads(text)) if text is not None else None
 
     def put_sim(self, key, stats) -> None:
+        """Persist one simulation result under its content key."""
         self.put_sim_many([(key, stats)])
 
     def put_sim_many(self, items) -> int:
+        """Persist ``[(key, stats), ...]``; returns rows newly written."""
         return self.backend.put_many(
             "sim_results",
             [(encode_key(key), dumps(stats_to_payload(stats))) for key, stats in items],
@@ -70,20 +73,24 @@ class ResultStore:
     # Hardware measurements
     # ------------------------------------------------------------------
     def get_hw(self, key):
+        """Stored hardware measurement for an engine hw key, or ``None``."""
         text = self.backend.get("hw_results", encode_key(key))
         return perf_from_payload(loads(text)) if text is not None else None
 
     def put_hw(self, key, result) -> None:
+        """Persist one hardware measurement under its content key."""
         self.backend.put("hw_results", encode_key(key), dumps(perf_to_payload(result)))
 
     # ------------------------------------------------------------------
     # Trial costs (the tuner's memo, persisted)
     # ------------------------------------------------------------------
     def get_cost(self, key):
+        """Stored trial cost for a tuner memo key, or ``None``."""
         text = self.backend.get("trial_costs", encode_key(key))
         return loads(text) if text is not None else None
 
     def put_cost_many(self, items) -> int:
+        """Persist ``[(key, cost), ...]``; returns rows newly written."""
         return self.backend.put_many(
             "trial_costs", [(encode_key(key), dumps(cost)) for key, cost in items]
         )
@@ -92,13 +99,16 @@ class ResultStore:
     # Checkpoints
     # ------------------------------------------------------------------
     def put_checkpoint(self, run_id: str, stage: str, payload: dict) -> None:
+        """Write a stage-granular checkpoint payload for ``run_id``."""
         self.backend.put("checkpoints", f"{run_id}{_CK_SEP}{stage}", dumps(payload))
 
     def get_checkpoint(self, run_id: str, stage: str):
+        """Checkpoint payload for ``(run_id, stage)``, or ``None``."""
         text = self.backend.get("checkpoints", f"{run_id}{_CK_SEP}{stage}")
         return loads(text) if text is not None else None
 
     def list_checkpoints(self, run_id: str) -> list:
+        """Stage names checkpointed under ``run_id`` (storage order)."""
         prefix = f"{run_id}{_CK_SEP}"
         return [
             key[len(prefix):]
@@ -107,6 +117,7 @@ class ResultStore:
         ]
 
     def delete_checkpoints(self, run_id: str) -> int:
+        """Drop all checkpoints of ``run_id``; returns rows removed."""
         removed = 0
         for stage in self.list_checkpoints(run_id):
             removed += self.backend.delete("checkpoints", f"{run_id}{_CK_SEP}{stage}")
@@ -180,6 +191,7 @@ class ResultStore:
         return counts
 
     def close(self) -> None:
+        """Release the backend (flushes and closes SQLite handles)."""
         self.backend.close()
 
     def __enter__(self) -> "ResultStore":

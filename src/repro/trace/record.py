@@ -3,6 +3,68 @@
 from __future__ import annotations
 
 from repro.isa.decoder import Decoder, decoder_library
+from repro.isa.opclasses import OpClass
+
+#: Kind-flag bits carried in issue streams: one precomputed bitmask per
+#: instruction replaces the repeated opclass range comparisons the core
+#: timing loops would otherwise evaluate per dynamic instruction.
+KF_LOAD = 1     #: LOAD / LDP
+KF_STORE = 2    #: STORE / STP
+KF_BRANCH = 4   #: any control-flow class
+KF_NOP = 8      #: NOP
+KF_MUL = 16     #: IMUL / IDIV (dual-issue pairing class)
+KF_FP = 32      #: FPALU..SIMD_MUL (dual-issue pairing class)
+KF_PAIR = 64    #: LDP / STP (writes/reads a register pair)
+
+
+def _kind_flags(opclass: int) -> int:
+    flags = 0
+    if opclass == int(OpClass.NOP):
+        flags |= KF_NOP
+    if opclass in (int(OpClass.LOAD), int(OpClass.LDP)):
+        flags |= KF_LOAD
+    if opclass in (int(OpClass.STORE), int(OpClass.STP)):
+        flags |= KF_STORE
+    if int(OpClass.BRANCH) <= opclass <= int(OpClass.RET):
+        flags |= KF_BRANCH
+    if opclass in (int(OpClass.IMUL), int(OpClass.IDIV)):
+        flags |= KF_MUL
+    if int(OpClass.FPALU) <= opclass <= int(OpClass.SIMD_MUL):
+        flags |= KF_FP
+    if opclass in (int(OpClass.LDP), int(OpClass.STP)):
+        flags |= KF_PAIR
+    return flags
+
+
+#: opclass int -> kind bitmask, built once at import.
+KIND_FLAGS = tuple(_kind_flags(int(op)) for op in OpClass)
+
+
+def build_stream(records: list, decoded: list) -> list:
+    """Flatten ``records`` + their ``decoded`` forms into issue tuples.
+
+    The timing cores consume one flat tuple per dynamic instruction —
+    ``(opclass, kind, dst, src1, src2, pc, addr, taken, target)`` — so
+    the hot loop pays tuple unpacking instead of six attribute loads, an
+    enum conversion and several opclass range tests per instruction.
+    Decoded instructions are interned per word, so the conversion work
+    is memoised per *unique* word here rather than recomputed per
+    dynamic occurrence.
+    """
+    fields_of: dict = {}
+    stream = []
+    append = stream.append
+    for rec, inst in zip(records, decoded):
+        key = id(inst)
+        fields = fields_of.get(key)
+        if fields is None:
+            opclass = int(inst.opclass)
+            fields = (opclass, KIND_FLAGS[opclass], inst.dst, inst.src1, inst.src2)
+            fields_of[key] = fields
+        opclass, kind, dst, src1, src2 = fields
+        append((opclass, kind, dst, src1, src2,
+                rec.pc, rec.addr, rec.taken, rec.target))
+    return stream
 
 
 class DynInst:
@@ -59,6 +121,7 @@ class Trace:
         self.records = records
         self.name = name
         self._decoded_cache: dict = {}
+        self._stream_cache: dict = {}
 
     def __len__(self) -> int:
         return len(self.records)
@@ -70,10 +133,11 @@ class Trace:
         return self.records[idx]
 
     def __getstate__(self) -> dict:
-        # Decoded lists are bulky and cheap to rebuild; ship the trace
-        # without them to keep pickles small.
+        # Decoded lists and flattened streams are bulky and cheap to
+        # rebuild; ship the trace without them to keep pickles small.
         state = self.__dict__.copy()
         state["_decoded_cache"] = {}
+        state["_stream_cache"] = {}
         return state
 
     def decoded_with(self, decoder: Decoder) -> list:
@@ -84,6 +148,21 @@ class Trace:
             decode = decoder.decode
             cached = [decode(rec.word) for rec in self.records]
             self._decoded_cache[key] = cached
+        return cached
+
+    def stream_with(self, decoder: Decoder) -> list:
+        """Flat per-record issue tuples for ``decoder`` (memoised).
+
+        The stream is the hot-path representation the timing cores
+        iterate (see :func:`build_stream`); like ``decoded_with`` it is
+        cached per decoder *library*, so the thousands of configurations
+        a tuning campaign replays over one trace flatten it exactly once.
+        """
+        key = decoder_library(decoder)
+        cached = self._stream_cache.get(key)
+        if cached is None:
+            cached = build_stream(self.records, self.decoded_with(decoder))
+            self._stream_cache[key] = cached
         return cached
 
     def instruction_count(self) -> int:

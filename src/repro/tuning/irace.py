@@ -56,6 +56,7 @@ class IraceResult:
     requested_trials: int = 0
 
     def summary(self) -> str:
+        """Readable account of budget use and the winning assignment."""
         lines = [
             f"irace finished: {self.unique_trials} unique trials "
             f"({self.requested_trials} requested) / budget {self.budget}, "

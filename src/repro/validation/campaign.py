@@ -110,6 +110,7 @@ class InspectionReport:
     recommendations: list = field(default_factory=list)
 
     def summary(self) -> str:
+        """Readable per-category error report with recommendations."""
         lines = [f"overall mean CPI error: {self.overall:.1%}"]
         for cat, err in sorted(self.per_category.items()):
             lines.append(f"  {cat:<14}{err:.1%}")
@@ -144,13 +145,16 @@ class CampaignResult:
 
     @property
     def untuned_mean_error(self) -> float:
+        """Mean CPI error of the public (vendor-documented) config."""
         return sum(self.untuned_errors.values()) / len(self.untuned_errors)
 
     @property
     def tuned_mean_error(self) -> float:
+        """Mean CPI error after the final tuning stage."""
         return sum(self.final_errors.values()) / len(self.final_errors)
 
     def summary(self) -> str:
+        """Readable before/after account of the whole campaign."""
         lines = [
             f"validation campaign: {self.core} ({self.profile} profile)",
             f"  untuned mean CPI error: {self.untuned_mean_error:.1%}",

@@ -1,0 +1,198 @@
+"""Bench subsystem: scenarios, harness, report schema, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    MAX_RUNS,
+    SCHEMA_VERSION,
+    BenchScenario,
+    full_suite,
+    get_suite,
+    host_fingerprint,
+    load_report,
+    quick_suite,
+    run_scenario,
+    update_report_file,
+    validate_report,
+)
+from repro.cli import main
+
+
+class TestScenarioDeterminism:
+    def test_full_suite_is_deterministic(self):
+        a = full_suite()
+        b = full_suite()
+        assert [s.name for s in a] == [s.name for s in b]
+        assert [s.workloads for s in a] == [s.workloads for s in b]
+        assert [(s.kind, s.core, s.repeats, s.scale) for s in a] == [
+            (s.kind, s.core, s.repeats, s.scale) for s in b
+        ]
+
+    def test_full_suite_covers_table1_spec_trace_engine(self):
+        suite = {s.name: s for s in full_suite()}
+        assert suite["table1-a53"].kind == "simulate"
+        assert len(suite["table1-a53"].workloads) == 40
+        assert len(suite["table1-a72"].workloads) == 40
+        assert suite["spec-a53"].kind == "simulate"
+        assert len(suite["spec-a53"].workloads) == 11
+        assert suite["trace-record"].kind == "trace"
+        assert suite["engine-batch-a53"].kind == "engine"
+        assert suite["engine-batch-a53"].grid
+
+    def test_quick_suite_is_smaller(self):
+        quick = quick_suite()
+        assert all(len(s.workloads) <= 10 for s in quick)
+        assert {s.kind for s in quick} == {"simulate", "trace", "engine"}
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            get_suite("nope")
+
+
+class TestRunScenario:
+    def test_simulate_scenario_record(self):
+        scn = BenchScenario("t-sim", "simulate", core="a53",
+                            workloads=("CCa", "MM"), repeats=1)
+        record = run_scenario(scn)
+        assert record["name"] == "t-sim"
+        assert record["kind"] == "simulate"
+        assert record["instructions"] > 0
+        assert record["cycles"] > 0
+        assert record["wall_seconds"] > 0
+        assert record["instructions_per_second"] > 0
+        assert record["cycles_per_second"] > 0
+        assert record["telemetry"] is None
+
+    def test_trace_scenario_record(self):
+        scn = BenchScenario("t-trace", "trace", workloads=("CCa",), repeats=1)
+        record = run_scenario(scn)
+        assert record["kind"] == "trace"
+        assert record["instructions"] > 0
+        assert record["core"] is None
+
+    def test_engine_scenario_reports_telemetry(self):
+        scn = BenchScenario(
+            "t-engine", "engine", core="a53", workloads=("CCa", "MM"),
+            grid=(("l1d.size", (16384, 32768)),), repeats=1,
+        )
+        record = run_scenario(scn)
+        telemetry = record["telemetry"]
+        # 2 configs x 2 workloads submitted twice: second batch all hits.
+        assert telemetry["requested_trials"] == 8
+        assert telemetry["unique_trials"] == 4
+        assert telemetry["sim_cache_hits"] == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario kind"):
+            run_scenario(BenchScenario("x", "mystery"))
+
+
+def _tiny_run_entry(name="t"):
+    record = run_scenario(
+        BenchScenario(name, "simulate", core="a53", workloads=("CCa",), repeats=1)
+    )
+    return {
+        "timestamp": "2026-07-29T00:00:00Z",
+        "suite": "quick",
+        "git": None,
+        "scenarios": [record],
+        "totals": {
+            "simulate_instructions": record["instructions"],
+            "simulate_wall_seconds": record["wall_seconds"],
+            "simulate_instructions_per_second": record["instructions_per_second"],
+        },
+    }
+
+
+class TestReportFile:
+    def test_emit_and_update(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        report = update_report_file(path, _tiny_run_entry())
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["host"] == host_fingerprint()
+        assert len(report["runs"]) == 1
+        # Updating appends instead of clobbering.
+        report = update_report_file(path, _tiny_run_entry("t2"))
+        assert len(report["runs"]) == 2
+        on_disk = load_report(path)
+        assert on_disk == report
+
+    def test_history_is_bounded(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        entry = _tiny_run_entry()
+        report = None
+        for _ in range(MAX_RUNS + 3):
+            report = update_report_file(path, entry)
+        assert len(report["runs"]) == MAX_RUNS
+
+    def test_invalid_existing_file_is_not_clobbered(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        path.write_text('{"schema_version": 999}')
+        with pytest.raises(ValueError, match="invalid bench report"):
+            update_report_file(str(path), _tiny_run_entry())
+        assert json.loads(path.read_text()) == {"schema_version": 999}
+
+    def test_validate_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            validate_report([])
+        with pytest.raises(ValueError):
+            validate_report({"schema_version": SCHEMA_VERSION})
+        good = {
+            "schema_version": SCHEMA_VERSION,
+            "host": host_fingerprint(),
+            "runs": [_tiny_run_entry()],
+        }
+        validate_report(good)
+        bad = json.loads(json.dumps(good))
+        bad["runs"][0]["scenarios"][0]["wall_seconds"] = 0
+        with pytest.raises(ValueError, match="wall_seconds"):
+            validate_report(bad)
+
+    def test_repo_bench_report_is_valid(self):
+        """The committed perf baseline must always parse and validate."""
+        import glob
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..")
+        reports = glob.glob(os.path.join(root, "BENCH_*.json"))
+        assert reports, "no committed BENCH_*.json perf baseline"
+        for report_path in reports:
+            report = load_report(report_path)
+            names = {s["name"] for run in report["runs"] for s in run["scenarios"]}
+            assert "table1-a53" in names
+
+    def test_committed_baseline_shows_speedup(self):
+        """The recorded perf trajectory: latest run ≥2x the pre-PR entry
+        on the Table-I (in-order) suite."""
+        import glob
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..")
+        report = load_report(sorted(glob.glob(os.path.join(root, "BENCH_*.json")))[0])
+        runs = report["runs"]
+        first = {s["name"]: s for s in runs[0]["scenarios"]}
+        last = {s["name"]: s for s in runs[-1]["scenarios"]}
+        ratio = (last["table1-a53"]["instructions_per_second"]
+                 / first["table1-a53"]["instructions_per_second"])
+        assert ratio >= 2.0, f"table1-a53 speedup regressed to {ratio:.2f}x"
+
+
+class TestBenchCli:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1-a53" in out
+        assert "engine-batch-a53" in out
+
+    def test_bench_quick_writes_valid_report(self, tmp_path, capsys):
+        path = str(tmp_path / "BENCH_ci.json")
+        assert main(["bench", "--quick", "--repeat", "1", "--out", path]) == 0
+        out = capsys.readouterr().out
+        assert "table1-a53-quick" in out
+        assert "engine telemetry" in out
+        report = load_report(path)
+        assert report["runs"][0]["suite"] == "quick"

@@ -1,0 +1,33 @@
+"""Docstring guard wired into the tier-1 gate.
+
+Runs the same check CI's docs job runs (``tools/check_docstrings.py``)
+so an undocumented public entry point fails locally before it fails in
+CI.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+
+
+def test_public_entry_points_are_documented():
+    env = dict(os.environ)
+    src = os.path.join(ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(ROOT, "tools", "check_docstrings.py")],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode == 0, f"docstring guard failed:\n{proc.stdout}{proc.stderr}"
+
+
+def test_intra_repo_markdown_links_resolve():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(ROOT, "tools", "check_links.py"), ROOT],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0, f"link check failed:\n{proc.stdout}{proc.stderr}"

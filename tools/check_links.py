@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Intra-repository markdown link checker.
+
+Walks every tracked ``*.md`` file and verifies that each relative link
+target (``[text](path)`` and ``[text](path#anchor)``) exists on disk.
+External links (``http``/``https``/``mailto``) and pure in-page anchors
+are skipped — the goal is catching renamed or deleted files, the way
+docs rot in practice.
+
+Run from the repository root::
+
+    python tools/check_links.py
+
+CI runs this in the docs job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_DIRS = {".git", ".github", "__pycache__", ".pytest_cache", "node_modules"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def iter_markdown(root: str):
+    """Yield every markdown file under ``root`` (skipping tool dirs)."""
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path: str, root: str) -> list:
+    """Return ``(target, reason)`` tuples for broken links in ``path``."""
+    broken = []
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), target_path))
+        if not os.path.exists(resolved):
+            broken.append((target, os.path.relpath(resolved, root)))
+    return broken
+
+
+def main(root: str = ".") -> int:
+    """Check all markdown files; print failures; return an exit code."""
+    failures = 0
+    checked = 0
+    for path in sorted(iter_markdown(root)):
+        checked += 1
+        for target, resolved in check_file(path, root):
+            failures += 1
+            print(f"{os.path.relpath(path, root)}: broken link {target!r} "
+                  f"(resolves to {resolved})")
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print(f"link check: {checked} markdown files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "."))
