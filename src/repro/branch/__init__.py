@@ -14,6 +14,7 @@ from repro.branch.base import DirectionPredictor
 from repro.branch.simple import StaticTakenPredictor, StaticNotTakenPredictor
 from repro.branch.bimodal import BimodalPredictor
 from repro.branch.gshare import GSharePredictor
+from repro.branch.tage import TAGEPredictor
 from repro.branch.tournament import TournamentPredictor
 from repro.branch.btb import BranchTargetBuffer
 from repro.branch.ras import ReturnAddressStack
@@ -31,6 +32,7 @@ __all__ = [
     "StaticNotTakenPredictor",
     "BimodalPredictor",
     "GSharePredictor",
+    "TAGEPredictor",
     "TournamentPredictor",
     "BranchTargetBuffer",
     "ReturnAddressStack",

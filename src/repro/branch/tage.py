@@ -1,0 +1,167 @@
+"""TAGE-lite direction predictor.
+
+A compact TAgged GEometric-history predictor (Seznec & Michaud): a
+bimodal base table plus three partially-tagged tables indexed by the PC
+hashed with geometrically growing global-history lengths. The longest
+matching tagged table provides the prediction; on a mispredict a new
+entry is allocated in one longer table. This is the strongest direction
+predictor the registry offers — added through the component registry
+alone (stage-3 tuning space), the worked example of
+``docs/COMPONENTS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.branch.base import DirectionPredictor
+
+#: Geometric history lengths of the three tagged tables.
+_HISTORY_LENGTHS = (5, 15, 44)
+_TAG_BITS = 8
+_CTR_MAX = 7       # 3-bit signed-ish counter, taken when >= 4
+_USEFUL_MAX = 3    # 2-bit useful counter
+
+
+class TAGEPredictor(DirectionPredictor):
+    """Bimodal base + 3 tagged geometric-history tables (TAGE-lite).
+
+    ``table_bits`` sizes the base table (``2**table_bits`` counters);
+    each tagged table holds ``2**(table_bits - 1)`` entries of
+    ``(tag, prediction counter, useful counter)``. All state evolution
+    is deterministic: allocation on a mispredict takes the first
+    longer-history table whose entry is not useful, else ages one.
+    """
+
+    kind = "tage"
+
+    __slots__ = ("table_bits", "_base_mask", "_base", "_tag_mask",
+                 "_tagged_bits", "_tagged_mask", "_tables", "_history",
+                 "_hist_masks")
+
+    def __init__(self, table_bits: int = 12) -> None:
+        if not 4 <= table_bits <= 24:
+            raise ValueError(f"table_bits out of range [4, 24]: {table_bits}")
+        self.table_bits = table_bits
+        self._base_mask = (1 << table_bits) - 1
+        self._tagged_bits = max(4, table_bits - 1)
+        self._tagged_mask = (1 << self._tagged_bits) - 1
+        self._tag_mask = (1 << _TAG_BITS) - 1
+        self._hist_masks = tuple((1 << length) - 1 for length in _HISTORY_LENGTHS)
+        self._history = 0
+        self._base = [2] * (1 << table_bits)  # 2-bit counters, weakly taken
+        #: Per tagged table: [tag, ctr, useful] entries.
+        self._tables = [
+            [[-1, 4, 0] for _ in range(1 << self._tagged_bits)]
+            for _ in _HISTORY_LENGTHS
+        ]
+
+    # ------------------------------------------------------------------
+    def _fold(self, history: int, bits: int) -> int:
+        """Fold ``history`` down to ``bits`` bits by XOR segments."""
+        folded = 0
+        mask = (1 << bits) - 1
+        while history:
+            folded ^= history & mask
+            history >>= bits
+        return folded
+
+    def _indices(self, pc: int):
+        """Per-table (index, tag) pairs for the branch at ``pc``."""
+        base_pc = pc >> 2
+        out = []
+        for level, hist_mask in enumerate(self._hist_masks):
+            hist = self._history & hist_mask
+            folded = self._fold(hist, self._tagged_bits)
+            idx = (base_pc ^ folded ^ (base_pc >> (level + 3))) & self._tagged_mask
+            tag = (base_pc ^ (base_pc >> _TAG_BITS)
+                   ^ self._fold(hist, _TAG_BITS) ^ level) & self._tag_mask
+            out.append((idx, tag))
+        return out
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int) -> bool:
+        slots = self._indices(pc)
+        provider = None
+        for level in range(len(self._tables) - 1, -1, -1):
+            idx, tag = slots[level]
+            entry = self._tables[level][idx]
+            if entry[0] == tag:
+                provider = entry
+                break
+        if provider is not None:
+            return provider[1] >= 4
+        return self._base[(pc >> 2) & self._base_mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.predict_update(pc, taken)
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        """Predict, then train provider/alternate and allocate on a miss."""
+        slots = self._indices(pc)
+        tables = self._tables
+        provider_level = -1
+        provider = None
+        for level in range(len(tables) - 1, -1, -1):
+            idx, tag = slots[level]
+            entry = tables[level][idx]
+            if entry[0] == tag:
+                provider_level = level
+                provider = entry
+                break
+
+        base_idx = (pc >> 2) & self._base_mask
+        base_ctr = self._base[base_idx]
+        if provider is not None:
+            prediction = provider[1] >= 4
+        else:
+            prediction = base_ctr >= 2
+
+        # Train the provider (tagged counter or the bimodal base).
+        if provider is not None:
+            ctr = provider[1]
+            if taken:
+                if ctr < _CTR_MAX:
+                    provider[1] = ctr + 1
+            elif ctr > 0:
+                provider[1] = ctr - 1
+            useful = provider[2]
+            if prediction == taken:
+                if useful < _USEFUL_MAX:
+                    provider[2] = useful + 1
+            elif useful > 0:
+                provider[2] = useful - 1
+        if taken:
+            if base_ctr < 3:
+                self._base[base_idx] = base_ctr + 1
+        elif base_ctr > 0:
+            self._base[base_idx] = base_ctr - 1
+
+        # Allocate in one longer-history table after a mispredict.
+        if prediction != taken and provider_level < len(tables) - 1:
+            allocated = False
+            for level in range(provider_level + 1, len(tables)):
+                idx, tag = slots[level]
+                entry = tables[level][idx]
+                if entry[2] == 0:
+                    entry[0] = tag
+                    entry[1] = 4 if taken else 3  # weak in the right direction
+                    entry[2] = 0
+                    allocated = True
+                    break
+            if not allocated:
+                for level in range(provider_level + 1, len(tables)):
+                    idx, _tag = slots[level]
+                    entry = tables[level][idx]
+                    if entry[2] > 0:
+                        entry[2] -= 1  # age toward future allocation
+
+        self._history = ((self._history << 1) | (1 if taken else 0)) \
+            & self._hist_masks[-1]
+        return prediction
+
+    def reset(self) -> None:
+        self._history = 0
+        self._base = [2] * (1 << self.table_bits)
+        self._tables = [
+            [[-1, 4, 0] for _ in range(1 << self._tagged_bits)]
+            for _ in _HISTORY_LENGTHS
+        ]

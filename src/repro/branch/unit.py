@@ -11,18 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.branch.base import DirectionPredictor
-from repro.branch.bimodal import BimodalPredictor
 from repro.branch.btb import BranchTargetBuffer
-from repro.branch.gshare import GSharePredictor
-from repro.branch.indirect import (
-    IndirectPredictor,
-    LastTargetPredictor,
-    NoIndirectPredictor,
-    TaggedIndirectPredictor,
-)
+from repro.branch.indirect import IndirectPredictor
 from repro.branch.ras import ReturnAddressStack
-from repro.branch.simple import StaticNotTakenPredictor, StaticTakenPredictor
-from repro.branch.tournament import TournamentPredictor
 from repro.isa.opclasses import OpClass
 
 _BRANCH = int(OpClass.BRANCH)
@@ -31,61 +22,35 @@ _IBRANCH = int(OpClass.IBRANCH)
 _CALL = int(OpClass.CALL)
 _RET = int(OpClass.RET)
 
-_DIRECTION_PREDICTORS = {
-    "static-taken": StaticTakenPredictor,
-    "static-nottaken": StaticNotTakenPredictor,
-    "bimodal": BimodalPredictor,
-    "gshare": GSharePredictor,
-    "tournament": TournamentPredictor,
-}
-
 #: ``access`` return codes.
 REDIRECT_NONE = 0
 REDIRECT_MISPREDICT = 1
 REDIRECT_BTB = 2
 
-_INDIRECT_PREDICTORS = {
-    "none": NoIndirectPredictor,
-    "last-target": LastTargetPredictor,
-    "tagged": TaggedIndirectPredictor,
-}
-
 
 def build_direction_predictor(kind: str, bits: int) -> DirectionPredictor:
     """Instantiate a direction predictor by registry ``kind``.
 
-    ``bits`` sizes the predictor tables; static predictors ignore it.
+    Dispatches through the component registry
+    (:mod:`repro.components`); ``bits`` maps onto each predictor's
+    declared size knob (static predictors bind nothing and ignore it).
     """
-    try:
-        cls = _DIRECTION_PREDICTORS[kind]
-    except KeyError:
-        raise ValueError(
-            f"unknown direction predictor {kind!r}; "
-            f"choose from {sorted(_DIRECTION_PREDICTORS)}"
-        ) from None
-    if kind in ("static-taken", "static-nottaken"):
-        return cls()
-    if kind == "bimodal":
-        return cls(index_bits=bits)
-    if kind == "gshare":
-        return cls(history_bits=bits)
-    return cls(history_bits=bits, chooser_bits=bits)
+    from repro.components import build_component
+
+    return build_component("direction", kind, {"predictor_bits": bits})
 
 
 def build_indirect_predictor(kind: str, entries: int, history_bits: int = 8) -> IndirectPredictor:
-    """Instantiate an indirect predictor by registry ``kind``."""
-    try:
-        cls = _INDIRECT_PREDICTORS[kind]
-    except KeyError:
-        raise ValueError(
-            f"unknown indirect predictor {kind!r}; "
-            f"choose from {sorted(_INDIRECT_PREDICTORS)}"
-        ) from None
-    if kind == "none":
-        return cls()
-    if kind == "last-target":
-        return cls(entries=entries)
-    return cls(entries=entries, history_bits=history_bits)
+    """Instantiate an indirect predictor by registry ``kind``.
+
+    Dispatches through the component registry (:mod:`repro.components`).
+    """
+    from repro.components import build_component
+
+    return build_component("indirect", kind, {
+        "indirect_entries": entries,
+        "indirect_history_bits": history_bits,
+    })
 
 
 @dataclass(slots=True)

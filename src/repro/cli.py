@@ -9,6 +9,7 @@ Mirrors the workflows a user of the paper's framework runs by hand::
     python -m repro validate --core a53 --profile fast --jobs 4 --out results/a53.json
     python -m repro sweep    --core a53 --workloads STc,MD \\
         --set l1d.prefetcher=none,stride --set l1d.prefetch_degree=2,4
+    python -m repro components --slot prefetcher
 
 Every experiment-running subcommand accepts ``--store PATH`` to read and
 write a persistent experiment store (SQLite): results survive the
@@ -76,6 +77,20 @@ def _parse_overrides(pairs):
         key, raw = pair.split("=", 1)
         out[key] = _convert_token(raw)
     return out
+
+
+def _apply_overrides(config, overrides):
+    """Apply ``--set`` overrides with up-front validation.
+
+    Unknown dotted paths and invalid component names surface here as a
+    clean error with the registry's did-you-mean suggestion, instead of
+    a traceback from deep inside a simulation.
+    """
+    try:
+        return config.with_updates(overrides)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(f"bad --set parameter: {message}") from None
 
 
 def _parse_sweep_sets(pairs):
@@ -177,7 +192,7 @@ def cmd_simulate(args) -> int:
     telemetered, and persistent when ``--store`` is given."""
     board = FireflyRK3399()
     overrides = _parse_overrides(args.set)
-    config = _public_config(args.core).with_updates(overrides)
+    config = _apply_overrides(_public_config(args.core), overrides)
     wl = _lookup_workload(args.workload)
     store = _open_store(args)
     record = _register_run(store, "simulate", args,
@@ -303,10 +318,7 @@ def cmd_sweep(args) -> int:
         workloads = list(ALL_MICROBENCHMARKS)
         names = [wl.name for wl in workloads]
 
-    try:
-        configs = [base.with_updates(combo) for combo in combos]
-    except KeyError as exc:
-        raise SystemExit(f"bad --set parameter: {exc.args[0]}") from None
+    configs = [_apply_overrides(base, combo) for combo in combos]
 
     if store is not None and not resume:
         record = store.registry.create(
@@ -372,6 +384,76 @@ def cmd_sweep(args) -> int:
         print(f"wrote {args.out}")
     if store is not None:
         store.close()
+    return 0
+
+
+def cmd_components(args) -> int:
+    """List the component registry: slots, components, knobs, sites."""
+    from repro.components import REGISTRY, registry_fingerprint
+
+    if args.json:
+        import json as _json
+
+        payload = REGISTRY.describe()
+        payload["fingerprint"] = registry_fingerprint()
+        print(_json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+
+    slots = REGISTRY.slots()
+    if args.slot:
+        slots = [s for s in slots if s.name == args.slot]
+        if not slots:
+            known = ", ".join(s.name for s in REGISTRY.slots())
+            raise SystemExit(f"unknown slot {args.slot!r}; choose from {known}")
+
+    for slot in slots:
+        rows = []
+        for comp in slot:
+            binding = ", ".join(
+                f"{kwarg}<-{fieldname}" for kwarg, fieldname in comp.params
+            ) or "-"
+            flags = []
+            if comp.null:
+                flags.append("null")
+            if not comp.tunable:
+                flags.append("untunable")
+            rows.append([comp.name, f"stage {comp.stage}",
+                         " ".join(flags) or "-", binding, comp.summary])
+        selector = slot.selector or "(structural)"
+        print(render_table(
+            ["component", "raceable", "flags", "knob binding", "summary"],
+            rows, title=f"slot {slot.name} — selector field: {selector}"))
+
+        knob_rows = []
+        for knob in slot.knobs:
+            condition = "always"
+            if knob.gated and slot.null_name is not None:
+                condition = f"when {slot.selector} != {slot.null_name!r}"
+            candidates = ", ".join(map(str, knob.values))
+            if not candidates and knob.kind == "boolean":
+                candidates = "False, True"
+            knob_rows.append([knob.field, knob.kind, candidates or "-",
+                              condition, knob.summary])
+        if knob_rows:
+            print(render_table(["knob", "kind", "candidates", "active", "summary"],
+                               knob_rows, title=f"slot {slot.name} — knobs"))
+
+        site_rows = []
+        for site in REGISTRY.sites(slot.name):
+            restricted = ", ".join(site.components) if site.components else "all tunable"
+            over = "; ".join(
+                f"{field}={', '.join(map(str, values))}"
+                for field, values in (site.values or {}).items()
+            ) or "-"
+            site_rows.append([site.section, restricted, over,
+                              ", ".join(site.domains) or "-"])
+        if site_rows:
+            print(render_table(
+                ["config section", "candidates", "knob overrides", "round domains"],
+                site_rows, title=f"slot {slot.name} — tuning sites"))
+        print()
+    print(f"registry fingerprint: {registry_fingerprint()} "
+          "(folded into engine cache keys)")
     return 0
 
 
@@ -547,6 +629,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", default=None, metavar="RUN_ID",
                    help="re-run a recorded sweep (warm store makes it cheap)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "components",
+        help="list registered components per slot (knobs, candidates, sites)",
+    )
+    p.add_argument("--slot", default=None,
+                   help="show one slot only (e.g. prefetcher)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the registry description as JSON")
+    p.set_defaults(func=cmd_components)
 
     p = sub.add_parser(
         "bench",

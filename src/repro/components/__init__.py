@@ -1,0 +1,64 @@
+"""Self-describing component registry (one declaration drives all).
+
+Every pluggable microarchitecture component — direction predictors,
+indirect predictors, replacement policies, address hashes, prefetchers,
+the victim buffer, the DRAM page policy — registers once in
+:mod:`repro.components.catalog` with its name, constructor binding,
+candidate values and activation stage. From that single declaration the
+system derives construction (the ``build_*`` helpers), eager
+:class:`~repro.core.config.SimConfig` validation, the stage-1/stage-2
+tuning spaces, the step-5 component-round parameter sets, the
+``repro components`` CLI listing, and the fingerprint folded into
+engine cache keys. See ``docs/COMPONENTS.md`` for the add-a-component
+walkthrough.
+"""
+
+from repro.components.catalog import EXTENSION_STAGE, REGISTRY, Scalar, layout_for
+from repro.components.registry import (
+    Component,
+    ComponentRegistry,
+    Knob,
+    Slot,
+    TuningSite,
+    suggest,
+)
+from repro.components.space import (
+    derive_param_space,
+    domain_param_names,
+    space_fingerprint,
+)
+
+
+def build_component(slot: str, name: str, values=None, **structural):
+    """Construct a registered component from config field values."""
+    return REGISTRY.build(slot, name, values, **structural)
+
+
+def validate_config_components(config) -> None:
+    """Validate every component-name field of ``config`` eagerly."""
+    REGISTRY.validate_config(config)
+
+
+def registry_fingerprint() -> str:
+    """Content hash of every component/tunable declaration."""
+    return space_fingerprint()
+
+
+__all__ = [
+    "Component",
+    "ComponentRegistry",
+    "EXTENSION_STAGE",
+    "Knob",
+    "REGISTRY",
+    "Scalar",
+    "Slot",
+    "TuningSite",
+    "build_component",
+    "derive_param_space",
+    "domain_param_names",
+    "layout_for",
+    "registry_fingerprint",
+    "space_fingerprint",
+    "suggest",
+    "validate_config_components",
+]

@@ -1,0 +1,360 @@
+"""The default component catalog: every declaration in one place.
+
+This module is the "list of all the configuration parameters that
+require a best guess ... paired with all the candidate values it could
+take" (§III-A step 4) in executable form. It declares:
+
+- the component **slots** (direction predictor, indirect predictor,
+  replacement policy, address hash, prefetcher, victim buffer, DRAM
+  page policy) with every registered implementation and knob binding;
+- the **tuning sites** placing each slot in the config tree, with
+  per-site candidate restrictions (the L1I races only none/next-line)
+  and knob-value overrides (the L2 prefetch table is larger);
+- the **scalar tunables** (latencies, geometry, entry counts) that are
+  raced but are not component choices;
+- the per-core **layouts** that order all of the above into the exact
+  stage-1/stage-2 spaces the paper's campaign races (pinned
+  value-identical to the pre-registry hand-written lists by
+  ``tests/golden/param_spaces.json``).
+
+Stages follow the §IV-B narrative: stage 1 is the initial model (no
+indirect predictor, no GHB), stage 2 adds the step-5 model fixes, and
+stage 3 is this reproduction's extension round — the TAGE-lite
+predictor, SRRIP replacement, skewed hashing and the stream-filtered
+next-N-line prefetcher land there, each registered in this file and
+nowhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GSharePredictor
+from repro.branch.indirect import (
+    LastTargetPredictor,
+    NoIndirectPredictor,
+    TaggedIndirectPredictor,
+)
+from repro.branch.simple import StaticNotTakenPredictor, StaticTakenPredictor
+from repro.branch.tage import TAGEPredictor
+from repro.branch.tournament import TournamentPredictor
+from repro.components.registry import (
+    Component,
+    ComponentRegistry,
+    Knob,
+    Slot,
+    TuningSite,
+)
+from repro.memory.hashing import MaskHash, MersenneHash, SkewHash, XorHash
+from repro.memory.prefetcher import (
+    GHBPrefetcher,
+    NextLinePrefetcher,
+    NullPrefetcher,
+    StreamPrefetcher,
+    StridePrefetcher,
+)
+from repro.memory.replacement import (
+    ClockPLRU,
+    LRUPolicy,
+    RandomPolicy,
+    SRRIPPolicy,
+)
+from repro.memory.victim import VictimCache
+
+#: Stage at which this reproduction's extension components unlock
+#: (stage 1 = initial model, stage 2 = the paper's step-5 fixes).
+EXTENSION_STAGE = 3
+
+
+@dataclass(frozen=True)
+class Scalar:
+    """A raced parameter that is not a component choice.
+
+    ``domains`` tags it for the step-5 component rounds (e.g. every
+    ``memsys`` scalar is raced by both the memory and store rounds).
+    """
+
+    path: str  # dotted config path, e.g. "l1d.hit_latency"
+    kind: str  # "ordinal" | "boolean" | "categorical"
+    values: tuple = ()
+    domains: tuple = ()
+
+    def describe(self) -> dict:
+        """Declarative content (JSON-able) for the fingerprint."""
+        return {"path": self.path, "kind": self.kind,
+                "values": list(self.values), "domains": list(self.domains)}
+
+
+def _build_registry() -> ComponentRegistry:
+    reg = ComponentRegistry()
+
+    # -- direction predictors ------------------------------------------
+    direction = reg.add_slot(Slot(
+        "direction", selector="predictor",
+        knobs=(Knob("predictor_bits", "ordinal", (10, 11, 12, 13, 14),
+                    gated=False, summary="table size exponent"),),
+        summary="conditional-branch direction predictor",
+    ), sections=("branch",))
+    direction.register(Component(
+        "static-taken", StaticTakenPredictor,
+        summary="always predict taken"))
+    direction.register(Component(
+        "static-nottaken", StaticNotTakenPredictor, tunable=False,
+        summary="always predict not-taken (never races: dominated)"))
+    direction.register(Component(
+        "bimodal", BimodalPredictor, params=(("index_bits", "predictor_bits"),),
+        summary="per-PC 2-bit counters"))
+    direction.register(Component(
+        "gshare", GSharePredictor, params=(("history_bits", "predictor_bits"),),
+        summary="global history XOR PC"))
+    direction.register(Component(
+        "tournament", TournamentPredictor,
+        params=(("history_bits", "predictor_bits"),
+                ("chooser_bits", "predictor_bits")),
+        summary="bimodal + gshare with chooser"))
+    direction.register(Component(
+        "tage", TAGEPredictor, params=(("table_bits", "predictor_bits"),),
+        stage=EXTENSION_STAGE,
+        summary="TAGE-lite: tagged geometric-history tables"))
+
+    # -- indirect predictors -------------------------------------------
+    indirect = reg.add_slot(Slot(
+        "indirect", selector="indirect",
+        knobs=(Knob("indirect_entries", "ordinal", (128, 256, 512),
+                    summary="target table entries"),
+               Knob("indirect_history_bits", "ordinal", (4, 6, 8),
+                    summary="path-history length")),
+        summary="indirect-branch target predictor",
+    ), sections=("branch",))
+    indirect.register(Component(
+        "none", NoIndirectPredictor, null=True,
+        summary="no indirect prediction (initial model)"))
+    indirect.register(Component(
+        "last-target", LastTargetPredictor,
+        params=(("entries", "indirect_entries"),), stage=2,
+        summary="last observed target per branch"))
+    indirect.register(Component(
+        "tagged", TaggedIndirectPredictor,
+        params=(("entries", "indirect_entries"),
+                ("history_bits", "indirect_history_bits")), stage=2,
+        summary="ITTAGE-lite history-tagged targets"))
+
+    # -- replacement policies ------------------------------------------
+    replacement = reg.add_slot(Slot(
+        "replacement", selector="replacement",
+        summary="cache eviction-victim policy",
+    ), sections=("l1i", "l1d", "l2"))
+    replacement.register(Component(
+        "lru", LRUPolicy, summary="true least-recently-used"))
+    replacement.register(Component(
+        "plru", ClockPLRU, summary="clock (second chance) pseudo-LRU"))
+    replacement.register(Component(
+        "random", RandomPolicy, summary="seeded uniform random"))
+    replacement.register(Component(
+        "srrip", SRRIPPolicy, stage=EXTENSION_STAGE,
+        summary="scan-resistant re-reference interval prediction"))
+
+    # -- address hashes ------------------------------------------------
+    hashing = reg.add_slot(Slot(
+        "hashing", selector="hashing",
+        summary="set-index hash of the line address",
+    ), sections=("l1i", "l1d", "l2"))
+    hashing.register(Component(
+        "mask", MaskHash, summary="power-of-two mask (textbook modulo)"))
+    hashing.register(Component(
+        "xor", XorHash, summary="XOR-folded upper bits"))
+    hashing.register(Component(
+        "mersenne", MersenneHash, summary="Mersenne-prime modulo (Kharbutli)"))
+    hashing.register(Component(
+        "skew", SkewHash, stage=EXTENSION_STAGE,
+        summary="Seznec-style skewed rotate-XOR mixing"))
+
+    # -- prefetchers ---------------------------------------------------
+    prefetcher = reg.add_slot(Slot(
+        "prefetcher", selector="prefetcher",
+        knobs=(Knob("prefetch_degree", "ordinal", (1, 2, 4),
+                    summary="lines fetched ahead"),
+               Knob("prefetch_table_entries", "ordinal", (16, 32, 64),
+                    summary="tracking table entries"),
+               Knob("prefetch_on_hit", "boolean",
+                    summary="also train/trigger on hits")),
+        summary="hardware prefetcher attached to a cache",
+    ), sections=("l1i", "l1d", "l2"))
+    prefetcher.register(Component(
+        "none", NullPrefetcher, null=True, summary="no prefetching"))
+    prefetcher.register(Component(
+        "nextline", NextLinePrefetcher,
+        params=(("degree", "prefetch_degree"),
+                ("on_hit", "prefetch_on_hit")),
+        summary="sequential next-N-line"))
+    prefetcher.register(Component(
+        "stride", StridePrefetcher,
+        params=(("table_entries", "prefetch_table_entries"),
+                ("degree", "prefetch_degree"),
+                ("on_hit", "prefetch_on_hit")),
+        summary="PC-indexed stride (Fu/Patel)"))
+    prefetcher.register(Component(
+        "ghb", GHBPrefetcher,
+        params=(("buffer_entries", "prefetch_table_entries"),
+                ("degree", "prefetch_degree"),
+                ("on_hit", "prefetch_on_hit")), stage=2,
+        summary="global history buffer delta correlation (Nesbit & Smith)"))
+    prefetcher.register(Component(
+        "stream", StreamPrefetcher,
+        params=(("table_entries", "prefetch_table_entries"),
+                ("degree", "prefetch_degree"),
+                ("on_hit", "prefetch_on_hit")), stage=EXTENSION_STAGE,
+        summary="next-N-line behind a stream-detection filter"))
+
+    # -- victim buffer (structural: enabled by entry count) ------------
+    victim = reg.add_slot(Slot(
+        "victim",
+        knobs=(Knob("victim_entries", "ordinal", (0, 2, 4, 8), gated=False,
+                    summary="entries (0 disables the buffer)"),),
+        summary="fully-associative victim buffer behind a cache",
+    ))
+    victim.register(Component(
+        "fifo", VictimCache, params=(("entries", "victim_entries"),),
+        summary="FIFO victim buffer of evicted lines"))
+
+    # -- DRAM page policy ----------------------------------------------
+    page_policy = reg.add_slot(Slot(
+        "page-policy", selector="dram_page_policy",
+        summary="DRAM row-buffer management policy",
+    ), sections=("memsys",))
+    page_policy.register(Component(
+        "open", summary="rows stay open (page hits are cheap)"))
+    page_policy.register(Component(
+        "closed", summary="rows close after each access"))
+
+    # -- tuning sites (order here is layout order, see below) ----------
+    reg.add_site(TuningSite("direction", "branch", domains=("branch",)))
+    reg.add_site(TuningSite("indirect", "branch", domains=("branch",)))
+    reg.add_site(TuningSite("hashing", "l1d", domains=("memory", "store")))
+    reg.add_site(TuningSite("victim", "l1d", domains=("memory", "store")))
+    reg.add_site(TuningSite("replacement", "l1d", domains=("memory", "store")))
+    reg.add_site(TuningSite("prefetcher", "l1d", domains=("memory", "store")))
+    # The L1I races a deliberately thin slice (and no component round
+    # includes it — domains=() — matching the pre-registry spaces).
+    reg.add_site(TuningSite("prefetcher", "l1i",
+                            components=("none", "nextline"),
+                            knobs=("prefetch_degree",),
+                            values={"prefetch_degree": (1, 2)}))
+    reg.add_site(TuningSite("hashing", "l2", domains=("memory",)))
+    reg.add_site(TuningSite("replacement", "l2", domains=("memory",)))
+    reg.add_site(TuningSite("prefetcher", "l2",
+                            values={"prefetch_table_entries": (64, 128, 256)},
+                            domains=("memory",)))
+    reg.add_site(TuningSite("page-policy", "memsys",
+                            domains=("memory", "store")))
+    return reg
+
+
+#: The process-wide default registry every consumer dispatches through.
+REGISTRY = _build_registry()
+
+
+def _site(slot: str, section: str) -> TuningSite:
+    for site in REGISTRY.sites(slot):
+        if site.section == section:
+            return site
+    raise ValueError(f"no tuning site for slot {slot!r} at section {section!r}")
+
+
+# ----------------------------------------------------------------------
+# Scalar tunables and per-core layouts (methodology steps #3/#4)
+# ----------------------------------------------------------------------
+
+_MEM = ("memory",)
+_MEMSTORE = ("memory", "store")
+_EXEC = ("execution",)
+_BRANCH = ("branch",)
+
+
+def _common_layout(l2_latency: tuple, dram_latency: tuple) -> list:
+    """Layout entries shared by both core models, in space order.
+
+    Mixes :class:`Scalar` declarations with the registry's
+    :class:`TuningSite` placements; stage filtering happens at
+    derivation time (:mod:`repro.components.space`).
+    """
+    return [
+        _site("direction", "branch"),
+        Scalar("branch.btb_entries", "ordinal", (128, 256, 512, 1024), _BRANCH),
+        Scalar("branch.btb_assoc", "ordinal", (1, 2, 4), _BRANCH),
+        Scalar("branch.ras_entries", "ordinal", (4, 8, 16, 32), _BRANCH),
+        Scalar("branch.btb_miss_penalty", "ordinal", (1, 2, 3, 4), _BRANCH),
+        Scalar("execute.imul_latency", "ordinal", (2, 3, 4, 5), _EXEC),
+        Scalar("execute.idiv_latency", "ordinal", (4, 6, 8, 12, 16, 20), _EXEC),
+        Scalar("execute.fpalu_latency", "ordinal", (2, 3, 4, 5), _EXEC),
+        Scalar("execute.fpmul_latency", "ordinal", (3, 4, 5, 6), _EXEC),
+        Scalar("execute.fpdiv_latency", "ordinal", (6, 10, 14, 18, 22), _EXEC),
+        Scalar("execute.fcvt_latency", "ordinal", (1, 2, 3, 4), _EXEC),
+        Scalar("execute.simd_alu_latency", "ordinal", (2, 3, 4), _EXEC),
+        Scalar("execute.simd_mul_latency", "ordinal", (3, 4, 5), _EXEC),
+        Scalar("l1d.hit_latency", "ordinal", (1, 2, 3, 4), _MEMSTORE),
+        _site("hashing", "l1d"),
+        Scalar("l1d.serial_tag_data", "boolean", domains=_MEMSTORE),
+        Scalar("l1d.mshr_entries", "ordinal", (1, 2, 3, 4, 6, 8, 10), _MEMSTORE),
+        _site("victim", "l1d"),
+        _site("replacement", "l1d"),
+        _site("prefetcher", "l1d"),
+        _site("prefetcher", "l1i"),
+        Scalar("l2.hit_latency", "ordinal", l2_latency, _MEM),
+        Scalar("l2.mshr_entries", "ordinal", (4, 6, 7, 8, 12, 16), _MEM),
+        _site("hashing", "l2"),
+        _site("replacement", "l2"),
+        _site("prefetcher", "l2"),
+        Scalar("memsys.store_buffer_entries", "ordinal", (2, 4, 6, 8, 12, 16),
+               _MEMSTORE),
+        Scalar("memsys.store_coalescing", "boolean", domains=_MEMSTORE),
+        Scalar("memsys.dram_latency", "ordinal", dram_latency, _MEMSTORE),
+        Scalar("memsys.dram_bandwidth", "ordinal", (1, 2, 4, 8), _MEMSTORE),
+        _site("page-policy", "memsys"),
+        # The indirect predictor joins the space at stage 2 (step-5 model
+        # fix) and is appended last, like the pre-registry list.
+        _site("indirect", "branch"),
+    ]
+
+
+def inorder_layout() -> list:
+    """Ordered tunables of the in-order (Cortex-A53-like) model."""
+    return [
+        Scalar("pipeline.frontend_depth", "ordinal", (3, 4, 5, 6)),
+        Scalar("branch.mispredict_penalty", "ordinal", (6, 7, 8, 9, 10, 12),
+               _BRANCH),
+        Scalar("execute.n_ls_pipes", "ordinal", (1, 2), _EXEC),
+        Scalar("pipeline.dual_issue_rules", "boolean"),
+    ] + _common_layout(
+        l2_latency=(11, 12, 13, 14, 15, 16, 17),
+        dram_latency=(140, 150, 160, 170, 180, 190, 200),
+    )
+
+
+def ooo_layout() -> list:
+    """Ordered tunables of the out-of-order (Cortex-A72-like) model."""
+    return [
+        Scalar("pipeline.frontend_depth", "ordinal", (8, 9, 11, 13, 15)),
+        Scalar("pipeline.rob_size", "ordinal", (64, 96, 128, 160, 192)),
+        Scalar("pipeline.iq_size", "ordinal", (24, 36, 48, 60)),
+        Scalar("pipeline.ldq_entries", "ordinal", (8, 16, 24)),
+        Scalar("pipeline.stq_entries", "ordinal", (8, 12, 16, 24)),
+        Scalar("branch.mispredict_penalty", "ordinal", (10, 12, 14, 15, 16, 18),
+               _BRANCH),
+        Scalar("execute.n_ialu", "ordinal", (1, 2, 3), _EXEC),
+        Scalar("execute.n_fpu", "ordinal", (1, 2), _EXEC),
+        Scalar("execute.n_ls_pipes", "ordinal", (1, 2), _EXEC),
+    ] + _common_layout(
+        l2_latency=(14, 16, 18, 20, 22, 24),
+        dram_latency=(150, 160, 170, 180, 190, 200, 210, 220),
+    )
+
+
+def layout_for(core_type: str) -> list:
+    """Layout lookup by core type ("inorder" / "ooo")."""
+    if core_type == "inorder":
+        return inorder_layout()
+    if core_type == "ooo":
+        return ooo_layout()
+    raise ValueError(f"unknown core type {core_type!r}")

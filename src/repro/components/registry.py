@@ -1,0 +1,359 @@
+"""The self-describing component registry.
+
+The paper's methodology step #4 needs "a list of all the configuration
+parameters that require a best guess ... paired with all the candidate
+values it could take" — and the simulator needs to *construct* whatever
+the tuner picked. Before this module those two views lived apart: four
+string ``if``-chains built components while hand-written parameter lists
+in ``validation/steps.py`` described them, and every new predictor or
+prefetcher meant editing both in lockstep.
+
+Here each pluggable microarchitecture component registers **once** with:
+
+- its ``name`` (the string stored in :class:`~repro.core.config.SimConfig`),
+- a ``factory`` plus the binding from factory kwargs to config fields,
+- the tuning ``stage`` at which it becomes raceable (the §IV-B staging:
+  stage-1 models lack the step-5 model fixes),
+- flags (``null`` = the "component absent" choice that gates knobs,
+  ``tunable`` = offered to the racing tuner at all).
+
+A :class:`Slot` groups the components competing for one role (direction
+predictor, prefetcher, replacement policy, ...) together with the
+:class:`Knob` parameters they share; a :class:`TuningSite` places a slot
+at a concrete config section (the prefetcher slot appears at ``l1i``,
+``l1d`` and ``l2`` with different candidate subsets).  From these
+declarations alone the rest of the system derives:
+
+- construction (``registry.build``, behind the legacy ``build_*`` helpers);
+- eager :class:`SimConfig` validation of component-name fields, with
+  did-you-mean suggestions;
+- the stage-1/stage-2 tuning spaces (:mod:`repro.components.space`);
+- the ``repro components`` CLI listing and ``tools/check_components.py``;
+- a content fingerprint folded into engine cache keys, so persisted
+  results invalidate when a component's candidate set changes.
+"""
+
+from __future__ import annotations
+
+import difflib
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tunable parameter a slot's components share.
+
+    ``field`` names the :class:`SimConfig` section field the knob binds
+    to (e.g. ``prefetch_degree``); ``values`` is the default candidate
+    list (a :class:`TuningSite` may override it); ``gated`` knobs are
+    active only while the site's selected component is not the null one
+    (irace's conditional parameters), while ungated knobs are always
+    raced (e.g. ``predictor_bits`` — static predictors just ignore it).
+    """
+
+    field: str
+    kind: str  # "ordinal" | "categorical" | "boolean"
+    values: tuple = ()
+    gated: bool = True
+    summary: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ordinal", "categorical", "boolean"):
+            raise ValueError(f"unknown knob kind {self.kind!r}")
+
+    def describe(self) -> dict:
+        """Declarative content (JSON-able) for listings and fingerprints."""
+        return {
+            "field": self.field,
+            "kind": self.kind,
+            "values": list(self.values),
+            "gated": self.gated,
+            "summary": self.summary,
+        }
+
+
+@dataclass(frozen=True)
+class Component:
+    """One registered implementation competing for a slot.
+
+    ``params`` is the knob binding: ``((factory_kwarg, config_field),
+    ...)`` — construction reads each bound field from the site's config
+    section and passes it to ``factory`` under the kwarg name. ``stage``
+    is the first tuning stage offering the component (3 = the extended
+    space beyond the paper's two rounds). ``null`` marks the "component
+    absent" choice whose selection deactivates the slot's gated knobs;
+    ``tunable=False`` registers a constructible component the tuner
+    never races (e.g. ``static-nottaken``, strictly dominated).
+    """
+
+    name: str
+    factory: object = None
+    params: tuple = ()
+    stage: int = 1
+    null: bool = False
+    tunable: bool = True
+    summary: str = ""
+
+    def construct(self, values, **structural):
+        """Instantiate via the factory from a field-value mapping.
+
+        ``values`` maps config field names to values (typically a config
+        section's ``__dict__`` view); ``structural`` passes through
+        non-config constructor arguments (e.g. a hash's ``n_sets``).
+        """
+        if self.factory is None:
+            raise ValueError(f"component {self.name!r} has no factory")
+        kwargs = dict(structural)
+        for kwarg, fieldname in self.params:
+            kwargs[kwarg] = values[fieldname]
+        return self.factory(**kwargs)
+
+    def describe(self) -> dict:
+        """Declarative content (JSON-able) for listings and fingerprints."""
+        return {
+            "name": self.name,
+            "factory": getattr(self.factory, "__qualname__", None),
+            "params": [list(pair) for pair in self.params],
+            "stage": self.stage,
+            "null": self.null,
+            "tunable": self.tunable,
+            "summary": self.summary,
+        }
+
+
+class Slot:
+    """A component role: the implementations competing for it + knobs.
+
+    ``selector`` names the config field that stores the chosen
+    component's name (``None`` for structural slots like the victim
+    buffer, which is enabled by an entry count instead of a name).
+    """
+
+    def __init__(self, name: str, selector: str = None, knobs=(),
+                 summary: str = "") -> None:
+        self.name = name
+        self.selector = selector
+        self.knobs = tuple(knobs)
+        self.summary = summary
+        self._components: dict = {}  # insertion order = candidate order
+
+    def register(self, component: Component) -> Component:
+        """Add one component; registration order fixes candidate order."""
+        if component.name in self._components:
+            raise ValueError(
+                f"slot {self.name!r} already has a component {component.name!r}"
+            )
+        self._components[component.name] = component
+        return component
+
+    def __iter__(self):
+        return iter(self._components.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def get(self, name: str) -> Component:
+        """Look up a component, with a did-you-mean on unknown names."""
+        try:
+            return self._components[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.name} component {name!r}; "
+                + suggest(name, self.names())
+            ) from None
+
+    def names(self) -> list:
+        """All registered component names, in registration order."""
+        return list(self._components)
+
+    def tunable_names(self, stage: int = 2, restrict=None) -> list:
+        """Candidate names the tuner races at ``stage``.
+
+        ``restrict`` (a :class:`TuningSite` refinement) limits the pool
+        to an explicit subset, preserving registration order.
+        """
+        return [
+            c.name for c in self._components.values()
+            if c.tunable and c.stage <= stage
+            and (restrict is None or c.name in restrict)
+        ]
+
+    @property
+    def null_name(self) -> str:
+        """Name of the slot's null component (``None`` if it has none)."""
+        for c in self._components.values():
+            if c.null:
+                return c.name
+        return None
+
+    def describe(self) -> dict:
+        """Declarative content (JSON-able) for listings and fingerprints."""
+        return {
+            "name": self.name,
+            "selector": self.selector,
+            "summary": self.summary,
+            "knobs": [k.describe() for k in self.knobs],
+            "components": [c.describe() for c in self._components.values()],
+        }
+
+
+@dataclass(frozen=True)
+class TuningSite:
+    """One config section where a slot's choice is raced.
+
+    ``components`` restricts the candidate pool (``None`` = every
+    tunable component of the slot); ``knobs`` restricts which slot knobs
+    are raced here; ``values`` overrides per-knob candidate lists (the
+    L2 prefetch table is larger than the L1D's). ``domains`` tags the
+    site's parameters for the step-5 component rounds (empty = raced
+    only in full-space rounds, like the L1I prefetcher today).
+    """
+
+    slot: str
+    section: str
+    components: tuple = None
+    knobs: tuple = None
+    values: object = field(default=None, hash=False)
+    domains: tuple = ()
+
+    def knob_values(self, knob: Knob) -> tuple:
+        """Candidate values of ``knob`` at this site."""
+        if self.values and knob.field in self.values:
+            return tuple(self.values[knob.field])
+        return tuple(knob.values)
+
+    def describe(self) -> dict:
+        """Declarative content (JSON-able) for listings and fingerprints."""
+        return {
+            "slot": self.slot,
+            "section": self.section,
+            "components": list(self.components) if self.components else None,
+            "knobs": list(self.knobs) if self.knobs else None,
+            "values": {k: list(v) for k, v in (self.values or {}).items()},
+            "domains": list(self.domains),
+        }
+
+
+def suggest(value: str, candidates) -> str:
+    """A human ``did you mean`` clause for an unknown name."""
+    matches = difflib.get_close_matches(str(value), list(candidates), n=3,
+                                        cutoff=0.5)
+    if matches:
+        return "did you mean " + " or ".join(repr(m) for m in matches) + "?"
+    return "choose from " + ", ".join(repr(c) for c in candidates)
+
+
+class ComponentRegistry:
+    """All slots, their tuning sites, and the derived identity hash."""
+
+    def __init__(self) -> None:
+        self._slots: dict = {}
+        self._sites: list = []
+        #: ``(section, field) -> slot name`` — every config field that
+        #: stores a component name, for eager SimConfig validation.
+        self.selector_map: dict = {}
+        self._fingerprint = None
+
+    # -- declaration ---------------------------------------------------
+    def add_slot(self, slot: Slot, sections=()) -> Slot:
+        """Register a slot and the config sections its selector lives in.
+
+        ``sections`` lists *every* section carrying the selector field
+        (validation coverage), which may exceed the tuning sites (the
+        L1I's replacement field is validated but never raced).
+        """
+        if slot.name in self._slots:
+            raise ValueError(f"duplicate slot {slot.name!r}")
+        self._slots[slot.name] = slot
+        if slot.selector is not None:
+            for section in sections:
+                self.selector_map[(section, slot.selector)] = slot.name
+        self._fingerprint = None
+        return slot
+
+    def add_site(self, site: TuningSite) -> TuningSite:
+        """Register one tuning site (slot placement in the space)."""
+        self.slot(site.slot)  # raises on unknown slot
+        self._sites.append(site)
+        self._fingerprint = None
+        return site
+
+    # -- lookup --------------------------------------------------------
+    def slot(self, name: str) -> Slot:
+        """Look up a slot by role name."""
+        try:
+            return self._slots[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown component slot {name!r}; " + suggest(name, self._slots)
+            ) from None
+
+    def slots(self) -> list:
+        """All slots, in registration order."""
+        return list(self._slots.values())
+
+    def sites(self, slot: str = None) -> list:
+        """Tuning sites, optionally filtered to one slot."""
+        if slot is None:
+            return list(self._sites)
+        return [s for s in self._sites if s.slot == slot]
+
+    # -- construction and validation -----------------------------------
+    def build(self, slot_name: str, component_name: str, values=None,
+              **structural):
+        """Construct a component by ``(slot, name)`` from field values."""
+        return self.slot(slot_name).get(component_name).construct(
+            values or {}, **structural
+        )
+
+    def validate_value(self, slot_name: str, value, where: str = "") -> None:
+        """Raise ``ValueError`` unless ``value`` names a slot component."""
+        slot = self.slot(slot_name)
+        if value not in slot:
+            prefix = f"{where}: " if where else ""
+            raise ValueError(
+                f"{prefix}unknown {slot.name} component {value!r}; "
+                + suggest(value, slot.names())
+            )
+
+    def validate_config(self, config) -> None:
+        """Eagerly validate every component-name field of ``config``.
+
+        Called from :meth:`SimConfig.__post_init__`, so a typo like
+        ``prefetcher="strid"`` fails at construction time with a
+        suggestion instead of deep inside a simulation.
+        """
+        for (section, fieldname), slot_name in self.selector_map.items():
+            value = getattr(getattr(config, section), fieldname)
+            self.validate_value(slot_name, value, where=f"{section}.{fieldname}")
+
+    # -- identity ------------------------------------------------------
+    def describe(self) -> dict:
+        """The registry's full declarative content (JSON-able)."""
+        return {
+            "slots": [s.describe() for s in self._slots.values()],
+            "sites": [s.describe() for s in self._sites],
+            "selectors": sorted(
+                [section, fieldname, slot]
+                for (section, fieldname), slot in self.selector_map.items()
+            ),
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash of every declaration in the registry.
+
+        Folded into the engine's simulation cache keys: changing a
+        candidate set, a knob binding or a component's registration
+        invalidates persisted results that were produced under the old
+        declarations (conservative, like a schema version that derives
+        itself).
+        """
+        if self._fingerprint is None:
+            payload = json.dumps(self.describe(), sort_keys=True,
+                                 separators=(",", ":"))
+            self._fingerprint = hashlib.sha256(
+                payload.encode("utf-8")
+            ).hexdigest()[:16]
+        return self._fingerprint

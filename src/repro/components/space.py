@@ -1,0 +1,149 @@
+"""Tuning-space derivation from the component catalog.
+
+``derive_param_space(core_type, stage)`` expands the per-core layout of
+:mod:`repro.components.catalog` — scalar tunables interleaved with
+component tuning sites — into the :class:`~repro.tuning.parameters.ParamSpace`
+the racing tuner consumes:
+
+- a :class:`TuningSite` becomes one categorical *selector* parameter
+  (the slot's tunable component names available at ``stage``, in
+  registration order) plus one parameter per slot knob, conditioned on
+  the site's selection being non-null for gated knobs — exactly irace's
+  conditional-parameter semantics;
+- a site whose slot offers fewer than two candidates at ``stage``
+  contributes nothing (stage 1 has no indirect predictor to choose);
+- a :class:`Scalar` becomes the corresponding ordinal/boolean/
+  categorical parameter.
+
+The derived stage-1/stage-2 spaces are value-identical to the
+pre-registry hand-written lists (``tests/golden/param_spaces.json``
+pins names, kinds, candidate values, order and conditional activation).
+"""
+
+from __future__ import annotations
+
+from repro.components.catalog import REGISTRY, Scalar, layout_for
+from repro.components.registry import TuningSite
+from repro.tuning.parameters import (
+    BooleanParam,
+    CategoricalParam,
+    OrdinalParam,
+    ParamSpace,
+)
+
+
+def _make_param(path: str, kind: str, values, condition=None):
+    if kind == "boolean":
+        return BooleanParam(path, condition=condition)
+    if kind == "ordinal":
+        return OrdinalParam(path, list(values), condition=condition)
+    return CategoricalParam(path, list(values), condition=condition)
+
+
+def _gate(selector_path: str, null_name: str):
+    """Condition: active while the site's selection is not the null
+    component (absent assignments count as null, like the hand-written
+    ``a.get("l1d.prefetcher", "none") != "none"`` lambdas did)."""
+    def condition(assignment, _path=selector_path, _null=null_name):
+        return assignment.get(_path, _null) != _null
+    return condition
+
+
+def _expand_site(site: TuningSite, stage: int) -> list:
+    """Parameters one tuning site contributes at ``stage``."""
+    slot = REGISTRY.slot(site.slot)
+    params = []
+    selector_path = None
+    if slot.selector is not None:
+        candidates = slot.tunable_names(stage=stage, restrict=site.components)
+        if len(candidates) < 2:
+            # Nothing to race here at this stage (e.g. stage 1 has only
+            # the null indirect predictor): no selector, no knobs.
+            return []
+        selector_path = f"{site.section}.{slot.selector}"
+        params.append(CategoricalParam(selector_path, candidates))
+    for knob in slot.knobs:
+        if site.knobs is not None and knob.field not in site.knobs:
+            continue
+        condition = None
+        if knob.gated:
+            if selector_path is None or slot.null_name is None:
+                raise ValueError(
+                    f"slot {slot.name!r}: gated knob {knob.field!r} needs "
+                    "a selector and a null component"
+                )
+            condition = _gate(selector_path, slot.null_name)
+        params.append(_make_param(
+            f"{site.section}.{knob.field}", knob.kind,
+            site.knob_values(knob), condition,
+        ))
+    return params
+
+
+def derive_param_space(core_type: str, stage: int = 2) -> ParamSpace:
+    """The registry-derived tuning space for one core model."""
+    params = []
+    for entry in layout_for(core_type):
+        if isinstance(entry, TuningSite):
+            params.extend(_expand_site(entry, stage))
+        else:
+            params.append(_make_param(entry.path, entry.kind, entry.values))
+    return ParamSpace(params)
+
+
+def domain_param_names(core_type: str, domain: str, stage: int = 2) -> set:
+    """Parameter names belonging to one component-round ``domain``.
+
+    Derived from the same declarations as the space itself: a scalar
+    contributes when tagged with ``domain``; a tuning site contributes
+    every parameter it expands to. The step-5 component rounds use this
+    instead of hand-written path-prefix tuples.
+    """
+    names: set = set()
+    for entry in layout_for(core_type):
+        if isinstance(entry, TuningSite):
+            if domain in entry.domains:
+                names.update(p.name for p in _expand_site(entry, stage))
+        elif domain in entry.domains:
+            names.add(entry.path)
+    return names
+
+
+#: ``(registry fingerprint, derived digest)`` — the layouts are
+#: process-constant code, so the memo only invalidates with the
+#: registry (whose own fingerprint cache resets on mutation).
+_FINGERPRINT_CACHE = None
+
+
+def space_fingerprint() -> str:
+    """Content hash covering the registry *and* the scalar layouts.
+
+    Builds on :meth:`ComponentRegistry.fingerprint` (which invalidates
+    when slots/sites/components are added) and folds in the per-core
+    scalar declarations, so a changed candidate list anywhere in the
+    tuning space perturbs engine cache keys. Memoised per registry
+    state: the hash sits on the engine's key path.
+    """
+    global _FINGERPRINT_CACHE
+    registry_digest = REGISTRY.fingerprint()
+    if _FINGERPRINT_CACHE is not None and _FINGERPRINT_CACHE[0] == registry_digest:
+        return _FINGERPRINT_CACHE[1]
+
+    import hashlib
+    import json
+
+    payload = {
+        "registry": registry_digest,
+        "layouts": {
+            core: [
+                entry.describe() if isinstance(entry, Scalar)
+                else {"site": entry.describe()}
+                for entry in layout_for(core)
+            ]
+            for core in ("inorder", "ooo")
+        },
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+    _FINGERPRINT_CACHE = (registry_digest, digest)
+    return digest

@@ -139,6 +139,15 @@ class SimConfig:
     def __post_init__(self) -> None:
         if self.core_type not in ("inorder", "ooo"):
             raise ValueError(f"core_type must be 'inorder' or 'ooo', got {self.core_type!r}")
+        # Eagerly validate every component-name field against the
+        # registry, so a typo like ``prefetcher="strid"`` fails here —
+        # with a did-you-mean — instead of deep inside a simulation.
+        # Imported lazily: the registry catalog imports the component
+        # implementations, which must stay importable without this
+        # module being fully initialised.
+        from repro.components import validate_config_components
+
+        validate_config_components(self)
 
     # ------------------------------------------------------------------
     # Dotted-path access (the tuner's interface)
@@ -155,7 +164,17 @@ class SimConfig:
         return obj
 
     def with_updates(self, updates: dict) -> "SimConfig":
-        """Return a copy with dotted-path ``updates`` applied."""
+        """Return a copy with dotted-path ``updates`` applied.
+
+        Every key is validated up front — unknown sections, fields and
+        top-level names raise ``KeyError`` with a did-you-mean built
+        from the valid paths — and the copy's ``__post_init__`` then
+        validates component-name *values* against the registry, so a
+        bad ``--set`` fails before any simulation starts.
+        """
+        from repro.components import suggest
+
+        top_fields = {f.name for f in dataclasses.fields(self)}
         per_section: dict = {}
         top_level: dict = {}
         for path, value in updates.items():
@@ -163,11 +182,19 @@ class SimConfig:
             if len(parts) == 1:
                 if parts[0] in self._SECTIONS:
                     raise KeyError(f"{path!r} names a section; use 'section.field'")
+                if parts[0] not in top_fields:
+                    raise KeyError(
+                        f"unknown config path {path!r}; "
+                        + suggest(path, self.flatten())
+                    )
                 top_level[parts[0]] = value
             elif len(parts) == 2:
                 section, fieldname = parts
                 if section not in self._SECTIONS:
-                    raise KeyError(f"unknown config section {section!r} in {path!r}")
+                    raise KeyError(
+                        f"unknown config section {section!r} in {path!r}; "
+                        + suggest(section, self._SECTIONS)
+                    )
                 per_section.setdefault(section, {})[fieldname] = value
             else:
                 raise KeyError(f"config paths have at most two components: {path!r}")
@@ -178,7 +205,14 @@ class SimConfig:
             valid = {f.name for f in dataclasses.fields(current)}
             unknown = set(fields) - valid
             if unknown:
-                raise KeyError(f"unknown fields {sorted(unknown)} in section {section!r}")
+                hints = "; ".join(
+                    suggest(f"{section}.{name}",
+                            [f"{section}.{v}" for v in sorted(valid)])
+                    for name in sorted(unknown)
+                )
+                raise KeyError(
+                    f"unknown fields {sorted(unknown)} in section {section!r}; {hints}"
+                )
             replacements[section] = dataclasses.replace(current, **fields)
         return dataclasses.replace(self, **replacements)
 

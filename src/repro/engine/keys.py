@@ -52,7 +52,17 @@ def trace_key(workload: str, scale: float, overrides: dict) -> tuple:
 
 
 def sim_key(config: SimConfig, workload: str, scale: float, overrides: dict, decoder) -> tuple:
-    """Key of one simulator run — the engine's result-cache address."""
+    """Key of one simulator run — the engine's result-cache address.
+
+    Includes the component-registry fingerprint: a changed candidate
+    set, knob binding or component registration conservatively
+    invalidates every stored simulation produced under the old
+    declarations (the registry is part of the simulator's identity).
+    """
+    # Imported lazily: the registry's space derivation uses the tuning
+    # package, whose import chain leads back through the engine.
+    from repro.components import registry_fingerprint
+
     return (
         "sim",
         config_token(config),
@@ -60,6 +70,7 @@ def sim_key(config: SimConfig, workload: str, scale: float, overrides: dict, dec
         scale,
         overrides_token(overrides),
         decoder_token(decoder),
+        registry_fingerprint(),
     )
 
 

@@ -11,6 +11,7 @@ from repro.memory.hashing import (
     AddressHash,
     MaskHash,
     MersenneHash,
+    SkewHash,
     XorHash,
     build_hash,
 )
@@ -19,6 +20,7 @@ from repro.memory.replacement import (
     LRUPolicy,
     RandomPolicy,
     ReplacementPolicy,
+    SRRIPPolicy,
     build_replacement,
 )
 from repro.memory.cache import Cache, CacheStats
@@ -29,6 +31,7 @@ from repro.memory.prefetcher import (
     NextLinePrefetcher,
     NullPrefetcher,
     Prefetcher,
+    StreamPrefetcher,
     StridePrefetcher,
     build_prefetcher,
 )
@@ -41,11 +44,13 @@ __all__ = [
     "MaskHash",
     "XorHash",
     "MersenneHash",
+    "SkewHash",
     "build_hash",
     "ReplacementPolicy",
     "LRUPolicy",
     "ClockPLRU",
     "RandomPolicy",
+    "SRRIPPolicy",
     "build_replacement",
     "Cache",
     "CacheStats",
@@ -56,6 +61,7 @@ __all__ = [
     "NextLinePrefetcher",
     "StridePrefetcher",
     "GHBPrefetcher",
+    "StreamPrefetcher",
     "build_prefetcher",
     "StoreBuffer",
     "DramModel",

@@ -441,6 +441,7 @@ class Cache:
         self._sets = [None] * self.n_sets
         self._port_free = [0] * self.ports
         self.mshrs.reset()
+        self.policy.reset()
         self.prefetcher.reset()
         if self.victim is not None:
             self.victim.reset()

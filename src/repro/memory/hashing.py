@@ -107,13 +107,51 @@ class MersenneHash(AddressHash):
         return self.prime
 
 
-_HASHES = {"mask": MaskHash, "xor": XorHash, "mersenne": MersenneHash}
+class SkewHash(AddressHash):
+    """Skewed indexing function (Seznec's skewed-associative caches).
+
+    Applies the inter-bank shuffle Seznec builds skewed caches from: the
+    tag bits above the index are folded in through rotate-and-XOR steps,
+    so two addresses conflicting under mask indexing almost never
+    conflict after skewing — a single-index-per-set rendition of the
+    skewed-associative idea, strictly stronger mixing than
+    :class:`XorHash` on power-of-two *and* near-power-of-two strides.
+    """
+
+    kind = "skew"
+
+    __slots__ = ("_mask", "_bits")
+
+    def __init__(self, n_sets: int) -> None:
+        super().__init__(n_sets)
+        if n_sets < 2 or n_sets & (n_sets - 1):
+            raise ValueError(
+                "skew hashing requires a power-of-two set count >= 2, "
+                f"got {n_sets}"
+            )
+        self._mask = n_sets - 1
+        self._bits = n_sets.bit_length() - 1
+
+    def index(self, line_addr: int) -> int:
+        bits = self._bits
+        mask = self._mask
+        index = line_addr & mask
+        tag = line_addr >> bits
+        while tag:
+            # Rotate the partial index one bit right, then fold the next
+            # tag segment in — each segment lands on a rotated basis.
+            index = ((index >> 1) | ((index & 1) << (bits - 1))) ^ (tag & mask)
+            tag >>= bits
+        return index & mask
 
 
 def build_hash(kind: str, n_sets: int) -> AddressHash:
-    """Instantiate an address hash by registry ``kind``."""
-    try:
-        cls = _HASHES[kind]
-    except KeyError:
-        raise ValueError(f"unknown hash {kind!r}; choose from {sorted(_HASHES)}") from None
-    return cls(n_sets)
+    """Instantiate an address hash by registry ``kind``.
+
+    Dispatches through the component registry
+    (:mod:`repro.components`); ``n_sets`` is structural (cache geometry,
+    not a tunable knob), so it is passed through to the constructor.
+    """
+    from repro.components import build_component
+
+    return build_component("hashing", kind, {}, n_sets=n_sets)

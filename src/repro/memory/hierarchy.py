@@ -8,11 +8,15 @@ warm-up) — see :mod:`repro.hardware.effects`.
 
 from __future__ import annotations
 
-from repro.core.config import SimConfig
+from typing import TYPE_CHECKING
+
 from repro.memory.cache import Cache
 from repro.memory.dram import DramModel
 from repro.memory.prefetcher import build_prefetcher
 from repro.memory.storebuffer import StoreBuffer
+
+if TYPE_CHECKING:  # annotation-only: keeps repro.memory import-cycle-free
+    from repro.core.config import SimConfig
 
 
 def _build_cache(name: str, cfg, next_level) -> Cache:

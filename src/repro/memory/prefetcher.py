@@ -155,12 +155,53 @@ class GHBPrefetcher(Prefetcher):
         self._correlation = {}
 
 
-_PREFETCHERS = {
-    "none": NullPrefetcher,
-    "nextline": NextLinePrefetcher,
-    "stride": StridePrefetcher,
-    "ghb": GHBPrefetcher,
-}
+class StreamPrefetcher(Prefetcher):
+    """Next-N-line prefetcher behind a stream-detection filter.
+
+    Plain next-line prefetching pollutes the cache on irregular access
+    patterns; the classic fix (Jouppi-style stream buffers) is an
+    *allocation filter*: a small table of candidate streams, each keyed
+    by the line it expects next. Only when an access confirms a
+    candidate (the second consecutive ascending line) does the stream
+    issue ``degree`` next-line prefetches; unconfirmed candidates age
+    out of the FIFO-managed table. ``table_entries`` bounds the number
+    of streams tracked concurrently.
+    """
+
+    kind = "stream"
+
+    def __init__(self, table_entries: int = 8, degree: int = 2,
+                 on_hit: bool = False) -> None:
+        super().__init__(on_hit)
+        if table_entries <= 0 or degree <= 0:
+            raise ValueError("table_entries and degree must be positive")
+        self.table_entries = table_entries
+        self.degree = degree
+        #: Set of expected-next lines, one per tracked stream; the
+        #: insertion-ordered dict doubles as the FIFO for candidate
+        #: replacement (values are a meaningless sentinel).
+        self._streams: dict = {}
+
+    def observe(self, line_addr: int, pc: int, hit: bool) -> list:
+        if hit and not self.on_hit:
+            return []
+        streams = self._streams
+        out: list = []
+        if streams.pop(line_addr, None) is not None:
+            # The access a stream predicted: the stream is confirmed —
+            # advance it and run ``degree`` lines ahead.
+            streams[line_addr + 1] = True
+            out = [line_addr + d for d in range(1, self.degree + 1)]
+        else:
+            # New candidate stream anchored here; evict the oldest
+            # candidate when the table is full.
+            if len(streams) >= self.table_entries:
+                del streams[next(iter(streams))]
+            streams[line_addr + 1] = True
+        return out
+
+    def reset(self) -> None:
+        self._streams = {}
 
 
 def build_prefetcher(
@@ -169,15 +210,18 @@ def build_prefetcher(
     table_entries: int = 64,
     on_hit: bool = False,
 ) -> Prefetcher:
-    """Instantiate a prefetcher by registry ``kind``."""
-    try:
-        cls = _PREFETCHERS[kind]
-    except KeyError:
-        raise ValueError(f"unknown prefetcher {kind!r}; choose from {sorted(_PREFETCHERS)}") from None
-    if kind == "none":
-        return cls()
-    if kind == "nextline":
-        return cls(degree=degree, on_hit=on_hit)
-    if kind == "stride":
-        return cls(table_entries=table_entries, degree=degree, on_hit=on_hit)
-    return cls(buffer_entries=table_entries, degree=degree, on_hit=on_hit)
+    """Instantiate a prefetcher by registry ``kind``.
+
+    Dispatches through the component registry
+    (:mod:`repro.components`): the arguments are presented under their
+    :class:`~repro.core.config.CacheConfig` field names and each
+    component's declared knob binding selects what its constructor
+    consumes (the GHB's ``buffer_entries`` aliases ``table_entries``).
+    """
+    from repro.components import build_component
+
+    return build_component("prefetcher", kind, {
+        "prefetch_degree": degree,
+        "prefetch_table_entries": table_entries,
+        "prefetch_on_hit": on_hit,
+    })

@@ -24,6 +24,14 @@ class ReplacementPolicy:
         """Return the tag to evict from the full set ``entries``."""
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Forget per-line state (most policies keep none).
+
+        Deliberately *not* reseeding :class:`RandomPolicy`'s RNG: resets
+        never re-randomised it before this hook existed, and the golden
+        stats pin that behaviour.
+        """
+
 
 class LRUPolicy(ReplacementPolicy):
     """True least-recently-used via dict insertion order."""
@@ -80,13 +88,56 @@ class RandomPolicy(ReplacementPolicy):
         return keys[self._rng.randrange(len(keys))]
 
 
-_POLICIES = {"lru": LRUPolicy, "plru": ClockPLRU, "random": RandomPolicy}
+class SRRIPPolicy(ReplacementPolicy):
+    """Static Re-Reference Interval Prediction (Jaleel et al., ISCA'10).
+
+    Each line carries a 2-bit re-reference prediction value (RRPV):
+    inserted lines predict a *long* interval (RRPV ``2``), hits promote
+    to *near-immediate* (``0``), and the victim is the first line — in
+    insertion order — predicting a *distant* interval (``3``), ageing
+    every line when none does. Scan-resistant where LRU thrashes:
+    streaming lines never get promoted and are evicted first.
+
+    Line tags are full line addresses (globally unique across sets), so
+    one policy-owned RRPV map serves every set; tags absent from the map
+    carry the insertion value, which is how lines installed directly by
+    the cache's fill path join the policy without an insertion hook.
+    """
+
+    kind = "srrip"
+
+    _MAX_RRPV = 3
+    _INSERT_RRPV = 2
+
+    def __init__(self) -> None:
+        self._rrpv: dict = {}
+
+    def on_hit(self, entries: dict, tag: int) -> None:
+        self._rrpv[tag] = 0
+
+    def choose_victim(self, entries: dict) -> int:
+        rrpv = self._rrpv
+        insert = self._INSERT_RRPV
+        maximum = self._MAX_RRPV
+        while True:
+            for tag in entries:
+                if rrpv.get(tag, insert) >= maximum:
+                    rrpv.pop(tag, None)
+                    return tag
+            for tag in entries:
+                rrpv[tag] = rrpv.get(tag, insert) + 1
+
+    def reset(self) -> None:
+        self._rrpv = {}
 
 
 def build_replacement(kind: str) -> ReplacementPolicy:
-    """Instantiate a replacement policy by registry ``kind``."""
-    try:
-        cls = _POLICIES[kind]
-    except KeyError:
-        raise ValueError(f"unknown replacement {kind!r}; choose from {sorted(_POLICIES)}") from None
-    return cls()
+    """Instantiate a replacement policy by registry ``kind``.
+
+    Dispatches through the component registry
+    (:mod:`repro.components`): the same declaration that builds the
+    policy also drives config validation, the tuning space and the CLI.
+    """
+    from repro.components import build_component
+
+    return build_component("replacement", kind, {})

@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import asdict, dataclass, field
 
+from repro.components import domain_param_names
 from repro.core.config import (
     SimConfig,
     cortex_a53_public_config,
@@ -47,34 +48,32 @@ from repro.tuning.parameters import ParamSpace
 from repro.validation.steps import param_space_for
 from repro.workloads.microbench import ALL_MICROBENCHMARKS, MICROBENCHMARKS
 
-#: Step-5 component rounds: which workloads stress a component, which
-#: perf metrics join the weighted cost, and which parameter prefixes are
-#: raced. The paper: "instead of using the CPI error only, a weighted
-#: cost function that includes both the branch misprediction rate and
-#: the CPI can be used" (§III-A).
+#: Step-5 component rounds: which workloads stress a component and which
+#: perf metrics join the weighted cost. The paper: "instead of using the
+#: CPI error only, a weighted cost function that includes both the branch
+#: misprediction rate and the CPI can be used" (§III-A). The *parameters*
+#: each round races are not listed here: every tunable's registry
+#: declaration carries domain tags, and the round asks the registry for
+#: its domain's parameters (:func:`repro.components.domain_param_names`).
 _COMPONENT_ROUNDS = {
     "branch": {
         "workloads": ("CCa", "CCe", "CCh", "CCl", "CCm", "CF1", "CRd", "CRf",
                       "CRm", "CS1", "CS3", "MIP"),
         "weights": {"cpi": 1.0, "branch-mpki": 1.0},
-        "param_prefixes": ("branch.",),
     },
     "memory": {
         "workloads": ("MC", "MCS", "MD", "ML2", "ML2_BWld", "ML2_BWldst",
                       "ML2_BWst", "ML2_st", "MM", "MM_st", "M_Dyn"),
         "weights": {"cpi": 1.0, "l1d-mpki": 0.5, "l2-mpki": 0.5},
-        "param_prefixes": ("l1d.", "l2.", "memsys."),
     },
     "execution": {
         "workloads": ("ED1", "EF", "EI", "EM1", "EM5", "DP1d", "DP1f",
                       "DPcvt", "DPT", "DPTd"),
         "weights": {"cpi": 1.0},
-        "param_prefixes": ("execute.",),
     },
     "store": {
         "workloads": ("STL2", "STL2b", "STc", "ML2_BWst", "MM_st"),
         "weights": {"cpi": 1.0},
-        "param_prefixes": ("memsys.", "l1d."),
     },
 }
 
@@ -424,9 +423,9 @@ class ValidationCampaign:
             raise ValueError(
                 f"unknown component {component!r}; choose from {sorted(_COMPONENT_ROUNDS)}"
             ) from None
+        round_names = domain_param_names(config.core_type, component, stage=stage)
         full_space = param_space_for(config.core_type, stage=stage)
-        params = [p for p in full_space
-                  if p.name.startswith(spec["param_prefixes"])]
+        params = [p for p in full_space if p.name in round_names]
         space = ParamSpace(params)
         instances = [n for n in spec["workloads"] if n in self._workload_by_name]
         if not instances:

@@ -6,139 +6,36 @@ publicly disclosed information or via latency estimation using lmbench"
 a comparable list. Every parameter comes with the discrete candidate set
 the racing tuner samples from.
 
-``stage`` models the §IV-B narrative: the *initial* model (stage 1) has
-no indirect-branch predictor and no GHB prefetcher — those options only
-exist after step #5's inspection triggers the corresponding model fixes
-— so stage 1's space simply lacks them, and stage 2 adds them.
+The lists are no longer written here: they are **derived** from the
+component registry (:mod:`repro.components`) — component slots
+contribute their selector and knob parameters, scalar tunables come
+from the catalog's per-core layouts, and ``stage`` models the §IV-B
+narrative. The *initial* model (stage 1) has no indirect-branch
+predictor and no GHB prefetcher — those options only exist after step
+#5's inspection triggers the corresponding model fixes — so stage 1's
+space simply lacks them, stage 2 adds them, and stage 3 unlocks this
+reproduction's extension components (TAGE-lite, SRRIP, skewed hashing,
+the stream-filtered prefetcher). ``tests/golden/param_spaces.json``
+pins the stage-1/stage-2 spaces value-identical to the pre-registry
+hand-written lists.
 """
 
 from __future__ import annotations
 
-from repro.tuning.parameters import (
-    BooleanParam,
-    CategoricalParam,
-    OrdinalParam,
-    ParamSpace,
-)
-
-
-def _prefetcher_choices(stage: int) -> list:
-    choices = ["none", "nextline", "stride"]
-    if stage >= 2:
-        choices.append("ghb")
-    return choices
-
-
-def _common_params(stage: int, l2_latency_candidates: list, dram_candidates: list) -> list:
-    """Parameters shared by the in-order and out-of-order models."""
-    prefetchers = _prefetcher_choices(stage)
-    active_l1d_pf = lambda a: a.get("l1d.prefetcher", "none") != "none"
-    active_l2_pf = lambda a: a.get("l2.prefetcher", "none") != "none"
-
-    params = [
-        # --- branch prediction unit --------------------------------
-        CategoricalParam(
-            "branch.predictor", ["static-taken", "bimodal", "gshare", "tournament"]
-        ),
-        OrdinalParam("branch.predictor_bits", [10, 11, 12, 13, 14]),
-        OrdinalParam("branch.btb_entries", [128, 256, 512, 1024]),
-        OrdinalParam("branch.btb_assoc", [1, 2, 4]),
-        OrdinalParam("branch.ras_entries", [4, 8, 16, 32]),
-        OrdinalParam("branch.btb_miss_penalty", [1, 2, 3, 4]),
-        # --- execution units ---------------------------------------
-        OrdinalParam("execute.imul_latency", [2, 3, 4, 5]),
-        OrdinalParam("execute.idiv_latency", [4, 6, 8, 12, 16, 20]),
-        OrdinalParam("execute.fpalu_latency", [2, 3, 4, 5]),
-        OrdinalParam("execute.fpmul_latency", [3, 4, 5, 6]),
-        OrdinalParam("execute.fpdiv_latency", [6, 10, 14, 18, 22]),
-        OrdinalParam("execute.fcvt_latency", [1, 2, 3, 4]),
-        OrdinalParam("execute.simd_alu_latency", [2, 3, 4]),
-        OrdinalParam("execute.simd_mul_latency", [3, 4, 5]),
-        # --- L1 data cache ------------------------------------------
-        OrdinalParam("l1d.hit_latency", [1, 2, 3, 4]),
-        CategoricalParam("l1d.hashing", ["mask", "xor", "mersenne"]),
-        BooleanParam("l1d.serial_tag_data"),
-        OrdinalParam("l1d.mshr_entries", [1, 2, 3, 4, 6, 8, 10]),
-        OrdinalParam("l1d.victim_entries", [0, 2, 4, 8]),
-        CategoricalParam("l1d.replacement", ["lru", "plru", "random"]),
-        CategoricalParam("l1d.prefetcher", prefetchers),
-        OrdinalParam("l1d.prefetch_degree", [1, 2, 4], condition=active_l1d_pf),
-        OrdinalParam("l1d.prefetch_table_entries", [16, 32, 64], condition=active_l1d_pf),
-        BooleanParam("l1d.prefetch_on_hit", condition=active_l1d_pf),
-        # --- L1 instruction cache -----------------------------------
-        CategoricalParam("l1i.prefetcher", ["none", "nextline"]),
-        OrdinalParam(
-            "l1i.prefetch_degree",
-            [1, 2],
-            condition=lambda a: a.get("l1i.prefetcher", "none") != "none",
-        ),
-        # --- L2 cache ------------------------------------------------
-        OrdinalParam("l2.hit_latency", l2_latency_candidates),
-        OrdinalParam("l2.mshr_entries", [4, 6, 7, 8, 12, 16]),
-        CategoricalParam("l2.hashing", ["mask", "xor", "mersenne"]),
-        CategoricalParam("l2.replacement", ["lru", "plru", "random"]),
-        CategoricalParam("l2.prefetcher", prefetchers),
-        OrdinalParam("l2.prefetch_degree", [1, 2, 4], condition=active_l2_pf),
-        OrdinalParam("l2.prefetch_table_entries", [64, 128, 256], condition=active_l2_pf),
-        BooleanParam("l2.prefetch_on_hit", condition=active_l2_pf),
-        # --- store path / main memory -------------------------------
-        OrdinalParam("memsys.store_buffer_entries", [2, 4, 6, 8, 12, 16]),
-        BooleanParam("memsys.store_coalescing"),
-        OrdinalParam("memsys.dram_latency", dram_candidates),
-        OrdinalParam("memsys.dram_bandwidth", [1, 2, 4, 8]),
-        CategoricalParam("memsys.dram_page_policy", ["open", "closed"]),
-    ]
-    if stage >= 2:
-        active_ind = lambda a: a.get("branch.indirect", "none") != "none"
-        params += [
-            CategoricalParam("branch.indirect", ["none", "last-target", "tagged"]),
-            OrdinalParam("branch.indirect_entries", [128, 256, 512], condition=active_ind),
-            OrdinalParam("branch.indirect_history_bits", [4, 6, 8], condition=active_ind),
-        ]
-    return params
+from repro.components import derive_param_space
+from repro.tuning.parameters import ParamSpace
 
 
 def inorder_param_space(stage: int = 2) -> ParamSpace:
     """Tunables of the in-order (Cortex-A53-like) model."""
-    params = [
-        OrdinalParam("pipeline.frontend_depth", [3, 4, 5, 6]),
-        OrdinalParam("branch.mispredict_penalty", [6, 7, 8, 9, 10, 12]),
-        OrdinalParam("execute.n_ls_pipes", [1, 2]),
-        BooleanParam("pipeline.dual_issue_rules"),
-    ]
-    params += _common_params(
-        stage,
-        l2_latency_candidates=[11, 12, 13, 14, 15, 16, 17],
-        dram_candidates=[140, 150, 160, 170, 180, 190, 200],
-    )
-    return ParamSpace(params)
+    return derive_param_space("inorder", stage=stage)
 
 
 def ooo_param_space(stage: int = 2) -> ParamSpace:
     """Tunables of the out-of-order (Cortex-A72-like) model."""
-    params = [
-        OrdinalParam("pipeline.frontend_depth", [8, 9, 11, 13, 15]),
-        OrdinalParam("pipeline.rob_size", [64, 96, 128, 160, 192]),
-        OrdinalParam("pipeline.iq_size", [24, 36, 48, 60]),
-        OrdinalParam("pipeline.ldq_entries", [8, 16, 24]),
-        OrdinalParam("pipeline.stq_entries", [8, 12, 16, 24]),
-        OrdinalParam("branch.mispredict_penalty", [10, 12, 14, 15, 16, 18]),
-        OrdinalParam("execute.n_ialu", [1, 2, 3]),
-        OrdinalParam("execute.n_fpu", [1, 2]),
-        OrdinalParam("execute.n_ls_pipes", [1, 2]),
-    ]
-    params += _common_params(
-        stage,
-        l2_latency_candidates=[14, 16, 18, 20, 22, 24],
-        dram_candidates=[150, 160, 170, 180, 190, 200, 210, 220],
-    )
-    return ParamSpace(params)
+    return derive_param_space("ooo", stage=stage)
 
 
 def param_space_for(core_type: str, stage: int = 2) -> ParamSpace:
     """Space lookup by core type ("inorder" / "ooo")."""
-    if core_type == "inorder":
-        return inorder_param_space(stage)
-    if core_type == "ooo":
-        return ooo_param_space(stage)
-    raise ValueError(f"unknown core type {core_type!r}")
+    return derive_param_space(core_type, stage=stage)

@@ -8,6 +8,7 @@ from hypothesis import given, settings, strategies as st
 from repro.branch.bimodal import BimodalPredictor
 from repro.branch.gshare import GSharePredictor
 from repro.branch.simple import StaticNotTakenPredictor, StaticTakenPredictor
+from repro.branch.tage import TAGEPredictor
 from repro.branch.tournament import TournamentPredictor
 
 ALL_PREDICTORS = [
@@ -16,6 +17,7 @@ ALL_PREDICTORS = [
     lambda: BimodalPredictor(index_bits=8),
     lambda: GSharePredictor(history_bits=8),
     lambda: TournamentPredictor(history_bits=8, chooser_bits=8),
+    lambda: TAGEPredictor(table_bits=8),
 ]
 
 
@@ -104,6 +106,31 @@ class TestTournament:
 
         tournament = run(TournamentPredictor(history_bits=10, chooser_bits=10))
         assert tournament > 0.9
+
+
+class TestTAGE:
+    def test_learns_biased_branch(self):
+        assert _accuracy(TAGEPredictor(table_bits=8), [True] * 200) > 0.95
+
+    def test_learns_history_pattern_bimodal_cannot(self):
+        # Period-4 pattern T,T,N,N: bimodal counters oscillate, a
+        # history-indexed tagged table converges.
+        pattern = [True, True, False, False] * 200
+        tage = _accuracy(TAGEPredictor(table_bits=10), pattern)
+        bimodal = _accuracy(BimodalPredictor(index_bits=10), pattern)
+        assert tage > bimodal
+        assert tage > 0.8
+
+    def test_reset_forgets_training(self):
+        p = TAGEPredictor(table_bits=8)
+        for _ in range(100):
+            p.predict_update(0x40, False)
+        p.reset()
+        assert p.predict(0x40) is True  # back to weakly-taken base
+
+    def test_table_bits_validated(self):
+        with pytest.raises(ValueError):
+            TAGEPredictor(table_bits=2)
 
 
 class TestPredictUpdateConsistency:

@@ -106,13 +106,14 @@ class TestStatsAndFactories:
         assert unit.access(_JUMP, 0x100, True, 0x400) == REDIRECT_BTB
 
     def test_direction_factory_known_kinds(self):
-        for kind in ("static-taken", "static-nottaken", "bimodal", "gshare", "tournament"):
+        for kind in ("static-taken", "static-nottaken", "bimodal", "gshare",
+                     "tournament", "tage"):
             assert build_direction_predictor(kind, 10) is not None
-        with pytest.raises(ValueError, match="unknown direction predictor"):
-            build_direction_predictor("tage", 10)
+        with pytest.raises(ValueError, match="unknown direction component"):
+            build_direction_predictor("perceptron", 10)
 
     def test_indirect_factory_known_kinds(self):
         for kind in ("none", "last-target", "tagged"):
             assert build_indirect_predictor(kind, 128) is not None
-        with pytest.raises(ValueError, match="unknown indirect predictor"):
+        with pytest.raises(ValueError, match="unknown indirect component"):
             build_indirect_predictor("ittage", 128)

@@ -51,6 +51,65 @@ class TestSweep:
         assert "best mean CPI error" in out
 
 
+class TestComponentsCommand:
+    def test_lists_every_slot_and_component(self, capsys):
+        assert main(["components"]) == 0
+        out = capsys.readouterr().out
+        for slot in ("direction", "indirect", "replacement", "hashing",
+                     "prefetcher", "victim", "page-policy"):
+            assert f"slot {slot}" in out
+        for component in ("tage", "srrip", "skew", "stream", "tournament",
+                          "ghb", "mersenne"):
+            assert component in out
+        assert "registry fingerprint" in out
+
+    def test_single_slot_filter(self, capsys):
+        assert main(["components", "--slot", "prefetcher"]) == 0
+        out = capsys.readouterr().out
+        assert "stream" in out and "slot direction" not in out
+        assert "when prefetcher != 'none'" in out  # activation condition
+
+    def test_unknown_slot_suggests(self):
+        with pytest.raises(SystemExit, match="unknown slot"):
+            main(["components", "--slot", "prefetchers"])
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["components", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        slots = {s["name"]: s for s in payload["slots"]}
+        assert "direction" in slots and "prefetcher" in slots
+        names = [c["name"] for c in slots["prefetcher"]["components"]]
+        assert names == ["none", "nextline", "stride", "ghb", "stream"]
+        assert payload["fingerprint"]
+
+
+class TestSetValidation:
+    def test_simulate_rejects_bad_component_name(self, capsys):
+        with pytest.raises(SystemExit, match="did you mean 'stride'"):
+            main(["simulate", "--core", "a53", "--workload", "STc",
+                  "--set", "l1d.prefetcher=strid"])
+
+    def test_simulate_rejects_unknown_path(self):
+        with pytest.raises(SystemExit, match="bad --set parameter"):
+            main(["simulate", "--core", "a53", "--workload", "STc",
+                  "--set", "l1d.prefetchr=stride"])
+
+    def test_sweep_rejects_bad_component_value_up_front(self):
+        with pytest.raises(SystemExit, match="did you mean"):
+            main(["sweep", "--core", "a53", "--workloads", "STc",
+                  "--set", "l1d.replacement=lru,srip"])
+
+    def test_new_components_accepted_via_set(self, capsys):
+        assert main([
+            "simulate", "--core", "a53", "--workload", "STc",
+            "--set", "branch.predictor=tage", "--set", "l1d.hashing=skew",
+            "--set", "l1d.replacement=srrip", "--set", "l1d.prefetcher=stream",
+        ]) == 0
+        assert "CPI error" in capsys.readouterr().out
+
+
 class TestCommands:
     def test_list_workloads(self, capsys):
         assert main(["list-workloads"]) == 0

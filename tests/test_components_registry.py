@@ -1,0 +1,183 @@
+"""Component registry: declarations, construction, validation, identity."""
+
+import dataclasses
+
+import pytest
+
+from repro.components import (
+    REGISTRY,
+    Component,
+    ComponentRegistry,
+    Knob,
+    Slot,
+    build_component,
+    derive_param_space,
+    domain_param_names,
+    registry_fingerprint,
+)
+from repro.core.config import SimConfig, cortex_a53_public_config
+
+
+def _section_defaults(config, section):
+    return dict(dataclasses.asdict(getattr(config, section)))
+
+
+class TestRoundTrip:
+    """Every declaration must construct and bind to real config fields."""
+
+    def test_every_component_of_every_slot_constructs(self):
+        config = cortex_a53_public_config()
+        for slot in REGISTRY.slots():
+            for site_section in self._sections_for(slot):
+                values = _section_defaults(config, site_section)
+                for comp in slot:
+                    if comp.factory is None:
+                        continue
+                    structural = {}
+                    if slot.name == "hashing":
+                        structural["n_sets"] = 128
+                    if slot.name == "victim":
+                        values["victim_entries"] = 4  # 0 would be rejected
+                    built = comp.construct(values, **structural)
+                    assert built is not None
+
+    def _sections_for(self, slot):
+        sites = REGISTRY.sites(slot.name)
+        if sites:
+            return sorted({s.section for s in sites})
+        return ["l1d"]  # structural slots bind CacheConfig fields
+
+    def test_every_knob_maps_to_a_real_config_field(self):
+        config = cortex_a53_public_config()
+        for site in REGISTRY.sites():
+            section = getattr(config, site.section)
+            fields = {f.name for f in dataclasses.fields(section)}
+            slot = REGISTRY.slot(site.slot)
+            if slot.selector is not None:
+                assert slot.selector in fields, (site.slot, site.section)
+            for knob in slot.knobs:
+                assert knob.field in fields, (site.slot, knob.field)
+
+    def test_every_selector_field_is_registered_for_validation(self):
+        config = cortex_a53_public_config()
+        for (section, fieldname), slot_name in REGISTRY.selector_map.items():
+            value = getattr(getattr(config, section), fieldname)
+            assert value in REGISTRY.slot(slot_name).names()
+
+    def test_build_component_helper(self):
+        pf = build_component("prefetcher", "stride", {
+            "prefetch_degree": 4, "prefetch_table_entries": 16,
+            "prefetch_on_hit": True,
+        })
+        assert pf.kind == "stride" and pf.degree == 4
+
+    def test_unknown_names_suggest(self):
+        with pytest.raises(ValueError, match="did you mean 'stride'"):
+            build_component("prefetcher", "strid", {})
+        with pytest.raises(ValueError, match="unknown component slot"):
+            build_component("prefetchers", "stride", {})
+
+
+class TestEagerConfigValidation:
+    """SimConfig.__post_init__ rejects bad component names up front."""
+
+    def test_typo_in_prefetcher_rejected_at_construction(self):
+        base = cortex_a53_public_config()
+        with pytest.raises(ValueError, match="did you mean 'stride'"):
+            base.with_updates({"l1d.prefetcher": "strid"})
+
+    def test_typo_in_predictor_rejected(self):
+        with pytest.raises(ValueError, match="branch.predictor"):
+            cortex_a53_public_config().with_updates({"branch.predictor": "gshar"})
+
+    def test_bad_page_policy_rejected(self):
+        with pytest.raises(ValueError, match="page-policy"):
+            cortex_a53_public_config().with_updates(
+                {"memsys.dram_page_policy": "opne"})
+
+    def test_direct_dataclass_construction_validated(self):
+        from repro.core.config import BranchConfig
+
+        with pytest.raises(ValueError):
+            SimConfig(core_type="inorder",
+                      branch=BranchConfig(predictor="neural"))
+
+    def test_unknown_path_suggestion_in_with_updates(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            cortex_a53_public_config().with_updates({"l1d.prefetchr": "stride"})
+
+
+class TestStagesAndActivation:
+    def test_stage3_space_offers_extension_components(self):
+        for core in ("inorder", "ooo"):
+            space = derive_param_space(core, stage=3)
+            assert "tage" in space.get("branch.predictor").values
+            assert "srrip" in space.get("l1d.replacement").values
+            assert "srrip" in space.get("l2.replacement").values
+            assert "skew" in space.get("l1d.hashing").values
+            assert "stream" in space.get("l2.prefetcher").values
+            # The L1I site is explicitly restricted and stays thin.
+            assert space.get("l1i.prefetcher").values == ["none", "nextline"]
+
+    def test_stage2_space_has_no_extension_components(self):
+        space = derive_param_space("inorder", stage=2)
+        assert "tage" not in space.get("branch.predictor").values
+        assert "srrip" not in space.get("l1d.replacement").values
+
+    def test_untunable_components_never_race_but_still_build(self):
+        space = derive_param_space("inorder", stage=3)
+        assert "static-nottaken" not in space.get("branch.predictor").values
+        assert build_component("direction", "static-nottaken",
+                               {"predictor_bits": 10}) is not None
+
+    def test_gated_knobs_follow_their_selector(self):
+        space = derive_param_space("ooo", stage=3)
+        degree = space.get("l2.prefetch_degree")
+        assert not degree.is_active({"l2.prefetcher": "none"})
+        assert degree.is_active({"l2.prefetcher": "stream"})
+        assert not degree.is_active({})  # absent selector counts as null
+        bits = space.get("branch.predictor_bits")
+        assert bits.is_active({})  # ungated: raced for every predictor
+
+    def test_domain_names_cover_new_components_at_stage3(self):
+        names = domain_param_names("inorder", "memory", stage=3)
+        assert "l1d.replacement" in names and "l2.prefetcher" in names
+        assert "branch.predictor" not in names
+
+
+class TestIdentity:
+    def test_fingerprint_is_stable(self):
+        assert registry_fingerprint() == registry_fingerprint()
+        assert len(registry_fingerprint()) == 16
+
+    def test_fingerprint_tracks_candidate_sets(self):
+        reg_a = ComponentRegistry()
+        slot = Slot("direction", selector="predictor",
+                    knobs=(Knob("predictor_bits", "ordinal", (10, 12)),))
+        slot.register(Component("bimodal", dict))
+        reg_a.add_slot(slot, sections=("branch",))
+
+        reg_b = ComponentRegistry()
+        slot_b = Slot("direction", selector="predictor",
+                      knobs=(Knob("predictor_bits", "ordinal", (10, 12, 14)),))
+        slot_b.register(Component("bimodal", dict))
+        reg_b.add_slot(slot_b, sections=("branch",))
+
+        assert reg_a.fingerprint() != reg_b.fingerprint()
+
+    def test_sim_keys_include_registry_fingerprint(self):
+        from repro.engine.keys import sim_key
+        from repro.isa.decoder import Decoder
+
+        key = sim_key(cortex_a53_public_config(), "CCa", 1.0, {}, Decoder())
+        assert registry_fingerprint() in key
+
+    def test_duplicate_registrations_rejected(self):
+        slot = Slot("x", selector="y")
+        slot.register(Component("a"))
+        with pytest.raises(ValueError, match="already has"):
+            slot.register(Component("a"))
+        reg = ComponentRegistry()
+        reg.add_slot(slot)
+        with pytest.raises(ValueError, match="duplicate slot"):
+            reg.add_slot(Slot("x"))

@@ -65,9 +65,50 @@ class TestMersenne:
         assert 0 <= h.index(line) < h.prime
 
 
+class TestSkew:
+    def test_requires_power_of_two(self):
+        from repro.memory.hashing import SkewHash
+
+        with pytest.raises(ValueError):
+            SkewHash(100)
+
+    def test_spreads_same_set_stride(self):
+        from repro.memory.hashing import SkewHash
+
+        h = SkewHash(128)
+        # Lines one mask-set apart (stride = n_sets) all collide under
+        # mask indexing; skewing must spread them over many sets.
+        indices = {h.index(128 * i) for i in range(64)}
+        assert len(indices) > 16
+
+    def test_beats_mask_on_set_multiple_stride(self):
+        from repro.memory.hashing import MaskHash, SkewHash
+
+        skew = SkewHash(128)
+        mask = MaskHash(128)
+        stride = 128 * 3  # still only gcd-limited sets under masking
+        skewed = {skew.index(stride * i) for i in range(64)}
+        masked = {mask.index(stride * i) for i in range(64)}
+        assert len(skewed) > len(masked)
+
+    def test_deterministic(self):
+        from repro.memory.hashing import SkewHash
+
+        a, b = SkewHash(256), SkewHash(256)
+        for line in (0, 1, 12345, 2**30 + 7):
+            assert a.index(line) == b.index(line)
+
+    @given(line=st.integers(0, 2**48))
+    def test_index_in_range(self, line):
+        from repro.memory.hashing import SkewHash
+
+        h = SkewHash(256)
+        assert 0 <= h.index(line) < 256
+
+
 class TestFactory:
     def test_known_kinds(self):
-        for kind in ("mask", "xor", "mersenne"):
+        for kind in ("mask", "xor", "mersenne", "skew"):
             assert build_hash(kind, 128).kind == kind
 
     def test_unknown_kind(self):
@@ -75,7 +116,7 @@ class TestFactory:
             build_hash("crc", 128)
 
     @given(
-        kind=st.sampled_from(["mask", "xor", "mersenne"]),
+        kind=st.sampled_from(["mask", "xor", "mersenne", "skew"]),
         line=st.integers(0, 2**48),
     )
     def test_all_hashes_stay_in_range(self, kind, line):

@@ -91,9 +91,55 @@ class TestGHB:
             GHBPrefetcher(buffer_entries=2)
 
 
+class TestStream:
+    def test_needs_stream_confirmation_before_prefetching(self):
+        from repro.memory.prefetcher import StreamPrefetcher
+
+        p = StreamPrefetcher(table_entries=4, degree=2)
+        assert p.observe(100, 0x40, hit=False) == []  # allocates candidate
+        # The predicted next line confirms the stream and runs ahead.
+        assert p.observe(101, 0x40, hit=False) == [102, 103]
+        assert p.observe(102, 0x40, hit=False) == [103, 104]
+
+    def test_random_accesses_stay_quiet(self):
+        from repro.memory.prefetcher import StreamPrefetcher
+
+        p = StreamPrefetcher(table_entries=4, degree=2)
+        fired = []
+        for line in (10, 500, 77, 9000, 42, 1234):
+            fired += p.observe(line, 0x40, hit=False)
+        assert fired == []
+
+    def test_table_is_bounded_fifo(self):
+        from repro.memory.prefetcher import StreamPrefetcher
+
+        p = StreamPrefetcher(table_entries=2, degree=1)
+        p.observe(10, 0, hit=False)
+        p.observe(20, 0, hit=False)
+        p.observe(30, 0, hit=False)  # evicts the candidate anchored at 10
+        assert len(p._streams) == 2
+        assert p.observe(11, 0, hit=False) == []  # stream 10 was dropped
+
+    def test_on_hit_gating_and_reset(self):
+        from repro.memory.prefetcher import StreamPrefetcher
+
+        p = StreamPrefetcher(table_entries=4, degree=1, on_hit=False)
+        p.observe(100, 0, hit=False)
+        assert p.observe(101, 0, hit=True) == []  # hits ignored
+        p.observe(101, 0, hit=False)
+        p.reset()
+        assert p.observe(102, 0, hit=False) == []
+
+    def test_validation(self):
+        from repro.memory.prefetcher import StreamPrefetcher
+
+        with pytest.raises(ValueError):
+            StreamPrefetcher(table_entries=0)
+
+
 class TestFactory:
     def test_known_kinds(self):
-        for kind in ("none", "nextline", "stride", "ghb"):
+        for kind in ("none", "nextline", "stride", "ghb", "stream"):
             assert build_prefetcher(kind).kind == kind
 
     def test_unknown_kind(self):

@@ -52,9 +52,55 @@ class TestRandom:
         assert set(seq_a) <= {10, 20, 30}
 
 
+class TestSRRIP:
+    def test_inserted_lines_evict_before_promoted_ones(self):
+        from repro.memory.replacement import SRRIPPolicy
+
+        policy = SRRIPPolicy()
+        entries = _set_with([10, 20, 30, 40])
+        policy.on_hit(entries, 10)  # promote to near-immediate
+        # 20/30/40 carry the insertion RRPV and age to distant first.
+        assert policy.choose_victim(entries) == 20
+
+    def test_hit_promotion_survives_multiple_scans(self):
+        from repro.memory.replacement import SRRIPPolicy
+
+        policy = SRRIPPolicy()
+        entries = _set_with([1, 2, 3, 4])
+        policy.on_hit(entries, 1)
+        victims = []
+        for _ in range(3):
+            victim = policy.choose_victim(entries)
+            victims.append(victim)
+            del entries[victim]
+            entries[100 + len(victims)] = object()  # fresh scan line
+        assert 1 not in victims
+
+    def test_victim_state_dropped_on_eviction(self):
+        from repro.memory.replacement import SRRIPPolicy
+
+        policy = SRRIPPolicy()
+        entries = _set_with([1, 2])
+        policy.on_hit(entries, 1)
+        victim = policy.choose_victim(entries)
+        assert victim == 2
+        # A re-inserted line must restart at the insertion RRPV, not
+        # inherit stale promotion state.
+        assert 2 not in policy._rrpv
+
+    def test_reset_clears_rrpv_map(self):
+        from repro.memory.replacement import SRRIPPolicy
+
+        policy = SRRIPPolicy()
+        entries = _set_with([1, 2])
+        policy.on_hit(entries, 1)
+        policy.reset()
+        assert policy._rrpv == {}
+
+
 class TestFactory:
     def test_known_kinds(self):
-        for kind in ("lru", "plru", "random"):
+        for kind in ("lru", "plru", "random", "srrip"):
             assert build_replacement(kind).kind == kind
 
     def test_unknown_kind(self):

@@ -1,0 +1,67 @@
+"""Registry-derived tuning spaces == the pre-registry hand-written ones.
+
+``tests/golden/param_spaces.json`` was captured from the hand-written
+``validation/steps.py`` lists at commit ``ecc52f4``, immediately before
+the component-registry refactor: parameter names, kinds, candidate
+values (in order), conditional-activation snapshots under three probe
+assignments, and the per-component-round parameter selections. The
+derived stage-1/stage-2 spaces must reproduce all of it exactly — the
+contract that makes deriving the spaces from declarations safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.components import derive_param_space, domain_param_names
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "param_spaces.json")
+
+with open(GOLDEN_PATH, encoding="utf-8") as _fh:
+    GOLDEN = json.load(_fh)
+
+#: The activation probes the golden recorded: one empty assignment (all
+#: conditions fall back to defaults), one with every component slot set
+#: to its null choice, one with every slot enabled.
+PROBES = {
+    "empty": {},
+    "all-null": {"l1d.prefetcher": "none", "l2.prefetcher": "none",
+                 "l1i.prefetcher": "none", "branch.indirect": "none"},
+    "all-on": {"l1d.prefetcher": "stride", "l2.prefetcher": "stride",
+               "l1i.prefetcher": "nextline", "branch.indirect": "tagged"},
+}
+
+CASES = [(core, stage) for core in ("inorder", "ooo") for stage in (1, 2)]
+
+
+@pytest.mark.parametrize("core,stage", CASES,
+                         ids=[f"{c}-stage{s}" for c, s in CASES])
+def test_derived_space_is_value_identical_to_pre_registry(core, stage):
+    golden = GOLDEN[f"{core}-stage{stage}"]
+    space = derive_param_space(core, stage=stage)
+    derived = [{"name": p.name, "kind": p.kind, "values": p.values}
+               for p in space]
+    assert derived == golden["params"]
+    assert space.total_combinations() == golden["total_combinations"]
+
+
+@pytest.mark.parametrize("core,stage", CASES,
+                         ids=[f"{c}-stage{s}" for c, s in CASES])
+def test_conditional_activation_matches_pre_registry(core, stage):
+    golden = GOLDEN[f"{core}-stage{stage}"]
+    space = derive_param_space(core, stage=stage)
+    for probe, assignment in PROBES.items():
+        active = sorted(p.name for p in space.active_params(assignment))
+        assert active == golden["active"][probe], probe
+
+
+@pytest.mark.parametrize("core", ["inorder", "ooo"])
+def test_component_round_selection_matches_pre_registry(core):
+    space = derive_param_space(core, stage=2)
+    for component, expected in GOLDEN["component-rounds"][core].items():
+        names = domain_param_names(core, component, stage=2)
+        selected = [p.name for p in space if p.name in names]
+        assert selected == expected, component

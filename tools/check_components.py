@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Component-registry guard.
+
+Asserts the invariants that keep the self-describing registry honest:
+
+1. every registered knob and selector maps to a real ``SimConfig``
+   section field (binding drift fails CI, not a tuning run);
+2. every string-valued field of the config section dataclasses has a
+   registered slot validating it (no component-name field can dodge the
+   eager ``__post_init__`` check);
+3. every component of every slot constructs from default config values
+   at each of its sites;
+4. every parameter of every derived tuning space names a real config
+   path and every candidate value survives ``with_updates``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_components.py
+
+CI runs this in the docs job; the component smoke test covers the
+behavioural half in the tier-1 gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+
+
+def main() -> int:
+    from repro.components import REGISTRY, derive_param_space
+    from repro.core.config import (
+        SimConfig,
+        cortex_a53_public_config,
+        cortex_a72_public_config,
+    )
+
+    errors = []
+    configs = {"inorder": cortex_a53_public_config(),
+               "ooo": cortex_a72_public_config()}
+    config = configs["inorder"]
+
+    # 1. knob/selector bindings resolve to real fields.
+    for site in REGISTRY.sites():
+        section = getattr(config, site.section, None)
+        if section is None:
+            errors.append(f"site {site.slot}@{site.section}: no such section")
+            continue
+        fields = {f.name for f in dataclasses.fields(section)}
+        slot = REGISTRY.slot(site.slot)
+        if slot.selector is not None and slot.selector not in fields:
+            errors.append(
+                f"slot {slot.name}: selector {slot.selector!r} is not a "
+                f"field of section {site.section!r}"
+            )
+        for knob in slot.knobs:
+            if knob.field not in fields:
+                errors.append(
+                    f"slot {slot.name}: knob {knob.field!r} is not a "
+                    f"field of section {site.section!r}"
+                )
+
+    # 2. every string-valued section field has a validating slot.
+    for section_name in SimConfig._SECTIONS:
+        section = getattr(config, section_name)
+        for f in dataclasses.fields(section):
+            if not isinstance(getattr(section, f.name), str):
+                continue
+            if (section_name, f.name) not in REGISTRY.selector_map:
+                errors.append(
+                    f"string field {section_name}.{f.name} has no "
+                    "registered component slot validating it"
+                )
+
+    # 3. every component constructs at each of its sites.
+    for slot in REGISTRY.slots():
+        sites = REGISTRY.sites(slot.name)
+        sections = sorted({s.section for s in sites}) or ["l1d"]
+        for section_name in sections:
+            values = dict(dataclasses.asdict(getattr(config, section_name)))
+            values["victim_entries"] = max(values.get("victim_entries", 0), 1)
+            for comp in slot:
+                if comp.factory is None:
+                    continue
+                structural = {"n_sets": 128} if slot.name == "hashing" else {}
+                try:
+                    comp.construct(values, **structural)
+                except Exception as exc:  # noqa: BLE001 - report, don't crash
+                    errors.append(
+                        f"{slot.name}/{comp.name} fails to construct at "
+                        f"{section_name}: {exc}"
+                    )
+
+    # 4. derived spaces reference real paths with applicable candidates.
+    for core_type, core_config in configs.items():
+        for stage in (1, 2, 3):
+            for param in derive_param_space(core_type, stage=stage):
+                try:
+                    core_config.get(param.name)
+                    core_config.with_updates({param.name: param.values[0]})
+                except (KeyError, ValueError) as exc:
+                    errors.append(
+                        f"{core_type} stage {stage}: {param.name}: {exc}"
+                    )
+
+    if errors:
+        print("component registry check FAILED:")
+        for err in errors:
+            print(f"  - {err}")
+        return 1
+    n_components = sum(len(list(slot)) for slot in REGISTRY.slots())
+    print(
+        f"component registry check OK: {len(REGISTRY.slots())} slots, "
+        f"{n_components} components, {len(REGISTRY.sites())} tuning sites, "
+        f"{len(REGISTRY.selector_map)} validated config fields"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
