@@ -181,7 +181,87 @@ def _run_engine(scn: BenchScenario, repeats: int) -> dict:
     }
 
 
-_RUNNERS = {"simulate": _run_simulate, "trace": _run_trace, "engine": _run_engine}
+def _run_fabric(scn: BenchScenario, repeats: int) -> dict:
+    """Distributed-dispatch overhead vs the serial path, per task.
+
+    The grid runs twice over the same (memoised) traces: once through a
+    serial engine, once decomposed into fabric tasks on a throwaway
+    SQLite queue drained by an in-process worker. The difference,
+    divided by the task count, is the fabric's per-task dispatch cost
+    (enqueue + lease claim + store write-back + completion + read-back);
+    the serial pass doubles as proof the in-process path is untouched.
+    Each repeat uses a fresh queue file so no pass is answered from the
+    previous pass's store.
+    """
+    import itertools
+    import shutil
+    import tempfile
+
+    from repro.engine import EvaluationEngine
+    from repro.fabric import FabricWorker, JobQueue, plan_simulations
+    from repro.isa.decoder import Decoder
+    from repro.store import open_store
+
+    base = _config_for(scn.core)
+    keys = [k for k, _values in scn.grid]
+    axes = [values for _k, values in scn.grid]
+    configs = [
+        base.with_updates(dict(zip(keys, combo)))
+        for combo in itertools.product(*axes)
+    ]
+    workloads = [_workload(n) for n in scn.workloads]
+    pairs = [(c, w.name) for c in configs for w in workloads]
+
+    # Warm pass: traces record once, shared by both timed paths below.
+    with EvaluationEngine(workloads=workloads, scale=scn.scale) as engine:
+        stats_list = engine.simulate_batch(pairs)
+    instructions = sum(s.instructions for s in stats_list)
+    cycles = sum(s.cycles for s in stats_list)
+
+    best_serial = best_fabric = float("inf")
+    tmp = tempfile.mkdtemp(prefix="repro-bench-fabric-")
+    try:
+        for rep in range(repeats):
+            with EvaluationEngine(workloads=workloads, scale=scn.scale) as engine:
+                t0 = time.perf_counter()
+                engine.simulate_batch(pairs)
+                best_serial = min(best_serial, time.perf_counter() - t0)
+
+            path = os.path.join(tmp, f"pass{rep}.sqlite")
+            decoder = Decoder()
+            items = [(config, name, scn.scale, {}, decoder)
+                     for config, name in pairs]
+            t0 = time.perf_counter()
+            plan = plan_simulations(items)
+            with JobQueue(path) as queue:
+                queue.enqueue(plan.tasks, submitted_by="bench")
+            FabricWorker(path, drain=True, poll=0.01, lease=60.0).run()
+            with open_store(path) as store:
+                for key in plan.keys:
+                    assert store.get_sim(key) is not None
+            best_fabric = min(best_fabric, time.perf_counter() - t0)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    n_tasks = len(pairs)
+    overhead_ms = max(0.0, best_fabric - best_serial) / n_tasks * 1e3
+    return {
+        "instructions": instructions,
+        "cycles": cycles,
+        "wall_seconds": best_fabric,
+        "instructions_per_second": instructions / best_fabric,
+        "cycles_per_second": cycles / best_fabric,
+        "telemetry": {
+            "tasks": n_tasks,
+            "serial_wall_seconds": best_serial,
+            "fabric_wall_seconds": best_fabric,
+            "dispatch_overhead_ms_per_task": overhead_ms,
+        },
+    }
+
+
+_RUNNERS = {"simulate": _run_simulate, "trace": _run_trace,
+            "engine": _run_engine, "fabric": _run_fabric}
 
 
 def run_scenario(scn: BenchScenario, repeats: int = None) -> dict:
@@ -262,7 +342,7 @@ def validate_report(report) -> None:
                         "cycles", "wall_seconds", "instructions_per_second",
                         "cycles_per_second"):
                 need(key in scn, f"scenario.{key} missing")
-            need(scn["kind"] in ("simulate", "trace", "engine"),
+            need(scn["kind"] in ("simulate", "trace", "engine", "fabric"),
                  f"scenario kind {scn['kind']!r} invalid")
             need(scn["wall_seconds"] > 0, "non-positive wall_seconds")
             need(scn["instructions"] > 0, "non-positive instructions")

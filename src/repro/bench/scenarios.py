@@ -12,7 +12,11 @@ simulation stack:
   interpreter producing dynamic traces;
 - ``engine`` — batched engine throughput: a configuration grid submitted
   through :class:`~repro.engine.EvaluationEngine`, exercising the
-  content-addressed cache and reporting its telemetry.
+  content-addressed cache and reporting its telemetry;
+- ``fabric`` — distributed-dispatch overhead: the same grid run twice,
+  once serially in-process and once decomposed into fabric tasks on a
+  throwaway SQLite queue drained by an in-process worker, isolating the
+  per-task cost of enqueue + claim + store write-back + read-back.
 
 Scenario *lists* are deterministic (names, workloads, order); only the
 measured wall-clock varies between runs.
@@ -100,6 +104,9 @@ def full_suite() -> list:
         BenchScenario("trace-record", "trace", workloads=micro),
         BenchScenario("engine-batch-a53", "engine", core="a53",
                       workloads=QUICK_KERNELS, grid=ENGINE_GRID, repeats=1),
+        BenchScenario("fabric-overhead", "fabric", core="a53",
+                      workloads=("CCa", "ED1", "MD", "STc"),
+                      grid=ENGINE_GRID, repeats=1, scale=0.5),
     ]
 
 
@@ -117,6 +124,9 @@ def quick_suite() -> list:
         BenchScenario("engine-batch-quick", "engine", core="a53",
                       workloads=QUICK_KERNELS[:4], grid=ENGINE_GRID,
                       repeats=1),
+        BenchScenario("fabric-overhead-quick", "fabric", core="a53",
+                      workloads=("CCa", "ED1"), grid=ENGINE_GRID,
+                      repeats=1, scale=0.5),
     ]
 
 

@@ -16,12 +16,26 @@ write a persistent experiment store (SQLite): results survive the
 process, successive runs share cache hits, and ``validate``/``sweep``
 runs become resumable via ``--resume RUN_ID``. The ``store`` subcommand
 (``stats | ls | gc | export | import``) manages a store directly.
+
+The store file doubles as the distributed fabric's job queue:
+``--executor fabric`` on ``simulate``/``validate``/``sweep`` dispatches
+every simulation batch to it, ``repro worker --store PATH`` processes
+(any number, any host sharing the file) execute them, ``repro submit``
+enqueues a grid without waiting, and ``repro status`` shows queue
+depth, leases, dead letters and per-worker throughput::
+
+    python -m repro worker --store fab.sqlite --max-idle 120 &
+    python -m repro worker --store fab.sqlite --max-idle 120 &
+    python -m repro validate --core a53 --profile fast \\
+        --executor fabric --store fab.sqlite
+    python -m repro status --store fab.sqlite --json
 """
 
 from __future__ import annotations
 
 import argparse
 import itertools
+import os
 import sys
 import time
 from dataclasses import asdict
@@ -128,6 +142,28 @@ def _open_store(args):
     return open_store(path) if path else None
 
 
+def _check_executor(args) -> str:
+    """Validate ``--executor`` against the other knobs; returns it.
+
+    The fabric executor queues work in the store file for external
+    ``repro worker`` processes, so it is meaningless without ``--store``;
+    the process executor needs ``--jobs >= 2`` to have a pool to run on.
+    Both fail here, before any simulation starts.
+    """
+    executor = getattr(args, "executor", None)
+    if executor == "fabric" and not getattr(args, "store", None):
+        raise SystemExit(
+            "--executor fabric needs --store PATH (the job queue lives in "
+            "the store file the workers share)"
+        )
+    if executor == "process" and getattr(args, "jobs", 1) < 2:
+        raise SystemExit(
+            "--executor process needs --jobs 2 or more (or drop --executor: "
+            "--jobs alone selects the process pool)"
+        )
+    return executor
+
+
 def _resolve_resume(store, run_id: str, kind: str):
     """Fetch and reopen the run record behind ``--resume RUN_ID``."""
     if store is None:
@@ -194,13 +230,14 @@ def cmd_simulate(args) -> int:
     overrides = _parse_overrides(args.set)
     config = _apply_overrides(_public_config(args.core), overrides)
     wl = _lookup_workload(args.workload)
+    executor = _check_executor(args)
     store = _open_store(args)
     record = _register_run(store, "simulate", args,
                            {"workload": args.workload, "set": overrides})
     status = "failed"
     try:
         with EvaluationEngine(hw=board.core(args.core), workloads=[wl],
-                              store=store) as engine:
+                              executor=executor, store=store) as engine:
             stats = engine.simulate(config, args.workload)
             hw = engine.measure_hw(args.workload)
             rows = [
@@ -237,6 +274,7 @@ def cmd_lmbench(args) -> int:
 
 def cmd_validate(args) -> int:
     board = FireflyRK3399()
+    executor = _check_executor(args)
     store = _open_store(args)
     core, profile, seed, stages = args.core, args.profile, args.seed, args.stages
     resume, record = False, None
@@ -257,7 +295,8 @@ def cmd_validate(args) -> int:
             print(f"run id: {record.run_id}")
         campaign = ValidationCampaign(
             board, core=core, profile=profile, seed=seed, verbose=True,
-            jobs=args.jobs, store=store, run_id=record.run_id if record else None,
+            jobs=args.jobs, executor=executor, store=store,
+            run_id=record.run_id if record else None,
         )
         status = "interrupted"
         try:
@@ -291,6 +330,7 @@ def cmd_validate(args) -> int:
 def cmd_sweep(args) -> int:
     """Scenario exploration: cross-product of --set value lists."""
     board = FireflyRK3399()
+    executor = _check_executor(args)
     store = _open_store(args)
     core, scale, workload_arg = args.core, args.scale, args.workloads
     record, resume = None, False
@@ -333,7 +373,7 @@ def cmd_sweep(args) -> int:
     try:
         with EvaluationEngine(
             hw=board.core(core), workloads=workloads,
-            scale=scale, jobs=args.jobs, store=store,
+            scale=scale, jobs=args.jobs, executor=executor, store=store,
         ) as engine:
             pairs = [(config, name) for config in configs for name in names]
             stats_list = engine.simulate_batch(pairs)
@@ -492,8 +532,15 @@ def cmd_bench(args) -> int:
           f"in {totals['simulate_wall_seconds'] * 1e3:.1f} ms = "
           f"{totals['simulate_instructions_per_second']:,.0f} instr/s")
     for scn in entry["scenarios"]:
-        if scn["telemetry"]:
-            t = scn["telemetry"]
+        if not scn["telemetry"]:
+            continue
+        t = scn["telemetry"]
+        if scn["kind"] == "fabric":
+            print(f"fabric dispatch ({scn['name']}): {t['tasks']} tasks, "
+                  f"{t['dispatch_overhead_ms_per_task']:.2f} ms/task overhead "
+                  f"(serial {t['serial_wall_seconds'] * 1e3:.1f} ms, "
+                  f"fabric {t['fabric_wall_seconds'] * 1e3:.1f} ms)")
+        else:
             print(f"engine telemetry ({scn['name']}): "
                   f"{t['requested_trials']} requested, "
                   f"{t['unique_trials']} unique, "
@@ -503,6 +550,123 @@ def cmd_bench(args) -> int:
         import json as _json
 
         print(_json.dumps(entry, indent=1, sort_keys=True))
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Enqueue a grid of simulation tasks on the fabric (no waiting).
+
+    The sweep-shaped spec (``--set key=v1,v2`` axes x workloads) is
+    decomposed into content-keyed tasks, deduplicated against the
+    store, and left on the durable queue for ``repro worker``
+    processes to chew through — pre-warming the store for campaigns
+    and sweeps that run later.
+    """
+    from repro.fabric import JobQueue, expand_grid, plan_simulations
+
+    grid = _parse_sweep_sets(args.set) if args.set else {}
+    base = _public_config(args.core)
+    if args.workloads:
+        names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+        if not names:
+            raise SystemExit("--workloads names no workloads")
+    else:
+        names = [wl.name for wl in ALL_MICROBENCHMARKS]
+    for name in names:
+        _lookup_workload(name)  # fail on unknown names before enqueueing
+    try:
+        items = expand_grid(base, grid, names, scale=args.scale)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(f"bad --set parameter: {message}") from None
+    with open_store(args.store) as store:
+        plan = plan_simulations(items, store=store)
+        with JobQueue(args.store) as queue:
+            added = queue.enqueue(plan.tasks, submitted_by="submit")
+            depth = queue.depth()
+    already_queued = len(plan.tasks) - added
+    print(f"submit: {len(plan.keys)} unique trials: {added} enqueued, "
+          f"{len(plan.store_hits)} already in store, "
+          f"{already_queued} already queued")
+    print(f"queue depth now {depth}; run `repro worker --store {args.store}` "
+          "to execute")
+    return 0
+
+
+def cmd_worker(args) -> int:
+    """Run one fabric worker against a shared store file."""
+    from repro.fabric import FabricWorker
+
+    worker = FabricWorker(
+        args.store,
+        worker_id=args.id,
+        lease=args.lease,
+        poll=args.poll,
+        max_tasks=args.max_tasks,
+        max_idle=args.max_idle,
+        drain=args.drain,
+        progress=print,
+    )
+    print(f"worker {worker.worker_id} on {args.store} "
+          f"(lease {args.lease:.0f}s, pid {os.getpid()})")
+    stats = worker.run()
+    print(f"worker {worker.worker_id}: {stats.claimed} claimed, "
+          f"{stats.completed} completed, {stats.failed} failed, "
+          f"{stats.lost_leases} leases lost")
+    return 0
+
+
+def cmd_status(args) -> int:
+    """Queue depth, leases, workers and throughput of a fabric store."""
+    from repro.fabric import JobQueue, status_snapshot
+
+    if args.requeue_dead:
+        with JobQueue(args.store) as queue:
+            revived = queue.requeue_dead()
+        print(f"requeued {revived} dead task(s)")
+    snap = status_snapshot(args.store)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(snap, indent=1, sort_keys=True))
+        return 0
+
+    counts = snap["queue"]
+    print(render_table(
+        ["state", "tasks"],
+        [[state, counts[state]] for state in ("queued", "leased", "done", "dead")]
+        + [["(retries)", snap["retries"]]],
+        title=f"fabric queue — {args.store}"))
+    if snap["leases"]:
+        rows = [[l["worker"], f"{l['expires_in_seconds']:.1f}s",
+                 l["attempts"], l["key"][:60]]
+                for l in snap["leases"]]
+        print(render_table(["worker", "expires in", "attempt", "task key"],
+                           rows, title="live leases"))
+    if snap["dead"]:
+        rows = [[d["attempts"], (d["error"] or "-")[:50], d["key"][:50]]
+                for d in snap["dead"]]
+        print(render_table(["attempts", "last error", "task key"],
+                           rows, title="dead letters"))
+    if snap["workers"]:
+        rows = []
+        for w in snap["workers"]:
+            rows.append([
+                w["worker_id"], w["pid"] or "-",
+                f"{w['last_seen_seconds_ago']:.1f}s ago",
+                w["tasks_done"], w["tasks_failed"],
+                f"{w['tasks_per_second']:.2f}/s",
+                w["store_hits"],
+                f"{w['unique_trials']}/{w['requested_trials']}",
+            ])
+        print(render_table(
+            ["worker", "pid", "last seen", "done", "failed", "throughput",
+             "store hits", "trials (unique/req)"],
+            rows, title="workers"))
+    results = snap["results"]
+    print(f"store: {results['sim_results']} sim results, "
+          f"{results['hw_results']} hw results, "
+          f"{results['trial_costs']} trial costs")
     return 0
 
 
@@ -588,6 +752,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override a config parameter (repeatable)")
     p.add_argument("--store", default=None,
                    help="persistent experiment store (SQLite path)")
+    p.add_argument("--executor", choices=["serial", "process", "fabric"],
+                   default=None,
+                   help="execution backend (fabric = distributed workers)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("lmbench", help="estimate cache/memory latencies (step #2)")
@@ -601,6 +768,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--jobs", type=int, default=1,
                    help="parallel simulation processes (1 = serial)")
+    p.add_argument("--executor", choices=["serial", "process", "fabric"],
+                   default=None,
+                   help="execution backend (fabric = distributed workers "
+                        "sharing --store)")
     p.add_argument("--out", default=None, help="write results JSON here")
     p.add_argument("--store", default=None,
                    help="persistent experiment store (SQLite path)")
@@ -623,12 +794,63 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace scale (1.0 = nominal length)")
     p.add_argument("--jobs", type=int, default=1,
                    help="parallel simulation processes (1 = serial)")
+    p.add_argument("--executor", choices=["serial", "process", "fabric"],
+                   default=None,
+                   help="execution backend (fabric = distributed workers "
+                        "sharing --store)")
     p.add_argument("--out", default=None, help="write sweep results JSON here")
     p.add_argument("--store", default=None,
                    help="persistent experiment store (SQLite path)")
     p.add_argument("--resume", default=None, metavar="RUN_ID",
                    help="re-run a recorded sweep (warm store makes it cheap)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "submit",
+        help="enqueue a task grid on the distributed fabric (no waiting)",
+    )
+    p.add_argument("--core", default="a53")
+    p.add_argument("--workloads", default=None,
+                   help="comma-separated workload names (default: all 40 kernels)")
+    p.add_argument("--set", action="append", metavar="KEY=V1,V2,...",
+                   help="parameter value list axis (repeatable; optional)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="trace scale (1.0 = nominal length)")
+    p.add_argument("--store", required=True,
+                   help="shared store file (queue + results)")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "worker",
+        help="run a fabric worker: lease tasks, simulate, write the store",
+    )
+    p.add_argument("--store", required=True,
+                   help="shared store file (queue + results)")
+    p.add_argument("--id", default=None,
+                   help="stable worker id (default: generated)")
+    p.add_argument("--lease", type=float, default=30.0,
+                   help="lease seconds per claim (heartbeat renews at 1/3)")
+    p.add_argument("--poll", type=float, default=0.5,
+                   help="seconds between empty claim attempts")
+    p.add_argument("--max-tasks", type=int, default=None,
+                   help="exit after executing this many tasks")
+    p.add_argument("--max-idle", type=float, default=None,
+                   help="exit after this many seconds without work")
+    p.add_argument("--drain", action="store_true",
+                   help="run the current backlog, then exit")
+    p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
+        "status",
+        help="fabric queue depth, leases, workers, throughput",
+    )
+    p.add_argument("--store", required=True,
+                   help="shared store file (queue + results)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the snapshot as JSON")
+    p.add_argument("--requeue-dead", action="store_true",
+                   help="give dead-lettered tasks a fresh claim budget first")
+    p.set_defaults(func=cmd_status)
 
     p = sub.add_parser(
         "components",

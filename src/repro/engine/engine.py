@@ -89,6 +89,13 @@ class EvaluationEngine:
         decoder identity, so swapping libraries never reuses stale runs.
     jobs:
         Parallelism knob: 1 = serial, N>1 = N worker processes.
+    executor:
+        Executor selection: ``None`` derives from ``jobs``; ``"serial"``,
+        ``"process"`` or ``"fabric"`` force a kind (``"fabric"``
+        dispatches batches to the distributed queue in the SQLite
+        ``store`` file, executed by ``repro worker`` processes); a
+        pre-built executor object (anything with ``run``/``close``) is
+        used as-is.
     overrides:
         Optional shared per-workload kwargs dict (e.g. step-5 fixes);
         mutating it takes effect on the next trial.
@@ -116,9 +123,14 @@ class EvaluationEngine:
         self.traces = TraceStore(workloads, scale=scale)
         self.overrides = overrides if overrides is not None else {}
         self.jobs = max(1, int(jobs))
-        self._executor = make_executor(self.jobs, executor)
-        self._results: dict = {}
         self.store = store
+        if executor is not None and not isinstance(executor, str):
+            # A pre-built executor object (duck-typed: run/close) — the
+            # way tests and drivers tune fabric poll/timeout knobs.
+            self._executor = executor
+        else:
+            self._executor = make_executor(self.jobs, executor, store=store)
+        self._results: dict = {}
         self.telemetry = EngineTelemetry()
 
     # ------------------------------------------------------------------
@@ -229,7 +241,12 @@ class EvaluationEngine:
                     fresh.append((key, stats))
                     for idx in pending[key]:
                         results[idx] = stats
-            if self.store is not None and fresh:
+            # An executor that already persisted its results (the fabric
+            # workers write the shared store directly) needs no
+            # write-back — rewriting N rows per batch would double the
+            # write traffic on the contended multi-writer file.
+            persisted = getattr(self._executor, "persists", False)
+            if self.store is not None and fresh and not persisted:
                 self.store.put_sim_many(fresh)
         return results
 

@@ -1,16 +1,21 @@
 """Pluggable batch executors for the evaluation engine.
 
 A batch is a list of *groups*, each group pairing one recorded trace
-with the configurations to simulate on it. Two executors are provided:
+with the configurations to simulate on it. Three executors are
+provided:
 
 - :class:`SerialExecutor` — runs everything in-process, in order;
 - :class:`ProcessExecutor` — fans groups out over a
-  :class:`concurrent.futures.ProcessPoolExecutor`.
+  :class:`concurrent.futures.ProcessPoolExecutor`;
+- :class:`FabricExecutor` — publishes groups as content-keyed tasks on
+  the distributed fabric's durable queue (:mod:`repro.fabric`) and
+  collects the results from the shared store as leased workers — other
+  processes, other hosts — finish them.
 
 Simulation is pure — a run is fully determined by (config, trace,
-decoder library) and the driver owns all randomness — so both executors
-return bit-identical results; only wall-clock differs. The engine relies
-on that to make ``jobs`` a pure throughput knob.
+decoder library) and the driver owns all randomness — so every executor
+returns bit-identical results; only wall-clock differs. The engine relies
+on that to make ``jobs``/``executor`` pure throughput knobs.
 
 On fork-capable platforms the process executor avoids re-pickling traces
 on every task: whenever the trace registry has grown it refreshes its
@@ -26,6 +31,7 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.isa.decoder import decoder_library
@@ -53,13 +59,14 @@ class SerialExecutor:
     jobs = 1
 
     def run(self, groups, decoder, registry_items=None) -> list:
+        """Simulate every group in order; returns per-group stats lists."""
         out = []
         for configs, _key, trace in groups:
             out.append([SnipeSim(config, decoder=decoder).run(trace) for config in configs])
         return out
 
     def close(self) -> None:
-        pass
+        """Nothing to release."""
 
 
 class ProcessExecutor:
@@ -112,6 +119,7 @@ class ProcessExecutor:
         return out
 
     def run(self, groups, decoder, registry_items=None) -> list:
+        """Fan the groups over the pool; identical results to serial."""
         self._ensure_pool(registry_items)
         decoder_cls = type(decoder)
         # Workers rebuild the decoder as decoder_cls(); prove parent-side
@@ -143,6 +151,7 @@ class ProcessExecutor:
         return out
 
     def close(self) -> None:
+        """Shut the pool down and release the trace snapshot."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -156,7 +165,125 @@ class ProcessExecutor:
             pass
 
 
-def make_executor(jobs: int = 1, kind: str = None):
+class FabricExecutor:
+    """Distributed execution over the fabric's durable job queue.
+
+    ``run`` plans each batch into content-keyed tasks (deduplicated
+    against the store a second time at planning — another driver may
+    have finished a key since the engine's own cache check), enqueues
+    them idempotently, then polls until every key is ``done`` in the
+    queue and reads the stats back from the store. Concurrency lives
+    entirely outside this process: throughput is however many
+    ``repro worker`` processes share the store file.
+
+    Parameters
+    ----------
+    store:
+        The engine's :class:`~repro.store.resultstore.ResultStore`;
+        must be SQLite-backed (the queue shares its file).
+    poll:
+        Seconds between completion polls.
+    timeout:
+        Optional cap on the seconds one batch may wait before a
+        ``TimeoutError`` (``None`` waits indefinitely — matching a
+        durable queue whose workers may come and go).
+    """
+
+    name = "fabric"
+    #: Driver-side parallelism is meaningless here; workers decide.
+    jobs = 1
+    #: Results land in the store on the worker side; the engine must
+    #: not write them back a second time.
+    persists = True
+
+    def __init__(self, store, poll: float = 0.05, timeout: float = None) -> None:
+        from repro.fabric.queue import JobQueue
+
+        if store is None or getattr(store.backend, "kind", None) != "sqlite":
+            raise ValueError(
+                "the fabric executor needs a SQLite-backed store "
+                "(EvaluationEngine(store=...) with a file path) — the job "
+                "queue lives in the store file workers share"
+            )
+        self.store = store
+        self.poll = float(poll)
+        self.timeout = timeout
+        self.queue = JobQueue(store.backend.path)
+
+    def run(self, groups, decoder, registry_items=None) -> list:
+        """Publish the batch as fabric tasks; block until workers finish."""
+        from repro.fabric.scheduler import plan_groups
+        from repro.fabric.tasks import check_decoder_portable
+
+        check_decoder_portable(decoder)
+        plan = plan_groups(groups, decoder, store=self.store)
+        self.queue.enqueue(plan.tasks, submitted_by="engine")
+        outstanding = {key for key, _kind, _payload in plan.tasks}
+        # A fresh submission is fresh intent: keys that dead-lettered in
+        # some earlier run get their claim budget back instead of
+        # poisoning this batch on the first poll. (A task that dies
+        # again *during* this batch still raises below.)
+        self.queue.requeue_dead(keys=outstanding)
+        stats_by_key = {key: self.store.get_sim(key) for key in plan.store_hits}
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        while outstanding:
+            states = self.queue.states(outstanding)
+            finished = [key for key in outstanding if states.get(key) == "done"]
+            for key in finished:
+                stats = self.store.get_sim(key)
+                if stats is None:
+                    raise RuntimeError(
+                        f"fabric task {key!r} is marked done but its result "
+                        "is missing from the store; the queue and store "
+                        "files have diverged"
+                    )
+                stats_by_key[key] = stats
+                outstanding.discard(key)
+            dead = [key for key in outstanding if states.get(key) == "dead"]
+            if dead:
+                details = "; ".join(
+                    f"{key}: {self.queue.errors(key)}" for key in dead[:3]
+                )
+                raise RuntimeError(
+                    f"{len(dead)} fabric task(s) dead-lettered after retries "
+                    f"— {details}"
+                )
+            if not outstanding:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                counts = self.queue.counts()
+                raise TimeoutError(
+                    f"fabric batch incomplete after {self.timeout:.0f}s "
+                    f"({len(outstanding)} tasks outstanding, queue={counts}); "
+                    "are any `repro worker` processes running against this "
+                    "store?"
+                )
+            time.sleep(self.poll)
+
+        # Reassemble per-group stats in the engine's submission order.
+        out = []
+        for configs, tkey, _trace in groups:
+            workload, scale, ovr_token = tkey
+            group_stats = []
+            for config in configs:
+                key = self._key_for(config, workload, scale, dict(ovr_token), decoder)
+                group_stats.append(stats_by_key[key])
+            out.append(group_stats)
+        return out
+
+    @staticmethod
+    def _key_for(config, workload, scale, overrides, decoder) -> str:
+        from repro.engine.keys import sim_key
+        from repro.store.serialize import encode_key
+
+        return encode_key(sim_key(config, workload, scale, overrides, decoder))
+
+    def close(self) -> None:
+        """Close the queue connection (the store belongs to the engine)."""
+        self.queue.close()
+
+
+def make_executor(jobs: int = 1, kind: str = None, store=None):
     """Executor factory: ``kind`` overrides the jobs-derived default."""
     if kind is None:
         kind = "serial" if jobs <= 1 else "process"
@@ -164,4 +291,8 @@ def make_executor(jobs: int = 1, kind: str = None):
         return SerialExecutor()
     if kind == "process":
         return ProcessExecutor(jobs)  # raises for jobs < 2
-    raise ValueError(f"unknown executor kind {kind!r}; use 'serial' or 'process'")
+    if kind == "fabric":
+        return FabricExecutor(store)  # raises without a SQLite store
+    raise ValueError(
+        f"unknown executor kind {kind!r}; use 'serial', 'process' or 'fabric'"
+    )

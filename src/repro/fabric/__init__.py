@@ -1,0 +1,63 @@
+"""The distributed campaign fabric.
+
+A durable, crash-tolerant execution subsystem that moves the *work*
+of the paper's embarrassingly parallel methodology — not just the
+results — across processes and hosts:
+
+- :mod:`repro.fabric.queue` — schema-versioned job queue in the store's
+  SQLite file (WAL, lease-based claiming, heartbeats, expiry-driven
+  requeue, bounded retries, dead-letter state);
+- :mod:`repro.fabric.tasks` — content-keyed, self-contained task specs
+  (the task key *is* the result's store address);
+- :mod:`repro.fabric.scheduler` — engine batches and sweep grids
+  decomposed into deduplicated task plans;
+- :mod:`repro.fabric.worker` — the ``repro worker`` lease/execute loop;
+- :mod:`repro.fabric.status` — the ``repro status`` snapshot.
+
+The driver-side entry point is the ``fabric`` executor
+(:class:`repro.engine.executors.FabricExecutor`), selected with
+``EvaluationEngine(executor="fabric", store=...)`` or ``--executor
+fabric`` on the CLI.
+"""
+
+from repro.fabric.queue import (
+    DEFAULT_LEASE,
+    DEFAULT_MAX_ATTEMPTS,
+    FABRIC_SCHEMA_VERSION,
+    JobQueue,
+    Lease,
+    Task,
+)
+from repro.fabric.scheduler import TaskPlan, expand_grid, plan_groups, plan_simulations
+from repro.fabric.status import status_snapshot
+from repro.fabric.tasks import (
+    KIND_SIMULATE,
+    KIND_SLEEP,
+    check_decoder_portable,
+    rebuild_config,
+    resolve_decoder,
+    sim_task,
+)
+from repro.fabric.worker import FabricWorker, WorkerStats
+
+__all__ = [
+    "DEFAULT_LEASE",
+    "DEFAULT_MAX_ATTEMPTS",
+    "FABRIC_SCHEMA_VERSION",
+    "JobQueue",
+    "Lease",
+    "Task",
+    "TaskPlan",
+    "expand_grid",
+    "plan_groups",
+    "plan_simulations",
+    "status_snapshot",
+    "KIND_SIMULATE",
+    "KIND_SLEEP",
+    "check_decoder_portable",
+    "rebuild_config",
+    "resolve_decoder",
+    "sim_task",
+    "FabricWorker",
+    "WorkerStats",
+]

@@ -1,0 +1,485 @@
+"""Durable job queue: lease-based claiming over SQLite.
+
+The queue is the crash-tolerant core of the distributed campaign
+fabric. It lives in the *same* SQLite file as the persistent
+:class:`~repro.store.resultstore.ResultStore` (its tables are
+``fabric_``-prefixed, its schema independently versioned in
+``fabric_meta``), so one ``--store PATH`` names both the work and the
+results, and a worker needs exactly one file to participate.
+
+The protocol, in full:
+
+- **enqueue** — tasks are keyed by *content* (the engine's
+  :func:`~repro.engine.keys.sim_key` rendered to text), inserted with
+  ``INSERT OR IGNORE``: two drivers submitting the same experiment
+  share one row, the way two engines submitting it share one result.
+- **claim** — a worker takes the oldest claimable task inside one
+  ``BEGIN IMMEDIATE`` transaction: state ``queued``, or state
+  ``leased`` whose lease has expired (expiry-driven requeue — a
+  SIGKILLed worker's task becomes claimable again after
+  ``lease_seconds`` with no heartbeat). Claiming increments
+  ``attempts``; a task claimed more than ``max_attempts`` times goes
+  to the ``dead`` state (dead-letter) instead of being leased again.
+- **heartbeat** — the executing worker extends its lease periodically;
+  a live worker never loses a task to expiry, however slow the task.
+- **complete / fail** — completion is *guarded*: it only succeeds while
+  the caller still holds the lease. A worker that lost its lease to
+  expiry (and whose task was re-run elsewhere) gets ``False`` back and
+  moves on — its result write was content-addressed and idempotent, so
+  nothing is corrupted. Failure requeues (bounded by ``max_attempts``)
+  or dead-letters, recording the error text.
+
+Every statement runs under the store backend's
+:func:`~repro.store.backend.retry_busy` wrapper: many workers on one
+file is the *designed* load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+
+from repro.store.backend import BUSY_TIMEOUT, connect_sqlite, retry_busy
+
+#: Bump when the fabric tables' layout changes incompatibly.
+FABRIC_SCHEMA_VERSION = 1
+
+#: Task lifecycle states.
+TASK_STATES = ("queued", "leased", "done", "dead")
+
+#: Default lease duration, seconds. Must exceed the worst-case single
+#: task duration *between heartbeats* (workers heartbeat at lease/3).
+DEFAULT_LEASE = 30.0
+
+#: Default claim budget per task before it is dead-lettered.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass(frozen=True)
+class Task:
+    """One claimed unit of work, as handed to a worker."""
+
+    key: str
+    kind: str
+    payload: dict
+    attempts: int
+    max_attempts: int
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A live (or expired, until reaped) claim on a task."""
+
+    key: str
+    worker: str
+    expires: float
+    attempts: int
+
+    def remaining(self, now: float = None) -> float:
+        """Seconds until expiry (negative when already expired)."""
+        return self.expires - (time.time() if now is None else now)
+
+
+class JobQueue:
+    """Durable task queue in one SQLite file (see module docs)."""
+
+    def __init__(
+        self,
+        path: str,
+        lease_seconds: float = DEFAULT_LEASE,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        busy_timeout: float = BUSY_TIMEOUT,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
+        self._lock = threading.Lock()
+        self._conn = connect_sqlite(self.path, busy_timeout=busy_timeout)
+        self._init_schema()
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+    def _init_schema(self) -> None:
+        with self._lock:
+            retry_busy(self._create_tables)
+
+    def _create_tables(self) -> None:
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS fabric_meta"
+            " (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        row = self._conn.execute(
+            "SELECT value FROM fabric_meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO fabric_meta VALUES ('schema_version', ?)",
+                (str(FABRIC_SCHEMA_VERSION),),
+            )
+            row = (str(FABRIC_SCHEMA_VERSION),)
+        self.schema_version = int(row[0])
+        if self.schema_version != FABRIC_SCHEMA_VERSION:
+            raise RuntimeError(
+                f"fabric queue {self.path!r} has schema "
+                f"v{self.schema_version}, this code speaks "
+                f"v{FABRIC_SCHEMA_VERSION}; drain it with the old code first"
+            )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS fabric_tasks ("
+            " key TEXT PRIMARY KEY,"          # content key (sim_key text)
+            " kind TEXT NOT NULL,"            # task kind (see fabric.tasks)
+            " payload TEXT NOT NULL,"         # JSON task spec
+            " state TEXT NOT NULL,"           # queued|leased|done|dead
+            " attempts INTEGER NOT NULL DEFAULT 0,"
+            " max_attempts INTEGER NOT NULL,"
+            " worker TEXT,"                   # current/last lease owner
+            " lease_expires REAL,"            # epoch seconds
+            " error TEXT,"                    # last failure message
+            " submitted_by TEXT,"             # free-form client tag
+            " created REAL NOT NULL,"
+            " updated REAL NOT NULL)"
+        )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS fabric_tasks_state"
+            " ON fabric_tasks (state, created)"
+        )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS fabric_workers ("
+            " worker_id TEXT PRIMARY KEY,"
+            " pid INTEGER,"
+            " host TEXT,"
+            " started REAL NOT NULL,"
+            " last_seen REAL NOT NULL,"
+            " tasks_done INTEGER NOT NULL DEFAULT 0,"
+            " tasks_failed INTEGER NOT NULL DEFAULT 0,"
+            " telemetry TEXT)"
+        )
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def enqueue(self, tasks, submitted_by: str = None) -> int:
+        """Insert ``[(key, kind, payload_dict), ...]``; returns rows added.
+
+        Content-keyed and idempotent: keys already present (queued,
+        running, even done) are left untouched, so resubmitting a batch
+        never duplicates work.
+        """
+        now = time.time()
+        rows = [
+            (key, kind, json.dumps(payload, sort_keys=True), "queued",
+             self.max_attempts, submitted_by, now, now)
+            for key, kind, payload in tasks
+        ]
+        if not rows:
+            return 0
+        with self._lock:
+            return retry_busy(lambda: self._conn.executemany(
+                "INSERT OR IGNORE INTO fabric_tasks"
+                " (key, kind, payload, state, max_attempts, submitted_by,"
+                "  created, updated)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)", rows
+            ).rowcount)
+
+    def requeue_dead(self, keys=None) -> int:
+        """Give dead-lettered tasks a fresh claim budget; returns count.
+
+        ``keys=None`` revives every dead task; otherwise only the given
+        keys (an empty collection is a no-op).
+        """
+        if keys is not None:
+            keys = list(keys)
+            if not keys:
+                return 0
+        now = time.time()
+        with self._lock:
+            def op():
+                if keys is None:
+                    cur = self._conn.execute(
+                        "UPDATE fabric_tasks SET state='queued', attempts=0,"
+                        " worker=NULL, lease_expires=NULL, updated=?"
+                        " WHERE state='dead'", (now,)
+                    )
+                    return cur.rowcount
+                marks = ",".join("?" for _ in keys)
+                cur = self._conn.execute(
+                    f"UPDATE fabric_tasks SET state='queued', attempts=0,"
+                    f" worker=NULL, lease_expires=NULL, updated=?"
+                    f" WHERE state='dead' AND key IN ({marks})",
+                    (now, *keys),
+                )
+                return cur.rowcount
+            return retry_busy(op)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def claim(self, worker_id: str, lease_seconds: float = None, now: float = None):
+        """Lease the oldest claimable task; ``None`` when nothing is.
+
+        Claimable: ``queued``, or ``leased`` with an expired lease (the
+        crash-recovery path). A candidate whose claim budget is spent is
+        dead-lettered here instead of being handed out again.
+        """
+        lease = self.lease_seconds if lease_seconds is None else float(lease_seconds)
+        while True:
+            with self._lock:
+                row = retry_busy(lambda: self._claim_one(worker_id, lease, now))
+            if row is None:
+                return None
+            if row != "dead-lettered":
+                return row
+
+    def _claim_one(self, worker_id: str, lease: float, now: float):
+        t = time.time() if now is None else now
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._conn.execute(
+                "SELECT key, kind, payload, attempts, max_attempts"
+                " FROM fabric_tasks"
+                " WHERE state = 'queued'"
+                "    OR (state = 'leased' AND lease_expires <= ?)"
+                " ORDER BY created, key LIMIT 1", (t,)
+            ).fetchone()
+            if row is None:
+                self._conn.execute("COMMIT")
+                return None
+            key, kind, payload, attempts, max_attempts = row
+            if attempts >= max_attempts:
+                # Claim budget exhausted (every prior lease died without
+                # completing): dead-letter instead of leasing again.
+                self._conn.execute(
+                    "UPDATE fabric_tasks SET state='dead', worker=NULL,"
+                    " lease_expires=NULL, updated=?,"
+                    " error=COALESCE(error, 'lease expired; claim budget exhausted')"
+                    " WHERE key=?", (t, key)
+                )
+                self._conn.execute("COMMIT")
+                return "dead-lettered"
+            self._conn.execute(
+                "UPDATE fabric_tasks SET state='leased', worker=?,"
+                " lease_expires=?, attempts=?, updated=? WHERE key=?",
+                (worker_id, t + lease, attempts + 1, t, key),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return Task(key=key, kind=kind, payload=json.loads(payload),
+                    attempts=attempts + 1, max_attempts=max_attempts)
+
+    def heartbeat(self, key: str, worker_id: str, lease_seconds: float = None) -> bool:
+        """Extend a held lease; ``False`` when the lease was lost."""
+        lease = self.lease_seconds if lease_seconds is None else float(lease_seconds)
+        now = time.time()
+        with self._lock:
+            return retry_busy(lambda: self._conn.execute(
+                "UPDATE fabric_tasks SET lease_expires=?, updated=?"
+                " WHERE key=? AND state='leased' AND worker=?",
+                (now + lease, now, key, worker_id),
+            ).rowcount) > 0
+
+    def complete(self, key: str, worker_id: str) -> bool:
+        """Mark a leased task done; ``False`` when the lease was lost.
+
+        The guard (``worker=?`` on both the leased and the done state)
+        is what makes a post-expiry straggler harmless *and* honest:
+        its content-addressed result write already happened
+        idempotently, and this call reports that the fabric no longer
+        considers it the owner — while the actual finisher may repeat
+        its own ``complete`` idempotently.
+        """
+        now = time.time()
+        with self._lock:
+            return retry_busy(lambda: self._conn.execute(
+                "UPDATE fabric_tasks SET state='done',"
+                " lease_expires=NULL, error=NULL, updated=?"
+                " WHERE key=? AND worker=? AND state IN ('leased', 'done')",
+                (now, key, worker_id),
+            ).rowcount) > 0
+
+    def fail(self, key: str, worker_id: str, error: str) -> str:
+        """Record a task failure; returns the resulting state.
+
+        Requeues while the claim budget lasts, dead-letters after. A
+        failure reported on a lost lease leaves the task untouched
+        (returns its current state).
+        """
+        now = time.time()
+        with self._lock:
+            def op():
+                self._conn.execute("BEGIN IMMEDIATE")
+                try:
+                    row = self._conn.execute(
+                        "SELECT attempts, max_attempts FROM fabric_tasks"
+                        " WHERE key=? AND state='leased' AND worker=?",
+                        (key, worker_id),
+                    ).fetchone()
+                    if row is None:
+                        self._conn.execute("COMMIT")
+                        current = self._conn.execute(
+                            "SELECT state FROM fabric_tasks WHERE key=?", (key,)
+                        ).fetchone()
+                        return current[0] if current else "unknown"
+                    attempts, max_attempts = row
+                    state = "dead" if attempts >= max_attempts else "queued"
+                    self._conn.execute(
+                        "UPDATE fabric_tasks SET state=?, worker=NULL,"
+                        " lease_expires=NULL, error=?, updated=? WHERE key=?",
+                        (state, str(error)[:2000], now, key),
+                    )
+                    self._conn.execute("COMMIT")
+                    return state
+                except BaseException:
+                    self._conn.execute("ROLLBACK")
+                    raise
+            return retry_busy(op)
+
+    # ------------------------------------------------------------------
+    # Worker registry (heartbeat rows for `repro status`)
+    # ------------------------------------------------------------------
+    def register_worker(self, worker_id: str = None, pid: int = None,
+                        host: str = None) -> str:
+        """Insert (or refresh) a worker row; returns the worker id."""
+        worker_id = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
+        now = time.time()
+        with self._lock:
+            retry_busy(lambda: self._conn.execute(
+                "INSERT INTO fabric_workers"
+                " (worker_id, pid, host, started, last_seen)"
+                " VALUES (?, ?, ?, ?, ?)"
+                " ON CONFLICT(worker_id) DO UPDATE SET"
+                "  pid=excluded.pid, host=excluded.host, last_seen=excluded.last_seen",
+                (worker_id, pid, host, now, now),
+            ))
+        return worker_id
+
+    def worker_beat(self, worker_id: str, tasks_done: int = None,
+                    tasks_failed: int = None, telemetry: dict = None) -> None:
+        """Refresh a worker row: liveness, counters, engine telemetry."""
+        now = time.time()
+        sets, params = ["last_seen=?"], [now]
+        if tasks_done is not None:
+            sets.append("tasks_done=?")
+            params.append(int(tasks_done))
+        if tasks_failed is not None:
+            sets.append("tasks_failed=?")
+            params.append(int(tasks_failed))
+        if telemetry is not None:
+            sets.append("telemetry=?")
+            params.append(json.dumps(telemetry, sort_keys=True))
+        params.append(worker_id)
+        with self._lock:
+            retry_busy(lambda: self._conn.execute(
+                f"UPDATE fabric_workers SET {', '.join(sets)} WHERE worker_id=?",
+                params,
+            ))
+
+    def workers(self) -> list:
+        """All worker rows as dicts (telemetry JSON decoded)."""
+        with self._lock:
+            rows = retry_busy(lambda: list(self._conn.execute(
+                "SELECT worker_id, pid, host, started, last_seen,"
+                " tasks_done, tasks_failed, telemetry"
+                " FROM fabric_workers ORDER BY started"
+            )))
+        out = []
+        for (worker_id, pid, host, started, last_seen,
+             done, failed, telemetry) in rows:
+            out.append({
+                "worker_id": worker_id, "pid": pid, "host": host,
+                "started": started, "last_seen": last_seen,
+                "tasks_done": done, "tasks_failed": failed,
+                "telemetry": json.loads(telemetry) if telemetry else None,
+            })
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection (drivers and `repro status`)
+    # ------------------------------------------------------------------
+    def states(self, keys) -> dict:
+        """``{key: state}`` for the given keys (missing keys absent)."""
+        keys = list(keys)
+        out: dict = {}
+        with self._lock:
+            for start in range(0, len(keys), 500):
+                chunk = keys[start:start + 500]
+                marks = ",".join("?" for _ in chunk)
+                rows = retry_busy(lambda c=chunk, m=marks: list(self._conn.execute(
+                    f"SELECT key, state FROM fabric_tasks WHERE key IN ({m})", c
+                )))
+                out.update(rows)
+        return out
+
+    def counts(self) -> dict:
+        """Row count per task state (all states present, zeros kept)."""
+        with self._lock:
+            rows = retry_busy(lambda: list(self._conn.execute(
+                "SELECT state, COUNT(*) FROM fabric_tasks GROUP BY state"
+            )))
+        out = {state: 0 for state in TASK_STATES}
+        out.update(rows)
+        return out
+
+    def depth(self) -> int:
+        """Outstanding tasks (queued + leased)."""
+        counts = self.counts()
+        return counts["queued"] + counts["leased"]
+
+    def retries(self) -> int:
+        """Total extra claims beyond each task's first (retry pressure)."""
+        with self._lock:
+            row = retry_busy(lambda: self._conn.execute(
+                "SELECT COALESCE(SUM(MAX(attempts - 1, 0)), 0) FROM fabric_tasks"
+            ).fetchone())
+        return int(row[0])
+
+    def leases(self, now: float = None) -> list:
+        """Live lease rows, soonest expiry first."""
+        with self._lock:
+            rows = retry_busy(lambda: list(self._conn.execute(
+                "SELECT key, worker, lease_expires, attempts FROM fabric_tasks"
+                " WHERE state='leased' ORDER BY lease_expires"
+            )))
+        return [Lease(key=k, worker=w, expires=e, attempts=a)
+                for k, w, e, a in rows]
+
+    def dead(self) -> list:
+        """Dead-letter rows as ``(key, attempts, error)`` tuples."""
+        with self._lock:
+            return retry_busy(lambda: list(self._conn.execute(
+                "SELECT key, attempts, error FROM fabric_tasks"
+                " WHERE state='dead' ORDER BY updated"
+            )))
+
+    def errors(self, key: str):
+        """Last recorded error text for ``key`` (or ``None``)."""
+        with self._lock:
+            row = retry_busy(lambda: self._conn.execute(
+                "SELECT error FROM fabric_tasks WHERE key=?", (key,)
+            ).fetchone())
+        return row[0] if row else None
+
+    def purge_done(self) -> int:
+        """Drop completed rows (results live in the store); returns count."""
+        with self._lock:
+            return retry_busy(lambda: self._conn.execute(
+                "DELETE FROM fabric_tasks WHERE state='done'"
+            ).rowcount)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the queue's SQLite connection."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,74 @@
+"""Fabric observability: one snapshot dict behind ``repro status``.
+
+Everything the operator of a distributed campaign needs to see lives in
+the shared store file; this module reads it into a single JSON-safe
+dict — queue depth per state, retry pressure, dead letters with their
+errors, live leases with time-to-expiry, and per-worker rows with
+derived throughput plus the engine telemetry each worker last reported
+(store hits, unique vs requested trials). The CLI renders it as tables
+or, with ``--json``, emits it verbatim for scripts and dashboards.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.fabric.queue import JobQueue
+from repro.store import open_store
+
+#: A worker whose row went unrefreshed this many lease-thirds is shown
+#: as stale (likely dead; its leases will expire on their own).
+STALE_AFTER = 3
+
+
+def status_snapshot(store_path: str, now: float = None) -> dict:
+    """Read the full fabric state of ``store_path`` into one dict."""
+    t = time.time() if now is None else now
+    with JobQueue(store_path) as queue, open_store(store_path) as store:
+        counts = queue.counts()
+        retries = queue.retries()
+        leases = [
+            {
+                "key": lease.key,
+                "worker": lease.worker,
+                "expires_in_seconds": round(lease.remaining(t), 3),
+                "attempts": lease.attempts,
+            }
+            for lease in queue.leases()
+        ]
+        dead = [
+            {"key": key, "attempts": attempts, "error": error}
+            for key, attempts, error in queue.dead()
+        ]
+        workers = []
+        for row in queue.workers():
+            age = t - row["last_seen"]
+            active = max(1e-9, row["last_seen"] - row["started"])
+            telemetry = row["telemetry"] or {}
+            workers.append({
+                "worker_id": row["worker_id"],
+                "pid": row["pid"],
+                "host": row["host"],
+                "last_seen_seconds_ago": round(age, 3),
+                "tasks_done": row["tasks_done"],
+                "tasks_failed": row["tasks_failed"],
+                "tasks_per_second": row["tasks_done"] / active,
+                "store_hits": telemetry.get("store_hits", 0),
+                "unique_trials": telemetry.get("unique_trials", 0),
+                "requested_trials": telemetry.get("requested_trials", 0),
+            })
+        store_stats = store.stats()
+    return {
+        "store": store_path,
+        "queue": counts,
+        "depth": counts["queued"] + counts["leased"],
+        "retries": retries,
+        "leases": leases,
+        "dead": dead,
+        "workers": workers,
+        "results": {
+            "sim_results": store_stats["sim_results"],
+            "hw_results": store_stats["hw_results"],
+            "trial_costs": store_stats["trial_costs"],
+        },
+    }

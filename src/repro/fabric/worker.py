@@ -1,0 +1,258 @@
+"""The fabric worker: lease, execute, write back, repeat.
+
+``repro worker --store PATH`` runs one of these. Workers are fully
+symmetric and stateless-on-disk: everything a worker knows it learned
+from the queue file, so adding capacity is starting another process
+(on this host or any host sharing the store file) and removing
+capacity is killing one — the lease protocol cleans up after both.
+
+Execution goes through a normal :class:`~repro.engine.engine.EvaluationEngine`
+pointed at the shared store (one engine per (scale, decoder) pair,
+cached for the worker's lifetime so traces record once). That is the
+fabric's correctness keystone: a worker runs *exactly the code path a
+serial run uses* and writes results under *exactly the key a serial
+run would cache them under*, so a distributed campaign is byte-identical
+to a serial one by construction rather than by testing.
+
+Lifecycle:
+
+1. register in ``fabric_workers`` (pid/host/heartbeat row);
+2. claim loop — lease a task, execute, ``complete``/``fail``; a
+   background thread heartbeats the active lease at a third of the
+   lease interval and refreshes the worker row with engine telemetry;
+3. exit on ``max_tasks`` executed, ``max_idle`` seconds without work,
+   ``drain`` finding the queue empty, or :meth:`FabricWorker.stop`.
+
+A SIGKILL at any point needs no cleanup: the heartbeat stops, the lease
+expires, the task is claimed elsewhere, and the half-finished worker's
+partial writes were content-addressed and idempotent.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.engine import EvaluationEngine
+from repro.fabric.queue import DEFAULT_LEASE, JobQueue
+from repro.fabric.tasks import KIND_SIMULATE, KIND_SLEEP, rebuild_config, resolve_decoder
+from repro.store import open_store
+
+
+def _all_workloads() -> list:
+    """Every named workload a task may reference (micro + SPEC proxies)."""
+    from repro.workloads.microbench import MICROBENCHMARKS
+    from repro.workloads.spec import SPEC_WORKLOADS
+
+    return [*MICROBENCHMARKS.values(), *SPEC_WORKLOADS.values()]
+
+
+@dataclass
+class WorkerStats:
+    """What one worker session did (returned by :meth:`FabricWorker.run`)."""
+
+    claimed: int = 0
+    completed: int = 0
+    failed: int = 0
+    lost_leases: int = 0
+    telemetry: dict = field(default_factory=dict)
+
+
+class FabricWorker:
+    """One lease-claiming execution loop over a fabric store file.
+
+    Parameters
+    ----------
+    store_path:
+        The shared SQLite file holding both queue and result store.
+    worker_id:
+        Stable identity in ``fabric_workers`` (default: generated).
+    lease:
+        Lease duration per claim, seconds. The heartbeat thread renews
+        at ``lease / 3``, so this bounds crash-detection latency, not
+        task duration.
+    poll:
+        Sleep between empty claim attempts, seconds.
+    max_tasks:
+        Exit after executing this many tasks (``None`` = unbounded).
+    max_idle:
+        Exit after this many consecutive seconds without work.
+    drain:
+        Exit the first time a claim finds the queue empty (run the
+        backlog, then stop — the in-process mode tests and benchmarks
+        use).
+    progress:
+        Optional ``callable(str)`` for per-task log lines.
+    """
+
+    def __init__(
+        self,
+        store_path: str,
+        worker_id: str = None,
+        lease: float = DEFAULT_LEASE,
+        poll: float = 0.5,
+        max_tasks: int = None,
+        max_idle: float = None,
+        drain: bool = False,
+        progress=None,
+    ) -> None:
+        self.store_path = os.fspath(store_path)
+        self.lease = float(lease)
+        self.poll = float(poll)
+        self.max_tasks = max_tasks
+        self.max_idle = max_idle
+        self.drain = drain
+        self.progress = progress
+        # Each task's retry budget (max_attempts) is a *row* property,
+        # fixed by the submitter at enqueue time — workers only honour it.
+        self.queue = JobQueue(self.store_path, lease_seconds=self.lease)
+        self.store = open_store(self.store_path)
+        self.worker_id = self.queue.register_worker(
+            worker_id, pid=os.getpid(), host=platform.node() or None
+        )
+        self.stats = WorkerStats()
+        self._engines: dict = {}
+        self._active_key: str = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Ask the claim loop to exit after the current task."""
+        self._stop.set()
+
+    def _log(self, text: str) -> None:
+        if self.progress is not None:
+            self.progress(f"[{self.worker_id}] {text}")
+
+    def _engine_for(self, scale: float, decoder_spec: str) -> EvaluationEngine:
+        """The cached engine running (scale, decoder) tasks."""
+        key = (scale, decoder_spec)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = EvaluationEngine(
+                workloads=_all_workloads(), scale=scale,
+                decoder=resolve_decoder(decoder_spec), store=self.store,
+            )
+            self._engines[key] = engine
+        return engine
+
+    def _telemetry(self) -> dict:
+        """Engine telemetry summed over every cached engine."""
+        total: dict = {}
+        for engine in self._engines.values():
+            for name, value in asdict(engine.telemetry).items():
+                total[name] = total.get(name, 0) + value
+        return total
+
+    # ------------------------------------------------------------------
+    # Task execution
+    # ------------------------------------------------------------------
+    def _execute(self, task) -> None:
+        """Run one claimed task (dispatch on kind); raises on failure."""
+        if task.kind == KIND_SIMULATE:
+            self._execute_simulate(task)
+        elif task.kind == KIND_SLEEP:
+            time.sleep(float(task.payload.get("seconds", 0.0)))
+        else:
+            raise ValueError(f"unknown task kind {task.kind!r}")
+
+    def _execute_simulate(self, task) -> None:
+        payload = task.payload
+        engine = self._engine_for(payload["scale"], payload["decoder"])
+        config = rebuild_config(payload["config"])
+        workload = payload["workload"]
+        engine.overrides[workload] = dict(payload.get("overrides") or {})
+        # The engine must address this run exactly where the submitter
+        # expects to read it; a mismatch means code-version skew
+        # (changed registry fingerprint, changed keying) and running
+        # anyway would strand the result under an address nobody polls.
+        from repro.store.serialize import encode_key
+
+        local_key = encode_key(engine.result_key(config, workload))
+        if local_key != task.key:
+            raise RuntimeError(
+                "content key mismatch: this worker's code computes a "
+                "different sim key than the submitter's (version skew); "
+                "restart the worker from the submitting checkout"
+            )
+        engine.simulate(config, workload)  # writes the store via its key
+
+    # ------------------------------------------------------------------
+    # Claim loop
+    # ------------------------------------------------------------------
+    def run(self) -> WorkerStats:
+        """Claim and execute until an exit condition; returns the stats."""
+        beat = threading.Thread(target=self._heartbeat_loop, daemon=True)
+        beat.start()
+        last_work = time.time()
+        try:
+            while not self._stop.is_set():
+                task = self.queue.claim(self.worker_id)
+                if task is None:
+                    if self.drain:
+                        break
+                    if (self.max_idle is not None
+                            and time.time() - last_work >= self.max_idle):
+                        self._log(f"idle {self.max_idle:.0f}s, exiting")
+                        break
+                    self._stop.wait(self.poll)
+                    continue
+                last_work = time.time()
+                self.stats.claimed += 1
+                self._active_key = task.key
+                try:
+                    self._execute(task)
+                except Exception as exc:  # noqa: BLE001 — task isolation
+                    self._active_key = None
+                    state = self.queue.fail(task.key, self.worker_id,
+                                            f"{type(exc).__name__}: {exc}")
+                    self.stats.failed += 1
+                    self._log(f"task failed ({state}): {exc}")
+                else:
+                    self._active_key = None
+                    if self.queue.complete(task.key, self.worker_id):
+                        self.stats.completed += 1
+                        self._log(f"done {task.kind} "
+                                  f"(attempt {task.attempts}/{task.max_attempts})")
+                    else:
+                        # Lease expired mid-task and someone else owns it
+                        # now; the content-addressed result write was
+                        # idempotent, so this is bookkeeping, not loss.
+                        self.stats.lost_leases += 1
+                        self._log("lease lost before completion")
+                self._beat_row()
+                if self.max_tasks is not None and self.stats.claimed >= self.max_tasks:
+                    break
+        finally:
+            self._stop.set()
+            beat.join(timeout=2.0)
+            self.stats.telemetry = self._telemetry()
+            self._beat_row()
+            self.close()
+        return self.stats
+
+    def _beat_row(self) -> None:
+        self.queue.worker_beat(
+            self.worker_id, tasks_done=self.stats.completed,
+            tasks_failed=self.stats.failed, telemetry=self._telemetry(),
+        )
+
+    def _heartbeat_loop(self) -> None:
+        """Renew the active lease (and the worker row) at lease/3."""
+        interval = max(0.05, self.lease / 3.0)
+        while not self._stop.wait(interval):
+            key = self._active_key
+            if key is not None:
+                self.queue.heartbeat(key, self.worker_id)
+            self.queue.worker_beat(self.worker_id)
+
+    def close(self) -> None:
+        """Release engines, the store handle and the queue connection."""
+        for engine in self._engines.values():
+            engine.close()
+        self._engines.clear()
+        self.store.close()
+        self.queue.close()

@@ -32,6 +32,62 @@ SCHEMA_VERSION = 1
 #: Every logical table both backends expose.
 TABLES = ("sim_results", "hw_results", "trial_costs", "runs", "checkpoints")
 
+#: Default SQLite busy timeout, seconds. Applied both as the driver-level
+#: connect timeout and as ``PRAGMA busy_timeout`` so lock waits are
+#: handled inside SQLite before the Python-level retry loop ever fires.
+BUSY_TIMEOUT = 30.0
+
+#: Attempts the :func:`retry_busy` wrapper makes before giving up.
+BUSY_RETRIES = 6
+
+#: First backoff sleep of :func:`retry_busy`; doubles per attempt.
+BUSY_BACKOFF = 0.05
+
+
+def is_busy_error(exc: BaseException) -> bool:
+    """True when ``exc`` is SQLite reporting lock contention.
+
+    ``SQLITE_BUSY``/``SQLITE_LOCKED`` both surface through the Python
+    driver as ``sqlite3.OperationalError`` with a message naming the
+    locked database; anything else (corruption, syntax, missing table)
+    is a real error and must propagate.
+    """
+    if not isinstance(exc, sqlite3.OperationalError):
+        return False
+    text = str(exc).lower()
+    return "locked" in text or "busy" in text
+
+
+def retry_busy(op, attempts: int = BUSY_RETRIES, backoff: float = BUSY_BACKOFF):
+    """Run ``op()``; on ``SQLITE_BUSY`` retry with exponential backoff.
+
+    The busy timeout already makes SQLite wait for locks, but a writer
+    can still lose the race under sustained multi-process hammering
+    (WAL checkpoints, ``BEGIN IMMEDIATE`` upgrades). This wrapper is the
+    second line of defence: bounded retries with exponential backoff,
+    re-raising the final error so persistent contention stays loud.
+    """
+    for attempt in range(attempts):
+        try:
+            return op()
+        except sqlite3.OperationalError as exc:
+            if not is_busy_error(exc) or attempt == attempts - 1:
+                raise
+            time.sleep(backoff * (2 ** attempt))
+
+
+def connect_sqlite(path: str, busy_timeout: float = BUSY_TIMEOUT) -> sqlite3.Connection:
+    """Open ``path`` the way every writer in this project must: WAL mode,
+    ``NORMAL`` synchronous, an explicit busy timeout, autocommit
+    (``isolation_level=None``) so transactions are always explicit."""
+    conn = sqlite3.connect(
+        path, timeout=busy_timeout, check_same_thread=False, isolation_level=None
+    )
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=NORMAL")
+    conn.execute(f"PRAGMA busy_timeout={int(busy_timeout * 1000)}")
+    return conn
+
 
 class MemoryBackend:
     """In-process backend: one dict per table, values kept as text."""
@@ -91,57 +147,58 @@ class SqliteBackend:
 
     One connection per backend instance, guarded by a lock so a single
     engine driving parallel workers stays thread-safe; cross-process
-    safety comes from WAL + ``busy_timeout``.
+    safety comes from WAL + ``busy_timeout`` + the :func:`retry_busy`
+    wrapper around every statement (fabric workers hammer one store
+    file from many processes at once).
     """
 
     kind = "sqlite"
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, busy_timeout: float = BUSY_TIMEOUT) -> None:
         self.path = os.fspath(path)
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         self._lock = threading.Lock()
-        self._conn = sqlite3.connect(
-            self.path, timeout=30.0, check_same_thread=False, isolation_level=None
-        )
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute("PRAGMA busy_timeout=30000")
+        self.busy_timeout = busy_timeout
+        self._conn = connect_sqlite(self.path, busy_timeout=busy_timeout)
         self._init_schema()
 
     def _init_schema(self) -> None:
         with self._lock:
+            retry_busy(self._create_tables)
+
+    def _create_tables(self) -> None:
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS store_meta"
+            " (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        row = self._conn.execute(
+            "SELECT value FROM store_meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
             self._conn.execute(
-                "CREATE TABLE IF NOT EXISTS store_meta"
-                " (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+                "INSERT OR IGNORE INTO store_meta VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
             )
-            row = self._conn.execute(
-                "SELECT value FROM store_meta WHERE key = 'schema_version'"
-            ).fetchone()
-            if row is None:
-                self._conn.execute(
-                    "INSERT OR IGNORE INTO store_meta VALUES ('schema_version', ?)",
-                    (str(SCHEMA_VERSION),),
-                )
-                row = (str(SCHEMA_VERSION),)
-            self.schema_version = int(row[0])
-            if self.schema_version != SCHEMA_VERSION:
-                raise RuntimeError(
-                    f"store {self.path!r} has schema v{self.schema_version}, "
-                    f"this code speaks v{SCHEMA_VERSION}; export from the old "
-                    "code and import here"
-                )
-            for table in TABLES:
-                self._conn.execute(
-                    f"CREATE TABLE IF NOT EXISTS {table} (key TEXT PRIMARY KEY,"
-                    " value TEXT NOT NULL, created REAL NOT NULL)"
-                )
+            row = (str(SCHEMA_VERSION),)
+        self.schema_version = int(row[0])
+        if self.schema_version != SCHEMA_VERSION:
+            raise RuntimeError(
+                f"store {self.path!r} has schema v{self.schema_version}, "
+                f"this code speaks v{SCHEMA_VERSION}; export from the old "
+                "code and import here"
+            )
+        for table in TABLES:
+            self._conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {table} (key TEXT PRIMARY KEY,"
+                " value TEXT NOT NULL, created REAL NOT NULL)"
+            )
 
     def get(self, table: str, key: str):
         with self._lock:
-            row = self._conn.execute(
+            row = retry_busy(lambda: self._conn.execute(
                 f"SELECT value FROM {table} WHERE key = ?", (key,)
-            ).fetchone()
+            ).fetchone())
         return row[0] if row is not None else None
 
     def put(self, table: str, key: str, value: str, replace: bool = True) -> bool:
@@ -154,34 +211,35 @@ class SqliteBackend:
         if not rows:
             return 0
         with self._lock:
-            cursor = self._conn.executemany(
+            return retry_busy(lambda: self._conn.executemany(
                 f"{verb} INTO {table} VALUES (?, ?, ?)", rows
-            )
-            return cursor.rowcount
+            ).rowcount)
 
     def delete(self, table: str, key: str) -> bool:
         with self._lock:
-            cursor = self._conn.execute(f"DELETE FROM {table} WHERE key = ?", (key,))
-            return cursor.rowcount > 0
+            return retry_busy(lambda: self._conn.execute(
+                f"DELETE FROM {table} WHERE key = ?", (key,)
+            ).rowcount) > 0
 
     def items(self, table: str):
         with self._lock:
-            return list(
+            return retry_busy(lambda: list(
                 self._conn.execute(
                     f"SELECT key, value, created FROM {table} ORDER BY key"
                 )
-            )
+            ))
 
     def count(self, table: str) -> int:
         with self._lock:
-            return self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            return retry_busy(lambda: self._conn.execute(
+                f"SELECT COUNT(*) FROM {table}"
+            ).fetchone()[0])
 
     def prune(self, table: str, older_than: float) -> int:
         with self._lock:
-            cursor = self._conn.execute(
+            return retry_busy(lambda: self._conn.execute(
                 f"DELETE FROM {table} WHERE created < ?", (older_than,)
-            )
-            return cursor.rowcount
+            ).rowcount)
 
     def size_bytes(self) -> int:
         try:
@@ -191,7 +249,7 @@ class SqliteBackend:
 
     def vacuum(self) -> None:
         with self._lock:
-            self._conn.execute("VACUUM")
+            retry_busy(lambda: self._conn.execute("VACUUM"))
 
     def close(self) -> None:
         with self._lock:

@@ -27,7 +27,14 @@ from repro.memory.cache import CacheStats
 
 
 def encode_key(key) -> str:
-    """Deterministic text form of an engine cache-key tuple."""
+    """Deterministic text form of an engine cache-key tuple.
+
+    Pass-through for strings: fabric task keys travel pre-rendered (the
+    queue stores text), and re-encoding them would double-quote the
+    address out from under the result.
+    """
+    if isinstance(key, str):
+        return key
     return repr(key)
 
 

@@ -120,7 +120,12 @@ def race(
     over ``(config, instance)`` pairs), each instance step submits all
     alive candidates as one block — the embarrassingly parallel unit of
     F-race — instead of looping; statistics, elimination order and
-    results are unchanged, only execution differs.
+    results are unchanged, only execution differs. That block is also
+    the fabric's dispatch unit: under an engine-backed evaluator each
+    race round becomes one batch of content-keyed tasks, fanned out to
+    however many ``repro worker`` processes share the store
+    (``--executor fabric``), with process pools (``jobs > 1``) and the
+    serial loop as the in-process alternatives.
     """
     if not configs:
         raise ValueError("need at least one configuration to race")

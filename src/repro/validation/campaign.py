@@ -182,6 +182,7 @@ class ValidationCampaign:
         decoder: Decoder = None,
         workloads: list = None,
         jobs: int = 1,
+        executor: str = None,
         engine: EvaluationEngine = None,
         store=None,
         run_id: str = None,
@@ -206,6 +207,8 @@ class ValidationCampaign:
             # let conflicting knobs get silently ignored.
             if jobs != 1:
                 raise ValueError("pass jobs via the engine when supplying one")
+            if executor is not None:
+                raise ValueError("pass executor via the engine when supplying one")
             if engine.hw is not self.hw:
                 raise ValueError(
                     "supplied engine measures a different hardware core "
@@ -239,6 +242,7 @@ class ValidationCampaign:
                 scale=self.profile.microbench_scale,
                 decoder=decoder,
                 jobs=jobs,
+                executor=executor,
                 store=store,
             )
         self.store = self.engine.store

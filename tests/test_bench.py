@@ -46,7 +46,7 @@ class TestScenarioDeterminism:
     def test_quick_suite_is_smaller(self):
         quick = quick_suite()
         assert all(len(s.workloads) <= 10 for s in quick)
-        assert {s.kind for s in quick} == {"simulate", "trace", "engine"}
+        assert {s.kind for s in quick} == {"simulate", "trace", "engine", "fabric"}
 
     def test_unknown_suite_rejected(self):
         with pytest.raises(ValueError, match="unknown bench suite"):
@@ -85,6 +85,19 @@ class TestRunScenario:
         assert telemetry["requested_trials"] == 8
         assert telemetry["unique_trials"] == 4
         assert telemetry["sim_cache_hits"] == 4
+
+    def test_fabric_scenario_reports_dispatch_overhead(self):
+        scn = BenchScenario(
+            "t-fabric", "fabric", core="a53", workloads=("CCa",),
+            grid=(("l1d.size", (16384, 32768)),), repeats=1, scale=0.5,
+        )
+        record = run_scenario(scn)
+        telemetry = record["telemetry"]
+        assert telemetry["tasks"] == 2  # 2 configs x 1 workload
+        assert telemetry["dispatch_overhead_ms_per_task"] >= 0
+        assert telemetry["fabric_wall_seconds"] >= telemetry["serial_wall_seconds"] \
+            or telemetry["dispatch_overhead_ms_per_task"] == 0
+        assert record["instructions"] > 0
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown scenario kind"):

@@ -295,3 +295,120 @@ class TestStoreCLI:
 
         assert main(["store", "gc", "--store", store_path]) == 0
         assert "gc:" in capsys.readouterr().out
+
+
+class TestFabricCommands:
+    def test_fabric_executor_requires_store(self):
+        with pytest.raises(SystemExit, match="--store"):
+            main(["simulate", "--workload", "STc", "--executor", "fabric"])
+        with pytest.raises(SystemExit, match="--store"):
+            main(["validate", "--executor", "fabric"])
+        with pytest.raises(SystemExit, match="--store"):
+            main(["sweep", "--workloads", "STc", "--set", "l1d.hit_latency=2",
+                  "--executor", "fabric"])
+
+    def test_process_executor_requires_jobs(self):
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["simulate", "--workload", "STc", "--executor", "process"])
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["validate", "--executor", "process", "--jobs", "1"])
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["sweep", "--workloads", "STc", "--set", "l1d.hit_latency=2",
+                  "--executor", "process"])
+
+    def test_status_requeue_dead(self, capsys, tmp_path):
+        from repro.fabric import JobQueue
+
+        store_path = str(tmp_path / "fab.sqlite")
+        with JobQueue(store_path, max_attempts=1) as queue:
+            queue.enqueue([("doomed", "sleep", {"seconds": 0})])
+            task = queue.claim("w1")
+            queue.fail(task.key, "w1", "boom")
+            assert queue.counts()["dead"] == 1
+        assert main(["status", "--store", store_path, "--requeue-dead"]) == 0
+        out = capsys.readouterr().out
+        assert "requeued 1 dead task(s)" in out
+        with JobQueue(store_path) as queue:
+            assert queue.counts()["dead"] == 0
+            assert queue.counts()["queued"] == 1
+
+    def test_submit_worker_status_lifecycle(self, capsys, tmp_path):
+        store_path = str(tmp_path / "fab.sqlite")
+        assert main(["submit", "--core", "a53", "--workloads", "STc,MD",
+                     "--set", "l1d.prefetcher=none,stride",
+                     "--scale", "0.5", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "4 enqueued" in out and "queue depth now 4" in out
+
+        # Resubmitting the same grid adds nothing (content-keyed dedup).
+        assert main(["submit", "--core", "a53", "--workloads", "STc,MD",
+                     "--set", "l1d.prefetcher=none,stride",
+                     "--scale", "0.5", "--store", store_path]) == 0
+        assert "0 enqueued, 0 already in store, 4 already queued" \
+            in capsys.readouterr().out
+
+        assert main(["worker", "--store", store_path, "--drain",
+                     "--poll", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "4 claimed, 4 completed, 0 failed" in out
+
+        assert main(["status", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "fabric queue" in out and "workers" in out
+        assert "trials (unique/req)" in out
+
+    def test_status_json_machine_readable(self, capsys, tmp_path):
+        import json
+
+        store_path = str(tmp_path / "fab.sqlite")
+        assert main(["submit", "--core", "a53", "--workloads", "STc",
+                     "--scale", "0.5", "--store", store_path]) == 0
+        capsys.readouterr()
+        assert main(["status", "--store", store_path, "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["depth"] == 1
+        assert snap["queue"]["queued"] == 1
+        assert snap["results"]["sim_results"] == 0
+
+    def test_submit_rejects_unknown_workload(self, tmp_path):
+        store_path = str(tmp_path / "fab.sqlite")
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["submit", "--workloads", "NOPE", "--store", store_path])
+
+    def test_submit_rejects_bad_set_key(self, tmp_path):
+        store_path = str(tmp_path / "fab.sqlite")
+        with pytest.raises(SystemExit, match="bad --set"):
+            main(["submit", "--workloads", "STc", "--set", "l1d.nope=1",
+                  "--store", store_path])
+
+    def test_fabric_sweep_end_to_end(self, capsys, tmp_path):
+        """A sweep dispatched through the fabric matches the serial one."""
+        import json
+        import threading
+
+        from repro.fabric import FabricWorker
+
+        serial_out = str(tmp_path / "serial.json")
+        args = ["sweep", "--core", "a53", "--workloads", "STc,MD",
+                "--set", "l1d.hit_latency=2,3", "--scale", "0.5"]
+        assert main([*args, "--out", serial_out]) == 0
+        capsys.readouterr()
+
+        store_path = str(tmp_path / "fab.sqlite")
+        fabric_out = str(tmp_path / "fabric.json")
+        worker = FabricWorker(store_path, lease=10, poll=0.02, max_idle=60)
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        try:
+            assert main([*args, "--executor", "fabric", "--store", store_path,
+                         "--out", fabric_out]) == 0
+        finally:
+            worker.stop()
+            thread.join(timeout=10)
+        capsys.readouterr()
+        with open(serial_out) as fh:
+            serial = json.load(fh)
+        with open(fabric_out) as fh:
+            fabric = json.load(fh)
+        assert fabric["trials"] == serial["trials"]
+        assert fabric["best"] == serial["best"]

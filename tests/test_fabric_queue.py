@@ -1,0 +1,233 @@
+"""Fabric job queue: leases, expiry requeue, retries, dead letters."""
+
+import time
+
+import pytest
+
+from repro.fabric.queue import FABRIC_SCHEMA_VERSION, JobQueue
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    q = JobQueue(tmp_path / "fab.sqlite", lease_seconds=30.0, max_attempts=3)
+    yield q
+    q.close()
+
+
+def _tasks(n, kind="sleep"):
+    return [(f"task-{i:03d}", kind, {"seconds": 0.0, "i": i}) for i in range(n)]
+
+
+class TestEnqueue:
+    def test_enqueue_counts_new_rows(self, queue):
+        assert queue.enqueue(_tasks(3)) == 3
+        assert queue.counts()["queued"] == 3
+
+    def test_enqueue_is_idempotent_by_key(self, queue):
+        queue.enqueue(_tasks(3))
+        assert queue.enqueue(_tasks(5)) == 2  # only the two new keys
+        assert queue.depth() == 5
+
+    def test_enqueue_never_resets_finished_tasks(self, queue):
+        queue.enqueue(_tasks(1))
+        task = queue.claim("w1")
+        queue.complete(task.key, "w1")
+        assert queue.enqueue(_tasks(1)) == 0
+        assert queue.counts()["done"] == 1
+
+    def test_empty_enqueue(self, queue):
+        assert queue.enqueue([]) == 0
+
+
+class TestClaim:
+    def test_claim_oldest_first(self, queue):
+        queue.enqueue(_tasks(2))
+        assert queue.claim("w1").key == "task-000"
+        assert queue.claim("w1").key == "task-001"
+        assert queue.claim("w1") is None
+
+    def test_claim_carries_payload_and_attempts(self, queue):
+        queue.enqueue(_tasks(1))
+        task = queue.claim("w1")
+        assert task.payload["i"] == 0
+        assert task.kind == "sleep"
+        assert task.attempts == 1 and task.max_attempts == 3
+
+    def test_leased_task_is_not_reclaimable_while_lease_holds(self, queue):
+        queue.enqueue(_tasks(1))
+        assert queue.claim("w1") is not None
+        assert queue.claim("w2") is None
+
+    def test_expired_lease_is_reclaimable(self, queue):
+        queue.enqueue(_tasks(1))
+        task = queue.claim("w1", lease_seconds=0.05)
+        time.sleep(0.1)
+        again = queue.claim("w2")
+        assert again is not None and again.key == task.key
+        assert again.attempts == 2
+
+    def test_heartbeat_extends_lease(self, queue):
+        queue.enqueue(_tasks(1))
+        task = queue.claim("w1", lease_seconds=0.15)
+        time.sleep(0.08)
+        assert queue.heartbeat(task.key, "w1", lease_seconds=5.0)
+        time.sleep(0.1)  # original lease would have expired by now
+        assert queue.claim("w2") is None
+
+    def test_heartbeat_fails_after_lease_lost(self, queue):
+        queue.enqueue(_tasks(1))
+        task = queue.claim("w1", lease_seconds=0.01)
+        time.sleep(0.05)
+        queue.claim("w2")
+        assert not queue.heartbeat(task.key, "w1")
+
+
+class TestCompleteAndFail:
+    def test_complete_marks_done(self, queue):
+        queue.enqueue(_tasks(1))
+        task = queue.claim("w1")
+        assert queue.complete(task.key, "w1")
+        assert queue.counts()["done"] == 1
+        assert queue.claim("w1") is None
+
+    def test_complete_rejected_after_lease_stolen(self, queue):
+        queue.enqueue(_tasks(1))
+        task = queue.claim("w1", lease_seconds=0.01)
+        time.sleep(0.05)
+        assert queue.claim("w2") is not None  # stole the expired lease
+        assert not queue.complete(task.key, "w1")
+        assert queue.complete(task.key, "w2")
+        # The straggler stays rejected even after the finisher is done:
+        # attribution (and the finisher's stats) must not be overwritten.
+        assert not queue.complete(task.key, "w1")
+        assert queue.states([task.key]) == {task.key: "done"}
+
+    def test_complete_is_idempotent_for_the_finisher(self, queue):
+        queue.enqueue(_tasks(1))
+        task = queue.claim("w1")
+        assert queue.complete(task.key, "w1")
+        assert queue.complete(task.key, "w1")
+
+    def test_fail_requeues_within_budget(self, queue):
+        queue.enqueue(_tasks(1))
+        task = queue.claim("w1")
+        assert queue.fail(task.key, "w1", "boom") == "queued"
+        assert queue.errors(task.key) == "boom"
+        assert queue.claim("w2").attempts == 2
+
+    def test_fail_dead_letters_after_budget(self, queue):
+        queue.enqueue(_tasks(1))
+        for attempt in range(1, 4):
+            task = queue.claim(f"w{attempt}")
+            assert task is not None
+            state = queue.fail(task.key, f"w{attempt}", f"boom {attempt}")
+        assert state == "dead"
+        assert queue.claim("w9") is None
+        dead = queue.dead()
+        assert len(dead) == 1
+        key, attempts, error = dead[0]
+        assert attempts == 3 and error == "boom 3"
+
+    def test_expiry_alone_exhausts_the_claim_budget(self, queue):
+        """Three leases dying without a word dead-letter the task."""
+        queue.enqueue(_tasks(1))
+        for _ in range(3):
+            assert queue.claim("w1", lease_seconds=0.01) is not None
+            time.sleep(0.03)
+        assert queue.claim("w2") is None  # 4th claim dead-letters instead
+        assert queue.counts()["dead"] == 1
+
+    def test_requeue_dead_restores_budget(self, queue):
+        queue.enqueue(_tasks(1))
+        for attempt in range(3):
+            task = queue.claim("w1")
+            queue.fail(task.key, "w1", "boom")
+        assert queue.counts()["dead"] == 1
+        assert queue.requeue_dead() == 1
+        task = queue.claim("w1")
+        assert task is not None and task.attempts == 1
+
+
+class TestIntrospection:
+    def test_states_and_counts(self, queue):
+        queue.enqueue(_tasks(3))
+        task = queue.claim("w1")
+        queue.complete(task.key, "w1")
+        queue.claim("w1")
+        states = queue.states([t[0] for t in _tasks(3)] + ["missing"])
+        assert states == {"task-000": "done", "task-001": "leased",
+                          "task-002": "queued"}
+        counts = queue.counts()
+        assert counts == {"queued": 1, "leased": 1, "done": 1, "dead": 0}
+        assert queue.depth() == 2
+
+    def test_leases_listing(self, queue):
+        queue.enqueue(_tasks(1))
+        queue.claim("w1", lease_seconds=60.0)
+        (lease,) = queue.leases()
+        assert lease.worker == "w1"
+        assert 0 < lease.remaining() <= 60.0
+
+    def test_retries_counts_extra_claims(self, queue):
+        queue.enqueue(_tasks(2))
+        task = queue.claim("w1")
+        queue.fail(task.key, "w1", "boom")
+        queue.claim("w2")  # attempt 2 on task-000
+        assert queue.retries() == 1
+
+    def test_purge_done(self, queue):
+        queue.enqueue(_tasks(2))
+        task = queue.claim("w1")
+        queue.complete(task.key, "w1")
+        assert queue.purge_done() == 1
+        assert queue.counts()["done"] == 0
+        assert queue.depth() == 1
+
+
+class TestWorkersTable:
+    def test_register_and_beat(self, queue):
+        wid = queue.register_worker(pid=123, host="testhost")
+        queue.worker_beat(wid, tasks_done=5, tasks_failed=1,
+                         telemetry={"unique_trials": 5})
+        (row,) = queue.workers()
+        assert row["worker_id"] == wid
+        assert row["pid"] == 123 and row["host"] == "testhost"
+        assert row["tasks_done"] == 5 and row["tasks_failed"] == 1
+        assert row["telemetry"] == {"unique_trials": 5}
+
+    def test_register_is_upsert(self, queue):
+        queue.register_worker("stable-id")
+        queue.register_worker("stable-id", pid=99)
+        (row,) = queue.workers()
+        assert row["pid"] == 99
+
+
+class TestSchema:
+    def test_reopen_preserves_rows(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        with JobQueue(path) as q:
+            q.enqueue(_tasks(2))
+        with JobQueue(path) as q:
+            assert q.depth() == 2
+            assert q.schema_version == FABRIC_SCHEMA_VERSION
+
+    def test_schema_version_mismatch_fails_loudly(self, tmp_path):
+        path = tmp_path / "q.sqlite"
+        with JobQueue(path) as q:
+            q._conn.execute(
+                "UPDATE fabric_meta SET value='999' WHERE key='schema_version'"
+            )
+        with pytest.raises(RuntimeError, match="schema"):
+            JobQueue(path)
+
+    def test_shares_file_with_result_store(self, tmp_path):
+        """Queue tables and store tables coexist in one SQLite file."""
+        from repro.store import open_store
+
+        path = tmp_path / "shared.sqlite"
+        store = open_store(path)
+        with JobQueue(path) as q:
+            q.enqueue(_tasks(1))
+            assert q.depth() == 1
+        assert store.stats()["sim_results"] == 0
+        store.close()

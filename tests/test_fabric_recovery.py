@@ -1,0 +1,186 @@
+"""Crash tolerance: SIGKILLed workers lose nothing and change nothing.
+
+Two layers of proof:
+
+- queue level — a subprocess worker is SIGKILLed mid-task; the lease
+  expires, a second worker reclaims the task (attempt 2) and finishes;
+- campaign level — a distributed ``validate`` run whose workers include
+  one killed mid-stage still produces output JSON *byte-identical* to
+  the serial run, because results are content-addressed and idempotent.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.fabric import FabricWorker, JobQueue
+from repro.fabric.tasks import KIND_SLEEP
+
+#: Environment for subprocess workers: the repo's src on PYTHONPATH.
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def spawn_worker(store_path, *extra):
+    """A real `repro worker` subprocess against ``store_path``."""
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--store", str(store_path),
+         "--poll", "0.05", *extra],
+        env=_env(), stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def wait_for(predicate, timeout=30.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestSigkillRequeue:
+    def test_sigkill_mid_task_requeues_after_lease_expiry(self, tmp_path):
+        store_path = tmp_path / "fab.sqlite"
+        queue = JobQueue(store_path, lease_seconds=1.0)
+        # A task long enough to guarantee the kill lands mid-execution.
+        queue.enqueue([("victim-task", KIND_SLEEP, {"seconds": 60.0})])
+
+        proc = spawn_worker(store_path, "--lease", "1.0", "--max-idle", "30")
+        try:
+            assert wait_for(lambda: queue.counts()["leased"] == 1), \
+                "worker never leased the task"
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+
+            # No heartbeats now; the lease must expire and the task be
+            # claimable again — the expiry-driven requeue path.
+            assert wait_for(
+                lambda: queue.claim("rescuer", lease_seconds=30.0) is not None,
+                timeout=10.0,
+            ), "expired lease never became claimable"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=5)
+        # The rescuer holds attempt 2; finish it.
+        assert queue.heartbeat("victim-task", "rescuer")
+        assert queue.complete("victim-task", "rescuer")
+        assert queue.counts()["done"] == 1
+        queue.close()
+
+    def test_second_worker_finishes_killed_workers_sim(self, tmp_path):
+        """End to end: kill one worker mid-queue, a fresh one completes
+        the remaining simulations and the store ends up fully populated."""
+        from repro.core.config import cortex_a53_public_config
+        from repro.fabric import plan_simulations
+        from repro.isa.decoder import Decoder
+        from repro.store import open_store
+
+        store_path = tmp_path / "fab.sqlite"
+        config = cortex_a53_public_config()
+        items = ([(config, name, 0.5, {}, Decoder())
+                  for name in ("CCa", "ED1", "MD", "STc")]
+                 # A long sleep first, so the victim is mid-task when killed.
+                 )
+        plan = plan_simulations(items)
+        with JobQueue(store_path, lease_seconds=1.0) as queue:
+            queue.enqueue([("blocker", KIND_SLEEP, {"seconds": 60.0})])
+            queue.enqueue(plan.tasks)
+
+        victim = spawn_worker(store_path, "--lease", "1.0", "--max-idle", "30")
+        with JobQueue(store_path) as queue:
+            assert wait_for(lambda: queue.counts()["leased"] >= 1)
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=10)
+
+        # The rescuer must wait out the blocker's expired lease, claim
+        # it (it sleeps 60s — fail it fast via max_attempts exhaustion
+        # is not needed: lease 1s + drain ignores it by completing sims
+        # first in creation order... instead give the rescuer its own
+        # path: requeue the blocker as done by claiming and completing).
+        time.sleep(1.2)  # let the blocker's lease lapse
+        with JobQueue(store_path) as queue:
+            blocker = queue.claim("cleanup", lease_seconds=60.0)
+            assert blocker is not None and blocker.key == "blocker"
+            queue.complete("blocker", "cleanup")
+
+        rescuer = FabricWorker(store_path, drain=True, poll=0.05, lease=10.0)
+        stats = rescuer.run()
+        assert stats.failed == 0
+        with open_store(store_path) as store:
+            missing = [key for key in plan.keys if store.get_sim(key) is None]
+        assert missing == []
+
+
+#: Tiny-but-real campaign settings shared by both halves of the
+#: byte-identity proof (kept small: this runs in the tier-1 gate).
+CAMPAIGN_ARGS = ["--core", "a53", "--profile", "fast", "--stages", "1",
+                 "--seed", "7"]
+
+
+def run_validate(tmp_path, out_name, *extra):
+    out = tmp_path / out_name
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "validate", *CAMPAIGN_ARGS,
+         "--out", str(out), *extra],
+        env=_env(), capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return out.read_bytes()
+
+
+class TestDistributedByteIdentity:
+    def test_fabric_campaign_with_sigkill_matches_serial(self, tmp_path):
+        serial = run_validate(tmp_path, "serial.json")
+
+        store_path = tmp_path / "fab.sqlite"
+        workers = [spawn_worker(store_path, "--lease", "5", "--max-idle", "120")
+                   for _ in range(2)]
+        victim = workers[0]
+        try:
+            import threading
+
+            # Kill one worker as soon as any task is leased (mid-stage).
+            def killer():
+                deadline = time.monotonic() + 120
+                while time.monotonic() < deadline:
+                    try:
+                        with JobQueue(store_path) as queue:
+                            if queue.counts()["leased"] >= 1:
+                                victim.send_signal(signal.SIGKILL)
+                                return
+                    except Exception:
+                        pass
+                    time.sleep(0.2)
+
+            thread = threading.Thread(target=killer, daemon=True)
+            thread.start()
+            fabric = run_validate(tmp_path, "fabric.json",
+                                  "--executor", "fabric",
+                                  "--store", str(store_path))
+            thread.join(timeout=5)
+            assert victim.poll() is not None, "victim worker was never killed"
+        finally:
+            for proc in workers:
+                if proc.poll() is None:
+                    proc.kill()
+                proc.wait(timeout=10)
+
+        assert fabric == serial, "distributed campaign JSON diverged from serial"
+        # Sanity guard on the comparison itself: the bytes decode to a
+        # real campaign payload, not an error artefact.
+        payload = json.loads(serial)
+        assert payload["core"] == "a53" and payload["final_errors"]
+        # The killed worker's work was reclaimed: everything finished,
+        # nothing dead-lettered, nothing left outstanding.
+        with JobQueue(store_path) as queue:
+            counts = queue.counts()
+        assert counts["dead"] == 0
+        assert counts["queued"] == 0 and counts["leased"] == 0

@@ -1,0 +1,313 @@
+"""Fabric worker + executor: distributed runs equal serial runs."""
+
+import threading
+
+import pytest
+
+from repro.core.config import cortex_a53_public_config
+from repro.engine import EvaluationEngine
+from repro.engine.executors import FabricExecutor, make_executor
+from repro.fabric import (
+    FabricWorker,
+    JobQueue,
+    plan_simulations,
+    sim_task,
+    status_snapshot,
+)
+from repro.fabric.tasks import rebuild_config, resolve_decoder
+from repro.isa.decoder import BuggyDecoder, Decoder
+from repro.store import open_store
+from repro.workloads.microbench import MICROBENCHMARKS
+
+WORKLOADS = [MICROBENCHMARKS[n] for n in ("CCa", "ED1", "MD")]
+SCALE = 0.5
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    return str(tmp_path / "fabric.sqlite")
+
+
+def run_worker_in_background(store_path, **kwargs):
+    """A worker thread draining the queue until stopped."""
+    kwargs.setdefault("lease", 10.0)
+    kwargs.setdefault("poll", 0.02)
+    worker = FabricWorker(store_path, **kwargs)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+class TestTaskSpecs:
+    def test_sim_task_key_is_the_store_address(self):
+        config = cortex_a53_public_config()
+        key, payload = sim_task(config, "CCa", SCALE, {}, Decoder())
+        assert key.startswith("('sim'")
+        assert payload["workload"] == "CCa"
+        assert payload["config"]["core_type"] == "inorder"
+
+    def test_rebuild_config_round_trips(self):
+        config = cortex_a53_public_config().with_updates({"l1d.size": 16384})
+        rebuilt = rebuild_config(config.flatten())
+        assert rebuilt.flatten() == config.flatten()
+
+    def test_resolve_decoder_round_trips(self):
+        from repro.fabric.tasks import decoder_spec
+
+        assert isinstance(resolve_decoder(decoder_spec(Decoder())), Decoder)
+        assert isinstance(resolve_decoder(decoder_spec(BuggyDecoder())), BuggyDecoder)
+
+    def test_resolve_decoder_rejects_non_decoders(self):
+        with pytest.raises(TypeError, match="Decoder"):
+            resolve_decoder("repro.core.config:SimConfig")
+
+
+class TestPlanning:
+    def test_expand_grid_feeds_the_planner(self):
+        from repro.fabric import expand_grid
+
+        base = cortex_a53_public_config()
+        items = expand_grid(base, {"l1d.size": [16384, 32768]},
+                            ["CCa", "ED1"], scale=SCALE)
+        assert len(items) == 4  # 2 configs x 2 workloads
+        plan = plan_simulations(items)
+        assert len(plan.keys) == 4
+        configs = {config.l1d.size for config, *_rest in items}
+        assert configs == {16384, 32768}
+
+    def test_expand_grid_empty_grid_is_base_config(self):
+        from repro.fabric import expand_grid
+
+        base = cortex_a53_public_config()
+        items = expand_grid(base, {}, ["CCa"], scale=SCALE)
+        assert len(items) == 1
+        config, workload, scale, overrides, decoder = items[0]
+        assert config.flatten() == base.flatten()
+        assert workload == "CCa" and scale == SCALE and overrides == {}
+        assert isinstance(decoder, Decoder)
+
+    def test_plan_deduplicates_within_batch(self):
+        config = cortex_a53_public_config()
+        items = [(config, "CCa", SCALE, {}, Decoder())] * 3
+        plan = plan_simulations(items)
+        assert len(plan.tasks) == 1 and len(plan.keys) == 1
+
+    def test_plan_deduplicates_against_store(self, store_path):
+        config = cortex_a53_public_config()
+        store = open_store(store_path)
+        items = [(config, "CCa", SCALE, {}, Decoder())]
+        # Prime the store through a normal engine run.
+        with EvaluationEngine(workloads=WORKLOADS, scale=SCALE, store=store) as eng:
+            eng.simulate(config, "CCa")
+        plan = plan_simulations(items, store=store)
+        assert plan.tasks == [] and plan.store_hits == plan.keys
+        store.close()
+
+
+class TestWorkerExecution:
+    def test_drain_executes_and_persists(self, store_path):
+        config = cortex_a53_public_config()
+        store = open_store(store_path)
+        plan = plan_simulations([(config, "CCa", SCALE, {}, Decoder())])
+        with JobQueue(store_path) as queue:
+            queue.enqueue(plan.tasks)
+        stats = FabricWorker(store_path, drain=True, poll=0.02).run()
+        assert stats.claimed == 1 and stats.completed == 1 and stats.failed == 0
+        assert store.get_sim(plan.keys[0]) is not None
+        store.close()
+
+    def test_worker_results_match_serial(self, store_path):
+        config = cortex_a53_public_config()
+        with EvaluationEngine(workloads=WORKLOADS, scale=SCALE) as eng:
+            ref = eng.simulate(config, "ED1")
+        plan = plan_simulations([(config, "ED1", SCALE, {}, Decoder())])
+        with JobQueue(store_path) as queue:
+            queue.enqueue(plan.tasks)
+        FabricWorker(store_path, drain=True, poll=0.02).run()
+        with open_store(store_path) as store:
+            assert store.get_sim(plan.keys[0]) == ref
+
+    def test_unknown_kind_dead_letters(self, store_path):
+        with JobQueue(store_path) as queue:
+            queue.enqueue([("bad-task", "mystery", {})])
+        stats = FabricWorker(store_path, max_tasks=3, drain=True, poll=0.02).run()
+        assert stats.failed >= 1
+        with JobQueue(store_path) as queue:
+            # Budget takes three failures to exhaust; drain again.
+            while queue.counts()["dead"] == 0:
+                FabricWorker(store_path, drain=True, poll=0.02).run()
+            (dead,) = queue.dead()
+        assert "unknown task kind" in dead[2]
+
+    def test_max_tasks_bounds_the_session(self, store_path):
+        config = cortex_a53_public_config()
+        items = [(config, name, SCALE, {}, Decoder()) for name in ("CCa", "ED1")]
+        plan = plan_simulations(items)
+        with JobQueue(store_path) as queue:
+            queue.enqueue(plan.tasks)
+        stats = FabricWorker(store_path, max_tasks=1, poll=0.02).run()
+        assert stats.claimed == 1
+        with JobQueue(store_path) as queue:
+            assert queue.depth() == 1
+
+
+class TestFabricExecutor:
+    def test_needs_a_sqlite_store(self):
+        with pytest.raises(ValueError, match="SQLite"):
+            FabricExecutor(None)
+        with pytest.raises(ValueError, match="SQLite"):
+            FabricExecutor(open_store("memory"))
+        with pytest.raises(ValueError, match="SQLite"):
+            make_executor(1, "fabric")
+
+    def test_factory_builds_fabric(self, store_path):
+        store = open_store(store_path)
+        executor = make_executor(1, "fabric", store=store)
+        assert executor.name == "fabric"
+        executor.close()
+        store.close()
+
+    def test_batch_matches_serial_and_is_cached(self, store_path):
+        base = cortex_a53_public_config()
+        configs = [base, base.with_updates({"l1d.size": 16384})]
+        pairs = [(c, wl.name) for c in configs for wl in WORKLOADS]
+        with EvaluationEngine(workloads=WORKLOADS, scale=SCALE) as eng:
+            ref = eng.simulate_batch(pairs)
+
+        store = open_store(store_path)
+        executor = FabricExecutor(store, poll=0.02, timeout=60)
+        engine = EvaluationEngine(workloads=WORKLOADS, scale=SCALE,
+                                  store=store, executor=executor)
+        worker, thread = run_worker_in_background(store_path)
+        try:
+            got = engine.simulate_batch(pairs)
+            assert got == ref
+            assert engine.telemetry.unique_trials == len(pairs)
+            # Second submission: answered from cache, no new tasks.
+            assert engine.simulate_batch(pairs) == ref
+            assert engine.telemetry.unique_trials == len(pairs)
+        finally:
+            worker.stop()
+            thread.join(timeout=10)
+            engine.close()
+        snap = status_snapshot(store_path)
+        assert snap["queue"]["done"] == len(pairs)
+        assert snap["queue"]["dead"] == 0
+        store.close()
+
+    def test_timeout_without_workers(self, store_path):
+        store = open_store(store_path)
+        executor = FabricExecutor(store, poll=0.02, timeout=0.2)
+        engine = EvaluationEngine(workloads=WORKLOADS, scale=SCALE,
+                                  store=store, executor=executor)
+        with pytest.raises(TimeoutError, match="repro worker"):
+            engine.simulate(cortex_a53_public_config(), "CCa")
+        engine.close()
+        store.close()
+
+    def test_fresh_submission_revives_dead_keys(self, store_path):
+        """A key dead-lettered in an earlier run must not poison a new
+        batch: resubmitting restores its claim budget and it executes."""
+        store = open_store(store_path)
+        base = cortex_a53_public_config()
+        plan = plan_simulations([(base, "CCa", SCALE, {}, Decoder())])
+        with JobQueue(store_path, max_attempts=1) as queue:
+            queue.enqueue(plan.tasks)
+            task = queue.claim("w1")
+            queue.fail(task.key, "w1", "transient crash in an old run")
+            assert queue.counts()["dead"] == 1
+        executor = FabricExecutor(store, poll=0.02, timeout=60)
+        engine = EvaluationEngine(workloads=WORKLOADS, scale=SCALE,
+                                  store=store, executor=executor)
+        worker, thread = run_worker_in_background(store_path)
+        try:
+            stats = engine.simulate(base, "CCa")
+            assert stats is not None
+        finally:
+            worker.stop()
+            thread.join(timeout=10)
+            engine.close()
+        with JobQueue(store_path) as queue:
+            assert queue.counts() == {"queued": 0, "leased": 0,
+                                      "done": 1, "dead": 0}
+        store.close()
+
+    def test_no_store_writeback_after_fabric_batch(self, store_path):
+        """The engine must not rewrite results the workers already
+        persisted (write traffic on the shared file would double)."""
+        store = open_store(store_path)
+        executor = FabricExecutor(store, poll=0.02, timeout=60)
+        engine = EvaluationEngine(workloads=WORKLOADS, scale=SCALE,
+                                  store=store, executor=executor)
+        writes = []
+        original = store.put_sim_many
+
+        def recording_put(items):
+            items = list(items)
+            writes.append(items)
+            return original(items)
+
+        store.put_sim_many = recording_put
+        worker, thread = run_worker_in_background(store_path)
+        try:
+            engine.simulate(cortex_a53_public_config(), "CCa")
+        finally:
+            worker.stop()
+            thread.join(timeout=10)
+            engine.close()
+            store.put_sim_many = original
+        # The worker wrote through its own store handle; the driver's
+        # handle must have issued no sim writes at all.
+        assert writes == []
+        with open_store(store_path) as check:
+            assert check.stats()["sim_results"] == 1
+        store.close()
+
+    def test_task_dying_mid_batch_surfaces_as_error(self, store_path):
+        """A task that exhausts its claim budget *during* the batch
+        dead-letters and fails the waiting driver with the error."""
+        store = open_store(store_path)
+        base = cortex_a53_public_config()
+        plan = plan_simulations([(base, "CCa", SCALE, {}, Decoder())])
+        # Pre-seed the executor's key with a payload no worker can run
+        # (unresolvable decoder) and a claim budget of one: the worker
+        # fails it once, it dead-letters mid-batch, the driver raises.
+        (key, kind, payload) = plan.tasks[0]
+        broken = dict(payload, decoder="nonexistent.module:Nope")
+        with JobQueue(store_path, max_attempts=1) as queue:
+            queue.enqueue([(key, kind, broken)])
+        executor = FabricExecutor(store, poll=0.02, timeout=30)
+        engine = EvaluationEngine(workloads=WORKLOADS, scale=SCALE,
+                                  store=store, executor=executor)
+        worker, thread = run_worker_in_background(store_path)
+        try:
+            with pytest.raises(RuntimeError, match="dead-letter"):
+                engine.simulate(base, "CCa")
+        finally:
+            worker.stop()
+            thread.join(timeout=10)
+            engine.close()
+        store.close()
+
+
+class TestStatusSnapshot:
+    def test_snapshot_shape(self, store_path):
+        with JobQueue(store_path) as queue:
+            queue.enqueue([("k1", "sleep", {"seconds": 0})])
+            queue.register_worker("w1", pid=1)
+        snap = status_snapshot(store_path)
+        assert snap["depth"] == 1
+        assert snap["queue"]["queued"] == 1
+        assert snap["workers"][0]["worker_id"] == "w1"
+        assert set(snap["results"]) == {"sim_results", "hw_results", "trial_costs"}
+
+    def test_snapshot_surfaces_engine_telemetry(self, store_path):
+        config = cortex_a53_public_config()
+        plan = plan_simulations([(config, "CCa", SCALE, {}, Decoder())])
+        with JobQueue(store_path) as queue:
+            queue.enqueue(plan.tasks)
+        FabricWorker(store_path, drain=True, poll=0.02).run()
+        (worker,) = status_snapshot(store_path)["workers"]
+        assert worker["tasks_done"] == 1
+        assert worker["unique_trials"] == 1
+        assert worker["requested_trials"] == 1

@@ -25,7 +25,13 @@ import sys
 TARGET_MODULES = [
     "repro.simulator.simulator",
     "repro.engine.engine",
+    "repro.engine.executors",
     "repro.store.resultstore",
+    "repro.fabric.queue",
+    "repro.fabric.scheduler",
+    "repro.fabric.tasks",
+    "repro.fabric.worker",
+    "repro.fabric.status",
     "repro.validation.campaign",
     "repro.tuning.irace",
     "repro.tuning.race",
