@@ -12,8 +12,10 @@ is compared against.
 """
 
 from repro.bench.harness import (
+    DEFAULT_MAX_REGRESSION,
     MAX_RUNS,
     SCHEMA_VERSION,
+    compare_runs,
     default_bench_path,
     host_fingerprint,
     load_report,
@@ -32,8 +34,10 @@ from repro.bench.scenarios import (
 
 __all__ = [
     "BenchScenario",
+    "DEFAULT_MAX_REGRESSION",
     "MAX_RUNS",
     "SCHEMA_VERSION",
+    "compare_runs",
     "default_bench_path",
     "full_suite",
     "get_suite",

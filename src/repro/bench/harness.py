@@ -260,8 +260,158 @@ def _run_fabric(scn: BenchScenario, repeats: int) -> dict:
     }
 
 
+def _fresh_trace(wl, scale: float):
+    """Record a trace from scratch — the cold path independent workers pay.
+
+    Bypasses the workload's trace memo on purpose: these scenarios
+    measure what re-recording costs, so a warm cache would be the wrong
+    baseline.
+    """
+    from repro.frontend.interpreter import trace_program
+
+    program = wl.program(scale=scale)
+    trace = trace_program(program, iterations=1,
+                          max_instructions=wl.max_instructions)
+    trace.name = wl.name
+    return trace
+
+
+def _run_batch(scn: BenchScenario, repeats: int) -> dict:
+    """Race-step fusion: K candidates, one instance, one shared pass.
+
+    Three measured variants of the same K-candidate x instance block:
+
+    - *isolated* — K serial passes, each re-recording and re-flattening
+      the trace (what K independent workers pay today);
+    - *warm serial* — K ``SnipeSim.run`` passes over one memoised trace
+      (the best the unbatched in-process path can do);
+    - *batched* — one fresh recording plus one shared columnar pass
+      driving all K cores (``simulate_batch``).
+
+    The headline number is the batched variant's *effective*
+    per-candidate throughput (K x instructions / wall); the telemetry
+    records all three walls and the two speedups.
+    """
+    import itertools
+
+    from repro.isa.decoder import Decoder
+    from repro.simulator import SnipeSim, simulate_batch
+
+    base = _config_for(scn.core)
+    keys = [k for k, _values in scn.grid]
+    axes = [values for _k, values in scn.grid]
+    configs = [
+        base.with_updates(dict(zip(keys, combo)))
+        for combo in itertools.product(*axes)
+    ]
+    k = len(configs)
+    workloads = [_workload(n) for n in scn.workloads]
+    decoder = Decoder()
+    warm_traces = [wl.trace(scale=scn.scale) for wl in workloads]
+    instructions_per_pass = sum(len(t) for t in warm_traces)
+
+    best_isolated = best_warm = best_batched = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for wl in workloads:
+            for config in configs:
+                SnipeSim(config, decoder=decoder).run(_fresh_trace(wl, scn.scale))
+        best_isolated = min(best_isolated, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        for trace in warm_traces:
+            for config in configs:
+                SnipeSim(config, decoder=decoder).run(trace)
+        best_warm = min(best_warm, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        for wl in workloads:
+            simulate_batch(_fresh_trace(wl, scn.scale), configs, decoder=decoder)
+        best_batched = min(best_batched, time.perf_counter() - t0)
+
+    effective = k * instructions_per_pass
+    return {
+        "instructions": effective,
+        "cycles": 0,
+        "wall_seconds": best_batched,
+        "instructions_per_second": effective / best_batched,
+        "cycles_per_second": 0.0,
+        "telemetry": {
+            "candidates": k,
+            "isolated_wall_seconds": best_isolated,
+            "warm_serial_wall_seconds": best_warm,
+            "batched_wall_seconds": best_batched,
+            "speedup_vs_isolated": best_isolated / best_batched,
+            "speedup_vs_warm_serial": best_warm / best_batched,
+        },
+    }
+
+
+def _run_mmap(scn: BenchScenario, repeats: int) -> dict:
+    """Columnar blob attach cost vs the record-and-persist cold path.
+
+    The build phase (cold workload copies, so recording is really paid)
+    is what the *first* worker on a host does: record, columnarise,
+    persist. Each timed attach pass then plays the *second* worker: a
+    fresh :class:`~repro.engine.tracestore.TraceStore` over the same
+    cache directory memory-maps every blob and materialises the first
+    tuple to prove the mapping is live. Throughput is attach-side.
+    """
+    import copy
+    import shutil
+    import tempfile
+
+    from repro.engine.tracestore import TraceStore
+    from repro.isa.decoder import Decoder
+
+    workloads = [_workload(n) for n in scn.workloads]
+    decoder = Decoder()
+    tmp = tempfile.mkdtemp(prefix="repro-bench-mmap-")
+    try:
+        # Cold copies: the suite's earlier scenarios warm the shared
+        # workload trace memos, which would understate the build cost.
+        cold = []
+        for wl in workloads:
+            c = copy.copy(wl)
+            c._trace_cache = {}
+            cold.append(c)
+        t0 = time.perf_counter()
+        first = TraceStore(cold, scale=scn.scale, cache_dir=tmp)
+        built = [first.columns(wl.name, decoder) for wl in cold]
+        build_wall = time.perf_counter() - t0
+        instructions = sum(len(c) for c in built)
+
+        best_attach = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            attacher = TraceStore(workloads, scale=scn.scale, cache_dir=tmp)
+            attached = [attacher.columns(wl.name, decoder) for wl in workloads]
+            for cols in attached:
+                cols.tuples(0, 1)
+            best_attach = min(best_attach, time.perf_counter() - t0)
+            if attacher.column_attaches != len(workloads):
+                raise RuntimeError("mmap scenario rebuilt instead of attaching")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    return {
+        "instructions": instructions,
+        "cycles": 0,
+        "wall_seconds": best_attach,
+        "instructions_per_second": instructions / best_attach,
+        "cycles_per_second": 0.0,
+        "telemetry": {
+            "blobs": len(workloads),
+            "build_persist_wall_seconds": build_wall,
+            "attach_wall_seconds": best_attach,
+            "attach_speedup": build_wall / best_attach,
+        },
+    }
+
+
 _RUNNERS = {"simulate": _run_simulate, "trace": _run_trace,
-            "engine": _run_engine, "fabric": _run_fabric}
+            "engine": _run_engine, "fabric": _run_fabric,
+            "batch": _run_batch, "mmap": _run_mmap}
 
 
 def run_scenario(scn: BenchScenario, repeats: int = None) -> dict:
@@ -342,7 +492,8 @@ def validate_report(report) -> None:
                         "cycles", "wall_seconds", "instructions_per_second",
                         "cycles_per_second"):
                 need(key in scn, f"scenario.{key} missing")
-            need(scn["kind"] in ("simulate", "trace", "engine", "fabric"),
+            need(scn["kind"] in ("simulate", "trace", "engine", "fabric",
+                                 "batch", "mmap"),
                  f"scenario kind {scn['kind']!r} invalid")
             need(scn["wall_seconds"] > 0, "non-positive wall_seconds")
             need(scn["instructions"] > 0, "non-positive instructions")
@@ -394,3 +545,53 @@ def run_bench(suite: str = "full", repeats: int = None, out: str = None,
     path = out if out else default_bench_path()
     report = update_report_file(path, run_entry)
     return report, run_entry, path
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+#: Default relative throughput loss tolerated before a scenario counts
+#: as regressed (``repro bench --compare``'s gate).
+DEFAULT_MAX_REGRESSION = 0.15
+
+
+def _normalize_scenario_name(name: str) -> str:
+    """Fold quick-suite variants onto their full-suite counterparts."""
+    return name[:-len("-quick")] if name.endswith("-quick") else name
+
+
+def compare_runs(baseline_run: dict, run_entry: dict,
+                 max_regression: float = DEFAULT_MAX_REGRESSION) -> tuple:
+    """Diff per-scenario throughput of ``run_entry`` against a baseline.
+
+    Scenarios are matched by name with the ``-quick`` suffix stripped,
+    so a CI quick run compares against a committed full-suite baseline.
+    A scenario *regresses* when its instructions-per-second falls more
+    than ``max_regression`` (relative) below the baseline's. Returns
+    ``(rows, regressions)``: every matched scenario as a comparison
+    dict, and the regressed subset. Scenarios present on only one side
+    are skipped — a renamed or new scenario is not a regression.
+    """
+    base_by_name = {
+        _normalize_scenario_name(s["name"]): s
+        for s in baseline_run["scenarios"]
+    }
+    rows, regressions = [], []
+    for scn in run_entry["scenarios"]:
+        base = base_by_name.get(_normalize_scenario_name(scn["name"]))
+        if base is None:
+            continue
+        baseline_ips = base["instructions_per_second"]
+        current_ips = scn["instructions_per_second"]
+        ratio = current_ips / baseline_ips if baseline_ips else float("inf")
+        row = {
+            "name": _normalize_scenario_name(scn["name"]),
+            "baseline_instructions_per_second": baseline_ips,
+            "current_instructions_per_second": current_ips,
+            "ratio": ratio,
+            "regressed": ratio < 1.0 - max_regression,
+        }
+        rows.append(row)
+        if row["regressed"]:
+            regressions.append(row)
+    return rows, regressions

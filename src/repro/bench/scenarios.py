@@ -16,7 +16,15 @@ simulation stack:
 - ``fabric`` — distributed-dispatch overhead: the same grid run twice,
   once serially in-process and once decomposed into fabric tasks on a
   throwaway SQLite queue drained by an in-process worker, isolating the
-  per-task cost of enqueue + claim + store write-back + read-back.
+  per-task cost of enqueue + claim + store write-back + read-back;
+- ``batch`` — race-step fusion: K candidate configurations over one
+  instance, run as K isolated serial passes (each re-recording the
+  trace — what independent workers pay) versus one shared columnar
+  pass (``simulate_batch``), reporting effective per-candidate
+  throughput and the fusion speedup;
+- ``mmap`` — columnar blob attach cost: memory-mapping persisted trace
+  blobs (what the second worker on a host pays) versus recording,
+  building and persisting them (what the first worker pays).
 
 Scenario *lists* are deterministic (names, workloads, order); only the
 measured wall-clock varies between runs.
@@ -77,6 +85,14 @@ ENGINE_GRID = (
     ("branch.btb_entries", (256, 512)),
 )
 
+#: Batch-scenario grid: 2x2x2 = 8 candidates, the alive set of a
+#: typical F-race step (the acceptance unit for batched simulation).
+BATCH_GRID = (
+    ("branch.mispredict_penalty", (6, 9)),
+    ("l1d.size", (16384, 32768)),
+    ("branch.btb_entries", (256, 512)),
+)
+
 
 def _microbench_names() -> tuple:
     from repro.workloads.microbench import MICROBENCHMARKS
@@ -107,6 +123,10 @@ def full_suite() -> list:
         BenchScenario("fabric-overhead", "fabric", core="a53",
                       workloads=("CCa", "ED1", "MD", "STc"),
                       grid=ENGINE_GRID, repeats=1, scale=0.5),
+        BenchScenario("batched-race-step", "batch", core="a53",
+                      workloads=QUICK_KERNELS, grid=BATCH_GRID, repeats=3),
+        BenchScenario("trace-mmap-attach", "mmap", core="a53",
+                      workloads=QUICK_KERNELS, repeats=3),
     ]
 
 
@@ -127,6 +147,11 @@ def quick_suite() -> list:
         BenchScenario("fabric-overhead-quick", "fabric", core="a53",
                       workloads=("CCa", "ED1"), grid=ENGINE_GRID,
                       repeats=1, scale=0.5),
+        BenchScenario("batched-race-step-quick", "batch", core="a53",
+                      workloads=QUICK_KERNELS[:4], grid=BATCH_GRID,
+                      repeats=1),
+        BenchScenario("trace-mmap-attach-quick", "mmap", core="a53",
+                      workloads=QUICK_KERNELS[:4], repeats=2),
     ]
 
 

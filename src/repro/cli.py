@@ -499,7 +499,13 @@ def cmd_components(args) -> int:
 
 def cmd_bench(args) -> int:
     """Run the perf suite and record/update ``BENCH_<host>.json``."""
-    from repro.bench import default_bench_path, get_suite, run_bench
+    from repro.bench import (
+        compare_runs,
+        default_bench_path,
+        get_suite,
+        load_report,
+        run_bench,
+    )
 
     suite = "quick" if args.quick else args.suite
     if args.list:
@@ -540,6 +546,16 @@ def cmd_bench(args) -> int:
                   f"{t['dispatch_overhead_ms_per_task']:.2f} ms/task overhead "
                   f"(serial {t['serial_wall_seconds'] * 1e3:.1f} ms, "
                   f"fabric {t['fabric_wall_seconds'] * 1e3:.1f} ms)")
+        elif scn["kind"] == "batch":
+            print(f"batched race step ({scn['name']}): {t['candidates']} candidates, "
+                  f"{t['speedup_vs_isolated']:.2f}x vs isolated passes, "
+                  f"{t['speedup_vs_warm_serial']:.2f}x vs warm serial "
+                  f"(batched {t['batched_wall_seconds'] * 1e3:.1f} ms)")
+        elif scn["kind"] == "mmap":
+            print(f"trace attach ({scn['name']}): {t['blobs']} blobs, "
+                  f"attach {t['attach_wall_seconds'] * 1e3:.2f} ms vs "
+                  f"record+persist {t['build_persist_wall_seconds'] * 1e3:.1f} ms "
+                  f"({t['attach_speedup']:.0f}x)")
         else:
             print(f"engine telemetry ({scn['name']}): "
                   f"{t['requested_trials']} requested, "
@@ -550,6 +566,32 @@ def cmd_bench(args) -> int:
         import json as _json
 
         print(_json.dumps(entry, indent=1, sort_keys=True))
+    if args.compare:
+        baseline = load_report(args.compare)
+        rows, regressions = compare_runs(
+            baseline["runs"][-1], entry, max_regression=args.max_regression,
+        )
+        if not rows:
+            print(f"compare: no scenarios in common with {args.compare}")
+        else:
+            table = [[r["name"],
+                      f"{r['baseline_instructions_per_second']:,.0f}",
+                      f"{r['current_instructions_per_second']:,.0f}",
+                      f"{r['ratio']:.2f}x",
+                      "REGRESSED" if r["regressed"] else "ok"]
+                     for r in rows]
+            print(render_table(
+                ["scenario", "baseline instr/s", "current instr/s",
+                 "ratio", "verdict"],
+                table, title=f"compare vs {args.compare} "
+                             f"(threshold -{args.max_regression:.0%})"))
+        if regressions:
+            names = ", ".join(r["name"] for r in regressions)
+            print(f"compare: {len(regressions)} scenario(s) regressed "
+                  f">{args.max_regression:.0%}: {names}")
+            if not args.compare_warn:
+                return 1
+            print("compare: --compare-warn set; not failing")
     return 0
 
 
@@ -658,10 +700,11 @@ def cmd_status(args) -> int:
                 f"{w['tasks_per_second']:.2f}/s",
                 w["store_hits"],
                 f"{w['unique_trials']}/{w['requested_trials']}",
+                w["batched_trials"],
             ])
         print(render_table(
             ["worker", "pid", "last seen", "done", "failed", "throughput",
-             "store hits", "trials (unique/req)"],
+             "store hits", "trials (unique/req)", "batched"],
             rows, title="workers"))
     results = snap["results"]
     print(f"store: {results['sim_results']} sim results, "
@@ -877,6 +920,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the scenario list without running")
     p.add_argument("--json", action="store_true",
                    help="also print this run's entry as JSON")
+    p.add_argument("--compare", default=None, metavar="BASELINE.json",
+                   help="diff this run against a baseline report; exit "
+                        "non-zero on regression")
+    p.add_argument("--compare-warn", action="store_true",
+                   help="with --compare: report regressions but exit 0 "
+                        "(soft gate for noisy shared runners)")
+    p.add_argument("--max-regression", type=float, default=0.15,
+                   help="relative throughput loss tolerated by --compare "
+                        "(default 0.15)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("store", help="manage a persistent experiment store")

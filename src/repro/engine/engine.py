@@ -50,6 +50,15 @@ class EngineTelemetry:
     #: Cache hits served by the persistent store (counted inside
     #: ``sim_cache_hits``/``hw_cache_hits`` as well).
     store_hits: int = 0
+    #: Trials executed inside a fused multi-config batch — K candidates
+    #: driven down one shared columnar trace pass (a race step's alive
+    #: set) instead of K independent passes.
+    batched_trials: int = 0
+    #: Dynamic instructions simulated through shared passes: for each
+    #: fused group of K configs over an N-instruction trace, K*N. The
+    #: observable form of the batching win — without fusion this work
+    #: would have been K separate trace iterations.
+    shared_pass_instructions: int = 0
 
     def hit_rate(self) -> float:
         """Fraction of requested trials answered without simulating."""
@@ -67,6 +76,11 @@ class EngineTelemetry:
         )
         if self.store_hits:
             text += f", {self.store_hits} store hits"
+        if self.batched_trials:
+            text += (
+                f", {self.batched_trials} batched trials "
+                f"({self.shared_pass_instructions} shared-pass instructions)"
+            )
         return text
 
 
@@ -105,6 +119,13 @@ class EvaluationEngine:
         stays the first-level cache; the store is the durable second
         level shared across engines, processes and sessions. The engine
         never closes a store it was given.
+    trace_cache:
+        Optional directory of persisted columnar trace blobs (see
+        :meth:`~repro.engine.tracestore.TraceStore.columns`). When set,
+        simulations attach memory-mapped columnar traces from disk
+        instead of re-recording — the fabric worker points every engine
+        at one directory next to the store file so each trace is
+        recorded once per host, not once per worker.
     """
 
     def __init__(
@@ -117,10 +138,11 @@ class EvaluationEngine:
         executor: str = None,
         overrides: dict = None,
         store=None,
+        trace_cache: str = None,
     ) -> None:
         self.hw = hw
         self.decoder = decoder if decoder is not None else Decoder()
-        self.traces = TraceStore(workloads, scale=scale)
+        self.traces = TraceStore(workloads, scale=scale, cache_dir=trace_cache)
         self.overrides = overrides if overrides is not None else {}
         self.jobs = max(1, int(jobs))
         self.store = store
@@ -151,6 +173,19 @@ class EvaluationEngine:
     def trace(self, name: str):
         """The (memoised) trace of workload ``name`` under current overrides."""
         return self.traces.get(name, self._wl_overrides(name))
+
+    def _sim_trace(self, name: str):
+        """Trace-like object simulation groups hand the executor.
+
+        With a trace cache configured this is the mmap-attached columnar
+        form — the path that lets a fabric worker simulate without ever
+        recording. Without one it is the recorded trace itself; the
+        columnar form is then built lazily (and memoised on the trace)
+        only when an executor actually fuses a multi-config group.
+        """
+        if self.traces.cache_dir is not None:
+            return self.traces.columns(name, self.decoder, self._wl_overrides(name))
+        return self.trace(name)
 
     # ------------------------------------------------------------------
     # Hardware ground truth
@@ -222,7 +257,7 @@ class EvaluationEngine:
                 config, name = pairs[indices[0]]
                 tkey = self.traces.key(name, self._wl_overrides(name))
                 if tkey not in groups:
-                    groups[tkey] = (self.trace(name), [])
+                    groups[tkey] = (self._sim_trace(name), [])
                     order.append(tkey)
                 groups[tkey][1].append((key, config))
 
@@ -230,6 +265,16 @@ class EvaluationEngine:
                 ([config for _key, config in groups[tkey][1]], tkey, groups[tkey][0])
                 for tkey in order
             ]
+            # Account the fusion win per group: an executor that fuses
+            # (the serial one, hence also every fabric worker) runs each
+            # multi-config group as one shared columnar pass.
+            if getattr(self._executor, "fuses", False):
+                for configs, _tkey, trace in exec_groups:
+                    if len(configs) >= 2:
+                        self.telemetry.batched_trials += len(configs)
+                        self.telemetry.shared_pass_instructions += (
+                            len(configs) * trace.instruction_count()
+                        )
             group_stats = self._executor.run(
                 exec_groups, self.decoder, self.traces.items()
             )

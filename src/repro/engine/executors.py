@@ -35,7 +35,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.isa.decoder import decoder_library
-from repro.simulator.simulator import SnipeSim
+from repro.simulator.simulator import SnipeSim, simulate_batch
 
 #: Per-executor trace snapshots inherited by forked workers.
 _TRACE_SNAPSHOTS: dict = {}
@@ -49,20 +49,37 @@ def _simulate_chunk(payload):
     if trace is None:
         trace = _TRACE_SNAPSHOTS[snapshot_token][key]
     decoder = decoder_cls()
+    if len(configs) >= 2:
+        # Multi-config chunks share one columnar pass (bit-identical to
+        # the per-config loop; see repro.simulator.simulate_batch).
+        return simulate_batch(trace, list(configs), decoder=decoder)
     return [SnipeSim(config, decoder=decoder).run(trace) for config in configs]
 
 
 class SerialExecutor:
-    """In-process, in-order execution (the ``jobs=1`` path)."""
+    """In-process, in-order execution (the ``jobs=1`` path).
+
+    Multi-config groups — a race step's alive candidates over one
+    instance — are *fused*: one shared columnar pass drives every
+    config's core (``simulate_batch``) instead of K independent trace
+    iterations. Single-config groups keep the plain ``SnipeSim.run``
+    reference path. Both produce bit-identical stats; ``fuses`` tells
+    the engine to account the batching in its telemetry.
+    """
 
     name = "serial"
     jobs = 1
+    #: Multi-config groups run as one shared pass (engine telemetry).
+    fuses = True
 
     def run(self, groups, decoder, registry_items=None) -> list:
         """Simulate every group in order; returns per-group stats lists."""
         out = []
         for configs, _key, trace in groups:
-            out.append([SnipeSim(config, decoder=decoder).run(trace) for config in configs])
+            if len(configs) >= 2:
+                out.append(simulate_batch(trace, list(configs), decoder=decoder))
+            else:
+                out.append([SnipeSim(config, decoder=decoder).run(trace) for config in configs])
         return out
 
     def close(self) -> None:

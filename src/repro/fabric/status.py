@@ -56,6 +56,8 @@ def status_snapshot(store_path: str, now: float = None) -> dict:
                 "store_hits": telemetry.get("store_hits", 0),
                 "unique_trials": telemetry.get("unique_trials", 0),
                 "requested_trials": telemetry.get("requested_trials", 0),
+                "batched_trials": telemetry.get("batched_trials", 0),
+                "shared_pass_instructions": telemetry.get("shared_pass_instructions", 0),
             })
         store_stats = store.stats()
     return {

@@ -128,13 +128,20 @@ class FabricWorker:
             self.progress(f"[{self.worker_id}] {text}")
 
     def _engine_for(self, scale: float, decoder_spec: str) -> EvaluationEngine:
-        """The cached engine running (scale, decoder) tasks."""
+        """The cached engine running (scale, decoder) tasks.
+
+        Engines share one columnar trace cache next to the store file
+        (``<store>.traces/``): the first worker on a host to need a
+        trace records and persists it, every other worker — and every
+        later engine — memory-maps the blob instead of re-recording.
+        """
         key = (scale, decoder_spec)
         engine = self._engines.get(key)
         if engine is None:
             engine = EvaluationEngine(
                 workloads=_all_workloads(), scale=scale,
                 decoder=resolve_decoder(decoder_spec), store=self.store,
+                trace_cache=self.store_path + ".traces",
             )
             self._engines[key] = engine
         return engine

@@ -1,5 +1,5 @@
 """Simulator facade."""
 
-from repro.simulator.simulator import SnipeSim, simulate
+from repro.simulator.simulator import SnipeSim, simulate, simulate_batch
 
-__all__ = ["SnipeSim", "simulate"]
+__all__ = ["SnipeSim", "simulate", "simulate_batch"]

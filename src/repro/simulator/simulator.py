@@ -14,6 +14,7 @@ from repro.core.inorder import InOrderCore
 from repro.core.ooo import OutOfOrderCore
 from repro.core.stats import SimStats
 from repro.isa.decoder import Decoder
+from repro.trace.columnar import DEFAULT_CHUNK
 from repro.trace.record import Trace
 
 
@@ -64,3 +65,62 @@ class SnipeSim:
 def simulate(config: SimConfig, trace: Trace, decoder: Decoder = None, effects=None) -> SimStats:
     """One-shot convenience wrapper around :class:`SnipeSim`."""
     return SnipeSim(config, decoder=decoder, effects=effects).run(trace)
+
+
+def simulate_batch(trace, configs: list, decoder: Decoder = None,
+                   effects: list = None, chunk_size: int = None) -> list:
+    """Simulate K configurations over ``trace`` in one shared pass.
+
+    Builds (or attaches — ``trace`` may itself be a
+    :class:`repro.trace.columnar.ColumnarTrace`) the columnar form once,
+    then drives one fresh core instance per configuration down a single
+    chunked pass: trace preparation, chunk materialisation and the
+    per-chunk tuple lists are paid once and shared by every candidate,
+    while each core keeps its own pipeline, memory-hierarchy and
+    branch-predictor state in a suspended :meth:`stream_runner`
+    generator. This is the race-step fusion primitive: all alive
+    candidates of one F-race round, one instance, one pass.
+
+    Results are bit-identical to K independent :func:`simulate` calls —
+    the kernels are verbatim copies of ``run_stream`` with state in
+    generator locals — and are returned in ``configs`` order.
+
+    ``effects``, when given, is a sequence parallel to ``configs``
+    (entries may be ``None``): hardware-effects objects are stateful
+    per run, so batched candidates must not share one.
+    """
+    if effects is not None and len(effects) != len(configs):
+        raise ValueError("effects must be parallel to configs (one entry each)")
+    if decoder is None:
+        decoder = Decoder()
+    if not configs:
+        return []
+    columns = trace.columns_with(decoder)
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK
+
+    runners = []
+    for i, config in enumerate(configs):
+        eff = effects[i] if effects is not None else None
+        if eff is not None:
+            eff.reset()
+        core = SnipeSim(config, decoder=decoder, effects=eff)._build_core()
+        gen = core.stream_runner(columns)
+        next(gen)  # advance to the first chunk suspension point
+        runners.append(gen)
+
+    for chunk in columns.chunks(chunk_size):
+        for gen in runners:
+            gen.send(chunk)
+
+    results = []
+    for gen in runners:
+        try:
+            gen.send(None)
+        except StopIteration as fin:
+            stats = fin.value
+        else:  # pragma: no cover - a kernel must finish when told to
+            raise RuntimeError("stream_runner did not terminate")
+        stats.decoder = decoder.name
+        results.append(stats)
+    return results

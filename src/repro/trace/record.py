@@ -122,6 +122,7 @@ class Trace:
         self.name = name
         self._decoded_cache: dict = {}
         self._stream_cache: dict = {}
+        self._columnar_cache: dict = {}
 
     def __len__(self) -> int:
         return len(self.records)
@@ -133,12 +134,20 @@ class Trace:
         return self.records[idx]
 
     def __getstate__(self) -> dict:
-        # Decoded lists and flattened streams are bulky and cheap to
-        # rebuild; ship the trace without them to keep pickles small.
+        # Decoded lists, flattened streams and columnar blobs are bulky
+        # and cheap to rebuild; ship the trace without them to keep
+        # pickles small.
         state = self.__dict__.copy()
         state["_decoded_cache"] = {}
         state["_stream_cache"] = {}
+        state["_columnar_cache"] = {}
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Traces pickled by older builds predate the columnar cache;
+        # restore it so unpickled traces keep the full cache surface.
+        state.setdefault("_columnar_cache", {})
+        self.__dict__.update(state)
 
     def decoded_with(self, decoder: Decoder) -> list:
         """Return per-record :class:`DecodedInst` list for ``decoder``."""
@@ -163,6 +172,27 @@ class Trace:
         if cached is None:
             cached = build_stream(self.records, self.decoded_with(decoder))
             self._stream_cache[key] = cached
+        return cached
+
+    def columns_with(self, decoder: Decoder):
+        """Columnar form of this trace for ``decoder`` (memoised).
+
+        Returns a :class:`repro.trace.columnar.ColumnarTrace` — one
+        compact array per issue-tuple field — built once per decoder
+        *library* like the other caches. This is the shareable form:
+        its blob serialisation is what the trace store persists and
+        fabric workers memory-map instead of re-recording.
+        """
+        from repro.trace.columnar import ColumnarTrace
+
+        key = decoder_library(decoder)
+        cached = self._columnar_cache.get(key)
+        if cached is None:
+            cached = ColumnarTrace.build(
+                self.records, self.decoded_with(decoder), self.name,
+                tuple(str(part) for part in key),
+            )
+            self._columnar_cache[key] = cached
         return cached
 
     def instruction_count(self) -> int:

@@ -290,6 +290,53 @@ class TestFabricExecutor:
         store.close()
 
 
+class TestSharedColumnarTraceCache:
+    def test_second_worker_attaches_instead_of_recording(self, store_path, monkeypatch):
+        """Two workers, one host: the first records and persists each
+        columnar blob next to the store; the second memory-maps them —
+        recording is forbidden outright — and its stats stay identical
+        to the serial reference."""
+        import glob
+        import os
+
+        from repro.engine.tracestore import TraceStore
+
+        base = cortex_a53_public_config()
+        other = base.with_updates({"l1d.size": 16384})
+        with EvaluationEngine(workloads=WORKLOADS, scale=SCALE) as eng:
+            ref1 = [eng.simulate(base, wl.name) for wl in WORKLOADS]
+            ref2 = [eng.simulate(other, wl.name) for wl in WORKLOADS]
+
+        plan1 = plan_simulations(
+            [(base, wl.name, SCALE, {}, Decoder()) for wl in WORKLOADS])
+        with JobQueue(store_path) as queue:
+            queue.enqueue(plan1.tasks)
+        stats1 = FabricWorker(store_path, drain=True, poll=0.02).run()
+        assert stats1.completed == len(WORKLOADS) and stats1.failed == 0
+        blobs = glob.glob(os.path.join(store_path + ".traces", "*.rcol"))
+        assert len(blobs) == len(WORKLOADS)
+
+        # Second worker session: any attempt to materialise a recorded
+        # trace fails the task, so completing the batch proves every
+        # simulation ran off an attached blob.
+        def no_recording(self, name, overrides=None):
+            raise AssertionError(f"worker re-recorded trace {name!r}")
+
+        monkeypatch.setattr(TraceStore, "get", no_recording)
+        plan2 = plan_simulations(
+            [(other, wl.name, SCALE, {}, Decoder()) for wl in WORKLOADS])
+        with JobQueue(store_path) as queue:
+            queue.enqueue(plan2.tasks)
+        stats2 = FabricWorker(store_path, drain=True, poll=0.02).run()
+        assert stats2.completed == len(WORKLOADS) and stats2.failed == 0
+
+        with open_store(store_path) as store:
+            for key, expect in zip(plan1.keys, ref1):
+                assert store.get_sim(key) == expect
+            for key, expect in zip(plan2.keys, ref2):
+                assert store.get_sim(key) == expect
+
+
 class TestStatusSnapshot:
     def test_snapshot_shape(self, store_path):
         with JobQueue(store_path) as queue:

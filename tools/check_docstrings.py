@@ -38,6 +38,8 @@ TARGET_MODULES = [
     "repro.bench.scenarios",
     "repro.bench.harness",
     "repro.trace.record",
+    "repro.trace.columnar",
+    "repro.engine.tracestore",
     "repro.core.inorder",
     "repro.core.ooo",
 ]
