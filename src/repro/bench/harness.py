@@ -260,6 +260,93 @@ def _run_fabric(scn: BenchScenario, repeats: int) -> dict:
     }
 
 
+def _run_service(scn: BenchScenario, repeats: int) -> dict:
+    """HTTP-dispatch overhead vs the serial path, per task.
+
+    The fabric measurement (:func:`_run_fabric`) with the wire in the
+    loop: queue *and* store sit behind an in-process experiment service
+    (``repro serve``'s machinery on a loopback socket), the worker and
+    the read-back both speak HTTP. Reported next to the local fabric
+    scenario, the delta in ``dispatch_overhead_ms_per_task`` is what
+    one task costs in request round-trips (claim, heartbeat, store
+    write-back, completion) — the price of dropping the shared-
+    filesystem requirement.
+    """
+    import itertools
+    import shutil
+    import tempfile
+
+    from repro.engine import EvaluationEngine
+    from repro.fabric import FabricWorker, plan_simulations
+    from repro.isa.decoder import Decoder
+    from repro.service.client import HttpQueue
+    from repro.service.server import ExperimentService
+    from repro.store import open_store
+
+    base = _config_for(scn.core)
+    keys = [k for k, _values in scn.grid]
+    axes = [values for _k, values in scn.grid]
+    configs = [
+        base.with_updates(dict(zip(keys, combo)))
+        for combo in itertools.product(*axes)
+    ]
+    workloads = [_workload(n) for n in scn.workloads]
+    pairs = [(c, w.name) for c in configs for w in workloads]
+
+    with EvaluationEngine(workloads=workloads, scale=scn.scale) as engine:
+        stats_list = engine.simulate_batch(pairs)
+    instructions = sum(s.instructions for s in stats_list)
+    cycles = sum(s.cycles for s in stats_list)
+
+    token = "bench-service-token"
+    best_serial = best_service = float("inf")
+    tmp = tempfile.mkdtemp(prefix="repro-bench-service-")
+    try:
+        for rep in range(repeats):
+            with EvaluationEngine(workloads=workloads, scale=scn.scale) as engine:
+                t0 = time.perf_counter()
+                engine.simulate_batch(pairs)
+                best_serial = min(best_serial, time.perf_counter() - t0)
+
+            path = os.path.join(tmp, f"pass{rep}.sqlite")
+            decoder = Decoder()
+            items = [(config, name, scn.scale, {}, decoder)
+                     for config, name in pairs]
+            service = ExperimentService(path, token=token, port=0).start()
+            try:
+                t0 = time.perf_counter()
+                plan = plan_simulations(items)
+                with HttpQueue(service.url, token=token) as queue:
+                    queue.enqueue(plan.tasks, submitted_by="bench")
+                FabricWorker(service.url, drain=True, poll=0.01, lease=60.0,
+                             token=token).run()
+                with open_store(service.url, token=token) as store:
+                    for key in plan.keys:
+                        assert store.get_sim(key) is not None
+                best_service = min(best_service, time.perf_counter() - t0)
+            finally:
+                service.stop()
+                service.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    n_tasks = len(pairs)
+    overhead_ms = max(0.0, best_service - best_serial) / n_tasks * 1e3
+    return {
+        "instructions": instructions,
+        "cycles": cycles,
+        "wall_seconds": best_service,
+        "instructions_per_second": instructions / best_service,
+        "cycles_per_second": cycles / best_service,
+        "telemetry": {
+            "tasks": n_tasks,
+            "serial_wall_seconds": best_serial,
+            "service_wall_seconds": best_service,
+            "dispatch_overhead_ms_per_task": overhead_ms,
+        },
+    }
+
+
 def _fresh_trace(wl, scale: float):
     """Record a trace from scratch — the cold path independent workers pay.
 
@@ -411,7 +498,7 @@ def _run_mmap(scn: BenchScenario, repeats: int) -> dict:
 
 _RUNNERS = {"simulate": _run_simulate, "trace": _run_trace,
             "engine": _run_engine, "fabric": _run_fabric,
-            "batch": _run_batch, "mmap": _run_mmap}
+            "service": _run_service, "batch": _run_batch, "mmap": _run_mmap}
 
 
 def run_scenario(scn: BenchScenario, repeats: int = None) -> dict:
@@ -493,7 +580,7 @@ def validate_report(report) -> None:
                         "cycles_per_second"):
                 need(key in scn, f"scenario.{key} missing")
             need(scn["kind"] in ("simulate", "trace", "engine", "fabric",
-                                 "batch", "mmap"),
+                                 "service", "batch", "mmap"),
                  f"scenario kind {scn['kind']!r} invalid")
             need(scn["wall_seconds"] > 0, "non-positive wall_seconds")
             need(scn["instructions"] > 0, "non-positive instructions")

@@ -17,6 +17,10 @@ simulation stack:
   once serially in-process and once decomposed into fabric tasks on a
   throwaway SQLite queue drained by an in-process worker, isolating the
   per-task cost of enqueue + claim + store write-back + read-back;
+- ``service`` — HTTP-dispatch overhead: the fabric measurement again,
+  but queue and store both behind an in-process experiment service
+  (``repro serve``), isolating what the wire adds per task on top of
+  the local fabric figure;
 - ``batch`` — race-step fusion: K candidate configurations over one
   instance, run as K isolated serial passes (each re-recording the
   trace — what independent workers pay) versus one shared columnar
@@ -123,6 +127,9 @@ def full_suite() -> list:
         BenchScenario("fabric-overhead", "fabric", core="a53",
                       workloads=("CCa", "ED1", "MD", "STc"),
                       grid=ENGINE_GRID, repeats=1, scale=0.5),
+        BenchScenario("service-dispatch", "service", core="a53",
+                      workloads=("CCa", "ED1", "MD", "STc"),
+                      grid=ENGINE_GRID, repeats=1, scale=0.5),
         BenchScenario("batched-race-step", "batch", core="a53",
                       workloads=QUICK_KERNELS, grid=BATCH_GRID, repeats=3),
         BenchScenario("trace-mmap-attach", "mmap", core="a53",
@@ -145,6 +152,9 @@ def quick_suite() -> list:
                       workloads=QUICK_KERNELS[:4], grid=ENGINE_GRID,
                       repeats=1),
         BenchScenario("fabric-overhead-quick", "fabric", core="a53",
+                      workloads=("CCa", "ED1"), grid=ENGINE_GRID,
+                      repeats=1, scale=0.5),
+        BenchScenario("service-dispatch-quick", "service", core="a53",
                       workloads=("CCa", "ED1"), grid=ENGINE_GRID,
                       repeats=1, scale=0.5),
         BenchScenario("batched-race-step-quick", "batch", core="a53",

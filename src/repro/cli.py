@@ -29,6 +29,16 @@ depth, leases, dead letters and per-worker throughput::
     python -m repro validate --core a53 --profile fast \\
         --executor fabric --store fab.sqlite
     python -m repro status --store fab.sqlite --json
+
+Fleets without shared storage speak HTTP instead: ``repro serve`` fronts
+the store file with the experiment service (:mod:`repro.service`), and
+``worker``/``status``/``submit`` accept ``--url`` (plus ``--token`` or
+the ``REPRO_TOKEN`` environment variable) in place of ``--store``::
+
+    export REPRO_TOKEN=$(python -c 'import secrets; print(secrets.token_hex())')
+    python -m repro serve --store fab.sqlite --port 8537 &
+    python -m repro worker --url http://fab-host:8537 --max-idle 120 &
+    python -m repro status --url http://fab-host:8537 --json
 """
 
 from __future__ import annotations
@@ -546,6 +556,11 @@ def cmd_bench(args) -> int:
                   f"{t['dispatch_overhead_ms_per_task']:.2f} ms/task overhead "
                   f"(serial {t['serial_wall_seconds'] * 1e3:.1f} ms, "
                   f"fabric {t['fabric_wall_seconds'] * 1e3:.1f} ms)")
+        elif scn["kind"] == "service":
+            print(f"service dispatch ({scn['name']}): {t['tasks']} tasks, "
+                  f"{t['dispatch_overhead_ms_per_task']:.2f} ms/task overhead "
+                  f"(serial {t['serial_wall_seconds'] * 1e3:.1f} ms, "
+                  f"service {t['service_wall_seconds'] * 1e3:.1f} ms)")
         elif scn["kind"] == "batch":
             print(f"batched race step ({scn['name']}): {t['candidates']} candidates, "
                   f"{t['speedup_vs_isolated']:.2f}x vs isolated passes, "
@@ -595,6 +610,68 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _fabric_spec(args):
+    """Resolve a fabric subcommand's queue/store spec.
+
+    Exactly one of ``--store PATH`` (shared file) and ``--url URL``
+    (experiment service) must be given; returns ``(spec, token)``
+    where the token — ``--token`` falling back to ``REPRO_TOKEN`` — is
+    ``None`` for file specs.
+    """
+    url = getattr(args, "url", None)
+    if bool(args.store) == bool(url):
+        raise SystemExit(
+            "give exactly one of --store PATH (shared store file) or "
+            "--url URL (remote experiment service)"
+        )
+    if url:
+        from repro.service.protocol import resolve_token
+
+        return url, resolve_token(getattr(args, "token", None))
+    return args.store, None
+
+
+def _fabric_queue(spec: str, token: str = None):
+    """A :class:`~repro.fabric.api.TaskQueue` for a file path or URL."""
+    from repro.service.protocol import is_url
+
+    if is_url(spec):
+        from repro.service.client import HttpQueue
+
+        return HttpQueue(spec, token=token)
+    from repro.fabric import JobQueue
+
+    return JobQueue(spec)
+
+
+def cmd_serve(args) -> int:
+    """Serve a fabric store over HTTP for a remote worker fleet."""
+    from repro.service.protocol import WIRE_VERSION, resolve_token
+    from repro.service.server import ExperimentService
+
+    token = resolve_token(args.token)
+    if not token:
+        raise SystemExit(
+            "repro serve refuses to run unauthenticated: pass --token TOKEN "
+            "or set the REPRO_TOKEN environment variable"
+        )
+    service = ExperimentService(
+        args.store, token=token, host=args.host, port=args.port,
+        max_depth=args.max_depth, lease_seconds=args.lease,
+        progress=print if args.verbose else None,
+    )
+    depth = "unbounded" if args.max_depth is None else str(args.max_depth)
+    print(f"serving {args.store} at {service.url} "
+          f"(wire v{WIRE_VERSION}, max depth {depth}; Ctrl-C to stop)")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\nserve: shutting down")
+    finally:
+        service.close()
+    return 0
+
+
 def cmd_submit(args) -> int:
     """Enqueue a grid of simulation tasks on the fabric (no waiting).
 
@@ -604,7 +681,7 @@ def cmd_submit(args) -> int:
     processes to chew through — pre-warming the store for campaigns
     and sweeps that run later.
     """
-    from repro.fabric import JobQueue, expand_grid, plan_simulations
+    from repro.fabric import expand_grid, plan_simulations
 
     grid = _parse_sweep_sets(args.set) if args.set else {}
     base = _public_config(args.core)
@@ -621,26 +698,29 @@ def cmd_submit(args) -> int:
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         raise SystemExit(f"bad --set parameter: {message}") from None
-    with open_store(args.store) as store:
+    spec, token = _fabric_spec(args)
+    with open_store(spec, token=token) as store:
         plan = plan_simulations(items, store=store)
-        with JobQueue(args.store) as queue:
+        with _fabric_queue(spec, token) as queue:
             added = queue.enqueue(plan.tasks, submitted_by="submit")
             depth = queue.depth()
     already_queued = len(plan.tasks) - added
+    flag = "--url" if getattr(args, "url", None) else "--store"
     print(f"submit: {len(plan.keys)} unique trials: {added} enqueued, "
           f"{len(plan.store_hits)} already in store, "
           f"{already_queued} already queued")
-    print(f"queue depth now {depth}; run `repro worker --store {args.store}` "
+    print(f"queue depth now {depth}; run `repro worker {flag} {spec}` "
           "to execute")
     return 0
 
 
 def cmd_worker(args) -> int:
-    """Run one fabric worker against a shared store file."""
+    """Run one fabric worker against a shared store file or service URL."""
     from repro.fabric import FabricWorker
 
+    spec, token = _fabric_spec(args)
     worker = FabricWorker(
-        args.store,
+        spec,
         worker_id=args.id,
         lease=args.lease,
         poll=args.poll,
@@ -648,8 +728,10 @@ def cmd_worker(args) -> int:
         max_idle=args.max_idle,
         drain=args.drain,
         progress=print,
+        token=token,
+        max_retries=args.max_retries,
     )
-    print(f"worker {worker.worker_id} on {args.store} "
+    print(f"worker {worker.worker_id} on {spec} "
           f"(lease {args.lease:.0f}s, pid {os.getpid()})")
     stats = worker.run()
     print(f"worker {worker.worker_id}: {stats.claimed} claimed, "
@@ -660,13 +742,14 @@ def cmd_worker(args) -> int:
 
 def cmd_status(args) -> int:
     """Queue depth, leases, workers and throughput of a fabric store."""
-    from repro.fabric import JobQueue, status_snapshot
+    from repro.fabric import status_snapshot
 
+    spec, token = _fabric_spec(args)
     if args.requeue_dead:
-        with JobQueue(args.store) as queue:
+        with _fabric_queue(spec, token) as queue:
             revived = queue.requeue_dead()
         print(f"requeued {revived} dead task(s)")
-    snap = status_snapshot(args.store)
+    snap = status_snapshot(spec, token=token)
     if args.json:
         import json as _json
 
@@ -678,7 +761,7 @@ def cmd_status(args) -> int:
         ["state", "tasks"],
         [[state, counts[state]] for state in ("queued", "leased", "done", "dead")]
         + [["(retries)", snap["retries"]]],
-        title=f"fabric queue — {args.store}"))
+        title=f"fabric queue — {spec}"))
     if snap["leases"]:
         rows = [[l["worker"], f"{l['expires_in_seconds']:.1f}s",
                  l["attempts"], l["key"][:60]]
@@ -767,6 +850,18 @@ def cmd_store_import(args) -> int:
     print(f"imported {total} new rows "
           f"({', '.join(f'{k}={v}' for k, v in counts.items())}) from {args.file}")
     return 0
+
+
+def _add_fabric_target(p) -> None:
+    """``--store`` / ``--url`` / ``--token`` trio of fabric subcommands."""
+    p.add_argument("--store", default=None,
+                   help="shared store file (queue + results)")
+    p.add_argument("--url", default=None,
+                   help="experiment service URL (http://host:port) instead "
+                        "of --store")
+    p.add_argument("--token", default=None,
+                   help="bearer token for --url (default: REPRO_TOKEN "
+                        "environment variable)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -859,16 +954,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parameter value list axis (repeatable; optional)")
     p.add_argument("--scale", type=float, default=1.0,
                    help="trace scale (1.0 = nominal length)")
-    p.add_argument("--store", required=True,
-                   help="shared store file (queue + results)")
+    _add_fabric_target(p)
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a fabric store over HTTP for remote workers",
+    )
+    p.add_argument("--store", required=True,
+                   help="store file to serve (queue + results)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: loopback; 0.0.0.0 for a fleet)")
+    p.add_argument("--port", type=int, default=8537,
+                   help="TCP port (default 8537; 0 picks a free port)")
+    p.add_argument("--token", default=None,
+                   help="bearer token workers must present (default: "
+                        "REPRO_TOKEN environment variable; required)")
+    p.add_argument("--max-depth", type=int, default=None,
+                   help="backpressure: reject submits (429) while this many "
+                        "tasks are outstanding (default: unbounded)")
+    p.add_argument("--lease", type=float, default=30.0,
+                   help="default lease seconds for claims that don't override")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every request (tokens redacted)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "worker",
         help="run a fabric worker: lease tasks, simulate, write the store",
     )
-    p.add_argument("--store", required=True,
-                   help="shared store file (queue + results)")
+    _add_fabric_target(p)
     p.add_argument("--id", default=None,
                    help="stable worker id (default: generated)")
     p.add_argument("--lease", type=float, default=30.0,
@@ -881,14 +996,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit after this many seconds without work")
     p.add_argument("--drain", action="store_true",
                    help="run the current backlog, then exit")
+    p.add_argument("--max-retries", type=int, default=None,
+                   help="with --url: transient-failure budget per request "
+                        "(connection refused, timeout, 5xx, 429; "
+                        "exponential backoff with jitter between tries)")
     p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
         "status",
         help="fabric queue depth, leases, workers, throughput",
     )
-    p.add_argument("--store", required=True,
-                   help="shared store file (queue + results)")
+    _add_fabric_target(p)
     p.add_argument("--json", action="store_true",
                    help="emit the snapshot as JSON")
     p.add_argument("--requeue-dead", action="store_true",

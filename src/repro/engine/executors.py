@@ -197,13 +197,18 @@ class FabricExecutor:
     ----------
     store:
         The engine's :class:`~repro.store.resultstore.ResultStore`;
-        must be SQLite-backed (the queue shares its file).
+        SQLite-backed (the queue shares its file) or HTTP-backed (the
+        queue speaks the same experiment service, see
+        :mod:`repro.service`).
     poll:
         Seconds between completion polls.
     timeout:
         Optional cap on the seconds one batch may wait before a
         ``TimeoutError`` (``None`` waits indefinitely — matching a
         durable queue whose workers may come and go).
+    queue:
+        Optional pre-built :class:`~repro.fabric.api.TaskQueue`
+        (testing); by default one is derived from the store backend.
     """
 
     name = "fabric"
@@ -213,19 +218,30 @@ class FabricExecutor:
     #: not write them back a second time.
     persists = True
 
-    def __init__(self, store, poll: float = 0.05, timeout: float = None) -> None:
-        from repro.fabric.queue import JobQueue
+    def __init__(self, store, poll: float = 0.05, timeout: float = None,
+                 queue=None) -> None:
+        kind = getattr(getattr(store, "backend", None), "kind", None)
+        if queue is not None:
+            self.queue = queue
+        elif kind == "sqlite":
+            from repro.fabric.queue import JobQueue
 
-        if store is None or getattr(store.backend, "kind", None) != "sqlite":
+            self.queue = JobQueue(store.backend.path)
+        elif kind == "http":
+            from repro.service.client import HttpQueue
+
+            self.queue = HttpQueue(store.backend.url,
+                                   token=store.backend.token)
+        else:
             raise ValueError(
                 "the fabric executor needs a SQLite-backed store "
-                "(EvaluationEngine(store=...) with a file path) — the job "
-                "queue lives in the store file workers share"
+                "(EvaluationEngine(store=...) with a file path) or an "
+                "experiment-service URL — the job queue lives with the "
+                "results workers share"
             )
         self.store = store
         self.poll = float(poll)
         self.timeout = timeout
-        self.queue = JobQueue(store.backend.path)
 
     def run(self, groups, decoder, registry_items=None) -> list:
         """Publish the batch as fabric tasks; block until workers finish."""
@@ -309,7 +325,7 @@ def make_executor(jobs: int = 1, kind: str = None, store=None):
     if kind == "process":
         return ProcessExecutor(jobs)  # raises for jobs < 2
     if kind == "fabric":
-        return FabricExecutor(store)  # raises without a SQLite store
+        return FabricExecutor(store)  # raises without a sqlite/http store
     raise ValueError(
         f"unknown executor kind {kind!r}; use 'serial', 'process' or 'fabric'"
     )

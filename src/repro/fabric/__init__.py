@@ -18,14 +18,23 @@ The driver-side entry point is the ``fabric`` executor
 (:class:`repro.engine.executors.FabricExecutor`), selected with
 ``EvaluationEngine(executor="fabric", store=...)`` or ``--executor
 fabric`` on the CLI.
+
+Every consumer programs against the queue *interface*
+(:class:`repro.fabric.api.TaskQueue`); :class:`JobQueue` (alias
+:data:`SqliteQueue`) is the SQLite implementation, and
+:class:`repro.service.client.HttpQueue` speaks the same contract to a
+remote ``repro serve`` — which is how the fabric crosses host
+boundaries without shared storage.
 """
 
+from repro.fabric.api import TaskQueue
 from repro.fabric.queue import (
     DEFAULT_LEASE,
     DEFAULT_MAX_ATTEMPTS,
     FABRIC_SCHEMA_VERSION,
     JobQueue,
     Lease,
+    SqliteQueue,
     Task,
 )
 from repro.fabric.scheduler import TaskPlan, expand_grid, plan_groups, plan_simulations
@@ -46,7 +55,9 @@ __all__ = [
     "FABRIC_SCHEMA_VERSION",
     "JobQueue",
     "Lease",
+    "SqliteQueue",
     "Task",
+    "TaskQueue",
     "TaskPlan",
     "expand_grid",
     "plan_groups",

@@ -43,6 +43,7 @@ import time
 import uuid
 from dataclasses import dataclass
 
+from repro.fabric.api import TaskQueue
 from repro.store.backend import BUSY_TIMEOUT, connect_sqlite, retry_busy
 
 #: Bump when the fabric tables' layout changes incompatibly.
@@ -84,7 +85,7 @@ class Lease:
         return self.expires - (time.time() if now is None else now)
 
 
-class JobQueue:
+class JobQueue(TaskQueue):
     """Durable task queue in one SQLite file (see module docs)."""
 
     def __init__(
@@ -478,8 +479,7 @@ class JobQueue:
         with self._lock:
             self._conn.close()
 
-    def __enter__(self) -> "JobQueue":
-        return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+#: The SQLite implementation under its transport-explicit name, for
+#: symmetry with :class:`~repro.service.client.HttpQueue`.
+SqliteQueue = JobQueue

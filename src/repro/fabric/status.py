@@ -7,6 +7,12 @@ errors, live leases with time-to-expiry, and per-worker rows with
 derived throughput plus the engine telemetry each worker last reported
 (store hits, unique vs requested trials). The CLI renders it as tables
 or, with ``--json``, emits it verbatim for scripts and dashboards.
+
+The store spec may also be an ``http(s)://`` service URL, in which case
+the *server* computes the snapshot over its own file (lease expiries
+and worker staleness in its clock, so the numbers are skew-free) and
+this module merely fetches it. Auth tokens never appear in the
+snapshot either way.
 """
 
 from __future__ import annotations
@@ -21,8 +27,19 @@ from repro.store import open_store
 STALE_AFTER = 3
 
 
-def status_snapshot(store_path: str, now: float = None) -> dict:
-    """Read the full fabric state of ``store_path`` into one dict."""
+def status_snapshot(store_path: str, now: float = None,
+                    token: str = None) -> dict:
+    """Read the full fabric state of ``store_path`` into one dict.
+
+    ``store_path`` may be a local file or a service URL; ``token``
+    authenticates the URL case and is ignored otherwise.
+    """
+    from repro.service.protocol import is_url
+
+    if is_url(store_path):
+        from repro.service.client import fetch_status
+
+        return fetch_status(store_path, token=token)
     t = time.time() if now is None else now
     with JobQueue(store_path) as queue, open_store(store_path) as store:
         counts = queue.counts()

@@ -1,9 +1,13 @@
 """The fabric worker: lease, execute, write back, repeat.
 
-``repro worker --store PATH`` runs one of these. Workers are fully
-symmetric and stateless-on-disk: everything a worker knows it learned
-from the queue file, so adding capacity is starting another process
-(on this host or any host sharing the store file) and removing
+``repro worker --store PATH`` runs one of these; ``repro worker --url
+http://host:port --token ...`` runs the *same* loop against a remote
+``repro serve`` (the store spec decides the transport — file path →
+SQLite queue and store, URL → :class:`~repro.service.client.HttpQueue`
+and an HTTP-backed store, no local database file at all). Workers are
+fully symmetric and stateless-on-disk: everything a worker knows it
+learned from the queue, so adding capacity is starting another process
+(on this host or any host that can reach the service) and removing
 capacity is killing one — the lease protocol cleans up after both.
 
 Execution goes through a normal :class:`~repro.engine.engine.EvaluationEngine`
@@ -30,8 +34,10 @@ partial writes were content-addressed and idempotent.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import platform
+import tempfile
 import threading
 import time
 from dataclasses import asdict, dataclass, field
@@ -67,7 +73,10 @@ class FabricWorker:
     Parameters
     ----------
     store_path:
-        The shared SQLite file holding both queue and result store.
+        The store spec: a shared SQLite file holding both queue and
+        result store, or an ``http(s)://`` experiment-service URL (the
+        remote-fleet mode; queue and store both speak HTTP, and the
+        only local state is the per-host trace cache).
     worker_id:
         Stable identity in ``fabric_workers`` (default: generated).
     lease:
@@ -85,7 +94,15 @@ class FabricWorker:
         backlog, then stop — the in-process mode tests and benchmarks
         use).
     progress:
-        Optional ``callable(str)`` for per-task log lines.
+        Optional ``callable(str)`` for per-task log lines (tokens are
+        redacted before they reach it).
+    token:
+        Bearer token for URL specs (falls back to ``REPRO_TOKEN``);
+        ignored for file paths.
+    max_retries:
+        Transient-failure budget of the HTTP client for URL specs
+        (connection refused, timeouts, 5xx, 429 — retried with
+        exponential backoff and jitter); ignored for file paths.
     """
 
     def __init__(
@@ -98,7 +115,11 @@ class FabricWorker:
         max_idle: float = None,
         drain: bool = False,
         progress=None,
+        token: str = None,
+        max_retries: int = None,
     ) -> None:
+        from repro.service.protocol import is_url, resolve_token
+
         self.store_path = os.fspath(store_path)
         self.lease = float(lease)
         self.poll = float(poll)
@@ -106,10 +127,21 @@ class FabricWorker:
         self.max_idle = max_idle
         self.drain = drain
         self.progress = progress
+        self.remote = is_url(self.store_path)
+        self._token = resolve_token(token) if self.remote else None
         # Each task's retry budget (max_attempts) is a *row* property,
         # fixed by the submitter at enqueue time — workers only honour it.
-        self.queue = JobQueue(self.store_path, lease_seconds=self.lease)
-        self.store = open_store(self.store_path)
+        if self.remote:
+            from repro.service.client import DEFAULT_MAX_RETRIES, HttpQueue
+
+            retries = DEFAULT_MAX_RETRIES if max_retries is None else max_retries
+            self.queue = HttpQueue(self.store_path, token=self._token,
+                                   lease_seconds=self.lease, max_retries=retries)
+            self.store = open_store(self.store_path, token=self._token,
+                                    max_retries=retries)
+        else:
+            self.queue = JobQueue(self.store_path, lease_seconds=self.lease)
+            self.store = open_store(self.store_path)
         self.worker_id = self.queue.register_worker(
             worker_id, pid=os.getpid(), host=platform.node() or None
         )
@@ -125,15 +157,32 @@ class FabricWorker:
 
     def _log(self, text: str) -> None:
         if self.progress is not None:
-            self.progress(f"[{self.worker_id}] {text}")
+            from repro.service.protocol import redact
+
+            self.progress(f"[{self.worker_id}] {redact(text, self._token)}")
+
+    def _trace_cache_dir(self) -> str:
+        """Where this worker's engines keep recorded traces.
+
+        Local store: next to the store file (``<store>.traces/``), so
+        every worker on the host shares one cache. Remote store: traces
+        stay **local** — shipping multi-megabyte columnar blobs through
+        the service would swamp it for data every host can deterministically
+        re-record — under a temp-dir keyed by the service URL, so all
+        workers on a host talking to the same service still share.
+        """
+        if not self.remote:
+            return self.store_path + ".traces"
+        digest = hashlib.sha1(self.store_path.encode("utf-8")).hexdigest()[:12]
+        return os.path.join(tempfile.gettempdir(), f"repro-traces-{digest}")
 
     def _engine_for(self, scale: float, decoder_spec: str) -> EvaluationEngine:
         """The cached engine running (scale, decoder) tasks.
 
-        Engines share one columnar trace cache next to the store file
-        (``<store>.traces/``): the first worker on a host to need a
-        trace records and persists it, every other worker — and every
-        later engine — memory-maps the blob instead of re-recording.
+        Engines share one columnar trace cache per host (see
+        :meth:`_trace_cache_dir`): the first worker to need a trace
+        records and persists it, every other worker — and every later
+        engine — memory-maps the blob instead of re-recording.
         """
         key = (scale, decoder_spec)
         engine = self._engines.get(key)
@@ -141,7 +190,7 @@ class FabricWorker:
             engine = EvaluationEngine(
                 workloads=_all_workloads(), scale=scale,
                 decoder=resolve_decoder(decoder_spec), store=self.store,
-                trace_cache=self.store_path + ".traces",
+                trace_cache=self._trace_cache_dir(),
             )
             self._engines[key] = engine
         return engine

@@ -1,0 +1,55 @@
+"""The experiment service: the fabric's HTTP control plane.
+
+PR 5's distributed fabric spans exactly as far as its SQLite file does:
+"cluster" means "processes sharing a filesystem". This package removes
+that ceiling. ``repro serve`` fronts one store file with a lightweight
+stdlib-only HTTP service (:mod:`repro.service.server`), and the client
+side (:mod:`repro.service.client`) speaks the same wire protocol
+(:mod:`repro.service.protocol`) through two adapters:
+
+- :class:`~repro.service.client.HttpQueue` — the fabric's
+  :class:`~repro.fabric.api.TaskQueue` interface over HTTP, so
+  ``repro worker --url http://host:port`` and
+  :class:`~repro.engine.executors.FabricExecutor` run unchanged;
+- :class:`~repro.service.client.HttpBackend` — the store backend
+  protocol over HTTP, so ``open_store("http://host:port")`` yields a
+  fully functional :class:`~repro.store.resultstore.ResultStore` and a
+  remote worker needs **no database file at all**: results, hardware
+  measurements, checkpoints and run records all read and write through
+  the service.
+
+The byte-identity guarantee carries over the network by construction:
+task key = store address end to end, exactly as on the local fabric,
+so a remote fleet's campaign output is ``cmp``-identical to a serial
+run — even with a worker SIGKILLed mid-stage or the server restarted
+mid-campaign (all state lives in the durable SQLite file the service
+fronts).
+"""
+
+from repro.service.client import (
+    HttpBackend,
+    HttpQueue,
+    ServiceClient,
+    ServiceError,
+    fetch_status,
+)
+from repro.service.protocol import (
+    TOKEN_ENV,
+    WIRE_VERSION,
+    redact,
+    resolve_token,
+)
+from repro.service.server import ExperimentService
+
+__all__ = [
+    "ExperimentService",
+    "HttpBackend",
+    "HttpQueue",
+    "ServiceClient",
+    "ServiceError",
+    "TOKEN_ENV",
+    "WIRE_VERSION",
+    "fetch_status",
+    "redact",
+    "resolve_token",
+]

@@ -1,0 +1,460 @@
+"""Client side of the experiment service: retry, queue, store.
+
+Three layers, each thin:
+
+- :class:`ServiceClient` — the transport. ``urllib.request`` plus the
+  protocol obligations (bearer auth, wire-version header, one
+  handshake before the first real request) and a retry loop with
+  exponential backoff and jitter. Transient trouble — connection
+  refused (server not up yet, or restarting mid-campaign), timeouts,
+  5xx, 429 backpressure (whose ``Retry-After`` is honoured as a floor)
+  — is retried up to ``max_retries`` times; protocol errors (400, 401,
+  404, 426) raise :class:`ServiceError` immediately, because retrying
+  a wrong token or a version mismatch cannot help.
+- :class:`HttpQueue` — :class:`~repro.fabric.api.TaskQueue` over the
+  wire. Byte-for-byte the same contract as the SQLite queue (the
+  conformance suite in ``tests/test_fabric_queue.py`` runs against
+  both), so :class:`~repro.fabric.worker.FabricWorker` and
+  :class:`~repro.engine.executors.FabricExecutor` cannot tell the
+  transports apart.
+- :class:`HttpBackend` — the store backend protocol over the wire.
+  ``open_store("http://host:port")`` builds a full
+  :class:`~repro.store.resultstore.ResultStore` on top of it, which is
+  what lets a remote worker run with no database file: every result
+  write lands in the server's SQLite file, every read comes from it.
+
+Timekeeping note: the server's clock is authoritative for leases. A
+remote ``leases()`` reports expiry in *server* time alongside the
+server's *now*, so remaining-time arithmetic stays skew-free.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import time
+import urllib.error
+import urllib.request
+
+from repro.fabric.api import TaskQueue
+from repro.fabric.queue import DEFAULT_LEASE, Lease, Task
+from repro.service.protocol import (
+    API_PREFIX,
+    WIRE_HEADER,
+    WIRE_VERSION,
+    redact,
+    resolve_token,
+)
+
+#: Attempts before a transient failure is given up on (initial
+#: connection and mid-campaign alike). Overridable per client and via
+#: ``repro worker --max-retries``.
+DEFAULT_MAX_RETRIES = 8
+
+#: First backoff sleep, seconds; doubles per attempt up to the cap.
+DEFAULT_BACKOFF = 0.2
+
+#: Backoff ceiling, seconds.
+DEFAULT_MAX_BACKOFF = 10.0
+
+#: Per-request socket timeout, seconds.
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServiceError(RuntimeError):
+    """A service request failed for good (non-transient, or retries spent).
+
+    ``status`` carries the HTTP status when one was received, else
+    ``None`` (pure transport failure).
+    """
+
+    def __init__(self, message: str, status: int = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """HTTP transport to one experiment service, with retries.
+
+    Parameters
+    ----------
+    url:
+        Service base URL (``http://host:port``); trailing slash and an
+        accidental ``/api/v1`` suffix are tolerated.
+    token:
+        Bearer token; falls back to the ``REPRO_TOKEN`` environment
+        variable. Without one, requests carry no credentials and the
+        server answers 401.
+    timeout:
+        Per-request socket timeout, seconds.
+    max_retries:
+        Transient-failure budget per request (0 = fail on first error).
+    backoff / max_backoff:
+        Exponential backoff base and ceiling, seconds. Actual sleeps
+        are jittered (×0.5..1.5) so a restarted fleet does not stampede
+        the server in lockstep; a 429's ``Retry-After`` is a floor.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        token: str = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        max_backoff: float = DEFAULT_MAX_BACKOFF,
+    ) -> None:
+        base = url.rstrip("/")
+        if base.endswith(API_PREFIX):
+            base = base[: -len(API_PREFIX)]
+        self.url = base
+        self.token = resolve_token(token)
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self._rng = random.Random()
+        self._handshaken = False
+
+    # ------------------------------------------------------------------
+    def handshake(self) -> dict:
+        """Fetch the server's version card, verifying wire compatibility.
+
+        Raises :class:`ServiceError` when the server speaks a different
+        wire version (the server-side per-request check catches the
+        mirror case of an old server and a new client).
+        """
+        card = self._request("GET", "handshake")
+        server_wire = card.get("wire_version")
+        if server_wire != WIRE_VERSION:
+            raise ServiceError(
+                f"wire version mismatch: server {self.url} speaks "
+                f"v{server_wire}, this client v{WIRE_VERSION}; update the "
+                f"older side",
+                status=426,
+            )
+        self._handshaken = True
+        return card
+
+    def call(self, method: str, endpoint: str, payload: dict = None) -> dict:
+        """One API call (handshaking first if this client hasn't yet)."""
+        if not self._handshaken and endpoint != "handshake":
+            self.handshake()
+        return self._request(method, endpoint, payload)
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, endpoint: str, payload: dict = None) -> dict:
+        body = None
+        if method == "POST":
+            body = json.dumps(payload or {}).encode("utf-8")
+        headers = {WIRE_HEADER: str(WIRE_VERSION),
+                   "Content-Type": "application/json"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        request = urllib.request.Request(
+            f"{self.url}{API_PREFIX}/{endpoint}", data=body,
+            headers=headers, method=method,
+        )
+        attempt = 0
+        while True:
+            retry_floor = 0.0
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                    return json.loads(resp.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                detail = self._error_text(exc)
+                if exc.code == 429:
+                    retry_floor = self._retry_after(exc)
+                elif exc.code < 500:
+                    raise ServiceError(
+                        f"{method} /{endpoint} failed: HTTP {exc.code}: "
+                        f"{detail}", status=exc.code,
+                    ) from None
+                failure = f"HTTP {exc.code}: {detail}"
+                status = exc.code
+            except (urllib.error.URLError, socket.timeout, ConnectionError,
+                    TimeoutError) as exc:
+                reason = getattr(exc, "reason", exc)
+                failure = f"{type(exc).__name__}: {reason}"
+                status = None
+            if attempt >= self.max_retries:
+                raise ServiceError(
+                    redact(
+                        f"{method} /{endpoint} to {self.url} failed after "
+                        f"{attempt + 1} attempts: {failure}",
+                        self.token,
+                    ),
+                    status=status,
+                )
+            time.sleep(max(self._sleep_for(attempt), retry_floor))
+            attempt += 1
+
+    def _sleep_for(self, attempt: int) -> float:
+        base = min(self.backoff * (2 ** attempt), self.max_backoff)
+        return base * self._rng.uniform(0.5, 1.5)
+
+    @staticmethod
+    def _error_text(exc) -> str:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            return payload.get("error", "")
+        except Exception:  # noqa: BLE001 — error body is best-effort
+            return exc.reason if isinstance(exc.reason, str) else str(exc.reason)
+
+    @staticmethod
+    def _retry_after(exc) -> float:
+        try:
+            return float(exc.headers.get("Retry-After", 0))
+        except (TypeError, ValueError):
+            return 0.0
+
+
+class HttpQueue(TaskQueue):
+    """The fabric queue contract, spoken to a remote experiment service.
+
+    Construction is cheap and does not touch the network; the first
+    call handshakes (with the client's connection-retry budget, so a
+    worker started before its server comes up simply waits). The
+    server's :class:`~repro.fabric.queue.JobQueue` holds the actual
+    state; this class is marshalling only, which is how both transports
+    stay semantically identical.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        token: str = None,
+        lease_seconds: float = DEFAULT_LEASE,
+        timeout: float = DEFAULT_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ) -> None:
+        self.client = ServiceClient(url, token=token, timeout=timeout,
+                                    max_retries=max_retries)
+        self.lease_seconds = lease_seconds
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def enqueue(self, tasks, submitted_by: str = None) -> int:
+        """Insert ``[(key, kind, payload_dict), ...]``; returns rows added."""
+        reply = self.client.call("POST", "queue/enqueue", {
+            "tasks": [[key, kind, payload] for key, kind, payload in tasks],
+            "submitted_by": submitted_by,
+        })
+        return reply["added"]
+
+    def requeue_dead(self, keys=None) -> int:
+        """Restore dead-lettered tasks' claim budgets; returns count."""
+        payload = {"keys": list(keys)} if keys is not None else {}
+        return self.client.call("POST", "queue/requeue-dead", payload)["requeued"]
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def claim(self, worker_id: str, lease_seconds: float = None):
+        """Lease the oldest claimable task; ``None`` when nothing is."""
+        reply = self.client.call("POST", "queue/claim", {
+            "worker": worker_id,
+            "lease_seconds": lease_seconds
+            if lease_seconds is not None else self.lease_seconds,
+        })
+        row = reply["task"]
+        if row is None:
+            return None
+        return Task(key=row["key"], kind=row["kind"], payload=row["payload"],
+                    attempts=row["attempts"], max_attempts=row["max_attempts"])
+
+    def heartbeat(self, key: str, worker_id: str, lease_seconds: float = None) -> bool:
+        """Extend a held lease; ``False`` when the lease was lost."""
+        reply = self.client.call("POST", "queue/heartbeat", {
+            "key": key, "worker": worker_id,
+            "lease_seconds": lease_seconds
+            if lease_seconds is not None else self.lease_seconds,
+        })
+        return reply["ok"]
+
+    def complete(self, key: str, worker_id: str) -> bool:
+        """Mark a leased task done; ``False`` when the lease was lost."""
+        reply = self.client.call("POST", "queue/complete", {
+            "completions": [{"key": key, "worker": worker_id}],
+        })
+        return reply["ok"][0]
+
+    def complete_many(self, completions) -> list:
+        """Batched :meth:`complete`: ``[(key, worker_id), ...]`` in one
+        request; returns the per-item ``bool`` list."""
+        reply = self.client.call("POST", "queue/complete", {
+            "completions": [{"key": key, "worker": worker}
+                            for key, worker in completions],
+        })
+        return reply["ok"]
+
+    def fail(self, key: str, worker_id: str, error: str) -> str:
+        """Record a task failure; returns the resulting state."""
+        reply = self.client.call("POST", "queue/fail", {
+            "key": key, "worker": worker_id,
+            "error": redact(error, self.client.token),
+        })
+        return reply["state"]
+
+    # ------------------------------------------------------------------
+    # Worker registry
+    # ------------------------------------------------------------------
+    def register_worker(self, worker_id: str = None, pid: int = None,
+                        host: str = None) -> str:
+        """Insert (or refresh) a worker row; returns the worker id."""
+        reply = self.client.call("POST", "workers/register", {
+            "worker_id": worker_id, "pid": pid, "host": host,
+        })
+        return reply["worker_id"]
+
+    def worker_beat(self, worker_id: str, tasks_done: int = None,
+                    tasks_failed: int = None, telemetry: dict = None) -> None:
+        """Refresh a worker row: liveness, counters, engine telemetry."""
+        self.client.call("POST", "workers/beat", {
+            "worker_id": worker_id, "tasks_done": tasks_done,
+            "tasks_failed": tasks_failed, "telemetry": telemetry,
+        })
+
+    def workers(self) -> list:
+        """All worker rows as dicts (telemetry JSON decoded)."""
+        return self.client.call("GET", "workers")["workers"]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def states(self, keys) -> dict:
+        """``{key: state}`` for the given keys (missing keys absent)."""
+        return self.client.call("POST", "queue/states",
+                                {"keys": list(keys)})["states"]
+
+    def counts(self) -> dict:
+        """Row count per task state (all states present, zeros kept)."""
+        return self.client.call("GET", "queue/counts")["counts"]
+
+    def retries(self) -> int:
+        """Total extra claims beyond each task's first (retry pressure)."""
+        return self.client.call("GET", "queue/counts")["retries"]
+
+    def leases(self, now: float = None) -> list:
+        """Live lease rows, soonest expiry first (server-clock expiry)."""
+        reply = self.client.call("GET", "queue/leases")
+        return [Lease(key=row["key"], worker=row["worker"],
+                      expires=row["expires"], attempts=row["attempts"])
+                for row in reply["leases"]]
+
+    def dead(self) -> list:
+        """Dead-letter rows as ``(key, attempts, error)`` tuples."""
+        return [tuple(row) for row in
+                self.client.call("GET", "queue/dead")["dead"]]
+
+    def errors(self, key: str):
+        """Last recorded error text for ``key`` (or ``None``)."""
+        return self.client.call("POST", "queue/errors", {"key": key})["error"]
+
+    def purge_done(self) -> int:
+        """Drop completed rows (results live in the store); returns count."""
+        return self.client.call("POST", "queue/purge-done")["purged"]
+
+    def close(self) -> None:
+        """No persistent transport to release (requests are one-shot)."""
+
+
+class HttpBackend:
+    """The store backend protocol, spoken to a remote experiment service.
+
+    Implements the same surface as
+    :class:`~repro.store.backend.SqliteBackend` /
+    :class:`~repro.store.backend.MemoryBackend`, so
+    ``open_store("http://host:port")`` yields a fully functional
+    :class:`~repro.store.resultstore.ResultStore` — results, hardware
+    measurements, trial costs, checkpoints and the run registry all
+    pass through to the server's SQLite file. Construction handshakes
+    eagerly (with retries), so a bad URL or token fails at open time.
+    """
+
+    kind = "http"
+
+    def __init__(self, url: str, token: str = None,
+                 timeout: float = DEFAULT_TIMEOUT,
+                 max_retries: int = DEFAULT_MAX_RETRIES) -> None:
+        self.client = ServiceClient(url, token=token, timeout=timeout,
+                                    max_retries=max_retries)
+        card = self.client.handshake()
+        self.schema_version = card.get("store_schema_version")
+
+    @property
+    def url(self) -> str:
+        """Service base URL this backend talks to."""
+        return self.client.url
+
+    @property
+    def path(self) -> str:
+        """The backend's address — for HTTP, the service URL."""
+        return self.client.url
+
+    @property
+    def token(self):
+        """Bearer token in use (``None`` when unauthenticated)."""
+        return self.client.token
+
+    def get(self, table: str, key: str):
+        """Fetch one value (``None`` when absent)."""
+        return self.client.call("POST", "store/get",
+                                {"table": table, "key": key})["value"]
+
+    def put(self, table: str, key: str, value: str, replace: bool = True) -> bool:
+        """Store one value; ``False`` when ``replace=False`` skipped it."""
+        return self.put_many(table, [(key, value)], replace=replace) == 1
+
+    def put_many(self, table: str, items, replace: bool = True) -> int:
+        """Store many ``(key, value)`` pairs in one request."""
+        return self.client.call("POST", "store/put-many", {
+            "table": table,
+            "items": [[key, value] for key, value in items],
+            "replace": replace,
+        })["written"]
+
+    def delete(self, table: str, key: str) -> bool:
+        """Delete one key; ``True`` when a row was removed."""
+        return bool(self.client.call("POST", "store/delete",
+                                     {"table": table, "key": key})["deleted"])
+
+    def items(self, table: str) -> list:
+        """All ``(key, value, created_at)`` rows of a table."""
+        reply = self.client.call("POST", "store/items", {"table": table})
+        return [tuple(row) for row in reply["rows"]]
+
+    def count(self, table: str) -> int:
+        """Row count of a table."""
+        return self.client.call("POST", "store/count", {"table": table})["count"]
+
+    def prune(self, table: str, older_than: float) -> int:
+        """Drop rows created before ``older_than``; returns rows removed."""
+        return self.client.call("POST", "store/prune", {
+            "table": table, "older_than": older_than,
+        })["pruned"]
+
+    def size_bytes(self) -> int:
+        """On-disk size of the server-side database."""
+        return self.client.call("GET", "store/size")["size_bytes"]
+
+    def vacuum(self) -> None:
+        """Compact the server-side database."""
+        self.client.call("POST", "store/vacuum")
+
+    def close(self) -> None:
+        """No persistent transport to release (requests are one-shot)."""
+
+
+def fetch_status(url: str, token: str = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES) -> dict:
+    """The service's status snapshot (same shape as the local one).
+
+    What ``repro status --url ...`` calls; the token never appears in
+    the returned payload (the server computes the snapshot from queue
+    and store state, not from credentials).
+    """
+    client = ServiceClient(url, token=token, max_retries=max_retries)
+    return client.call("GET", "status")

@@ -1,0 +1,88 @@
+"""The experiment service's wire protocol, in one place.
+
+Everything both sides must agree on lives here, so the server
+(:mod:`repro.service.server`) and the client
+(:mod:`repro.service.client`) cannot drift apart silently:
+
+- **Versioning.** Every request carries the client's wire version in
+  the :data:`WIRE_HEADER` header; the server answers a mismatch with
+  ``426 Upgrade Required`` instead of misparsing the body. The
+  ``GET /api/v1/handshake`` endpoint reports the server's wire version
+  plus the fabric and store schema versions, and clients handshake once
+  before their first real request — version skew fails loudly at
+  connect time, not mid-campaign.
+- **Auth.** Requests authenticate with ``Authorization: Bearer
+  <token>``; the token comes from ``--token`` or the :data:`TOKEN_ENV`
+  environment variable (:func:`resolve_token`), and
+  :func:`redact` scrubs it from anything user-visible (logs, error
+  text, status output).
+- **Bodies.** JSON both ways. Success is ``200`` with the endpoint's
+  payload; errors are ``{"error": "..."}`` with a meaningful status
+  code (400 malformed, 401 unauthorised, 404 unknown endpoint,
+  426 version skew, 429 backpressure with ``Retry-After``, 500 with
+  the exception text).
+- **Batching.** ``queue/enqueue`` and ``queue/complete`` accept lists,
+  so a driver submits a whole race step in one request and a worker
+  can acknowledge several tasks per round trip.
+
+The endpoint catalogue mirrors the fabric queue API 1:1 (see
+:class:`~repro.fabric.api.TaskQueue`) plus the store backend's
+five-table key/value protocol, which is what lets a remote worker run
+without any local database file.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Bump when request/response shapes change incompatibly. Checked per
+#: request (header) and at handshake.
+WIRE_VERSION = 1
+
+#: URL prefix every endpoint lives under.
+API_PREFIX = "/api/v1"
+
+#: Request header carrying the client's wire version.
+WIRE_HEADER = "X-Repro-Wire"
+
+#: Environment variable consulted wherever ``--token`` is accepted.
+TOKEN_ENV = "REPRO_TOKEN"
+
+#: What a redacted token reads as in logs and error text.
+REDACTED = "[redacted]"
+
+#: Default TCP port of ``repro serve``.
+DEFAULT_PORT = 8537
+
+#: Default seconds a backpressured (429) client is told to wait.
+RETRY_AFTER_SECONDS = 1.0
+
+
+def resolve_token(token: str = None) -> str:
+    """The effective auth token: explicit value, else :data:`TOKEN_ENV`.
+
+    Returns ``None`` when neither is set, which callers treat as "no
+    credentials available" (the server refuses to start, the client
+    sends no ``Authorization`` header and gets a clean 401).
+    """
+    if token:
+        return token
+    return os.environ.get(TOKEN_ENV) or None
+
+
+def redact(text, token: str):
+    """Scrub every occurrence of ``token`` from ``text``.
+
+    Applied to log lines, exception text and failure messages before
+    they leave the process, so a token that leaks into an error (say,
+    a urllib message echoing headers) never reaches disk or another
+    host's queue rows. Pass-through when either side is falsy.
+    """
+    if not token or not text:
+        return text
+    return str(text).replace(token, REDACTED)
+
+
+def is_url(spec) -> bool:
+    """True when ``spec`` names a service URL rather than a file path."""
+    return isinstance(spec, str) and spec.startswith(("http://", "https://"))

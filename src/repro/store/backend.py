@@ -256,8 +256,24 @@ class SqliteBackend:
             self._conn.close()
 
 
-def make_backend(spec):
-    """``spec`` to backend: ``None``/``"memory"``/``":memory:"`` or a path."""
+def make_backend(spec, token: str = None, max_retries: int = None):
+    """``spec`` to backend: ``None``/``"memory"``/``":memory:"``, an
+    ``http(s)://`` service URL, or a SQLite file path.
+
+    ``token`` and ``max_retries`` only apply to URL specs (auth and
+    transient-failure budget of the HTTP client); they are ignored for
+    local backends so call sites can forward them unconditionally.
+    """
     if spec is None or spec in ("memory", ":memory:"):
         return MemoryBackend()
+    if isinstance(spec, str) and spec.startswith(("http://", "https://")):
+        # Local import: the service client is pure stdlib but lives in a
+        # package that imports fabric modules; keep the store importable
+        # on its own.
+        from repro.service.client import DEFAULT_MAX_RETRIES, HttpBackend
+
+        return HttpBackend(
+            spec, token=token,
+            max_retries=DEFAULT_MAX_RETRIES if max_retries is None else max_retries,
+        )
     return SqliteBackend(spec)

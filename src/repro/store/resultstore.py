@@ -201,6 +201,11 @@ class ResultStore:
         self.close()
 
 
-def open_store(spec) -> ResultStore:
-    """Open a store: ``"memory"``/``":memory:"`` or a SQLite file path."""
-    return ResultStore(make_backend(spec))
+def open_store(spec, token: str = None, max_retries: int = None) -> ResultStore:
+    """Open a store: ``"memory"``/``":memory:"``, a SQLite file path, or
+    an ``http(s)://`` experiment-service URL (see :mod:`repro.service`).
+
+    ``token``/``max_retries`` configure the HTTP client for URL specs
+    and are ignored otherwise.
+    """
+    return ResultStore(make_backend(spec, token=token, max_retries=max_retries))

@@ -48,12 +48,14 @@ class TestScenarioDeterminism:
         axes = [len(values) for _key, values in suite["batched-race-step"].grid]
         assert axes == [2, 2, 2]
         assert suite["trace-mmap-attach"].kind == "mmap"
+        assert suite["service-dispatch"].kind == "service"
 
     def test_quick_suite_is_smaller(self):
         quick = quick_suite()
         assert all(len(s.workloads) <= 10 for s in quick)
         assert {s.kind for s in quick} == {
-            "simulate", "trace", "engine", "fabric", "batch", "mmap"
+            "simulate", "trace", "engine", "fabric", "batch", "mmap",
+            "service",
         }
 
     def test_unknown_suite_rejected(self):
@@ -105,6 +107,18 @@ class TestRunScenario:
         assert telemetry["dispatch_overhead_ms_per_task"] >= 0
         assert telemetry["fabric_wall_seconds"] >= telemetry["serial_wall_seconds"] \
             or telemetry["dispatch_overhead_ms_per_task"] == 0
+        assert record["instructions"] > 0
+
+    def test_service_scenario_reports_dispatch_overhead(self):
+        scn = BenchScenario(
+            "t-service", "service", core="a53", workloads=("CCa",),
+            grid=(("l1d.size", (16384, 32768)),), repeats=1, scale=0.5,
+        )
+        record = run_scenario(scn)
+        telemetry = record["telemetry"]
+        assert telemetry["tasks"] == 2  # 2 configs x 1 workload
+        assert telemetry["dispatch_overhead_ms_per_task"] >= 0
+        assert telemetry["service_wall_seconds"] > 0
         assert record["instructions"] > 0
 
     def test_unknown_kind_rejected(self):

@@ -1,4 +1,13 @@
-"""Fabric job queue: leases, expiry requeue, retries, dead letters."""
+"""Fabric job queue: leases, expiry requeue, retries, dead letters.
+
+The suite is the :class:`repro.fabric.api.TaskQueue` *conformance*
+suite: the ``queue`` fixture is parametrized over the SQLite
+implementation and :class:`repro.service.client.HttpQueue` against a
+live in-process :class:`repro.service.server.ExperimentService`, so
+every lease/retry/dead-letter semantic below is asserted once and
+holds on both transports. Only :class:`TestSchema` stays SQLite-only
+(it pokes the raw connection).
+"""
 
 import time
 
@@ -6,12 +15,27 @@ import pytest
 
 from repro.fabric.queue import FABRIC_SCHEMA_VERSION, JobQueue
 
+TEST_TOKEN = "conformance-secret"
 
-@pytest.fixture()
-def queue(tmp_path):
-    q = JobQueue(tmp_path / "fab.sqlite", lease_seconds=30.0, max_attempts=3)
+
+@pytest.fixture(params=["sqlite", "http"])
+def queue(request, tmp_path):
+    path = tmp_path / "fab.sqlite"
+    if request.param == "sqlite":
+        q = JobQueue(path, lease_seconds=30.0, max_attempts=3)
+        yield q
+        q.close()
+        return
+    from repro.service.client import HttpQueue
+    from repro.service.server import ExperimentService
+
+    service = ExperimentService(path, token=TEST_TOKEN, port=0,
+                                max_attempts=3).start()
+    q = HttpQueue(service.url, token=TEST_TOKEN, lease_seconds=30.0)
     yield q
     q.close()
+    service.stop()
+    service.close()
 
 
 def _tasks(n, kind="sleep"):

@@ -1,0 +1,397 @@
+"""Experiment service: auth, versioning, backpressure, retries, stores.
+
+Everything here runs against a real in-process
+:class:`~repro.service.server.ExperimentService` — no mocked HTTP —
+because the wire behaviours under test (status codes, headers, retry
+timing) only exist on a real socket.
+"""
+
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.client import (
+    HttpBackend,
+    HttpQueue,
+    ServiceClient,
+    ServiceError,
+    fetch_status,
+)
+from repro.service.protocol import (
+    API_PREFIX,
+    TOKEN_ENV,
+    WIRE_HEADER,
+    WIRE_VERSION,
+    redact,
+    resolve_token,
+)
+from repro.service.server import ExperimentService
+
+TOKEN = "unit-test-secret"
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = ExperimentService(tmp_path / "svc.sqlite", token=TOKEN, port=0).start()
+    yield svc
+    svc.stop()
+    svc.close()
+
+
+def _raw_request(url, token=TOKEN, wire=str(WIRE_VERSION), method="GET",
+                 endpoint="handshake", body=None):
+    """A hand-built request, bypassing ServiceClient's conveniences."""
+    headers = {}
+    if token is not None:
+        headers["Authorization"] = f"Bearer {token}"
+    if wire is not None:
+        headers[WIRE_HEADER] = wire
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(f"{url}{API_PREFIX}/{endpoint}",
+                                     data=data, headers=headers, method=method)
+    with urllib.request.urlopen(request, timeout=10) as resp:
+        return resp.status, json.loads(resp.read().decode())
+
+
+class TestHandshakeAndVersioning:
+    def test_handshake_reports_versions(self, service):
+        status, card = _raw_request(service.url)
+        assert status == 200
+        assert card["service"] == "repro-serve"
+        assert card["wire_version"] == WIRE_VERSION
+        assert card["fabric_schema_version"] >= 1
+        assert card["store_schema_version"] >= 1
+
+    def test_wrong_wire_version_is_426(self, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _raw_request(service.url, wire="999", method="GET",
+                         endpoint="queue/counts")
+        assert err.value.code == 426
+
+    def test_handshake_is_version_exempt(self, service):
+        # An old client must be able to *ask* what the server speaks.
+        status, _card = _raw_request(service.url, wire=None)
+        assert status == 200
+
+    def test_client_rejects_version_skew(self, service, monkeypatch):
+        import repro.service.client as client_mod
+
+        monkeypatch.setattr(client_mod, "WIRE_VERSION", 999)
+        client = ServiceClient(service.url, token=TOKEN, max_retries=0)
+        with pytest.raises(ServiceError, match="wire version mismatch"):
+            client.handshake()
+
+
+class TestAuth:
+    def test_missing_token_is_401(self, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _raw_request(service.url, token=None)
+        assert err.value.code == 401
+
+    def test_wrong_token_is_401(self, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _raw_request(service.url, token="wrong")
+        assert err.value.code == 401
+
+    def test_client_does_not_retry_401(self, service):
+        client = ServiceClient(service.url, token="wrong", max_retries=5)
+        start = time.monotonic()
+        with pytest.raises(ServiceError) as err:
+            client.handshake()
+        assert err.value.status == 401
+        assert time.monotonic() - start < 1.0  # no backoff loop
+
+    def test_server_refuses_to_start_without_token(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(TOKEN_ENV, raising=False)
+        with pytest.raises(ValueError, match="token"):
+            ExperimentService(tmp_path / "x.sqlite")
+
+    def test_token_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TOKEN_ENV, "from-env")
+        svc = ExperimentService(tmp_path / "x.sqlite", port=0).start()
+        try:
+            assert svc.token == "from-env"
+            # client side resolves the same variable
+            queue = HttpQueue(svc.url)
+            assert queue.enqueue([("k", "sleep", {})]) == 1
+        finally:
+            svc.stop()
+            svc.close()
+
+    def test_resolve_token_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(TOKEN_ENV, "from-env")
+        assert resolve_token("explicit") == "explicit"
+        assert resolve_token(None) == "from-env"
+        monkeypatch.delenv(TOKEN_ENV)
+        assert resolve_token(None) is None
+
+
+class TestRedaction:
+    def test_redact(self):
+        assert redact("boom secret boom", "secret") == "boom [redacted] boom"
+        assert redact("text", None) == "text"
+        assert redact(None, "secret") is None
+
+    def test_status_snapshot_never_contains_token(self, service):
+        snap = fetch_status(service.url, token=TOKEN)
+        assert TOKEN not in json.dumps(snap)
+
+    def test_server_log_lines_are_redacted(self, tmp_path):
+        lines = []
+        svc = ExperimentService(tmp_path / "log.sqlite", token=TOKEN,
+                                port=0, progress=lines.append).start()
+        try:
+            fetch_status(svc.url, token=TOKEN)
+        finally:
+            svc.stop()
+            svc.close()
+        assert lines  # request logging happened
+        assert all(TOKEN not in line for line in lines)
+
+    def test_http_queue_fail_redacts_error_text(self, service):
+        queue = HttpQueue(service.url, token=TOKEN)
+        queue.enqueue([("k", "sleep", {})])
+        task = queue.claim("w1")
+        queue.fail(task.key, "w1", f"exploded with {TOKEN} in the message")
+        assert TOKEN not in queue.errors("k")
+
+
+class TestBackpressure:
+    def test_enqueue_429_with_retry_after_when_full(self, tmp_path):
+        svc = ExperimentService(tmp_path / "bp.sqlite", token=TOKEN,
+                                port=0, max_depth=2).start()
+        try:
+            queue = HttpQueue(svc.url, token=TOKEN)
+            assert queue.enqueue([("a", "sleep", {}), ("b", "sleep", {})]) == 2
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _raw_request(svc.url, method="POST", endpoint="queue/enqueue",
+                             body={"tasks": [["c", "sleep", {}]]})
+            assert err.value.code == 429
+            assert float(err.value.headers["Retry-After"]) > 0
+            # Draining makes room again.
+            task = queue.claim("w1")
+            queue.complete(task.key, "w1")
+            assert queue.enqueue([("c", "sleep", {})]) == 1
+        finally:
+            svc.stop()
+            svc.close()
+
+    def test_client_retries_through_backpressure(self, tmp_path):
+        svc = ExperimentService(tmp_path / "bp2.sqlite", token=TOKEN,
+                                port=0, max_depth=1).start()
+        try:
+            queue = HttpQueue(svc.url, token=TOKEN, max_retries=20)
+            assert queue.enqueue([("a", "sleep", {})]) == 1
+
+            def drain():
+                time.sleep(0.3)
+                local = HttpQueue(svc.url, token=TOKEN)
+                task = local.claim("drainer")
+                local.complete(task.key, "drainer")
+
+            thread = threading.Thread(target=drain)
+            thread.start()
+            # Blocks in the 429 retry loop until the drainer makes room.
+            assert queue.enqueue([("b", "sleep", {})]) == 1
+            thread.join()
+        finally:
+            svc.stop()
+            svc.close()
+
+
+class TestRetries:
+    def test_connection_refused_retries_until_server_up(self, tmp_path):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        url = f"http://127.0.0.1:{port}"
+        box = {}
+
+        def start_late():
+            time.sleep(0.5)
+            box["svc"] = ExperimentService(tmp_path / "late.sqlite",
+                                           token=TOKEN, port=port).start()
+
+        thread = threading.Thread(target=start_late)
+        thread.start()
+        try:
+            # Connects before the server exists; backoff bridges the gap.
+            queue = HttpQueue(url, token=TOKEN, max_retries=12)
+            assert queue.enqueue([("k", "sleep", {})]) == 1
+        finally:
+            thread.join()
+            box["svc"].stop()
+            box["svc"].close()
+
+    def test_transient_500_is_retried(self, service, monkeypatch):
+        real_counts = service.queue.counts
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient wobble")
+            return real_counts()
+
+        monkeypatch.setattr(service.queue, "counts", flaky)
+        queue = HttpQueue(service.url, token=TOKEN, max_retries=4)
+        assert queue.counts() == {"queued": 0, "leased": 0,
+                                  "done": 0, "dead": 0}
+        assert calls["n"] == 2
+
+    def test_retry_budget_exhausts_into_service_error(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        client = ServiceClient(f"http://127.0.0.1:{port}", token=TOKEN,
+                               max_retries=1, backoff=0.01)
+        with pytest.raises(ServiceError, match="after 2 attempts"):
+            client.handshake()
+
+
+class TestHttpStore:
+    def test_open_store_url_roundtrip(self, service):
+        from repro.core.stats import SimStats
+        from repro.store import open_store
+        from repro.store.serialize import stats_to_payload
+
+        remote = open_store(service.url, token=TOKEN)
+        assert remote.backend.kind == "http"
+        # Write through HTTP, read back through the server's own store.
+        local_stats = service.store.stats()
+        assert local_stats["sim_results"] == 0
+        remote.backend.put("sim_results", "k1", '{"p":1}')
+        assert service.store.backend.get("sim_results", "k1") == '{"p":1}'
+        assert remote.backend.count("sim_results") == 1
+        remote.close()
+
+    def test_registry_and_checkpoints_pass_through(self, service):
+        from repro.store import open_store
+
+        remote = open_store(service.url, token=TOKEN)
+        record = remote.registry.create("validate", core="a53",
+                                        params={"profile": "fast"})
+        remote.put_checkpoint(record.run_id, "stage-1", {"alive": [1, 2]})
+        assert remote.get_checkpoint(record.run_id, "stage-1") == {
+            "alive": [1, 2]}
+        # Visible from the server's local handle: same rows, one file.
+        assert service.store.registry.get(record.run_id).core == "a53"
+        remote.close()
+
+    def test_restart_preserves_state(self, tmp_path):
+        path = tmp_path / "durable.sqlite"
+        svc = ExperimentService(path, token=TOKEN, port=0).start()
+        queue = HttpQueue(svc.url, token=TOKEN)
+        queue.enqueue([(f"k{i}", "sleep", {}) for i in range(3)])
+        port = svc.port
+        svc.stop()
+        svc.close()
+        svc2 = ExperimentService(path, token=TOKEN, port=port).start()
+        try:
+            queue2 = HttpQueue(svc2.url, token=TOKEN)
+            assert queue2.depth() == 3
+        finally:
+            svc2.stop()
+            svc2.close()
+
+
+class TestWorkerOverHttp:
+    def test_worker_drains_simulations_remotely(self, service):
+        from repro.core.config import cortex_a53_public_config
+        from repro.fabric import FabricWorker, plan_simulations
+        from repro.store import open_store
+
+        from repro.isa.decoder import Decoder
+
+        config = cortex_a53_public_config()
+        decoder = Decoder()
+        items = [(config, "CCa", 0.25, {}, decoder),
+                 (config, "ED1", 0.25, {}, decoder)]
+        plan = plan_simulations(items)
+        queue = HttpQueue(service.url, token=TOKEN)
+        queue.enqueue(plan.tasks, submitted_by="test")
+
+        worker = FabricWorker(service.url, drain=True, token=TOKEN)
+        assert worker.remote
+        stats = worker.run()
+        assert stats.completed == 2 and stats.failed == 0
+
+        assert queue.counts()["done"] == 2
+        remote = open_store(service.url, token=TOKEN)
+        for key in plan.keys:
+            assert remote.get_sim(key) is not None
+        remote.close()
+
+
+class TestExecutorOverHttp:
+    def test_fabric_executor_against_service_url(self, service):
+        """The driver itself can point at the service: engine store and
+        executor queue both speak HTTP while a worker drains."""
+        from repro.core.config import cortex_a53_public_config
+        from repro.engine import EvaluationEngine
+        from repro.engine.executors import FabricExecutor
+        from repro.fabric import FabricWorker
+        from repro.store import open_store
+        from repro.workloads.microbench import MICROBENCHMARKS
+
+        store = open_store(service.url, token=TOKEN)
+        engine = EvaluationEngine(
+            workloads=[MICROBENCHMARKS["CCa"]], scale=0.25,
+            store=store, executor=FabricExecutor(store),
+        )
+        config = cortex_a53_public_config()
+
+        done = threading.Event()
+
+        def drain_loop():
+            deadline = time.monotonic() + 30
+            while not done.is_set() and time.monotonic() < deadline:
+                FabricWorker(service.url, drain=True, token=TOKEN).run()
+                time.sleep(0.05)
+
+        thread = threading.Thread(target=drain_loop)
+        thread.start()
+        try:
+            stats = engine.simulate(config, "CCa")
+            assert stats.instructions > 0
+        finally:
+            done.set()
+            thread.join()
+            engine.close()
+            store.close()
+
+    def test_unknown_backend_kind_rejected(self):
+        from repro.engine.executors import FabricExecutor
+        from repro.store import open_store
+
+        with pytest.raises(ValueError, match="fabric executor"):
+            FabricExecutor(open_store("memory"))
+
+
+class TestBadRequests:
+    def test_unknown_endpoint_404(self, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _raw_request(service.url, endpoint="queue/nonsense")
+        assert err.value.code == 404
+
+    def test_malformed_json_400(self, service):
+        request = urllib.request.Request(
+            f"{service.url}{API_PREFIX}/queue/states",
+            data=b"not json{", method="POST",
+            headers={"Authorization": f"Bearer {TOKEN}",
+                     WIRE_HEADER: str(WIRE_VERSION)},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+    def test_unknown_store_table_400(self, service):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _raw_request(service.url, method="POST", endpoint="store/get",
+                         body={"table": "nope; DROP TABLE", "key": "k"})
+        assert err.value.code == 400

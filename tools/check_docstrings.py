@@ -27,11 +27,15 @@ TARGET_MODULES = [
     "repro.engine.engine",
     "repro.engine.executors",
     "repro.store.resultstore",
+    "repro.fabric.api",
     "repro.fabric.queue",
     "repro.fabric.scheduler",
     "repro.fabric.tasks",
     "repro.fabric.worker",
     "repro.fabric.status",
+    "repro.service.protocol",
+    "repro.service.server",
+    "repro.service.client",
     "repro.validation.campaign",
     "repro.tuning.irace",
     "repro.tuning.race",
