@@ -347,6 +347,143 @@ def _run_service(scn: BenchScenario, repeats: int) -> dict:
     }
 
 
+def _run_race(scn: BenchScenario, repeats: int) -> dict:
+    """Async-race fleet saturation on a speed-skewed two-worker fabric.
+
+    The same engine-backed race (grid candidates x workload instances,
+    no elimination so both modes do identical committed work) runs
+    twice against a fresh SQLite fabric drained by two in-process
+    workers, one fast and one slowed by a fixed per-task delay:
+
+    - ``sync`` — the per-step barrier: the fast worker drains its share
+      of each step, then idles until the slow worker releases the
+      frontier;
+    - ``async`` — speculative lookahead keeps future steps enqueued, so
+      the fast worker always has work.
+
+    The telemetry reports each mode's busy-worker fraction (summed
+    task-holding seconds over ``wall x workers``) and the saturation
+    gain — the headline of the asynchronous racing PR. The decision
+    records of both modes are asserted identical: saturation is free.
+    """
+    import itertools
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.engine import EvaluationEngine, TrialCache
+    from repro.engine.evaluator import AssignmentEvaluator
+    from repro.engine.executors import FabricExecutor
+    from repro.fabric import FabricWorker
+    from repro.hardware.board import FireflyRK3399
+    from repro.store import open_store
+    from repro.tuning.race import race
+
+    class SkewedWorker(FabricWorker):
+        """A fabric worker slowed by a fixed per-task delay, recording
+        the wall seconds it spends holding tasks."""
+
+        def __init__(self, store_path, delay, **kwargs):
+            super().__init__(store_path, **kwargs)
+            self.delay = delay
+            self.busy_seconds = 0.0
+
+        def _execute(self, task):
+            """Delay, then run the task; accumulate busy wall time."""
+            t0 = time.perf_counter()
+            time.sleep(self.delay)
+            super()._execute(task)
+            self.busy_seconds += time.perf_counter() - t0
+
+    base = _config_for(scn.core)
+    keys = [k for k, _values in scn.grid]
+    axes = [values for _k, values in scn.grid]
+    candidates = [dict(zip(keys, combo))
+                  for combo in itertools.product(*axes)]
+    instances = list(scn.workloads)
+    workloads = [_workload(n) for n in instances]
+    hw = FireflyRK3399().core(scn.core)
+    delays = (0.04, 0.4)  # fast vs slow worker, seconds per task
+    lookahead = 6
+
+    # Warm the shared trace memos once so neither mode pays recording.
+    with EvaluationEngine(workloads=workloads, scale=scn.scale) as engine:
+        stats_list = engine.simulate_batch(
+            [(base, w.name) for w in workloads])
+    instructions = sum(s.instructions for s in stats_list) * len(candidates)
+    cycles = sum(s.cycles for s in stats_list) * len(candidates)
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-race-")
+    measures = {}
+    records = {}
+    try:
+        for rep in range(repeats):
+            for mode in ("sync", "async"):
+                path = os.path.join(tmp, f"{mode}{rep}.sqlite")
+                store = open_store(path)
+                engine = EvaluationEngine(
+                    hw=hw, workloads=workloads, scale=scn.scale,
+                    store=store,
+                    executor=FabricExecutor(store, poll=0.005))
+                workers = [SkewedWorker(path, delay, poll=0.005, lease=30.0)
+                           for delay in delays]
+                threads = [threading.Thread(target=w.run, daemon=True)
+                           for w in workers]
+                for thread in threads:
+                    thread.start()
+                try:
+                    cache = TrialCache(AssignmentEvaluator(engine, base))
+                    t0 = time.perf_counter()
+                    result = race(
+                        candidates, instances, cache,
+                        batch_evaluate=cache.evaluate_batch,
+                        first_test=len(instances) + 1,  # no elimination
+                        mode=mode, lookahead=lookahead, timeout=600,
+                    )
+                    wall = time.perf_counter() - t0
+                finally:
+                    for worker in workers:
+                        worker.stop()
+                    for thread in threads:
+                        thread.join(timeout=60)
+                    engine.close()
+                    store.close()
+                busy = sum(w.busy_seconds for w in workers)
+                fraction = busy / (wall * len(workers))
+                prev = measures.get(mode)
+                if prev is None or wall < prev["wall"]:
+                    measures[mode] = {"wall": wall, "busy_fraction": fraction}
+                records[mode] = result.decision_record()
+        if records["async"] != records["sync"]:
+            raise RuntimeError("race bench: async decisions diverged from sync")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    sync_m, async_m = measures["sync"], measures["async"]
+    return {
+        "instructions": instructions,
+        "cycles": cycles,
+        "wall_seconds": async_m["wall"],
+        "instructions_per_second": instructions / async_m["wall"],
+        "cycles_per_second": cycles / async_m["wall"],
+        "telemetry": {
+            "candidates": len(candidates),
+            "instances": len(instances),
+            "tasks": len(candidates) * len(instances),
+            "workers": len(delays),
+            "worker_delays_seconds": list(delays),
+            "lookahead": lookahead,
+            "sync_wall_seconds": sync_m["wall"],
+            "async_wall_seconds": async_m["wall"],
+            "sync_busy_fraction": sync_m["busy_fraction"],
+            "async_busy_fraction": async_m["busy_fraction"],
+            "saturation_gain":
+                async_m["busy_fraction"] / sync_m["busy_fraction"],
+            "wall_speedup": sync_m["wall"] / async_m["wall"],
+        },
+    }
+
+
 def _fresh_trace(wl, scale: float):
     """Record a trace from scratch — the cold path independent workers pay.
 
@@ -498,7 +635,8 @@ def _run_mmap(scn: BenchScenario, repeats: int) -> dict:
 
 _RUNNERS = {"simulate": _run_simulate, "trace": _run_trace,
             "engine": _run_engine, "fabric": _run_fabric,
-            "service": _run_service, "batch": _run_batch, "mmap": _run_mmap}
+            "service": _run_service, "batch": _run_batch, "mmap": _run_mmap,
+            "race": _run_race}
 
 
 def run_scenario(scn: BenchScenario, repeats: int = None) -> dict:
@@ -580,7 +718,7 @@ def validate_report(report) -> None:
                         "cycles_per_second"):
                 need(key in scn, f"scenario.{key} missing")
             need(scn["kind"] in ("simulate", "trace", "engine", "fabric",
-                                 "service", "batch", "mmap"),
+                                 "service", "batch", "mmap", "race"),
                  f"scenario kind {scn['kind']!r} invalid")
             need(scn["wall_seconds"] > 0, "non-positive wall_seconds")
             need(scn["instructions"] > 0, "non-positive instructions")

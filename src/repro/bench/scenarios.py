@@ -28,7 +28,13 @@ simulation stack:
   throughput and the fusion speedup;
 - ``mmap`` — columnar blob attach cost: memory-mapping persisted trace
   blobs (what the second worker on a host pays) versus recording,
-  building and persisting them (what the first worker pays).
+  building and persisting them (what the first worker pays);
+- ``race`` — async-race fleet saturation: the same engine-backed race
+  run twice over a two-worker fabric whose workers are deliberately
+  speed-skewed, once with the synchronous per-step barrier and once
+  with speculative lookahead scheduling, reporting each mode's
+  busy-worker fraction and wall clock (and asserting the decisions
+  match — saturation must be free).
 
 Scenario *lists* are deterministic (names, workloads, order); only the
 measured wall-clock varies between runs.
@@ -97,6 +103,19 @@ BATCH_GRID = (
     ("branch.btb_entries", (256, 512)),
 )
 
+#: Race-scenario grid: a deliberately *narrow* field (2 candidates per
+#: instance step) over many instances — the shape where the synchronous
+#: barrier hurts most, because each step leaves one of the two skewed
+#: workers idle while the other holds the frontier.
+RACE_GRID = (
+    ("l1d.size", (16384, 32768)),
+)
+
+#: Race-scenario instance lists (many steps = many barriers to remove,
+#: and a long enough run to amortise the final task's drain tail).
+RACE_KERNELS = ("CCa", "CRd", "CS1", "ED1", "MC", "MD", "ML2_BWld", "STc",
+                "DP1f", "EI", "MM", "STL2", "CCh", "CF1", "EM1", "MI")
+
 
 def _microbench_names() -> tuple:
     from repro.workloads.microbench import MICROBENCHMARKS
@@ -134,6 +153,9 @@ def full_suite() -> list:
                       workloads=QUICK_KERNELS, grid=BATCH_GRID, repeats=3),
         BenchScenario("trace-mmap-attach", "mmap", core="a53",
                       workloads=QUICK_KERNELS, repeats=3),
+        BenchScenario("async-race-saturation", "race", core="a53",
+                      workloads=RACE_KERNELS, grid=RACE_GRID,
+                      repeats=1, scale=0.25),
     ]
 
 
@@ -162,6 +184,9 @@ def quick_suite() -> list:
                       repeats=1),
         BenchScenario("trace-mmap-attach-quick", "mmap", core="a53",
                       workloads=QUICK_KERNELS[:4], repeats=2),
+        BenchScenario("async-race-saturation-quick", "race", core="a53",
+                      workloads=RACE_KERNELS[:8], grid=RACE_GRID,
+                      repeats=1, scale=0.25),
     ]
 
 

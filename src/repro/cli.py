@@ -300,13 +300,15 @@ def cmd_validate(args) -> int:
         elif store is not None:
             record = store.registry.create(
                 "validate", core=core, profile=profile, seed=seed,
-                params={"stages": stages, "jobs": args.jobs}, run_id=args.run_id,
+                params={"stages": stages, "jobs": args.jobs,
+                        "race_mode": args.race_mode}, run_id=args.run_id,
             )
             print(f"run id: {record.run_id}")
         campaign = ValidationCampaign(
             board, core=core, profile=profile, seed=seed, verbose=True,
             jobs=args.jobs, executor=executor, store=store,
             run_id=record.run_id if record else None,
+            race_mode=args.race_mode, lookahead=args.lookahead,
         )
         status = "interrupted"
         try:
@@ -571,6 +573,13 @@ def cmd_bench(args) -> int:
                   f"attach {t['attach_wall_seconds'] * 1e3:.2f} ms vs "
                   f"record+persist {t['build_persist_wall_seconds'] * 1e3:.1f} ms "
                   f"({t['attach_speedup']:.0f}x)")
+        elif scn["kind"] == "race":
+            print(f"async race ({scn['name']}): {t['tasks']} tasks on "
+                  f"{t['workers']} skewed workers, busy fraction "
+                  f"{t['sync_busy_fraction']:.2f} sync -> "
+                  f"{t['async_busy_fraction']:.2f} async "
+                  f"({t['saturation_gain']:.2f}x saturation, "
+                  f"{t['wall_speedup']:.2f}x wall)")
         else:
             print(f"engine telemetry ({scn['name']}): "
                   f"{t['requested_trials']} requested, "
@@ -910,6 +919,13 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="execution backend (fabric = distributed workers "
                         "sharing --store)")
+    p.add_argument("--race-mode", choices=["sync", "async"], default="sync",
+                   help="race execution: sync = barrier per instance step, "
+                        "async = speculative scheduling that keeps workers "
+                        "saturated (bit-identical results either way)")
+    p.add_argument("--lookahead", type=int, default=2,
+                   help="async racing: instance steps speculated beyond the "
+                        "commit frontier per alive candidate")
     p.add_argument("--out", default=None, help="write results JSON here")
     p.add_argument("--store", default=None,
                    help="persistent experiment store (SQLite path)")

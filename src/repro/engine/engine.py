@@ -84,6 +84,35 @@ class EngineTelemetry:
         return text
 
 
+class BatchTicket:
+    """In-flight state of one :meth:`EvaluationEngine.submit_batch`.
+
+    Opaque to callers: hand it back to ``poll_batch``/``cancel_batch``.
+    """
+
+    def __init__(self, pairs):
+        self.pairs = pairs
+        self.ready: dict = {}            # index -> stats (cache hits)
+        self.pending: dict = {}          # key -> [indices]
+        self.key_of: dict = {}           # index -> key
+        self.slot_of: dict = {}          # key -> (gi, ci)
+        self.key_at: dict = {}           # (gi, ci) -> key
+        self.resolved: set = set()       # keys whose stats arrived
+        self.cancelled: set = set()      # withdrawn pair indices
+        self.cancelled_slots: set = set()
+        self.handle = None               # executor handle (non-blocking)
+        self.exec_groups = None          # run()-fallback stash
+
+    def done(self) -> bool:
+        """True when nothing more can arrive from a poll."""
+        if self.ready:
+            return False
+        live = [key for key, idx_list in self.pending.items()
+                if key not in self.resolved
+                and any(idx not in self.cancelled for idx in idx_list)]
+        return not live
+
+
 class EvaluationEngine:
     """Cached, batched, optionally parallel experiment execution.
 
@@ -296,8 +325,146 @@ class EvaluationEngine:
         return results
 
     # ------------------------------------------------------------------
+    # Non-blocking simulation (the async race's engine path)
+    # ------------------------------------------------------------------
+    def submit_batch(self, pairs) -> "BatchTicket":
+        """Start ``[(config, workload), ...]`` without waiting.
+
+        The cache/dedup prologue is exactly :meth:`simulate_batch`'s —
+        same telemetry, same store reads — but instead of blocking on
+        the executor the remainder is submitted through its
+        non-blocking protocol and a :class:`BatchTicket` is returned.
+        Executors lacking ``submit`` (pre-built duck-typed ones) fall
+        back to running the whole batch at the first poll.
+        """
+        pairs = list(pairs)
+        ticket = BatchTicket(pairs=pairs)
+        for idx, (config, name) in enumerate(pairs):
+            self.telemetry.requested_trials += 1
+            key = self.result_key(config, name)
+            ticket.key_of[idx] = key
+            cached = self._results.get(key)
+            if cached is None and key not in ticket.pending and self.store is not None:
+                cached = self.store.get_sim(key)
+                if cached is not None:
+                    self._results[key] = cached
+                    self.telemetry.store_hits += 1
+            if cached is not None:
+                self.telemetry.sim_cache_hits += 1
+                ticket.ready[idx] = cached
+            elif key in ticket.pending:
+                self.telemetry.sim_cache_hits += 1
+                ticket.pending[key].append(idx)
+            else:
+                ticket.pending[key] = [idx]
+
+        if ticket.pending:
+            groups: dict = {}  # trace_key -> (trace, [(key, config)])
+            order = []
+            for key, indices in ticket.pending.items():
+                config, name = pairs[indices[0]]
+                tkey = self.traces.key(name, self._wl_overrides(name))
+                if tkey not in groups:
+                    groups[tkey] = (self._sim_trace(name), [])
+                    order.append(tkey)
+                groups[tkey][1].append((key, config))
+
+            exec_groups = [
+                ([config for _key, config in groups[tkey][1]], tkey, groups[tkey][0])
+                for tkey in order
+            ]
+            if getattr(self._executor, "fuses", False):
+                for configs, _tkey, trace in exec_groups:
+                    if len(configs) >= 2:
+                        self.telemetry.batched_trials += len(configs)
+                        self.telemetry.shared_pass_instructions += (
+                            len(configs) * trace.instruction_count()
+                        )
+            for gi, tkey in enumerate(order):
+                for ci, (key, _config) in enumerate(groups[tkey][1]):
+                    ticket.slot_of[key] = (gi, ci)
+                    ticket.key_at[(gi, ci)] = key
+            if hasattr(self._executor, "submit"):
+                ticket.handle = self._executor.submit(
+                    exec_groups, self.decoder, self.traces.items())
+            else:
+                ticket.exec_groups = exec_groups
+        return ticket
+
+    def poll_batch(self, ticket: "BatchTicket") -> dict:
+        """``{pair index: stats}`` completed since the previous poll."""
+        out = dict(ticket.ready)
+        ticket.ready = {}
+        if ticket.pending and not ticket.resolved >= set(ticket.pending):
+            got: dict = {}
+            if ticket.handle is not None:
+                got = self._executor.poll(ticket.handle)
+            elif ticket.exec_groups is not None:
+                # run()-fallback: the whole remainder executes now, once.
+                exec_groups, ticket.exec_groups = ticket.exec_groups, None
+                live_groups = []
+                live_slots = []
+                for gi, (configs, tkey, trace) in enumerate(exec_groups):
+                    live = [(ci, config) for ci, config in enumerate(configs)
+                            if (gi, ci) not in ticket.cancelled_slots]
+                    if not live:
+                        continue
+                    live_groups.append(([c for _ci, c in live], tkey, trace))
+                    live_slots.append([(gi, ci) for ci, _c in live])
+                if live_groups:
+                    stats_lists = self._executor.run(
+                        live_groups, self.decoder, self.traces.items())
+                    for slots, stats_list in zip(live_slots, stats_lists):
+                        for slot, stats in zip(slots, stats_list):
+                            got[slot] = stats
+            fresh = []
+            for slot in sorted(got):
+                key = ticket.key_at.get(slot)
+                if key is None or key in ticket.resolved:
+                    continue
+                stats = got[slot]
+                ticket.resolved.add(key)
+                if key not in self._results:
+                    self._results[key] = stats
+                    self.telemetry.unique_trials += 1
+                    fresh.append((key, stats))
+                for idx in ticket.pending[key]:
+                    out[idx] = stats
+            persisted = getattr(self._executor, "persists", False)
+            if self.store is not None and fresh and not persisted:
+                self.store.put_sim_many(fresh)
+        return out
+
+    def cancel_batch(self, ticket: "BatchTicket", indices) -> None:
+        """Withdraw pairs by index (best-effort; see executor ``cancel``).
+
+        Only keys *all* of whose requesting indices are withdrawn are
+        cancelled at the executor; a key some live index still wants
+        keeps running.
+        """
+        ticket.cancelled.update(indices)
+        slots = []
+        for key, idx_list in ticket.pending.items():
+            if key in ticket.resolved:
+                continue
+            if all(idx in ticket.cancelled for idx in idx_list):
+                slot = ticket.slot_of.get(key)
+                if slot is not None and slot not in ticket.cancelled_slots:
+                    ticket.cancelled_slots.add(slot)
+                    slots.append(slot)
+        if slots:
+            if ticket.handle is not None and hasattr(self._executor, "cancel"):
+                self._executor.cancel(ticket.handle, slots)
+            # run()-fallback tickets honour cancelled_slots at execution.
+
+    # ------------------------------------------------------------------
     # Costs
     # ------------------------------------------------------------------
+    def cost_of(self, stats, name: str, cost=None) -> float:
+        """Cost of already-computed ``stats`` against hardware."""
+        cost_fn = cost if cost is not None else cpi_error
+        return cost_fn(stats, self.measure_hw(name))
+
     def evaluate(self, config, name: str, cost=None) -> float:
         """Cost of one pair (default: absolute relative CPI error)."""
         return self.evaluate_batch([(config, name)], cost=cost)[0]

@@ -103,6 +103,125 @@ class TrialCache:
                 )
         return costs
 
+    # ------------------------------------------------------------------
+    # Non-blocking batch protocol (the async race path)
+    # ------------------------------------------------------------------
+    def _async_backend(self):
+        """The wrapped evaluator's non-blocking face, if it has one."""
+        for fn in (self._batch, self._evaluate):
+            if fn is None:
+                continue
+            owner = getattr(fn, "__self__", None)
+            for candidate in (owner, fn):
+                if candidate is not None and hasattr(candidate, "submit_batch") \
+                        and hasattr(candidate, "poll_batch"):
+                    return candidate
+        return None
+
+    def submit_batch(self, pairs) -> "_TrialTicket":
+        """Start ``[(assignment, instance), ...]`` without waiting.
+
+        Memo and store hits resolve immediately (delivered by the first
+        poll); the unique remainder goes to the wrapped evaluator's own
+        ``submit_batch`` when it has one, else it is computed in one
+        block at the first poll — the synchronous-equivalent fallback.
+        """
+        pairs = list(pairs)
+        ticket = _TrialTicket(pairs)
+        for idx, (assignment, instance) in enumerate(pairs):
+            self.requested_trials += 1
+            key = self.key(assignment, instance)
+            if key not in self._memo and key not in ticket.pending \
+                    and self._store is not None:
+                stored = self._store.get_cost(self._store_key(key))
+                if stored is not None:
+                    self._memo[key] = stored
+                    self.store_hits += 1
+            if key in self._memo:
+                ticket.ready[idx] = self._memo[key]
+            elif key in ticket.pending:
+                ticket.pending[key].append(idx)
+            else:
+                ticket.pending[key] = [idx]
+
+        if ticket.pending:
+            ticket.todo_keys = list(ticket.pending)
+            ticket.todo_pairs = [pairs[ticket.pending[key][0]]
+                                 for key in ticket.todo_keys]
+            backend = self._async_backend()
+            if backend is not None:
+                ticket.backend = backend
+                ticket.backend_ticket = backend.submit_batch(ticket.todo_pairs)
+        return ticket
+
+    def poll_batch(self, ticket: "_TrialTicket") -> dict:
+        """``{pair index: cost}`` completed since the previous poll."""
+        out = dict(ticket.ready)
+        ticket.ready = {}
+        fresh: dict = {}  # todo position -> value
+        if ticket.backend is not None:
+            fresh = ticket.backend.poll_batch(ticket.backend_ticket)
+        elif ticket.todo_keys and not ticket.lazy_done:
+            ticket.lazy_done = True
+            live = [pos for pos in range(len(ticket.todo_keys))
+                    if pos not in ticket.cancelled_pos]
+            if live:
+                todo = [ticket.todo_pairs[pos] for pos in live]
+                if self._batch is not None:
+                    values = list(self._batch(todo))
+                else:
+                    values = [self._evaluate(a, i) for a, i in todo]
+                fresh = dict(zip(live, values))
+
+        rows = []
+        for pos in sorted(fresh):
+            if pos in ticket.delivered_pos:
+                continue
+            ticket.delivered_pos.add(pos)
+            key = ticket.todo_keys[pos]
+            value = fresh[pos]
+            if key not in self._memo:
+                self._memo[key] = value
+                self.unique_trials += 1
+                rows.append((self._store_key(key), value))
+            value = self._memo[key]
+            for idx in ticket.pending[key]:
+                out[idx] = value
+        if self._store is not None and rows:
+            self._store.put_cost_many(rows)
+        return out
+
+    def cancel_batch(self, ticket: "_TrialTicket", indices) -> None:
+        """Withdraw pairs; a unique trial is cancelled only when *every*
+        index requesting it is withdrawn."""
+        ticket.cancelled.update(indices)
+        downstream = []
+        for pos, key in enumerate(ticket.todo_keys):
+            if pos in ticket.delivered_pos or pos in ticket.cancelled_pos:
+                continue
+            if all(idx in ticket.cancelled for idx in ticket.pending[key]):
+                ticket.cancelled_pos.add(pos)
+                downstream.append(pos)
+        if downstream and ticket.backend is not None:
+            ticket.backend.cancel_batch(ticket.backend_ticket, downstream)
+
+
+class _TrialTicket:
+    """In-flight state of one :meth:`TrialCache.submit_batch`."""
+
+    def __init__(self, pairs):
+        self.pairs = pairs
+        self.ready: dict = {}          # index -> cost (memo/store hits)
+        self.pending: dict = {}        # key -> [indices]
+        self.todo_keys: list = []      # unique keys, submission order
+        self.todo_pairs: list = []     # one representative pair per key
+        self.backend = None
+        self.backend_ticket = None
+        self.lazy_done = False         # fallback computed yet?
+        self.delivered_pos: set = set()
+        self.cancelled: set = set()    # withdrawn pair indices
+        self.cancelled_pos: set = set()
+
 
 class AssignmentEvaluator:
     """Engine-backed ``evaluate(assignment, instance)`` for the tuner.
@@ -139,3 +258,38 @@ class AssignmentEvaluator:
         if self.saturation is None:
             return costs
         return [min(c, self.saturation) for c in costs]
+
+    # ------------------------------------------------------------------
+    # Non-blocking batch protocol (the async race path)
+    # ------------------------------------------------------------------
+    def submit_batch(self, pairs):
+        """Start a block of trials through the engine without waiting."""
+        pairs = list(pairs)
+        configs = [
+            (self.base_config.with_updates(assignment), instance)
+            for assignment, instance in pairs
+        ]
+        return _EvalTicket(
+            engine_ticket=self.engine.submit_batch(configs),
+            names=[instance for _assignment, instance in pairs],
+        )
+
+    def poll_batch(self, ticket) -> dict:
+        """``{pair index: cost}`` for trials the engine finished."""
+        out = {}
+        for idx, stats in self.engine.poll_batch(ticket.engine_ticket).items():
+            cost = self.engine.cost_of(stats, ticket.names[idx], cost=self.cost)
+            out[idx] = cost if self.saturation is None else min(cost, self.saturation)
+        return out
+
+    def cancel_batch(self, ticket, indices) -> None:
+        """Withdraw trials by index (best-effort, via the engine)."""
+        self.engine.cancel_batch(ticket.engine_ticket, indices)
+
+
+class _EvalTicket:
+    """In-flight state of one :meth:`AssignmentEvaluator.submit_batch`."""
+
+    def __init__(self, engine_ticket, names):
+        self.engine_ticket = engine_ticket
+        self.names = names

@@ -17,6 +17,21 @@ decoder library) and the driver owns all randomness — so every executor
 returns bit-identical results; only wall-clock differs. The engine relies
 on that to make ``jobs``/``executor`` pure throughput knobs.
 
+Besides the blocking ``run(groups, ...)`` call, every executor speaks a
+non-blocking protocol the async race scheduler drives:
+
+- ``submit(groups, decoder, registry_items) -> handle`` starts a batch;
+- ``poll(handle) -> {(group_idx, config_idx): stats}`` returns slots
+  completed since the previous poll (possibly empty, never blocking on
+  unfinished work);
+- ``cancel(handle, slots)`` withdraws not-yet-delivered slots
+  best-effort (work already executing simply completes and is ignored).
+
+The serial executor "streams" by completing one group per poll; the
+process executor reports whichever futures finished; the fabric
+executor maps the protocol onto queue enqueue + streaming state polls,
+with queue-level ``cancel`` retracting unclaimed speculation.
+
 On fork-capable platforms the process executor avoids re-pickling traces
 on every task: whenever the trace registry has grown it refreshes its
 pool, first snapshotting the registry into a module global that the
@@ -82,8 +97,55 @@ class SerialExecutor:
                 out.append([SnipeSim(config, decoder=decoder).run(trace) for config in configs])
         return out
 
+    # -- non-blocking protocol -----------------------------------------
+    def submit(self, groups, decoder, registry_items=None):
+        """Start a batch; work happens lazily, one group per poll."""
+        return _SerialHandle(groups=[(list(configs), key, trace)
+                                     for configs, key, trace in groups],
+                             decoder=decoder)
+
+    def poll(self, handle) -> dict:
+        """Complete the next unfinished group; ``{}`` once exhausted.
+
+        Per-config stats are bit-identical to :meth:`run` — fusing a
+        subset of a group changes nothing (see ``simulate_batch``) —
+        so cancelled slots can simply be skipped.
+        """
+        out: dict = {}
+        while handle.next_group < len(handle.groups) and not out:
+            gi = handle.next_group
+            handle.next_group += 1
+            configs, _key, trace = handle.groups[gi]
+            live = [(ci, config) for ci, config in enumerate(configs)
+                    if (gi, ci) not in handle.cancelled]
+            if not live:
+                continue
+            if len(live) >= 2:
+                stats = simulate_batch(trace, [c for _ci, c in live],
+                                       decoder=handle.decoder)
+            else:
+                stats = [SnipeSim(config, decoder=handle.decoder).run(trace)
+                         for _ci, config in live]
+            for (ci, _config), s in zip(live, stats):
+                out[(gi, ci)] = s
+        return out
+
+    def cancel(self, handle, slots) -> None:
+        """Skip not-yet-simulated slots (work is lazy, so this is exact)."""
+        handle.cancelled.update(slots)
+
     def close(self) -> None:
         """Nothing to release."""
+
+
+class _SerialHandle:
+    """In-flight state of one :meth:`SerialExecutor.submit` batch."""
+
+    def __init__(self, groups, decoder):
+        self.groups = groups
+        self.decoder = decoder
+        self.next_group = 0
+        self.cancelled: set = set()
 
 
 class ProcessExecutor:
@@ -135,14 +197,15 @@ class ProcessExecutor:
             start += size
         return out
 
-    def run(self, groups, decoder, registry_items=None) -> list:
-        """Fan the groups over the pool; identical results to serial."""
-        self._ensure_pool(registry_items)
+    def _check_reconstructible(self, decoder) -> type:
+        """Validate the decoder survives the worker round-trip.
+
+        Workers rebuild the decoder as ``decoder_cls()``; prove
+        parent-side that this reproduces the same library, so a
+        stateful/parameterised decoder fails loudly here instead of
+        silently diverging from the serial path.
+        """
         decoder_cls = type(decoder)
-        # Workers rebuild the decoder as decoder_cls(); prove parent-side
-        # that this reproduces the same library, so a stateful/parameterised
-        # decoder fails loudly here instead of silently diverging from the
-        # serial path.
         try:
             reconstructible = decoder_library(decoder_cls()) == decoder_library(decoder)
         except TypeError:
@@ -153,19 +216,73 @@ class ProcessExecutor:
                 f"{decoder_cls.__name__}(); the process executor needs "
                 "stateless per-class decoders — use jobs=1"
             )
-        futures = []  # (group_index, future)
+        return decoder_cls
+
+    def _submit_futures(self, groups, decoder_cls) -> list:
+        """Fan chunks over the pool; returns ``[future, gi, [ci...], done]``."""
+        entries = []
         for gi, (configs, key, trace) in enumerate(groups):
+            configs = list(configs)
             in_snapshot = self._fork and key in self._snapshot_keys
             ship = None if in_snapshot else trace
-            for chunk in self._chunks(list(configs)):
+            start = 0
+            for chunk in self._chunks(configs):
+                slots = list(range(start, start + len(chunk)))
+                start += len(chunk)
                 payload = (chunk, self._token, key, ship, decoder_cls)
-                futures.append((gi, self._pool.submit(_simulate_chunk, payload)))
+                entries.append([self._pool.submit(_simulate_chunk, payload),
+                                gi, slots, False])
+        return entries
+
+    def run(self, groups, decoder, registry_items=None) -> list:
+        """Fan the groups over the pool; identical results to serial."""
+        self._ensure_pool(registry_items)
+        decoder_cls = self._check_reconstructible(decoder)
+        entries = self._submit_futures(groups, decoder_cls)
         out = [[] for _ in groups]
         # Collect in submission order: deterministic regardless of which
         # worker finishes first.
-        for gi, future in futures:
+        for future, gi, _slots, _done in entries:
             out[gi].extend(future.result())
         return out
+
+    # -- non-blocking protocol -----------------------------------------
+    def submit(self, groups, decoder, registry_items=None):
+        """Start a batch on the pool; results stream back via :meth:`poll`."""
+        self._ensure_pool(registry_items)
+        decoder_cls = self._check_reconstructible(decoder)
+        return self._submit_futures(
+            [(list(configs), key, trace) for configs, key, trace in groups],
+            decoder_cls)
+
+    def poll(self, handle) -> dict:
+        """Slots of every future finished since the previous poll."""
+        out: dict = {}
+        for entry in handle:
+            future, gi, slots, done = entry
+            if done or not future.done():
+                continue
+            entry[3] = True
+            if future.cancelled():
+                continue
+            for ci, stats in zip(slots, future.result()):
+                out[(gi, ci)] = stats
+        return out
+
+    def cancel(self, handle, slots) -> None:
+        """Cancel futures whose slots are all withdrawn (best-effort).
+
+        A future already running cannot be cancelled; its results are
+        delivered and the caller ignores them.
+        """
+        drop = set(slots)
+        for entry in handle:
+            future, gi, chunk_slots, done = entry
+            if done:
+                continue
+            if all((gi, ci) in drop for ci in chunk_slots):
+                if future.cancel():
+                    entry[3] = True
 
     def close(self) -> None:
         """Shut the pool down and release the trace snapshot."""
@@ -240,28 +357,86 @@ class FabricExecutor:
                 "results workers share"
             )
         self.store = store
-        self.poll = float(poll)
+        self.poll_interval = float(poll)
         self.timeout = timeout
+        #: Keys enqueued by this executor and not yet observed done —
+        #: overlapping speculative submits plan against this set so
+        #: each key crosses the wire once.
+        self._in_flight: set = set()
 
     def run(self, groups, decoder, registry_items=None) -> list:
         """Publish the batch as fabric tasks; block until workers finish."""
+        groups = [(list(configs), tkey, trace) for configs, tkey, trace in groups]
+        handle = self.submit(groups, decoder, registry_items)
+        results: dict = {}
+        expected = sum(len(configs) for configs, _tkey, _trace in groups)
+        while len(results) < expected:
+            got = self.poll(handle)
+            if got:
+                results.update(got)
+                continue
+            time.sleep(self.poll_interval)
+
+        # Reassemble per-group stats in the engine's submission order.
+        return [[results[(gi, ci)] for ci in range(len(configs))]
+                for gi, (configs, _tkey, _trace) in enumerate(groups)]
+
+    # -- non-blocking protocol -----------------------------------------
+    def submit(self, groups, decoder, registry_items=None):
+        """Plan, deduplicate and enqueue a batch; poll for completions."""
         from repro.fabric.scheduler import plan_groups
         from repro.fabric.tasks import check_decoder_portable
 
         check_decoder_portable(decoder)
-        plan = plan_groups(groups, decoder, store=self.store)
-        self.queue.enqueue(plan.tasks, submitted_by="engine")
-        outstanding = {key for key, _kind, _payload in plan.tasks}
+        groups = [(list(configs), tkey, trace) for configs, tkey, trace in groups]
+        plan = plan_groups(groups, decoder, store=self.store,
+                           in_flight=self._in_flight)
+        if plan.tasks:
+            self.queue.enqueue(plan.tasks, submitted_by="engine")
+        enqueued = {key for key, _kind, _payload in plan.tasks}
+        self._in_flight.update(enqueued)
         # A fresh submission is fresh intent: keys that dead-lettered in
         # some earlier run get their claim budget back instead of
         # poisoning this batch on the first poll. (A task that dies
-        # again *during* this batch still raises below.)
-        self.queue.requeue_dead(keys=outstanding)
-        stats_by_key = {key: self.store.get_sim(key) for key in plan.store_hits}
-        deadline = None if self.timeout is None else time.monotonic() + self.timeout
-        while outstanding:
-            states = self.queue.states(outstanding)
-            finished = [key for key in outstanding if states.get(key) == "done"]
+        # again *during* this batch still raises below.) In-flight keys
+        # are included: a cancelled-then-rewanted key may have died
+        # unobserved between batches.
+        revive = enqueued | set(plan.in_flight)
+        if revive:
+            self.queue.requeue_dead(keys=revive)
+
+        slot_key: dict = {}
+        for gi, (configs, tkey, _trace) in enumerate(groups):
+            workload, scale, ovr_token = tkey
+            for ci, config in enumerate(configs):
+                slot_key[(gi, ci)] = self._key_for(
+                    config, workload, scale, dict(ovr_token), decoder)
+        store_hits = set(plan.store_hits)
+        return _FabricHandle(
+            slot_key=slot_key,
+            ready=store_hits,
+            outstanding=set(slot_key.values()) - store_hits,
+            deadline=(None if self.timeout is None
+                      else time.monotonic() + self.timeout),
+        )
+
+    def poll(self, handle) -> dict:
+        """One queue-state pass; never sleeps (the caller paces polls)."""
+        for key in sorted(handle.ready):
+            stats = self.store.get_sim(key)
+            if stats is None:
+                raise RuntimeError(
+                    f"fabric task {key!r} was planned as a store hit but "
+                    "its result is missing from the store; the store "
+                    "contents changed mid-batch"
+                )
+            handle.results[key] = stats
+        handle.ready.clear()
+
+        if handle.outstanding:
+            states = self.queue.states(handle.outstanding)
+            finished = [key for key in handle.outstanding
+                        if states.get(key) == "done"]
             for key in finished:
                 stats = self.store.get_sim(key)
                 if stats is None:
@@ -270,9 +445,11 @@ class FabricExecutor:
                         "is missing from the store; the queue and store "
                         "files have diverged"
                     )
-                stats_by_key[key] = stats
-                outstanding.discard(key)
-            dead = [key for key in outstanding if states.get(key) == "dead"]
+                handle.results[key] = stats
+                handle.outstanding.discard(key)
+                self._in_flight.discard(key)
+            dead = [key for key in handle.outstanding
+                    if states.get(key) == "dead"]
             if dead:
                 details = "; ".join(
                     f"{key}: {self.queue.errors(key)}" for key in dead[:3]
@@ -281,28 +458,51 @@ class FabricExecutor:
                     f"{len(dead)} fabric task(s) dead-lettered after retries "
                     f"— {details}"
                 )
-            if not outstanding:
-                break
-            if deadline is not None and time.monotonic() > deadline:
+            if handle.outstanding and handle.deadline is not None \
+                    and time.monotonic() > handle.deadline:
                 counts = self.queue.counts()
                 raise TimeoutError(
                     f"fabric batch incomplete after {self.timeout:.0f}s "
-                    f"({len(outstanding)} tasks outstanding, queue={counts}); "
-                    "are any `repro worker` processes running against this "
-                    "store?"
+                    f"({len(handle.outstanding)} tasks outstanding, "
+                    f"queue={counts}); are any `repro worker` processes "
+                    "running against this store?"
                 )
-            time.sleep(self.poll)
 
-        # Reassemble per-group stats in the engine's submission order.
-        out = []
-        for configs, tkey, _trace in groups:
-            workload, scale, ovr_token = tkey
-            group_stats = []
-            for config in configs:
-                key = self._key_for(config, workload, scale, dict(ovr_token), decoder)
-                group_stats.append(stats_by_key[key])
-            out.append(group_stats)
+        out: dict = {}
+        for slot, key in handle.slot_key.items():
+            if slot not in handle.delivered and key in handle.results:
+                out[slot] = handle.results[key]
+                handle.delivered.add(slot)
         return out
+
+    def cancel(self, handle, slots) -> None:
+        """Retract unclaimed queue rows for fully-withdrawn keys.
+
+        Only keys none of whose remaining slots are wanted are
+        cancelled; the queue deletes rows still ``queued`` and reports
+        which — those drop out of the in-flight set so a later submit
+        re-enqueues them if needed. Leased/done keys simply complete
+        into the store (content-addressed, so never wasted twice).
+        """
+        drop = set(slots)
+        wanted: set = set()
+        for slot, key in handle.slot_key.items():
+            if slot not in drop and slot not in handle.delivered:
+                wanted.add(key)
+        targets = sorted({handle.slot_key[slot] for slot in drop
+                          if slot in handle.slot_key}
+                         - wanted - set(handle.results))
+        handle.delivered.update(drop)
+        if not targets:
+            return
+        removed = set(self.queue.cancel(targets))
+        for key in targets:
+            # Stop watching the key either way: a still-leased task
+            # finishes into the store on its own (or dies unobserved —
+            # its row is revived if the key is ever wanted again).
+            handle.outstanding.discard(key)
+            if key in removed:
+                self._in_flight.discard(key)
 
     @staticmethod
     def _key_for(config, workload, scale, overrides, decoder) -> str:
@@ -314,6 +514,18 @@ class FabricExecutor:
     def close(self) -> None:
         """Close the queue connection (the store belongs to the engine)."""
         self.queue.close()
+
+
+class _FabricHandle:
+    """In-flight state of one :meth:`FabricExecutor.submit` batch."""
+
+    def __init__(self, slot_key, ready, outstanding, deadline):
+        self.slot_key = slot_key      # (gi, ci) -> content key
+        self.ready = ready            # store-hit keys, fetched first poll
+        self.outstanding = outstanding  # keys awaited from the queue
+        self.deadline = deadline
+        self.results: dict = {}       # key -> stats
+        self.delivered: set = set()   # slots already returned/cancelled
 
 
 def make_executor(jobs: int = 1, kind: str = None, store=None):

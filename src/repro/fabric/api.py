@@ -49,6 +49,16 @@ class TaskQueue(abc.ABC):
     def requeue_dead(self, keys=None) -> int:
         """Restore dead-lettered tasks' claim budgets; returns count."""
 
+    @abc.abstractmethod
+    def cancel(self, keys) -> list:
+        """Withdraw still-``queued`` tasks; returns the keys removed.
+
+        Best-effort by design: leased tasks are already executing (the
+        worker finishes and the content-keyed result is banked), done
+        and dead rows are history. Only unclaimed speculation — the
+        async race's stale lookahead — is deleted.
+        """
+
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------

@@ -217,6 +217,48 @@ class JobQueue(TaskQueue):
                 return cur.rowcount
             return retry_busy(op)
 
+    def cancel(self, keys) -> list:
+        """Withdraw still-``queued`` tasks; returns the keys removed.
+
+        Only unclaimed rows are deleted: a leased task is already
+        executing somewhere (its content-keyed result lands in the
+        store regardless), and done/dead rows are history. The async
+        race uses this to retract speculative lookahead work for
+        eliminated candidates.
+        """
+        keys = list(keys)
+        if not keys:
+            return []
+        cancelled: list = []
+        with self._lock:
+            def op(chunk, marks):
+                self._conn.execute("BEGIN IMMEDIATE")
+                try:
+                    rows = self._conn.execute(
+                        f"SELECT key FROM fabric_tasks"
+                        f" WHERE state='queued' AND key IN ({marks})", chunk
+                    ).fetchall()
+                    hit = [r[0] for r in rows]
+                    if hit:
+                        hit_marks = ",".join("?" for _ in hit)
+                        self._conn.execute(
+                            f"DELETE FROM fabric_tasks"
+                            f" WHERE state='queued' AND key IN ({hit_marks})",
+                            hit,
+                        )
+                    self._conn.execute("COMMIT")
+                    return hit
+                except BaseException:
+                    self._conn.execute("ROLLBACK")
+                    raise
+
+            for start in range(0, len(keys), 500):
+                chunk = keys[start:start + 500]
+                marks = ",".join("?" for _ in chunk)
+                hit = set(retry_busy(lambda c=chunk, m=marks: op(c, m)))
+                cancelled.extend(key for key in chunk if key in hit)
+        return cancelled
+
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------

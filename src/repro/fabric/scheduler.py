@@ -43,18 +43,28 @@ class TaskPlan:
     keys: list = field(default_factory=list)
     #: Keys whose results the store already held at planning time.
     store_hits: list = field(default_factory=list)
+    #: Keys the caller declared already enqueued (speculative dedup):
+    #: planned, awaited, but not re-enqueued.
+    in_flight: list = field(default_factory=list)
 
     def summary(self) -> str:
         """One-line account of the plan (used by ``repro submit``)."""
-        return (f"{len(self.keys)} unique trials: {len(self.tasks)} enqueued, "
+        text = (f"{len(self.keys)} unique trials: {len(self.tasks)} enqueued, "
                 f"{len(self.store_hits)} already in store")
+        if self.in_flight:
+            text += f", {len(self.in_flight)} already in flight"
+        return text
 
 
-def plan_simulations(items, store=None) -> TaskPlan:
+def plan_simulations(items, store=None, in_flight=None) -> TaskPlan:
     """Plan tasks for ``[(config, workload, scale, overrides, decoder), ...]``.
 
     Deduplicates by content key within the list and, when a ``store``
     is given, skips every item whose result is already persisted.
+    ``in_flight`` is an optional set of keys a speculative caller has
+    already enqueued and not yet collected — those are planned (they
+    appear in ``plan.keys`` and ``plan.in_flight``) but produce no new
+    task, so overlapping speculative batches enqueue each key once.
     """
     plan = TaskPlan()
     seen = set()
@@ -67,11 +77,15 @@ def plan_simulations(items, store=None) -> TaskPlan:
         if store is not None and store.get_sim(key) is not None:
             plan.store_hits.append(key)
             continue
+        if in_flight is not None and key in in_flight:
+            plan.in_flight.append(key)
+            continue
         plan.tasks.append((key, KIND_SIMULATE, payload))
     return plan
 
 
-def plan_groups(groups, decoder, scale_overrides=None, store=None) -> TaskPlan:
+def plan_groups(groups, decoder, scale_overrides=None, store=None,
+                in_flight=None) -> TaskPlan:
     """Plan tasks for executor groups ``[(configs, trace_key, trace), ...]``.
 
     The trace key is the engine's ``(workload, scale, overrides_token)``
@@ -84,7 +98,7 @@ def plan_groups(groups, decoder, scale_overrides=None, store=None) -> TaskPlan:
         overrides = dict(ovr_token)
         for config in configs:
             items.append((config, workload, scale, overrides, decoder))
-    return plan_simulations(items, store=store)
+    return plan_simulations(items, store=store, in_flight=in_flight)
 
 
 def expand_grid(base_config, grid: dict, workloads, scale: float = 1.0,

@@ -249,6 +249,13 @@ class HttpQueue(TaskQueue):
         payload = {"keys": list(keys)} if keys is not None else {}
         return self.client.call("POST", "queue/requeue-dead", payload)["requeued"]
 
+    def cancel(self, keys) -> list:
+        """Withdraw still-``queued`` tasks; returns the keys removed."""
+        keys = list(keys)
+        if not keys:
+            return []
+        return self.client.call("POST", "queue/cancel", {"keys": keys})["cancelled"]
+
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------

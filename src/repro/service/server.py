@@ -245,6 +245,7 @@ class ExperimentService:
             ("POST", "queue/complete"): self._ep_complete,
             ("POST", "queue/fail"): self._ep_fail,
             ("POST", "queue/requeue-dead"): self._ep_requeue_dead,
+            ("POST", "queue/cancel"): self._ep_cancel,
             ("POST", "queue/states"): self._ep_states,
             ("GET", "queue/counts"): self._ep_counts,
             ("GET", "queue/leases"): self._ep_leases,
@@ -320,6 +321,9 @@ class ExperimentService:
 
     def _ep_requeue_dead(self, payload: dict) -> dict:
         return {"requeued": self.queue.requeue_dead(keys=payload.get("keys"))}
+
+    def _ep_cancel(self, payload: dict) -> dict:
+        return {"cancelled": self.queue.cancel(payload.get("keys", []))}
 
     def _ep_states(self, payload: dict) -> dict:
         return {"states": self.queue.states(payload.get("keys", []))}

@@ -99,6 +99,14 @@ class IraceTuner:
         written through to the store's trial-costs table, so a killed
         tuner resumed under the same context replays its completed
         trials from disk (see :class:`~repro.engine.evaluator.TrialCache`).
+    race_mode / lookahead:
+        Execution mode for each race (``"sync"`` or ``"async"``; see
+        :func:`~repro.tuning.race.race`). Async races speculate
+        ``lookahead`` instance steps ahead to keep a distributed fleet
+        saturated; elimination decisions — and therefore the tuned
+        result — are bit-identical either way. Only trial *telemetry*
+        (requested/unique counts) may differ, since speculative trials
+        for eliminated candidates can compute before cancellation.
     """
 
     def __init__(
@@ -118,9 +126,14 @@ class IraceTuner:
         verbose: bool = False,
         store=None,
         trial_context=None,
+        race_mode: str = "sync",
+        lookahead: int = 2,
     ) -> None:
         if budget < len(instances):
             raise ValueError("budget must allow at least one full race block")
+        if race_mode not in ("sync", "async"):
+            raise ValueError(
+                f"unknown race mode {race_mode!r}; use 'sync' or 'async'")
         self.space = space
         self.instances = list(instances)
         self.budget = budget
@@ -131,6 +144,8 @@ class IraceTuner:
         self.min_survivors = min_survivors
         self.parent_weight = parent_weight
         self.verbose = verbose
+        self.race_mode = race_mode
+        self.lookahead = lookahead
         self._sampler = ConfigSampler(space, seed=seed)
         self._rng = self._sampler.rng
         #: Shared memo + trial telemetry (replaces a private cache dict).
@@ -194,6 +209,8 @@ class IraceTuner:
                 alpha=self.alpha,
                 min_survivors=self.min_survivors,
                 test=self.test,
+                mode=self.race_mode,
+                lookahead=self.lookahead,
             )
             used += result.evaluations
 

@@ -186,6 +186,8 @@ class ValidationCampaign:
         engine: EvaluationEngine = None,
         store=None,
         run_id: str = None,
+        race_mode: str = "sync",
+        lookahead: int = 2,
     ) -> None:
         self.board = board
         self.hw: HardwareCore = board.core(core)
@@ -193,6 +195,11 @@ class ValidationCampaign:
         self.profile = PROFILES[profile] if isinstance(profile, str) else profile
         self.seed = seed
         self.verbose = verbose
+        #: Race execution mode for the tuning stages (a parallelism
+        #: knob, like ``jobs``: it never changes the tuned result —
+        #: async races make bit-identical elimination decisions).
+        self.race_mode = race_mode
+        self.lookahead = lookahead
         #: Persistent experiment store + run identity. With both set the
         #: campaign writes stage-granular checkpoints under ``run_id``
         #: and ``run(resume=True)`` replays completed stages from them.
@@ -401,6 +408,8 @@ class ValidationCampaign:
             verbose=self.verbose,
             store=self.store,
             trial_context=self._trial_context(f"stage{stage}", config),
+            race_mode=self.race_mode,
+            lookahead=self.lookahead,
         )
         result = tuner.run()
         return config.with_updates(result.best_assignment), result
@@ -457,6 +466,8 @@ class ValidationCampaign:
             trial_context=self._trial_context(
                 f"component-{component}", config, weights=spec["weights"]
             ),
+            race_mode=self.race_mode,
+            lookahead=self.lookahead,
         )
         result = tuner.run()
         return config.with_updates(result.best_assignment), result

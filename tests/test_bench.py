@@ -49,13 +49,15 @@ class TestScenarioDeterminism:
         assert axes == [2, 2, 2]
         assert suite["trace-mmap-attach"].kind == "mmap"
         assert suite["service-dispatch"].kind == "service"
+        assert suite["async-race-saturation"].kind == "race"
+        assert suite["async-race-saturation"].grid
 
     def test_quick_suite_is_smaller(self):
         quick = quick_suite()
         assert all(len(s.workloads) <= 10 for s in quick)
         assert {s.kind for s in quick} == {
             "simulate", "trace", "engine", "fabric", "batch", "mmap",
-            "service",
+            "service", "race",
         }
 
     def test_unknown_suite_rejected(self):
@@ -263,6 +265,20 @@ class TestNewScenarioRunners:
         assert t["batched_wall_seconds"] > 0
         assert t["speedup_vs_isolated"] > 0
         assert t["speedup_vs_warm_serial"] > 0
+
+    def test_race_scenario_reports_saturation(self):
+        scn = BenchScenario("t-race", "race", core="a53",
+                            workloads=("CCa", "ED1"),
+                            grid=(("l1d.size", (16384, 32768)),),
+                            repeats=1, scale=0.25)
+        record = run_scenario(scn)
+        t = record["telemetry"]
+        assert t["candidates"] == 2 and t["instances"] == 2
+        assert t["tasks"] == 4 and t["workers"] == 2
+        assert 0 < t["sync_busy_fraction"] <= 1
+        assert 0 < t["async_busy_fraction"] <= 1
+        assert t["saturation_gain"] > 0 and t["wall_speedup"] > 0
+        assert record["instructions"] > 0
 
     def test_mmap_scenario_attaches_every_blob(self):
         scn = BenchScenario("t-mmap", "mmap", core="a53",

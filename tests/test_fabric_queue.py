@@ -172,6 +172,58 @@ class TestCompleteAndFail:
         assert task is not None and task.attempts == 1
 
 
+class TestCancel:
+    """Speculative-work withdrawal: ``cancel`` deletes *queued* rows only.
+
+    The async race cancels in-flight speculation for eliminated
+    candidates; a task already leased (a worker is computing it) or
+    finished must be left alone — the content-addressed result is
+    harmless and the worker's completion must not race a deletion.
+    """
+
+    def test_cancel_removes_queued_tasks(self, queue):
+        queue.enqueue(_tasks(3))
+        cancelled = queue.cancel(["task-001", "task-002"])
+        assert cancelled == ["task-001", "task-002"]
+        assert queue.depth() == 1
+        assert queue.states(["task-001"]) == {}
+
+    def test_cancel_preserves_input_order(self, queue):
+        queue.enqueue(_tasks(3))
+        assert queue.cancel(["task-002", "task-000"]) \
+            == ["task-002", "task-000"]
+
+    def test_cancel_skips_leased_tasks(self, queue):
+        queue.enqueue(_tasks(1))
+        task = queue.claim("w1")
+        assert queue.cancel([task.key]) == []
+        assert queue.counts()["leased"] == 1
+        assert queue.complete(task.key, "w1")  # worker unaffected
+
+    def test_cancel_skips_done_and_dead_tasks(self, queue):
+        queue.enqueue(_tasks(2))
+        task = queue.claim("w1")
+        queue.complete(task.key, "w1")
+        for _ in range(3):
+            other = queue.claim("w2")
+            queue.fail(other.key, "w2", "boom")
+        assert queue.cancel(["task-000", "task-001"]) == []
+        counts = queue.counts()
+        assert counts["done"] == 1 and counts["dead"] == 1
+
+    def test_cancel_unknown_keys_is_a_noop(self, queue):
+        queue.enqueue(_tasks(1))
+        assert queue.cancel(["nope"]) == []
+        assert queue.cancel([]) == []
+        assert queue.depth() == 1
+
+    def test_cancelled_task_can_be_enqueued_again(self, queue):
+        queue.enqueue(_tasks(1))
+        assert queue.cancel(["task-000"]) == ["task-000"]
+        assert queue.enqueue(_tasks(1)) == 1
+        assert queue.claim("w1").attempts == 1
+
+
 class TestIntrospection:
     def test_states_and_counts(self, queue):
         queue.enqueue(_tasks(3))

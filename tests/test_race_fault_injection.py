@@ -1,0 +1,172 @@
+"""Fault-injected async racing: speculation survives a hostile fleet.
+
+The async race keeps speculative work in flight across a remote fleet,
+so the crash-tolerance story has more to prove than the synchronous
+campaign (``tests/test_service_recovery.py``): a SIGKILLed worker may
+die holding a *speculative* task (one the race may cancel before it
+ever commits), and a server restart interrupts not just result polls
+but speculative enqueues and cancellations mid-flight.
+
+The acceptance bar is unchanged and absolute: the campaign JSON from an
+async fabric race under chaos is byte-identical to a synchronous serial
+run, and afterwards the queue is fully drained — nothing queued,
+nothing leased, and *no dead letters*, i.e. cancelled speculation never
+rots into poisoned tasks.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+from repro.service.client import HttpQueue, ServiceError
+
+TOKEN = "race-chaos-secret"
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_TOKEN"] = TOKEN
+    return env
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def spawn_serve(store_path, port):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--store", str(store_path),
+         "--port", str(port)],
+        env=_env(), stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+
+
+def spawn_worker(url):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--url", url,
+         "--poll", "0.05", "--lease", "5", "--max-idle", "120"],
+        env=_env(), stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+
+
+def wait_for(predicate, timeout=30.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def wait_until_serving(url, timeout=20.0):
+    queue = HttpQueue(url, token=TOKEN, max_retries=0)
+
+    def pings():
+        try:
+            queue.counts()
+            return True
+        except ServiceError:
+            return False
+
+    assert wait_for(pings, timeout=timeout), f"service at {url} never came up"
+
+
+CAMPAIGN_ARGS = ["--core", "a53", "--profile", "fast", "--stages", "1",
+                 "--seed", "7"]
+
+
+def run_validate(tmp_path, out_name, *extra):
+    out = tmp_path / out_name
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "validate", *CAMPAIGN_ARGS,
+         "--out", str(out), *extra],
+        env=_env(), capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return out.read_bytes()
+
+
+class TestAsyncRaceUnderChaos:
+    def test_sigkilled_worker_and_server_restart_match_serial_sync(
+            self, tmp_path):
+        serial = run_validate(tmp_path, "serial.json")
+
+        store_path = tmp_path / "svc.sqlite"
+        port = free_port()
+        url = f"http://127.0.0.1:{port}"
+        server = spawn_serve(store_path, port)
+        workers = []
+        try:
+            wait_until_serving(url)
+            workers = [spawn_worker(url) for _ in range(2)]
+            victim = workers[0]
+            monitor = HttpQueue(url, token=TOKEN, max_retries=2)
+            flags = {"killed_worker": False, "restarted_server": False}
+            servers = [server]
+
+            def chaos():
+                """SIGKILL a worker at first lease (it dies holding an
+                in-flight — possibly speculative — task); once progress
+                resumes, bounce the server mid-race."""
+                deadline = time.monotonic() + 180
+                while time.monotonic() < deadline:
+                    try:
+                        counts = monitor.counts()
+                    except ServiceError:
+                        counts = None
+                    if counts is not None:
+                        if (not flags["killed_worker"]
+                                and counts["leased"] >= 1):
+                            victim.send_signal(signal.SIGKILL)
+                            flags["killed_worker"] = True
+                        elif (flags["killed_worker"]
+                                and not flags["restarted_server"]
+                                and counts["done"] >= 5):
+                            servers[-1].send_signal(signal.SIGKILL)
+                            servers[-1].wait(timeout=10)
+                            servers.append(spawn_serve(store_path, port))
+                            flags["restarted_server"] = True
+                            return
+                    time.sleep(0.2)
+
+            thread = threading.Thread(target=chaos, daemon=True)
+            thread.start()
+            fabric = run_validate(tmp_path, "async.json",
+                                  "--executor", "fabric",
+                                  "--store", str(store_path),
+                                  "--race-mode", "async",
+                                  "--lookahead", "3")
+            thread.join(timeout=10)
+            assert flags["killed_worker"], "victim worker was never killed"
+            assert flags["restarted_server"], "server was never restarted"
+            assert victim.poll() is not None
+            server = servers[-1]
+
+            assert fabric == serial, \
+                "async fabric campaign JSON diverged from sync serial"
+            payload = json.loads(serial)
+            assert payload["core"] == "a53" and payload["final_errors"]
+
+            # The queue drained clean through every failure: cancelled
+            # speculation must not linger as queued work or dead letters.
+            wait_until_serving(url)
+            counts = HttpQueue(url, token=TOKEN).counts()
+            assert counts["dead"] == 0, "speculative task rotted into a dead letter"
+            assert counts["queued"] == 0 and counts["leased"] == 0
+        finally:
+            for proc in [*workers, server]:
+                if proc.poll() is None:
+                    proc.kill()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    pass

@@ -115,6 +115,31 @@ class TestIraceTuner:
         # unique (config, instance) pairs == raw evaluator calls
         assert len(calls) == result.total_evaluations
 
+    def test_async_race_mode_pins_identical_result(self):
+        """The tuned outcome is bit-identical between race modes: only
+        trial telemetry (requested/unique counts) may differ, because
+        speculation can compute trials that are cancelled too late."""
+        space, evaluate, _ = _quadratic_space()
+
+        def run(**kwargs):
+            tuner = IraceTuner(space, evaluate, instances=list(range(20)),
+                               budget=500, seed=9, first_test=4, **kwargs)
+            return tuner.run()
+
+        sync = run()
+        live = run(race_mode="async", lookahead=3)
+        assert live.best_assignment == sync.best_assignment
+        assert live.best_cost == sync.best_cost
+        assert live.elites == sync.elites
+        assert live.history == sync.history
+        assert live.budget == sync.budget
+
+    def test_unknown_race_mode_rejected(self):
+        space, evaluate, _ = _quadratic_space()
+        with pytest.raises(ValueError, match="race mode"):
+            IraceTuner(space, evaluate, instances=list(range(20)),
+                       budget=200, race_mode="turbo")
+
     def test_budget_too_small_rejected(self):
         space, evaluate, _ = _quadratic_space()
         with pytest.raises(ValueError):

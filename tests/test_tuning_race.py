@@ -84,6 +84,54 @@ class TestRace:
         with pytest.raises(ValueError):
             race([{}], [1], lambda c, i: 0.0, test="anova")
 
+    def test_early_exit_stops_lone_candidate_after_one_instance(self):
+        """A lone survivor has already won: the remaining instance block
+        is never evaluated (regression for the full-block walk the old
+        loop performed)."""
+        calls = []
+
+        def evaluate(config, instance):
+            calls.append(instance)
+            return 0.5
+
+        result = race([{"id": 0}], instances=list(range(10)),
+                      evaluate=evaluate)
+        assert result.survivors == [0]
+        assert result.instances_used == 1 and result.evaluations == 1
+        assert calls == [0]
+
+    def test_early_exit_false_restores_full_block(self):
+        result = race([{"id": 0}], instances=list(range(10)),
+                      evaluate=lambda c, i: 0.5, early_exit=False)
+        assert result.instances_used == 10 and result.evaluations == 10
+
+    def test_early_exit_after_elimination_to_min_survivors_one(self):
+        configs = [{"id": i} for i in range(4)]
+        true_costs = {0: 0.1, 1: 0.8, 2: 0.9, 3: 0.85}
+        kwargs = dict(
+            instances=list(range(30)),
+            evaluate=_noisy_evaluator(true_costs),
+            first_test=4, min_survivors=1, test="ttest",
+        )
+        early = race(configs, **kwargs)
+        full = race(configs, early_exit=False, **kwargs)
+        assert early.survivors == [0] == full.survivors
+        assert early.instances_used < 30
+        assert full.instances_used == 30
+        assert early.eliminated_after == full.eliminated_after
+
+    def test_early_exit_identical_across_modes(self):
+        def evaluate(config, instance):
+            return 0.1 * config["id"] + 0.01 * instance
+
+        records = []
+        for mode in ("sync", "async"):
+            result = race([{"id": 0}], instances=list(range(8)),
+                          evaluate=evaluate, mode=mode, poll_interval=0.0)
+            records.append(result.decision_record())
+        assert records[0] == records[1]
+        assert records[0]["instances_used"] == 1
+
     def test_survivors_ordered_by_mean_cost(self):
         configs = [{"id": i} for i in range(4)]
         true_costs = {0: 0.4, 1: 0.2, 2: 0.3, 3: 0.1}
