@@ -347,6 +347,128 @@ def _run_service(scn: BenchScenario, repeats: int) -> dict:
     }
 
 
+def _run_dispatch(scn: BenchScenario, repeats: int) -> dict:
+    """Dispatch overhead per task, both transports, one scenario.
+
+    The ``fabric`` and ``service`` scenarios each compare one transport
+    against the serial path; this scenario times *both* against one
+    shared serial baseline so the pair of per-task figures in its
+    telemetry — ``sqlite_overhead_ms_per_task`` and
+    ``http_overhead_ms_per_task`` — is measured on the same pass over
+    the same warm traces. It exists to track the wire-speed work
+    (batched claim/complete, long-poll, keep-alive connections,
+    compressed payloads, worker pipelining) as one number per
+    transport.
+    """
+    import itertools
+    import shutil
+    import tempfile
+
+    from repro.engine import EvaluationEngine
+    from repro.fabric import FabricWorker, JobQueue, plan_simulations
+    from repro.isa.decoder import Decoder
+    from repro.service.client import HttpQueue
+    from repro.service.server import ExperimentService
+    from repro.store import open_store
+
+    base = _config_for(scn.core)
+    keys = [k for k, _values in scn.grid]
+    axes = [values for _k, values in scn.grid]
+    configs = [
+        base.with_updates(dict(zip(keys, combo)))
+        for combo in itertools.product(*axes)
+    ]
+    workloads = [_workload(n) for n in scn.workloads]
+    pairs = [(c, w.name) for c in configs for w in workloads]
+
+    # Warm pass: traces record once, shared by every timed path below.
+    with EvaluationEngine(workloads=workloads, scale=scn.scale) as engine:
+        stats_list = engine.simulate_batch(pairs)
+    instructions = sum(s.instructions for s in stats_list)
+    cycles = sum(s.cycles for s in stats_list)
+
+    token = "bench-dispatch-token"
+    best_serial = best_sqlite = best_http = float("inf")
+    tmp = tempfile.mkdtemp(prefix="repro-bench-dispatch-")
+
+    def reset(path):
+        # Fresh queue/store every pass, but a *stable* path so the
+        # workers' per-host trace cache (``<store>.traces/``, keyed by
+        # store spec) stays warm across passes — matching a steady-state
+        # fleet, where trace blobs persist on each host by design.
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.remove(path + suffix)
+            except OSError:
+                pass
+
+    try:
+        http_port = 0
+        for rep in range(repeats):
+            with EvaluationEngine(workloads=workloads, scale=scn.scale) as engine:
+                t0 = time.perf_counter()
+                engine.simulate_batch(pairs)
+                best_serial = min(best_serial, time.perf_counter() - t0)
+
+            decoder = Decoder()
+            items = [(config, name, scn.scale, {}, decoder)
+                     for config, name in pairs]
+
+            path = os.path.join(tmp, "sqlite-pass.sqlite")
+            reset(path)
+            # Schema setup happens outside the timed region on both
+            # transports (the service builds its tables at start);
+            # the timer covers plan → enqueue → drain → readback.
+            with JobQueue(path) as queue:
+                t0 = time.perf_counter()
+                plan = plan_simulations(items)
+                queue.enqueue(plan.tasks, submitted_by="bench")
+            FabricWorker(path, drain=True, poll=0.01, lease=60.0).run()
+            with open_store(path) as store:
+                assert all(s is not None for s in store.get_sims(plan.keys))
+            best_sqlite = min(best_sqlite, time.perf_counter() - t0)
+
+            path = os.path.join(tmp, "http-pass.sqlite")
+            reset(path)
+            service = ExperimentService(path, token=token, port=http_port).start()
+            http_port = service.port  # keep the URL (= trace dir) stable
+            try:
+                t0 = time.perf_counter()
+                plan = plan_simulations(items)
+                with HttpQueue(service.url, token=token) as queue:
+                    queue.enqueue(plan.tasks, submitted_by="bench")
+                FabricWorker(service.url, drain=True, poll=0.01, lease=60.0,
+                             token=token).run()
+                with open_store(service.url, token=token) as store:
+                    assert all(
+                        s is not None for s in store.get_sims(plan.keys))
+                best_http = min(best_http, time.perf_counter() - t0)
+            finally:
+                service.stop()
+                service.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    n_tasks = len(pairs)
+    sqlite_ms = max(0.0, best_sqlite - best_serial) / n_tasks * 1e3
+    http_ms = max(0.0, best_http - best_serial) / n_tasks * 1e3
+    return {
+        "instructions": instructions,
+        "cycles": cycles,
+        "wall_seconds": best_http,
+        "instructions_per_second": instructions / best_http,
+        "cycles_per_second": cycles / best_http,
+        "telemetry": {
+            "tasks": n_tasks,
+            "serial_wall_seconds": best_serial,
+            "sqlite_wall_seconds": best_sqlite,
+            "http_wall_seconds": best_http,
+            "sqlite_overhead_ms_per_task": sqlite_ms,
+            "http_overhead_ms_per_task": http_ms,
+        },
+    }
+
+
 def _run_race(scn: BenchScenario, repeats: int) -> dict:
     """Async-race fleet saturation on a speed-skewed two-worker fabric.
 
@@ -635,7 +757,8 @@ def _run_mmap(scn: BenchScenario, repeats: int) -> dict:
 
 _RUNNERS = {"simulate": _run_simulate, "trace": _run_trace,
             "engine": _run_engine, "fabric": _run_fabric,
-            "service": _run_service, "batch": _run_batch, "mmap": _run_mmap,
+            "service": _run_service, "dispatch": _run_dispatch,
+            "batch": _run_batch, "mmap": _run_mmap,
             "race": _run_race}
 
 
@@ -718,7 +841,8 @@ def validate_report(report) -> None:
                         "cycles_per_second"):
                 need(key in scn, f"scenario.{key} missing")
             need(scn["kind"] in ("simulate", "trace", "engine", "fabric",
-                                 "service", "batch", "mmap", "race"),
+                                 "service", "dispatch", "batch", "mmap",
+                                 "race"),
                  f"scenario kind {scn['kind']!r} invalid")
             need(scn["wall_seconds"] > 0, "non-positive wall_seconds")
             need(scn["instructions"] > 0, "non-positive instructions")

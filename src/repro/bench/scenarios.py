@@ -21,6 +21,11 @@ simulation stack:
   but queue and store both behind an in-process experiment service
   (``repro serve``), isolating what the wire adds per task on top of
   the local fabric figure;
+- ``dispatch`` — wire-speed tracking: the fabric and service
+  measurements fused into one scenario so both transports share one
+  serial baseline; its telemetry carries per-task dispatch overhead
+  for SQLite and HTTP side by side (the acceptance numbers of the
+  batched-claim / long-poll / pipelining work);
 - ``batch`` — race-step fusion: K candidate configurations over one
   instance, run as K isolated serial passes (each re-recording the
   trace — what independent workers pay) versus one shared columnar
@@ -149,6 +154,9 @@ def full_suite() -> list:
         BenchScenario("service-dispatch", "service", core="a53",
                       workloads=("CCa", "ED1", "MD", "STc"),
                       grid=ENGINE_GRID, repeats=1, scale=0.5),
+        BenchScenario("dispatch-throughput", "dispatch", core="a53",
+                      workloads=("CCa", "ED1", "MD", "STc"),
+                      grid=ENGINE_GRID, repeats=5, scale=0.5),
         BenchScenario("batched-race-step", "batch", core="a53",
                       workloads=QUICK_KERNELS, grid=BATCH_GRID, repeats=3),
         BenchScenario("trace-mmap-attach", "mmap", core="a53",
@@ -179,6 +187,9 @@ def quick_suite() -> list:
         BenchScenario("service-dispatch-quick", "service", core="a53",
                       workloads=("CCa", "ED1"), grid=ENGINE_GRID,
                       repeats=1, scale=0.5),
+        BenchScenario("dispatch-throughput-quick", "dispatch", core="a53",
+                      workloads=("CCa", "ED1"), grid=ENGINE_GRID,
+                      repeats=2, scale=0.5),
         BenchScenario("batched-race-step-quick", "batch", core="a53",
                       workloads=QUICK_KERNELS[:4], grid=BATCH_GRID,
                       repeats=1),

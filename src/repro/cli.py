@@ -563,6 +563,13 @@ def cmd_bench(args) -> int:
                   f"{t['dispatch_overhead_ms_per_task']:.2f} ms/task overhead "
                   f"(serial {t['serial_wall_seconds'] * 1e3:.1f} ms, "
                   f"service {t['service_wall_seconds'] * 1e3:.1f} ms)")
+        elif scn["kind"] == "dispatch":
+            print(f"dispatch throughput ({scn['name']}): {t['tasks']} tasks, "
+                  f"sqlite {t['sqlite_overhead_ms_per_task']:.2f} ms/task, "
+                  f"http {t['http_overhead_ms_per_task']:.2f} ms/task "
+                  f"(serial {t['serial_wall_seconds'] * 1e3:.1f} ms, "
+                  f"sqlite {t['sqlite_wall_seconds'] * 1e3:.1f} ms, "
+                  f"http {t['http_wall_seconds'] * 1e3:.1f} ms)")
         elif scn["kind"] == "batch":
             print(f"batched race step ({scn['name']}): {t['candidates']} candidates, "
                   f"{t['speedup_vs_isolated']:.2f}x vs isolated passes, "
@@ -749,6 +756,14 @@ def cmd_worker(args) -> int:
     return 0
 
 
+def _human_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB"):
+        if n < 1024 or unit == "MiB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024.0
+    return f"{n:.1f}MiB"
+
+
 def cmd_status(args) -> int:
     """Queue depth, leases, workers and throughput of a fabric store."""
     from repro.fabric import status_snapshot
@@ -793,10 +808,13 @@ def cmd_status(args) -> int:
                 w["store_hits"],
                 f"{w['unique_trials']}/{w['requested_trials']}",
                 w["batched_trials"],
+                w["wire_requests"],
+                _human_bytes(w["wire_bytes_out"] + w["wire_bytes_in"]),
             ])
         print(render_table(
             ["worker", "pid", "last seen", "done", "failed", "throughput",
-             "store hits", "trials (unique/req)", "batched"],
+             "store hits", "trials (unique/req)", "batched", "wire reqs",
+             "wire bytes"],
             rows, title="workers"))
     results = snap["results"]
     print(f"store: {results['sim_results']} sim results, "

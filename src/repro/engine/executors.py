@@ -358,6 +358,11 @@ class FabricExecutor:
             )
         self.store = store
         self.poll_interval = float(poll)
+        #: Ceiling for the adaptive poll backoff: consecutive empty
+        #: polls double the sleep from ``poll_interval`` up to here, so
+        #: an idle driver stops hammering the queue/server; any
+        #: delivered result resets the pace to ``poll_interval``.
+        self.poll_cap = max(self.poll_interval, 1.0)
         self.timeout = timeout
         #: Keys enqueued by this executor and not yet observed done —
         #: overlapping speculative submits plan against this set so
@@ -370,12 +375,15 @@ class FabricExecutor:
         handle = self.submit(groups, decoder, registry_items)
         results: dict = {}
         expected = sum(len(configs) for configs, _tkey, _trace in groups)
+        pace = self.poll_interval
         while len(results) < expected:
             got = self.poll(handle)
             if got:
                 results.update(got)
+                pace = self.poll_interval
                 continue
-            time.sleep(self.poll_interval)
+            time.sleep(pace)
+            pace = min(pace * 2, self.poll_cap)
 
         # Reassemble per-group stats in the engine's submission order.
         return [[results[(gi, ci)] for ci in range(len(configs))]
@@ -421,24 +429,31 @@ class FabricExecutor:
         )
 
     def poll(self, handle) -> dict:
-        """One queue-state pass; never sleeps (the caller paces polls)."""
-        for key in sorted(handle.ready):
-            stats = self.store.get_sim(key)
-            if stats is None:
-                raise RuntimeError(
-                    f"fabric task {key!r} was planned as a store hit but "
-                    "its result is missing from the store; the store "
-                    "contents changed mid-batch"
-                )
-            handle.results[key] = stats
-        handle.ready.clear()
+        """One queue-state pass; never sleeps (the caller paces polls).
+
+        Result read-backs are batched through ``get_sims`` — one store
+        query (one HTTP request on the wire transport) per poll however
+        many keys finished, instead of one per key.
+        """
+        if handle.ready:
+            fetched = self.store.get_sims(sorted(handle.ready))
+            for key, stats in fetched.items():
+                if stats is None:
+                    raise RuntimeError(
+                        f"fabric task {key!r} was planned as a store hit but "
+                        "its result is missing from the store; the store "
+                        "contents changed mid-batch"
+                    )
+                handle.results[key] = stats
+            handle.ready.clear()
 
         if handle.outstanding:
             states = self.queue.states(handle.outstanding)
             finished = [key for key in handle.outstanding
                         if states.get(key) == "done"]
+            fetched = self.store.get_sims(finished) if finished else {}
             for key in finished:
-                stats = self.store.get_sim(key)
+                stats = fetched.get(key)
                 if stats is None:
                     raise RuntimeError(
                         f"fabric task {key!r} is marked done but its result "

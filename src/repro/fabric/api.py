@@ -18,9 +18,15 @@ docstring is the normative description):
 
 - **enqueue** is content-keyed and idempotent (``INSERT OR IGNORE``);
 - **claim** leases the oldest claimable task, dead-lettering tasks
-  whose claim budget is exhausted;
+  whose claim budget is exhausted; ``claim_many`` leases up to ``n``
+  in one round trip (one transaction / one request), and ``wait``
+  turns an empty claim into a bounded block until work appears;
 - **heartbeat/complete/fail** are lease-guarded: they succeed only for
   the current lease owner, so post-expiry stragglers are harmless;
+  ``complete_many`` acknowledges a batch in one round trip;
+- **release** hands an unstarted lease back without burning an
+  attempt — the clean exit for a pipelined worker holding a
+  prefetched task it will never run;
 - **requeue_dead** restores dead-lettered tasks' claim budgets;
 - introspection (**states/counts/depth/retries/leases/dead/errors**)
   reflects live queue state for drivers and ``repro status``.
@@ -63,8 +69,31 @@ class TaskQueue(abc.ABC):
     # Worker side
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def claim(self, worker_id: str, lease_seconds: float = None):
-        """Lease the oldest claimable task; ``None`` when nothing is."""
+    def claim(self, worker_id: str, lease_seconds: float = None,
+              wait: float = None):
+        """Lease the oldest claimable task; ``None`` when nothing is.
+
+        ``wait`` (seconds) turns an empty claim into a bounded block:
+        the call returns as soon as a task becomes claimable, or
+        ``None`` after the wait elapses with the queue still empty.
+        """
+
+    def claim_many(self, worker_id: str, n: int,
+                   lease_seconds: float = None) -> list:
+        """Lease up to ``n`` claimable tasks in one round trip.
+
+        Returns a (possibly empty) list of tasks, oldest first — never
+        blocks. Implementations override this with a one-transaction /
+        one-request form; the default loops :meth:`claim` so the
+        contract holds for any conformant queue.
+        """
+        tasks = []
+        for _ in range(max(0, n)):
+            task = self.claim(worker_id, lease_seconds=lease_seconds)
+            if task is None:
+                break
+            tasks.append(task)
+        return tasks
 
     @abc.abstractmethod
     def heartbeat(self, key: str, worker_id: str, lease_seconds: float = None) -> bool:
@@ -73,6 +102,21 @@ class TaskQueue(abc.ABC):
     @abc.abstractmethod
     def complete(self, key: str, worker_id: str) -> bool:
         """Mark a leased task done; ``False`` when the lease was lost."""
+
+    def complete_many(self, completions) -> list:
+        """Mark ``[(key, worker_id), ...]`` done; one bool per entry.
+
+        Implementations override with a one-transaction / one-request
+        form; the default loops :meth:`complete`.
+        """
+        return [self.complete(key, worker) for key, worker in completions]
+
+    @abc.abstractmethod
+    def release(self, key: str, worker_id: str) -> bool:
+        """Return a held lease unstarted: back to ``queued``, the
+        attempt refunded. ``False`` when the lease was lost (expired
+        or reassigned) — harmless either way, the task is claimable.
+        """
 
     @abc.abstractmethod
     def fail(self, key: str, worker_id: str, error: str) -> str:

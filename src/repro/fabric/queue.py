@@ -99,6 +99,10 @@ class JobQueue(TaskQueue):
         self.lease_seconds = float(lease_seconds)
         self.max_attempts = int(max_attempts)
         self._lock = threading.Lock()
+        # Wakes same-process long-poll claimers the moment work appears
+        # (cross-process enqueuers can't signal us, so `claim(wait=)`
+        # still polls on a short bound as well).
+        self._wakeup = threading.Condition()
         self._conn = connect_sqlite(self.path, busy_timeout=busy_timeout)
         self._init_schema()
 
@@ -180,12 +184,15 @@ class JobQueue(TaskQueue):
         if not rows:
             return 0
         with self._lock:
-            return retry_busy(lambda: self._conn.executemany(
+            added = retry_busy(lambda: self._conn.executemany(
                 "INSERT OR IGNORE INTO fabric_tasks"
                 " (key, kind, payload, state, max_attempts, submitted_by,"
                 "  created, updated)"
                 " VALUES (?, ?, ?, ?, ?, ?, ?, ?)", rows
             ).rowcount)
+        if added:
+            self._notify()
+        return added
 
     def requeue_dead(self, keys=None) -> int:
         """Give dead-lettered tasks a fresh claim budget; returns count.
@@ -215,7 +222,10 @@ class JobQueue(TaskQueue):
                     (now, *keys),
                 )
                 return cur.rowcount
-            return retry_busy(op)
+            revived = retry_busy(op)
+        if revived:
+            self._notify()
+        return revived
 
     def cancel(self, keys) -> list:
         """Withdraw still-``queued`` tasks; returns the keys removed.
@@ -262,21 +272,92 @@ class JobQueue(TaskQueue):
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
-    def claim(self, worker_id: str, lease_seconds: float = None, now: float = None):
+    def claim(self, worker_id: str, lease_seconds: float = None,
+              wait: float = None, now: float = None):
         """Lease the oldest claimable task; ``None`` when nothing is.
 
         Claimable: ``queued``, or ``leased`` with an expired lease (the
         crash-recovery path). A candidate whose claim budget is spent is
         dead-lettered here instead of being handed out again.
+
+        ``wait`` bounds a block on an empty queue: same-process
+        enqueues wake the claimer immediately via a condition variable;
+        cross-process writers are caught by a short poll bound, so the
+        worst-case latency from an external enqueue is ~50 ms instead
+        of a caller-visible polling loop.
         """
         lease = self.lease_seconds if lease_seconds is None else float(lease_seconds)
+        deadline = None if not wait else time.monotonic() + float(wait)
         while True:
-            with self._lock:
-                row = retry_busy(lambda: self._claim_one(worker_id, lease, now))
-            if row is None:
+            while True:
+                with self._lock:
+                    row = retry_busy(lambda: self._claim_one(worker_id, lease, now))
+                if row is None:
+                    break
+                if row != "dead-lettered":
+                    return row
+            if deadline is None:
                 return None
-            if row != "dead-lettered":
-                return row
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            with self._wakeup:
+                self._wakeup.wait(min(0.05, remaining))
+
+    def claim_many(self, worker_id: str, n: int,
+                   lease_seconds: float = None) -> list:
+        """Lease up to ``n`` claimable tasks in one transaction.
+
+        One ``BEGIN IMMEDIATE`` covers the whole batch: the per-claim
+        transaction overhead (the dominant SQLite dispatch cost) is
+        paid once, and dead-lettering of budget-exhausted candidates
+        happens inline exactly as in :meth:`claim`.
+        """
+        if n <= 0:
+            return []
+        lease = self.lease_seconds if lease_seconds is None else float(lease_seconds)
+        with self._lock:
+            return retry_busy(lambda: self._claim_batch(worker_id, int(n), lease))
+
+    def _claim_batch(self, worker_id: str, n: int, lease: float) -> list:
+        t = time.time()
+        tasks: list = []
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            while len(tasks) < n:
+                row = self._conn.execute(
+                    "SELECT key, kind, payload, attempts, max_attempts"
+                    " FROM fabric_tasks"
+                    " WHERE state = 'queued'"
+                    "    OR (state = 'leased' AND lease_expires <= ?)"
+                    " ORDER BY created, key LIMIT 1", (t,)
+                ).fetchone()
+                if row is None:
+                    break
+                key, kind, payload, attempts, max_attempts = row
+                if attempts >= max_attempts:
+                    self._conn.execute(
+                        "UPDATE fabric_tasks SET state='dead', worker=NULL,"
+                        " lease_expires=NULL, updated=?,"
+                        " error=COALESCE(error,"
+                        "   'lease expired; claim budget exhausted')"
+                        " WHERE key=?", (t, key)
+                    )
+                    continue
+                self._conn.execute(
+                    "UPDATE fabric_tasks SET state='leased', worker=?,"
+                    " lease_expires=?, attempts=?, updated=? WHERE key=?",
+                    (worker_id, t + lease, attempts + 1, t, key),
+                )
+                tasks.append(Task(key=key, kind=kind,
+                                  payload=json.loads(payload),
+                                  attempts=attempts + 1,
+                                  max_attempts=max_attempts))
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return tasks
 
     def _claim_one(self, worker_id: str, lease: float, now: float):
         t = time.time() if now is None else now
@@ -346,6 +427,58 @@ class JobQueue(TaskQueue):
                 (now, key, worker_id),
             ).rowcount) > 0
 
+    def complete_many(self, completions) -> list:
+        """Mark ``[(key, worker_id), ...]`` done in one transaction.
+
+        Each entry gets the same lease guard as :meth:`complete`;
+        the per-entry bools come back in input order.
+        """
+        completions = list(completions)
+        if not completions:
+            return []
+        now = time.time()
+        with self._lock:
+            def op():
+                self._conn.execute("BEGIN IMMEDIATE")
+                try:
+                    out = []
+                    for key, worker in completions:
+                        cur = self._conn.execute(
+                            "UPDATE fabric_tasks SET state='done',"
+                            " lease_expires=NULL, error=NULL, updated=?"
+                            " WHERE key=? AND worker=?"
+                            " AND state IN ('leased', 'done')",
+                            (now, key, worker),
+                        )
+                        out.append(cur.rowcount > 0)
+                    self._conn.execute("COMMIT")
+                    return out
+                except BaseException:
+                    self._conn.execute("ROLLBACK")
+                    raise
+            return retry_busy(op)
+
+    def release(self, key: str, worker_id: str) -> bool:
+        """Return a held lease unstarted; the attempt is refunded.
+
+        The clean exit for a pipelined worker shutting down with a
+        prefetched task it never began: the row goes straight back to
+        ``queued`` and the claim that prefetched it does not count
+        against the task's budget (no spurious retry pressure, no
+        dead-letter risk from repeated clean shutdowns).
+        """
+        now = time.time()
+        with self._lock:
+            released = retry_busy(lambda: self._conn.execute(
+                "UPDATE fabric_tasks SET state='queued', worker=NULL,"
+                " lease_expires=NULL, attempts=MAX(attempts - 1, 0), updated=?"
+                " WHERE key=? AND worker=? AND state='leased'",
+                (now, key, worker_id),
+            ).rowcount) > 0
+        if released:
+            self._notify()
+        return released
+
     def fail(self, key: str, worker_id: str, error: str) -> str:
         """Record a task failure; returns the resulting state.
 
@@ -381,7 +514,15 @@ class JobQueue(TaskQueue):
                 except BaseException:
                     self._conn.execute("ROLLBACK")
                     raise
-            return retry_busy(op)
+            state = retry_busy(op)
+        if state == "queued":
+            self._notify()
+        return state
+
+    def _notify(self) -> None:
+        """Wake same-process ``claim(wait=)`` blockers: work appeared."""
+        with self._wakeup:
+            self._wakeup.notify_all()
 
     # ------------------------------------------------------------------
     # Worker registry (heartbeat rows for `repro status`)

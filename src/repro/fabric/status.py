@@ -75,6 +75,11 @@ def status_snapshot(store_path: str, now: float = None,
                 "requested_trials": telemetry.get("requested_trials", 0),
                 "batched_trials": telemetry.get("batched_trials", 0),
                 "shared_pass_instructions": telemetry.get("shared_pass_instructions", 0),
+                "wire_requests": telemetry.get("wire_requests", 0),
+                "wire_bytes_out": telemetry.get("wire_bytes_out", 0),
+                "wire_bytes_in": telemetry.get("wire_bytes_in", 0),
+                "wire_retries": telemetry.get("wire_retries", 0),
+                "wire_compressed_bodies": telemetry.get("wire_compressed_bodies", 0),
             })
         store_stats = store.stats()
     return {

@@ -22,14 +22,25 @@ Lifecycle:
 
 1. register in ``fabric_workers`` (pid/host/heartbeat row);
 2. claim loop — lease a task, execute, ``complete``/``fail``; a
-   background thread heartbeats the active lease at a third of the
+   background thread heartbeats every held lease at a third of the
    lease interval and refreshes the worker row with engine telemetry;
 3. exit on ``max_tasks`` executed, ``max_idle`` seconds without work,
    ``drain`` finding the queue empty, or :meth:`FabricWorker.stop`.
 
-A SIGKILL at any point needs no cleanup: the heartbeat stops, the lease
-expires, the task is claimed elsewhere, and the half-finished worker's
-partial writes were content-addressed and idempotent.
+The loop is *pipelined*: while the main thread simulates, a dispatcher
+thread prefetch-claims the next task (payload already decoded by the
+queue layer) and flushes finished completions through
+``complete_many`` — so claim and completion round trips overlap
+compute instead of serialising with it. Execution itself stays on the
+main thread (subclasses override :meth:`FabricWorker._execute` and the
+engine caches are not thread-safe). On a clean exit, a
+prefetched-but-unstarted task is handed back via ``release`` with its
+claim attempt refunded.
+
+A SIGKILL at any point needs no cleanup: the heartbeat stops, every
+held lease (active and prefetched) expires, the tasks are claimed
+elsewhere, and the half-finished worker's partial writes were
+content-addressed and idempotent.
 """
 
 from __future__ import annotations
@@ -40,12 +51,50 @@ import platform
 import tempfile
 import threading
 import time
+from collections import deque
 from dataclasses import asdict, dataclass, field
 
 from repro.engine import EvaluationEngine
 from repro.fabric.queue import DEFAULT_LEASE, JobQueue
 from repro.fabric.tasks import KIND_SIMULATE, KIND_SLEEP, rebuild_config, resolve_decoder
 from repro.store import open_store
+from repro.store.resultstore import ResultStore
+
+
+class _WriteBehindStore(ResultStore):
+    """The worker engines' store view: sim-result writes are buffered.
+
+    The dispatcher thread flushes the buffer — one ``put_sim_many``
+    round trip — immediately *before* the matching completion acks, so
+    the ``done implies result readable`` ordering the executors rely on
+    is preserved while the write leaves the execute thread's critical
+    path. Reads check the buffer first so a not-yet-flushed result is
+    never recomputed.
+    """
+
+    def __init__(self, inner: ResultStore, worker: "FabricWorker") -> None:
+        super().__init__(inner.backend)
+        self._worker = worker
+
+    def put_sim_many(self, items) -> int:
+        return self._worker._buffer_results(items)
+
+    def get_sim(self, key):
+        hit = self._worker._buffered_result(key)
+        if hit is not None:
+            return hit
+        from repro.store.serialize import (
+            encode_key, loads, stats_from_payload,
+        )
+
+        found, row = self._worker._take_precheck(encode_key(key))
+        if found:
+            # The dispatcher already asked the store; a ``None`` row is
+            # an authoritative recent miss (a racing duplicate landing
+            # in between merely costs one idempotent recompute).
+            return (stats_from_payload(loads(row))
+                    if row is not None else None)
+        return super().get_sim(key)
 
 
 def _all_workloads() -> list:
@@ -149,6 +198,22 @@ class FabricWorker:
         self._engines: dict = {}
         self._active_key: str = None
         self._stop = threading.Event()
+        # Pipelining state, all guarded by _io_cv: tasks the dispatcher
+        # prefetch-claimed but the main loop has not started, finished
+        # tasks awaiting a batched completion ack, and whether the main
+        # loop wants the next task prefetched right now.
+        self._io_cv = threading.Condition()
+        self._pending: deque = deque()
+        self._outbox: deque = deque()
+        self._results: list = []  # [(key, stats)] awaiting a batched flush
+        self._decoded: dict = {}  # task key -> prefetch-decoded SimConfig
+        self._precheck: dict = {}  # task key -> prefetched store row (or None)
+        self._want_prefetch = False
+        self._dispatch_error = None
+        self._last_beat = 0.0
+        # Engines write through this view; the dispatcher flushes its
+        # buffer ahead of each completion batch.
+        self._engine_store = _WriteBehindStore(self.store, self)
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
@@ -189,19 +254,121 @@ class FabricWorker:
         if engine is None:
             engine = EvaluationEngine(
                 workloads=_all_workloads(), scale=scale,
-                decoder=resolve_decoder(decoder_spec), store=self.store,
+                decoder=resolve_decoder(decoder_spec), store=self._engine_store,
                 trace_cache=self._trace_cache_dir(),
             )
             self._engines[key] = engine
         return engine
 
     def _telemetry(self) -> dict:
-        """Engine telemetry summed over every cached engine."""
+        """Engine telemetry summed over every cached engine.
+
+        Remote workers fold in the wire counters of both HTTP clients
+        (queue and store): requests, body bytes each way, retries and
+        compressed bodies, ``wire_``-prefixed — what ``repro status``
+        shows as the worker's dispatch cost.
+        """
         total: dict = {}
         for engine in self._engines.values():
             for name, value in asdict(engine.telemetry).items():
                 total[name] = total.get(name, 0) + value
+        if self.remote:
+            for client in (self.queue.client, self.store.backend.client):
+                for name, value in client.telemetry().items():
+                    total[name] = total.get(name, 0) + value
         return total
+
+    def _prefetch_many(self, tasks, rows=None) -> None:
+        """Decode just-claimed tasks off the critical path.
+
+        Runs on the dispatcher thread between claiming tasks and
+        handing them to the main loop: rebuilds each payload's
+        :class:`SimConfig` and pre-answers the engine's store checks
+        (was this key already computed elsewhere?) with one batched
+        ``get_many`` — or with ``rows`` when the claim itself carried
+        the precheck (``claim_many_prechecked``) — so the execute
+        thread starts simulating without a parse or a round trip.
+        Best-effort: any failure here simply leaves the main loop to
+        do the work — and raise its own, properly-attributed error.
+        """
+        tasks = [task for task in tasks if task.kind == KIND_SIMULATE]
+        if not tasks:
+            return
+        try:
+            decoded = [(task.key, rebuild_config(task.payload["config"]))
+                       for task in tasks]
+            if rows is None:
+                rows = self.store.backend.get_many(
+                    "sim_results", [task.key for task in tasks])
+            else:
+                rows = {task.key: rows.get(task.key) for task in tasks}
+        except Exception:  # noqa: BLE001 — execute path re-raises for real
+            return
+        with self._io_cv:
+            self._decoded.update(decoded)
+            self._precheck.update(rows)
+
+    # ------------------------------------------------------------------
+    # Write-behind result buffer (see :class:`_WriteBehindStore`)
+    # ------------------------------------------------------------------
+    def _buffer_results(self, items) -> int:
+        items = list(items)
+        with self._io_cv:
+            self._results.extend(items)
+            self._io_cv.notify_all()
+        return len(items)
+
+    def _buffered_result(self, key):
+        with self._io_cv:
+            for buffered_key, stats in self._results:
+                if buffered_key == key:
+                    return stats
+        return None
+
+    def _take_precheck(self, encoded_key: str) -> tuple:
+        """``(found, raw_row)`` from the dispatcher's store precheck."""
+        sentinel = object()
+        with self._io_cv:
+            row = self._precheck.pop(encoded_key, sentinel)
+        if row is sentinel:
+            return False, None
+        return True, row
+
+    def _flush_results(self) -> None:
+        """Persist every buffered sim result (one store round trip)."""
+        with self._io_cv:
+            results = list(self._results)
+            self._results.clear()
+        if results:
+            self.store.put_sim_many(results)
+
+    def _flush_completions(self, batch) -> list:
+        """Flush buffered results, then ack ``batch`` — fused if possible.
+
+        An :class:`~repro.service.client.HttpQueue` accepts the result
+        rows inside the completion request itself
+        (``complete_many_with_results``), collapsing the store write
+        and the ack into one round trip; the server writes the rows
+        before marking anything done, preserving the results-before-ack
+        invariant. Local queues fall back to two calls (the store write
+        is a local transaction there, not a round trip).
+        """
+        with self._io_cv:
+            if not batch and not self._results:
+                return []
+        items = [(task.key, self.worker_id) for task in batch]
+        fused = getattr(self.queue, "complete_many_with_results", None)
+        if fused is None:
+            self._flush_results()
+            return self.queue.complete_many(items)
+        from repro.store.serialize import dumps, encode_key, stats_to_payload
+
+        with self._io_cv:
+            results = list(self._results)
+            self._results.clear()
+        rows = [(encode_key(key), dumps(stats_to_payload(stats)))
+                for key, stats in results]
+        return fused(items, rows)
 
     # ------------------------------------------------------------------
     # Task execution
@@ -218,35 +385,52 @@ class FabricWorker:
     def _execute_simulate(self, task) -> None:
         payload = task.payload
         engine = self._engine_for(payload["scale"], payload["decoder"])
-        config = rebuild_config(payload["config"])
+        with self._io_cv:
+            config = self._decoded.pop(task.key, None)
+        if config is None:  # not prefetch-decoded (direct claim path)
+            config = rebuild_config(payload["config"])
         workload = payload["workload"]
         engine.overrides[workload] = dict(payload.get("overrides") or {})
         # The engine must address this run exactly where the submitter
         # expects to read it; a mismatch means code-version skew
-        # (changed registry fingerprint, changed keying) and running
-        # anyway would strand the result under an address nobody polls.
-        from repro.store.serialize import encode_key
+        # (changed registry fingerprint, changed keying). Skew is a
+        # property of the worker's *code*, not of one task, so one
+        # check per engine suffices — and a hypothetical later mismatch
+        # still fails loudly downstream, as a result the executor
+        # reports "marked done but its result is missing".
+        if not getattr(engine, "_fabric_skew_checked", False):
+            from repro.store.serialize import encode_key
 
-        local_key = encode_key(engine.result_key(config, workload))
-        if local_key != task.key:
-            raise RuntimeError(
-                "content key mismatch: this worker's code computes a "
-                "different sim key than the submitter's (version skew); "
-                "restart the worker from the submitting checkout"
-            )
+            local_key = encode_key(engine.result_key(config, workload))
+            if local_key != task.key:
+                raise RuntimeError(
+                    "content key mismatch: this worker's code computes a "
+                    "different sim key than the submitter's (version skew); "
+                    "restart the worker from the submitting checkout"
+                )
+            engine._fabric_skew_checked = True
         engine.simulate(config, workload)  # writes the store via its key
 
     # ------------------------------------------------------------------
     # Claim loop
     # ------------------------------------------------------------------
     def run(self) -> WorkerStats:
-        """Claim and execute until an exit condition; returns the stats."""
+        """Claim and execute until an exit condition; returns the stats.
+
+        ``stats.claimed`` counts tasks the loop *started executing*; a
+        prefetched task handed back on exit (``release``) is neither
+        claimed nor charged against the task's retry budget.
+        """
         beat = threading.Thread(target=self._heartbeat_loop, daemon=True)
         beat.start()
+        dispatcher = threading.Thread(target=self._dispatch_loop, daemon=True)
+        dispatcher.start()
         last_work = time.time()
         try:
             while not self._stop.is_set():
-                task = self.queue.claim(self.worker_id)
+                if self._dispatch_error is not None:
+                    raise self._dispatch_error
+                task = self._next_task()
                 if task is None:
                     if self.drain:
                         break
@@ -254,11 +438,18 @@ class FabricWorker:
                             and time.time() - last_work >= self.max_idle):
                         self._log(f"idle {self.max_idle:.0f}s, exiting")
                         break
-                    self._stop.wait(self.poll)
                     continue
                 last_work = time.time()
                 self.stats.claimed += 1
                 self._active_key = task.key
+                # Overlap the next claim with this task's execution —
+                # unless the budget says this is the last one.
+                if self.max_tasks is None or (
+                        self.stats.claimed + len(self._pending)
+                        < self.max_tasks):
+                    with self._io_cv:
+                        self._want_prefetch = True
+                        self._io_cv.notify_all()
                 try:
                     self._execute(task)
                 except Exception as exc:  # noqa: BLE001 — task isolation
@@ -269,26 +460,188 @@ class FabricWorker:
                     self._log(f"task failed ({state}): {exc}")
                 else:
                     self._active_key = None
-                    if self.queue.complete(task.key, self.worker_id):
-                        self.stats.completed += 1
-                        self._log(f"done {task.kind} "
-                                  f"(attempt {task.attempts}/{task.max_attempts})")
-                    else:
-                        # Lease expired mid-task and someone else owns it
-                        # now; the content-addressed result write was
-                        # idempotent, so this is bookkeeping, not loss.
-                        self.stats.lost_leases += 1
-                        self._log("lease lost before completion")
-                self._beat_row()
+                    with self._io_cv:
+                        self._outbox.append(task)
+                        self._io_cv.notify_all()
+                now = time.time()
+                if now - self._last_beat >= max(0.5, self.lease / 6.0):
+                    self._last_beat = now
+                    self._beat_row()
                 if self.max_tasks is not None and self.stats.claimed >= self.max_tasks:
                     break
         finally:
             self._stop.set()
+            with self._io_cv:
+                self._io_cv.notify_all()
+            dispatcher.join(timeout=5.0)
+            self._shutdown_queue_state()
             beat.join(timeout=2.0)
             self.stats.telemetry = self._telemetry()
-            self._beat_row()
+            try:
+                self._beat_row()
+            except Exception:  # noqa: BLE001 — stats beat is best-effort
+                pass
             self.close()
+        if self._dispatch_error is not None and not self.stats.claimed:
+            raise self._dispatch_error
         return self.stats
+
+    def _next_task(self) -> object:
+        """The next task to execute: prefetched if available, else a
+        direct claim (long-polling ``poll`` seconds unless draining)."""
+        deadline = time.monotonic() + 0.2
+        with self._io_cv:
+            while (not self._pending and self._want_prefetch
+                   and not self._stop.is_set()
+                   and self._dispatch_error is None
+                   and time.monotonic() < deadline):
+                self._io_cv.wait(0.05)
+            if self._pending:
+                return self._pending.popleft()
+            # Take claiming back from the dispatcher; a prefetch that
+            # still lands in parallel just parks in _pending for the
+            # next iteration.
+            self._want_prefetch = False
+        if self._stop.is_set():
+            return None
+        return self.queue.claim(self.worker_id,
+                                wait=None if self.drain else self.poll)
+
+    #: Completion acks flush as soon as this many pile up ...
+    FLUSH_BATCH = 4
+    #: ... or when the oldest unacked completion is this old, seconds
+    #: (bounded below so quick bench/poll settings still batch a little).
+    FLUSH_AGE = 0.05
+    #: Prefetched-task pipeline: top up (batched claim) when the buffer
+    #: falls below half, fill to this depth. Sized so one claim round
+    #: trip (~2 ms over HTTP) fetches more work than the execute thread
+    #: can drain in that time, keeping the worker compute-bound on
+    #: sub-ms tasks — yet shallow enough that a SIGKILLed worker
+    #: strands only a handful of (expiring) leases.
+    PREFETCH_DEPTH = 6
+
+    def _dispatch_loop(self) -> None:
+        """Background wire I/O: prefetch claims + batched completions.
+
+        Runs until :meth:`stop` *and* the outbox is flushed. Prefetch
+        takes priority — the execute thread may be waiting on it —
+        then completion acks flush in batches (size- or age-triggered,
+        :data:`FLUSH_BATCH`/:data:`FLUSH_AGE`) so N fast tasks cost one
+        result write plus one ``complete_many`` instead of 2N round
+        trips. Prefetch misses back off exponentially (0.05 s →
+        ``poll``) so an empty queue is not hammered while a long task
+        executes.
+        """
+        miss_pace = 0.05
+        oldest = None  # when the current outbox went nonempty
+        try:
+            while True:
+                with self._io_cv:
+                    stop = self._stop.is_set()
+                    # _want_prefetch is the main loop's standing
+                    # permission to claim (it re-grants at every task
+                    # start, budget allowing); top the pipeline up
+                    # whenever it runs low so the execute thread finds
+                    # the next task already claimed and decoded.
+                    budget = self.PREFETCH_DEPTH - len(self._pending)
+                    if self.max_tasks is not None:
+                        budget = min(budget, (
+                            self.max_tasks - self.stats.claimed
+                            - len(self._pending)))
+                    want = (self._want_prefetch and not stop
+                            and len(self._pending) <= self.PREFETCH_DEPTH // 2
+                            and budget > 0)
+                    size = len(self._outbox)
+                if size and oldest is None:
+                    oldest = time.monotonic()
+                if want:
+                    fused = getattr(self.queue, "claim_many_prechecked", None)
+                    if fused is not None:
+                        tasks, rows = fused(self.worker_id, budget)
+                    else:
+                        tasks = self.queue.claim_many(self.worker_id, budget)
+                        rows = None
+                    self._prefetch_many(tasks, rows)
+                    with self._io_cv:
+                        self._pending.extend(tasks)
+                        if len(tasks) < budget:
+                            # Queue ran dry: drop the permission so the
+                            # main thread stops waiting on us and runs
+                            # its own long-poll claim instead of
+                            # burning its brief deadline.
+                            self._want_prefetch = False
+                        self._io_cv.notify_all()
+                    if tasks:
+                        miss_pace = 0.05
+                        continue
+                if size and (stop or size >= self.FLUSH_BATCH
+                             or time.monotonic() - oldest >= self.FLUSH_AGE):
+                    with self._io_cv:
+                        batch = list(self._outbox)
+                        self._outbox.clear()
+                    oldest = None
+                    # Results first, acks second: a completion must
+                    # never become visible before its result row. When
+                    # the queue speaks the fused endpoint (HTTP), the
+                    # buffered rows ride the completion request and the
+                    # server enforces that order in one round trip.
+                    oks = self._flush_completions(batch)
+                    for task, ok in zip(batch, oks):
+                        if ok:
+                            self.stats.completed += 1
+                            self._log(
+                                f"done {task.kind} (attempt "
+                                f"{task.attempts}/{task.max_attempts})")
+                        else:
+                            # Lease expired mid-task and someone else
+                            # owns it now; the content-addressed result
+                            # write was idempotent, so this is
+                            # bookkeeping, not loss.
+                            self.stats.lost_leases += 1
+                            self._log("lease lost before completion")
+                    continue
+                with self._io_cv:
+                    if self._stop.is_set() and not self._outbox:
+                        return
+                    if self._outbox and oldest is not None:
+                        due = self.FLUSH_AGE - (time.monotonic() - oldest)
+                        self._io_cv.wait(max(0.001, min(miss_pace, due)))
+                    else:
+                        self._io_cv.wait(miss_pace)
+                miss_pace = min(miss_pace * 2, max(self.poll, 0.05))
+        except BaseException as exc:  # noqa: BLE001 — surfaced to run()
+            self._dispatch_error = exc
+            self._stop.set()
+            with self._io_cv:
+                self._io_cv.notify_all()
+
+    def _shutdown_queue_state(self) -> None:
+        """Flush completions the dispatcher left and hand back leases.
+
+        Best-effort by design: if the queue is unreachable the leases
+        expire on their own and the tasks are re-run elsewhere — the
+        content-addressed results make that merely redundant.
+        """
+        with self._io_cv:
+            leftover = list(self._outbox)
+            self._outbox.clear()
+            pending = list(self._pending)
+            self._pending.clear()
+        try:
+            oks = self._flush_completions(leftover)
+            for ok in oks:
+                if ok:
+                    self.stats.completed += 1
+                else:
+                    self.stats.lost_leases += 1
+        except Exception as exc:  # noqa: BLE001 — lease expiry covers us
+            self._log(f"completion flush failed on exit: {exc}")
+        for task in pending:
+            try:
+                self.queue.release(task.key, self.worker_id)
+                self._log(f"released unstarted prefetch {task.key}")
+            except Exception as exc:  # noqa: BLE001 — lease expiry covers us
+                self._log(f"release failed on exit: {exc}")
 
     def _beat_row(self) -> None:
         self.queue.worker_beat(
@@ -296,12 +649,23 @@ class FabricWorker:
             tasks_failed=self.stats.failed, telemetry=self._telemetry(),
         )
 
+    def _held_keys(self) -> list:
+        """Every lease this worker currently holds (active, prefetched,
+        finished-but-unacked) — all renewed by the heartbeat."""
+        keys = []
+        active = self._active_key
+        if active is not None:
+            keys.append(active)
+        with self._io_cv:
+            keys.extend(task.key for task in self._pending)
+            keys.extend(task.key for task in self._outbox)
+        return keys
+
     def _heartbeat_loop(self) -> None:
-        """Renew the active lease (and the worker row) at lease/3."""
+        """Renew every held lease (and the worker row) at lease/3."""
         interval = max(0.05, self.lease / 3.0)
         while not self._stop.wait(interval):
-            key = self._active_key
-            if key is not None:
+            for key in self._held_keys():
                 self.queue.heartbeat(key, self.worker_id)
             self.queue.worker_beat(self.worker_id)
 

@@ -2,15 +2,21 @@
 
 Three layers, each thin:
 
-- :class:`ServiceClient` — the transport. ``urllib.request`` plus the
+- :class:`ServiceClient` — the transport. Persistent per-thread
+  ``http.client`` connections (keep-alive: one TCP setup amortised
+  over a worker's whole session instead of paid per request) plus the
   protocol obligations (bearer auth, wire-version header, one
-  handshake before the first real request) and a retry loop with
-  exponential backoff and jitter. Transient trouble — connection
-  refused (server not up yet, or restarting mid-campaign), timeouts,
+  handshake before the first real request, zlib-deflated bodies above
+  the size threshold) and a retry loop with exponential backoff and
+  jitter. Transient trouble — connection refused (server not up yet,
+  or restarting mid-campaign), timeouts, a stale keep-alive socket,
   5xx, 429 backpressure (whose ``Retry-After`` is honoured as a floor)
   — is retried up to ``max_retries`` times; protocol errors (400, 401,
   404, 426) raise :class:`ServiceError` immediately, because retrying
-  a wrong token or a version mismatch cannot help.
+  a wrong token or a version mismatch cannot help. The client counts
+  its own wire traffic (requests, bytes each way, retries, compressed
+  bodies); workers fold those counters into their heartbeat telemetry
+  so ``repro status`` can show what the fleet costs on the wire.
 - :class:`HttpQueue` — :class:`~repro.fabric.api.TaskQueue` over the
   wire. Byte-for-byte the same contract as the SQLite queue (the
   conformance suite in ``tests/test_fabric_queue.py`` runs against
@@ -30,17 +36,21 @@ server's *now*, so remaining-time arithmetic stays skew-free.
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
 import socket
+import threading
 import time
-import urllib.error
-import urllib.request
+import zlib
+from urllib.parse import urlsplit
 
 from repro.fabric.api import TaskQueue
 from repro.fabric.queue import DEFAULT_LEASE, Lease, Task
 from repro.service.protocol import (
     API_PREFIX,
+    COMPRESS_ENCODING,
+    COMPRESS_THRESHOLD,
     WIRE_HEADER,
     WIRE_VERSION,
     redact,
@@ -116,6 +126,36 @@ class ServiceClient:
         self.max_backoff = max_backoff
         self._rng = random.Random()
         self._handshaken = False
+        parts = urlsplit(base)
+        self._scheme = parts.scheme or "http"
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port or (443 if self._scheme == "https" else 80)
+        # One persistent connection per thread: the client is shared by
+        # a worker's main loop, its heartbeat thread and the pipelining
+        # dispatcher, and http.client connections are not thread-safe.
+        self._local = threading.local()
+        self._telemetry_lock = threading.Lock()
+        self._counters = {"requests": 0, "bytes_out": 0, "bytes_in": 0,
+                          "retries": 0, "compressed_bodies": 0}
+
+    # ------------------------------------------------------------------
+    def telemetry(self) -> dict:
+        """Wire-traffic counters since construction, ``wire_``-prefixed.
+
+        ``wire_requests`` / ``wire_bytes_out`` / ``wire_bytes_in`` /
+        ``wire_retries`` / ``wire_compressed_bodies`` — the shape
+        workers merge straight into their heartbeat telemetry dicts.
+        Byte counts are HTTP body bytes as sent on the wire (after
+        compression), both directions.
+        """
+        with self._telemetry_lock:
+            return {f"wire_{name}": count
+                    for name, count in self._counters.items()}
+
+    def _count(self, **deltas) -> None:
+        with self._telemetry_lock:
+            for name, delta in deltas.items():
+                self._counters[name] += delta
 
     # ------------------------------------------------------------------
     def handshake(self) -> dict:
@@ -137,46 +177,103 @@ class ServiceClient:
         self._handshaken = True
         return card
 
-    def call(self, method: str, endpoint: str, payload: dict = None) -> dict:
-        """One API call (handshaking first if this client hasn't yet)."""
+    def call(self, method: str, endpoint: str, payload: dict = None,
+             timeout: float = None) -> dict:
+        """One API call (handshaking first if this client hasn't yet).
+
+        ``timeout`` raises this request's socket timeout above the
+        client default — the long-poll claim path sets it to the poll
+        wait plus margin so a parked request cannot time out under a
+        healthy server.
+        """
         if not self._handshaken and endpoint != "handshake":
             self.handshake()
-        return self._request(method, endpoint, payload)
+        return self._request(method, endpoint, payload, timeout=timeout)
 
     # ------------------------------------------------------------------
-    def _request(self, method: str, endpoint: str, payload: dict = None) -> dict:
-        body = None
+    # Transport: persistent per-thread connections
+    # ------------------------------------------------------------------
+    def _connection(self, timeout: float):
+        conn = getattr(self._local, "conn", None)
+        fresh = conn is None
+        if fresh:
+            factory = (http.client.HTTPSConnection
+                       if self._scheme == "https" else
+                       http.client.HTTPConnection)
+            conn = factory(self._host, self._port, timeout=timeout)
+            self._local.conn = conn
+        if conn.timeout != timeout:
+            conn.timeout = timeout
+            if conn.sock is not None:
+                conn.sock.settimeout(timeout)
+        return conn, fresh
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._local.conn = None
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _request(self, method: str, endpoint: str, payload: dict = None,
+                 timeout: float = None) -> dict:
+        path = f"{API_PREFIX}/{endpoint}"
+        body = b""
+        headers = {WIRE_HEADER: str(WIRE_VERSION),
+                   "Content-Type": "application/json",
+                   "Accept-Encoding": COMPRESS_ENCODING}
         if method == "POST":
             body = json.dumps(payload or {}).encode("utf-8")
-        headers = {WIRE_HEADER: str(WIRE_VERSION),
-                   "Content-Type": "application/json"}
+            if len(body) >= COMPRESS_THRESHOLD:
+                body = zlib.compress(body)
+                headers["Content-Encoding"] = COMPRESS_ENCODING
+                self._count(compressed_bodies=1)
         if self.token:
             headers["Authorization"] = f"Bearer {self.token}"
-        request = urllib.request.Request(
-            f"{self.url}{API_PREFIX}/{endpoint}", data=body,
-            headers=headers, method=method,
-        )
+        effective_timeout = self.timeout if timeout is None else timeout
         attempt = 0
+        stale_retry = True
         while True:
             retry_floor = 0.0
             try:
-                with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                    return json.loads(resp.read().decode("utf-8"))
-            except urllib.error.HTTPError as exc:
-                detail = self._error_text(exc)
-                if exc.code == 429:
-                    retry_floor = self._retry_after(exc)
-                elif exc.code < 500:
+                conn, fresh = self._connection(effective_timeout)
+                conn.request(method, path, body=body or None, headers=headers)
+                resp = conn.getresponse()
+                raw = resp.read()
+                self._count(requests=1, bytes_out=len(body), bytes_in=len(raw))
+                status = resp.status
+                encoding = (resp.getheader("Content-Encoding") or "").lower()
+                if encoding == COMPRESS_ENCODING:
+                    raw = zlib.decompress(raw)
+                    self._count(compressed_bodies=1)
+                if status == 200:
+                    return json.loads(raw)
+                detail = self._error_text(raw)
+                if status == 429:
+                    retry_floor = self._retry_after(resp)
+                elif status < 500:
                     raise ServiceError(
-                        f"{method} /{endpoint} failed: HTTP {exc.code}: "
-                        f"{detail}", status=exc.code,
-                    ) from None
-                failure = f"HTTP {exc.code}: {detail}"
-                status = exc.code
-            except (urllib.error.URLError, socket.timeout, ConnectionError,
-                    TimeoutError) as exc:
-                reason = getattr(exc, "reason", exc)
-                failure = f"{type(exc).__name__}: {reason}"
+                        f"{method} /{endpoint} failed: HTTP {status}: "
+                        f"{detail}", status=status,
+                    )
+                failure = f"HTTP {status}: {detail}"
+            except ServiceError:
+                raise
+            except (http.client.HTTPException, socket.timeout,
+                    ConnectionError, TimeoutError, OSError) as exc:
+                self._drop_connection()
+                if stale_retry and not fresh and isinstance(
+                    exc, (http.client.RemoteDisconnected, BrokenPipeError,
+                          ConnectionResetError),
+                ):
+                    # A kept-alive socket the server closed while we
+                    # were idle: reconnect immediately, once, without
+                    # spending the transient budget.
+                    stale_retry = False
+                    continue
+                failure = f"{type(exc).__name__}: {exc}"
                 status = None
             if attempt >= self.max_retries:
                 raise ServiceError(
@@ -187,6 +284,7 @@ class ServiceClient:
                     ),
                     status=status,
                 )
+            self._count(retries=1)
             time.sleep(max(self._sleep_for(attempt), retry_floor))
             attempt += 1
 
@@ -194,18 +292,26 @@ class ServiceClient:
         base = min(self.backoff * (2 ** attempt), self.max_backoff)
         return base * self._rng.uniform(0.5, 1.5)
 
-    @staticmethod
-    def _error_text(exc) -> str:
-        try:
-            payload = json.loads(exc.read().decode("utf-8"))
-            return payload.get("error", "")
-        except Exception:  # noqa: BLE001 — error body is best-effort
-            return exc.reason if isinstance(exc.reason, str) else str(exc.reason)
+    def close(self) -> None:
+        """Release the calling thread's persistent connection.
+
+        Other threads' connections close when their owners exit (the
+        sockets are daemon-thread-bound and reaped by the OS); calling
+        this from each thread that used the client is the tidy path.
+        """
+        self._drop_connection()
 
     @staticmethod
-    def _retry_after(exc) -> float:
+    def _error_text(raw: bytes) -> str:
         try:
-            return float(exc.headers.get("Retry-After", 0))
+            return json.loads(raw).get("error", "")
+        except Exception:  # noqa: BLE001 — error body is best-effort
+            return raw.decode("utf-8", "replace")[:200]
+
+    @staticmethod
+    def _retry_after(resp) -> float:
+        try:
+            return float(resp.getheader("Retry-After", 0))
         except (TypeError, ValueError):
             return 0.0
 
@@ -259,18 +365,65 @@ class HttpQueue(TaskQueue):
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
-    def claim(self, worker_id: str, lease_seconds: float = None):
-        """Lease the oldest claimable task; ``None`` when nothing is."""
-        reply = self.client.call("POST", "queue/claim", {
+    def claim(self, worker_id: str, lease_seconds: float = None,
+              wait: float = None):
+        """Lease the oldest claimable task; ``None`` when nothing is.
+
+        ``wait`` long-polls: the server parks the request until work
+        appears (or the wait elapses), so an idle worker holds one
+        open request instead of sending a poll stream. The socket
+        timeout is raised to ``wait`` plus margin for the parked call.
+        """
+        payload = {
             "worker": worker_id,
             "lease_seconds": lease_seconds
             if lease_seconds is not None else self.lease_seconds,
-        })
+        }
+        timeout = None
+        if wait:
+            payload["wait"] = float(wait)
+            timeout = float(wait) + self.client.timeout
+        reply = self.client.call("POST", "queue/claim", payload,
+                                 timeout=timeout)
         row = reply["task"]
         if row is None:
             return None
         return Task(key=row["key"], kind=row["kind"], payload=row["payload"],
                     attempts=row["attempts"], max_attempts=row["max_attempts"])
+
+    def claim_many(self, worker_id: str, n: int,
+                   lease_seconds: float = None) -> list:
+        """Lease up to ``n`` tasks in one request (never blocks)."""
+        tasks, _rows = self.claim_many_prechecked(
+            worker_id, n, lease_seconds=lease_seconds, precheck=False)
+        return tasks
+
+    def claim_many_prechecked(self, worker_id: str, n: int,
+                              lease_seconds: float = None,
+                              precheck: bool = True):
+        """:meth:`claim_many` plus the store precheck, one round trip.
+
+        Returns ``(tasks, rows)`` where ``rows`` maps each claimed
+        task's key to its already-stored result (or ``None``) — the
+        same shape as a ``sim_results`` ``get_many`` over those keys.
+        Pipelined workers use this to prefetch the engine's cache
+        check without a second request per claim batch.
+        """
+        if n <= 0:
+            return [], {}
+        payload = {
+            "worker": worker_id, "count": int(n),
+            "lease_seconds": lease_seconds
+            if lease_seconds is not None else self.lease_seconds,
+        }
+        if precheck:
+            payload["precheck"] = True
+        reply = self.client.call("POST", "queue/claim", payload)
+        tasks = [Task(key=row["key"], kind=row["kind"],
+                      payload=row["payload"], attempts=row["attempts"],
+                      max_attempts=row["max_attempts"])
+                 for row in reply["tasks"]]
+        return tasks, (reply.get("results") or {})
 
     def heartbeat(self, key: str, worker_id: str, lease_seconds: float = None) -> bool:
         """Extend a held lease; ``False`` when the lease was lost."""
@@ -291,9 +444,33 @@ class HttpQueue(TaskQueue):
     def complete_many(self, completions) -> list:
         """Batched :meth:`complete`: ``[(key, worker_id), ...]`` in one
         request; returns the per-item ``bool`` list."""
-        reply = self.client.call("POST", "queue/complete", {
+        return self.complete_many_with_results(completions, [])
+
+    def complete_many_with_results(self, completions, results) -> list:
+        """:meth:`complete_many` carrying result rows in the same request.
+
+        ``results`` is ``[(encoded_key, value_text), ...]`` destined for
+        the ``sim_results`` table; the server persists those rows
+        *before* marking anything done, so the results-before-ack
+        invariant holds within one round trip instead of two.
+        """
+        completions = list(completions)
+        results = list(results)
+        if not completions and not results:
+            return []
+        payload = {
             "completions": [{"key": key, "worker": worker}
                             for key, worker in completions],
+        }
+        if results:
+            payload["results"] = [[key, value] for key, value in results]
+        reply = self.client.call("POST", "queue/complete", payload)
+        return reply["ok"]
+
+    def release(self, key: str, worker_id: str) -> bool:
+        """Return a held lease unstarted (attempt refunded)."""
+        reply = self.client.call("POST", "queue/release", {
+            "key": key, "worker": worker_id,
         })
         return reply["ok"]
 
@@ -365,7 +542,8 @@ class HttpQueue(TaskQueue):
         return self.client.call("POST", "queue/purge-done")["purged"]
 
     def close(self) -> None:
-        """No persistent transport to release (requests are one-shot)."""
+        """Release the calling thread's persistent connection."""
+        self.client.close()
 
 
 class HttpBackend:
@@ -411,6 +589,14 @@ class HttpBackend:
         return self.client.call("POST", "store/get",
                                 {"table": table, "key": key})["value"]
 
+    def get_many(self, table: str, keys) -> dict:
+        """Fetch ``{key: value_or_None}`` for many keys in one request."""
+        keys = list(keys)
+        if not keys:
+            return {}
+        return self.client.call("POST", "store/get-many",
+                                {"table": table, "keys": keys})["values"]
+
     def put(self, table: str, key: str, value: str, replace: bool = True) -> bool:
         """Store one value; ``False`` when ``replace=False`` skipped it."""
         return self.put_many(table, [(key, value)], replace=replace) == 1
@@ -452,7 +638,8 @@ class HttpBackend:
         self.client.call("POST", "store/vacuum")
 
     def close(self) -> None:
-        """No persistent transport to release (requests are one-shot)."""
+        """Release the calling thread's persistent connection."""
+        self.client.close()
 
 
 def fetch_status(url: str, token: str = None,

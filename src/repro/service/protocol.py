@@ -23,7 +23,18 @@ Everything both sides must agree on lives here, so the server
   the exception text).
 - **Batching.** ``queue/enqueue`` and ``queue/complete`` accept lists,
   so a driver submits a whole race step in one request and a worker
-  can acknowledge several tasks per round trip.
+  can acknowledge several tasks per round trip; ``queue/claim`` takes
+  a ``count`` and answers with a ``tasks`` list, and ``store/get-many``
+  fetches K results in one request.
+- **Long-poll.** ``queue/claim`` accepts a ``wait`` (seconds, capped
+  at :data:`MAX_CLAIM_WAIT`); the server parks the request on a
+  condition variable and wakes it the moment claimable work appears,
+  so an idle fleet costs one held connection instead of a poll storm.
+- **Compression.** JSON bodies above :data:`COMPRESS_THRESHOLD` bytes
+  are zlib-deflated in either direction, flagged with
+  ``Content-Encoding: deflate``. Clients advertise support via
+  ``Accept-Encoding``; the server only compresses responses for
+  clients that did.
 
 The endpoint catalogue mirrors the fabric queue API 1:1 (see
 :class:`~repro.fabric.api.TaskQueue`) plus the store backend's
@@ -36,8 +47,10 @@ from __future__ import annotations
 import os
 
 #: Bump when request/response shapes change incompatibly. Checked per
-#: request (header) and at handshake.
-WIRE_VERSION = 1
+#: request (header) and at handshake. Version 2: batched claim
+#: (``count``/``tasks``), long-poll ``wait``, ``queue/release``,
+#: ``store/get-many``, deflate body compression.
+WIRE_VERSION = 2
 
 #: URL prefix every endpoint lives under.
 API_PREFIX = "/api/v1"
@@ -56,6 +69,19 @@ DEFAULT_PORT = 8537
 
 #: Default seconds a backpressured (429) client is told to wait.
 RETRY_AFTER_SECONDS = 1.0
+
+#: JSON bodies at or above this many bytes are sent zlib-deflated
+#: (``Content-Encoding: deflate``). Small bodies stay raw: the zlib
+#: header would eat the saving and the CPU is better spent elsewhere.
+COMPRESS_THRESHOLD = 1024
+
+#: The one body encoding both sides speak (zlib with header).
+COMPRESS_ENCODING = "deflate"
+
+#: Hard server-side cap on ``queue/claim``'s long-poll ``wait``,
+#: seconds. Keeps parked claim threads bounded and lets clients size
+#: their socket timeout as ``wait + margin`` safely.
+MAX_CLAIM_WAIT = 30.0
 
 
 def resolve_token(token: str = None) -> str:

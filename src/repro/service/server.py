@@ -42,6 +42,7 @@ import hmac
 import json
 import threading
 import time
+import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.fabric.queue import (
@@ -52,6 +53,9 @@ from repro.fabric.queue import (
 )
 from repro.service.protocol import (
     API_PREFIX,
+    COMPRESS_ENCODING,
+    COMPRESS_THRESHOLD,
+    MAX_CLAIM_WAIT,
     RETRY_AFTER_SECONDS,
     WIRE_HEADER,
     WIRE_VERSION,
@@ -130,6 +134,13 @@ class ExperimentService:
             """Per-request glue: auth, version, routing, JSON I/O."""
 
             protocol_version = "HTTP/1.1"
+            # Buffer the response stream so status line, headers and
+            # body leave in ONE send: with keep-alive connections the
+            # default unbuffered wfile emits them as separate packets,
+            # and Nagle + delayed-ACK turns every reply into a ~40 ms
+            # stall. Disabling Nagle guards the flush boundary too.
+            wbufsize = -1
+            disable_nagle_algorithm = True
 
             def do_GET(self):  # noqa: N802 — http.server API
                 """Dispatch a GET request through the route table."""
@@ -172,13 +183,18 @@ class ExperimentService:
                 raise _ServiceError(404, f"unknown path {path!r}; API lives "
                                          f"under {API_PREFIX}/")
             route = path[len(API_PREFIX):].strip("/")
+            # Drain the request body before any reply can be sent:
+            # persistent (keep-alive) clients would otherwise find the
+            # unread body bytes where the next request line should be.
+            length = int(handler.headers.get("Content-Length") or 0)
+            raw = handler.rfile.read(length) if length else b""
             self._check_auth(handler)
             if route != "handshake":
                 self._check_version(handler)
             func = self._routes.get((method, route))
             if func is None:
                 raise _ServiceError(404, f"unknown endpoint {method} /{route}")
-            payload = self._read_body(handler) if method == "POST" else {}
+            payload = self._read_body(handler, raw) if method == "POST" else {}
             self._reply(handler, 200, func(payload))
         except _ServiceError as exc:
             self._reply(handler, exc.status, {"error": str(exc)}, exc.headers)
@@ -206,11 +222,20 @@ class ExperimentService:
             )
 
     @staticmethod
-    def _read_body(handler) -> dict:
-        length = int(handler.headers.get("Content-Length") or 0)
-        raw = handler.rfile.read(length) if length else b""
+    def _read_body(handler, raw: bytes) -> dict:
         if not raw:
             return {}
+        encoding = (handler.headers.get("Content-Encoding") or "").strip().lower()
+        if encoding == COMPRESS_ENCODING:
+            try:
+                raw = zlib.decompress(raw)
+            except zlib.error as exc:
+                raise _ServiceError(400, f"undecodable deflate body: {exc}") \
+                    from None
+        elif encoding:
+            raise _ServiceError(
+                400, f"unsupported Content-Encoding {encoding!r}; "
+                     f"this server speaks identity and {COMPRESS_ENCODING}")
         try:
             payload = json.loads(raw)
         except ValueError as exc:
@@ -222,9 +247,16 @@ class ExperimentService:
     @staticmethod
     def _reply(handler, status: int, payload: dict, headers: dict = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        accepts = (handler.headers.get("Accept-Encoding") or "").lower()
+        compressed = (len(body) >= COMPRESS_THRESHOLD
+                      and COMPRESS_ENCODING in accepts)
+        if compressed:
+            body = zlib.compress(body)
         try:
             handler.send_response(status)
             handler.send_header("Content-Type", "application/json")
+            if compressed:
+                handler.send_header("Content-Encoding", COMPRESS_ENCODING)
             handler.send_header("Content-Length", str(len(body)))
             for name, value in (headers or {}).items():
                 handler.send_header(name, str(value))
@@ -243,6 +275,7 @@ class ExperimentService:
             ("POST", "queue/claim"): self._ep_claim,
             ("POST", "queue/heartbeat"): self._ep_heartbeat,
             ("POST", "queue/complete"): self._ep_complete,
+            ("POST", "queue/release"): self._ep_release,
             ("POST", "queue/fail"): self._ep_fail,
             ("POST", "queue/requeue-dead"): self._ep_requeue_dead,
             ("POST", "queue/cancel"): self._ep_cancel,
@@ -256,6 +289,7 @@ class ExperimentService:
             ("POST", "workers/beat"): self._ep_beat,
             ("GET", "workers"): self._ep_workers,
             ("POST", "store/get"): self._ep_store_get,
+            ("POST", "store/get-many"): self._ep_store_get_many,
             ("POST", "store/put-many"): self._ep_store_put_many,
             ("POST", "store/delete"): self._ep_store_delete,
             ("POST", "store/items"): self._ep_store_items,
@@ -290,15 +324,43 @@ class ExperimentService:
         return {"added": added}
 
     def _ep_claim(self, payload: dict) -> dict:
-        task = self.queue.claim(
-            payload["worker"], lease_seconds=payload.get("lease_seconds")
-        )
-        if task is None:
-            return {"task": None}
-        return {"task": {
+        """Claim up to ``count`` tasks, parking up to ``wait`` seconds.
+
+        The long-poll path rides the queue's own condition variable:
+        every enqueue/requeue/release through this service wakes parked
+        claimers immediately, and a short poll bound inside
+        ``JobQueue.claim`` covers writers that bypass the service and
+        touch the SQLite file directly.
+        """
+        worker = payload["worker"]
+        lease = payload.get("lease_seconds")
+        count = max(1, int(payload.get("count") or 1))
+        wait = min(float(payload.get("wait") or 0.0), MAX_CLAIM_WAIT)
+        tasks = self.queue.claim_many(worker, count, lease_seconds=lease)
+        if not tasks and wait > 0:
+            first = self.queue.claim(worker, lease_seconds=lease, wait=wait)
+            if first is not None:
+                tasks = [first]
+                if count > 1:
+                    tasks += self.queue.claim_many(worker, count - 1,
+                                                   lease_seconds=lease)
+        rows = [{
             "key": task.key, "kind": task.kind, "payload": task.payload,
             "attempts": task.attempts, "max_attempts": task.max_attempts,
-        }}
+        } for task in tasks]
+        if "count" in payload:
+            reply = {"tasks": rows}
+            if payload.get("precheck") and tasks:
+                # Piggyback the store precheck on the claim: answer "was
+                # this key already computed?" for every claimed task in
+                # the same round trip, so pipelined workers skip their
+                # separate store/get-many request per prefetch batch.
+                get = self.store.backend.get
+                reply["results"] = {
+                    task.key: get("sim_results", task.key) for task in tasks
+                }
+            return reply
+        return {"task": rows[0] if rows else None}
 
     def _ep_heartbeat(self, payload: dict) -> dict:
         ok = self.queue.heartbeat(
@@ -308,10 +370,19 @@ class ExperimentService:
         return {"ok": ok}
 
     def _ep_complete(self, payload: dict) -> dict:
+        # Result rows riding the completion request land first: a task
+        # must never read as done while its result row is unreadable.
+        rows = payload.get("results") or []
+        if rows:
+            self.store.backend.put_many(
+                "sim_results", [(key, value) for key, value in rows])
         return {"ok": [
             self.queue.complete(item["key"], item["worker"])
             for item in payload.get("completions", [])
         ]}
+
+    def _ep_release(self, payload: dict) -> dict:
+        return {"ok": self.queue.release(payload["key"], payload["worker"])}
 
     def _ep_fail(self, payload: dict) -> dict:
         state = self.queue.fail(
@@ -377,6 +448,12 @@ class ExperimentService:
     def _ep_store_get(self, payload: dict) -> dict:
         return {"value": self.store.backend.get(self._table(payload),
                                                 payload["key"])}
+
+    def _ep_store_get_many(self, payload: dict) -> dict:
+        table = self._table(payload)
+        get = self.store.backend.get
+        return {"values": {key: get(table, key)
+                           for key in payload.get("keys", [])}}
 
     def _ep_store_put_many(self, payload: dict) -> dict:
         written = self.store.backend.put_many(

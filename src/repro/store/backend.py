@@ -103,6 +103,11 @@ class MemoryBackend:
         row = self._tables[table].get(key)
         return row[0] if row is not None else None
 
+    def get_many(self, table: str, keys) -> dict:
+        """``{key: value_or_None}`` for many keys in one call."""
+        rows = self._tables[table]
+        return {key: (rows[key][0] if key in rows else None) for key in keys}
+
     def put(self, table: str, key: str, value: str, replace: bool = True) -> bool:
         if not replace and key in self._tables[table]:
             return False
@@ -200,6 +205,21 @@ class SqliteBackend:
                 f"SELECT value FROM {table} WHERE key = ?", (key,)
             ).fetchone())
         return row[0] if row is not None else None
+
+    def get_many(self, table: str, keys) -> dict:
+        """``{key: value_or_None}`` for many keys, one query per 500."""
+        keys = list(keys)
+        out = {key: None for key in keys}
+        with self._lock:
+            for start in range(0, len(keys), 500):
+                chunk = keys[start:start + 500]
+                marks = ",".join("?" for _ in chunk)
+                rows = retry_busy(lambda c=chunk, m=marks: list(
+                    self._conn.execute(
+                        f"SELECT key, value FROM {table} WHERE key IN ({m})", c
+                    )))
+                out.update(rows)
+        return out
 
     def put(self, table: str, key: str, value: str, replace: bool = True) -> bool:
         return self.put_many(table, [(key, value)], replace=replace) == 1

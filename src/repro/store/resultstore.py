@@ -58,6 +58,22 @@ class ResultStore:
         text = self.backend.get("sim_results", encode_key(key))
         return stats_from_payload(loads(text)) if text is not None else None
 
+    def get_sims(self, keys) -> dict:
+        """``{key: SimStats_or_None}`` for many keys in one round trip.
+
+        Backed by the backend's ``get_many`` (one SQL query locally,
+        one HTTP request remotely), which is what keeps result polling
+        for K racing candidates from costing K wire round trips.
+        """
+        keys = list(keys)
+        encoded = [encode_key(key) for key in keys]
+        raw = self.backend.get_many("sim_results", encoded)
+        return {
+            key: (stats_from_payload(loads(raw[enc]))
+                  if raw.get(enc) is not None else None)
+            for key, enc in zip(keys, encoded)
+        }
+
     def put_sim(self, key, stats) -> None:
         """Persist one simulation result under its content key."""
         self.put_sim_many([(key, stats)])

@@ -381,14 +381,21 @@ class AsyncRaceScheduler:
             self.source.submit(batch)
 
     def _await_frontier(self, results: dict, start: float) -> None:
-        """Poll until every alive candidate's frontier result is in."""
+        """Poll until every alive candidate's frontier result is in.
+
+        Empty polls back off exponentially from ``poll_interval`` up to
+        a 1 s cap (any result resets the pace), so a scheduler stalled
+        on slow workers stops hammering the executor's queue/server.
+        """
         state = self.state
         frontier = [(i, state.step) for i in state.alive]
+        pace = self.poll_interval
         while not all(t in results for t in frontier):
             got = self.source.poll()
             if got:
                 for token, cost in got:
                     results[token] = cost
+                pace = self.poll_interval
                 continue
             if (self.timeout is not None
                     and time.monotonic() - start > self.timeout):
@@ -396,7 +403,8 @@ class AsyncRaceScheduler:
                 raise TimeoutError(
                     f"race step {state.step} timed out after {self.timeout}s "
                     f"({len(missing)} frontier result(s) outstanding)")
-            time.sleep(self.poll_interval)
+            time.sleep(pace)
+            pace = min(pace * 2, max(self.poll_interval, 1.0))
 
     def _cancel_stale(self, requested: set, cancelled: set,
                       results: dict) -> None:

@@ -57,7 +57,7 @@ class TestScenarioDeterminism:
         assert all(len(s.workloads) <= 10 for s in quick)
         assert {s.kind for s in quick} == {
             "simulate", "trace", "engine", "fabric", "batch", "mmap",
-            "service", "race",
+            "service", "dispatch", "race",
         }
 
     def test_unknown_suite_rejected(self):

@@ -23,6 +23,11 @@ def queue(request, tmp_path):
     path = tmp_path / "fab.sqlite"
     if request.param == "sqlite":
         q = JobQueue(path, lease_seconds=30.0, max_attempts=3)
+        # Second handle for tests that need a concurrent producer (the
+        # long-poll wake tests); a JobQueue connection is not shared
+        # across threads.
+        q.conformance_peer = lambda: JobQueue(path, lease_seconds=30.0,
+                                              max_attempts=3)
         yield q
         q.close()
         return
@@ -32,6 +37,8 @@ def queue(request, tmp_path):
     service = ExperimentService(path, token=TEST_TOKEN, port=0,
                                 max_attempts=3).start()
     q = HttpQueue(service.url, token=TEST_TOKEN, lease_seconds=30.0)
+    q.conformance_peer = lambda: HttpQueue(service.url, token=TEST_TOKEN,
+                                           lease_seconds=30.0)
     yield q
     q.close()
     service.stop()
@@ -222,6 +229,164 @@ class TestCancel:
         assert queue.cancel(["task-000"]) == ["task-000"]
         assert queue.enqueue(_tasks(1)) == 1
         assert queue.claim("w1").attempts == 1
+
+
+class TestBatchedClaims:
+    """``claim_many``/``complete_many``: one round trip, N leases.
+
+    The pipelined worker lives on these; every semantic of the single
+    claim/complete path must hold per element of a batch, on both
+    transports.
+    """
+
+    def test_claim_many_leases_oldest_first(self, queue):
+        queue.enqueue(_tasks(5))
+        tasks = queue.claim_many("w1", 3)
+        assert [t.key for t in tasks] == ["task-000", "task-001", "task-002"]
+        assert queue.counts()["leased"] == 3
+        assert all(t.attempts == 1 for t in tasks)
+
+    def test_claim_many_short_batch_when_queue_runs_dry(self, queue):
+        queue.enqueue(_tasks(2))
+        assert len(queue.claim_many("w1", 8)) == 2
+        assert queue.claim_many("w1", 8) == []
+
+    def test_claim_many_nonpositive_count_is_empty(self, queue):
+        queue.enqueue(_tasks(1))
+        assert queue.claim_many("w1", 0) == []
+        assert queue.depth() == 1
+
+    def test_claim_many_skips_other_workers_leases(self, queue):
+        queue.enqueue(_tasks(3))
+        queue.claim("w1")
+        tasks = queue.claim_many("w2", 3)
+        assert [t.key for t in tasks] == ["task-001", "task-002"]
+
+    def test_expired_batched_leases_are_reclaimable(self, queue):
+        queue.enqueue(_tasks(3))
+        queue.claim_many("w1", 3, lease_seconds=0.05)
+        time.sleep(0.1)
+        again = queue.claim_many("w2", 3)
+        assert [t.key for t in again] == ["task-000", "task-001", "task-002"]
+        assert all(t.attempts == 2 for t in again)
+
+    def test_complete_many_acks_each_item(self, queue):
+        queue.enqueue(_tasks(3))
+        tasks = queue.claim_many("w1", 3)
+        oks = queue.complete_many([(t.key, "w1") for t in tasks])
+        assert oks == [True, True, True]
+        assert queue.counts()["done"] == 3
+
+    def test_complete_many_empty_is_a_noop(self, queue):
+        assert queue.complete_many([]) == []
+
+    def test_complete_many_flags_stolen_lease_per_item(self, queue):
+        queue.enqueue(_tasks(2))
+        tasks = queue.claim_many("w1", 2, lease_seconds=0.05)
+        time.sleep(0.1)
+        stolen = queue.claim("w2")  # oldest-first: steals task-000
+        assert stolen.key == "task-000"
+        oks = queue.complete_many([(t.key, "w1") for t in tasks])
+        assert oks == [False, True]
+        assert queue.states(["task-000"]) == {"task-000": "leased"}
+
+    def test_cancel_ignores_batched_leases(self, queue):
+        """Cancel withdraws queued work only, never a batch-held lease."""
+        queue.enqueue(_tasks(4))
+        tasks = queue.claim_many("w1", 2)
+        assert queue.cancel(["task-000", "task-001", "task-002",
+                             "task-003"]) == ["task-002", "task-003"]
+        oks = queue.complete_many([(t.key, "w1") for t in tasks])
+        assert oks == [True, True]
+        assert queue.claim_many("w1", 4) == []
+
+    def test_cancelled_then_batch_claim_sees_nothing(self, queue):
+        queue.enqueue(_tasks(2))
+        queue.cancel(["task-000", "task-001"])
+        assert queue.claim_many("w1", 2) == []
+
+
+class TestRelease:
+    """``release``: hand an unstarted lease back, attempt refunded.
+
+    A pipelined worker that exits cleanly with prefetched-but-unstarted
+    tasks releases them so the next claimer pays no attempt for the
+    aborted prefetch.
+    """
+
+    def test_release_requeues_with_attempt_refund(self, queue):
+        queue.enqueue(_tasks(1))
+        task = queue.claim("w1")
+        assert task.attempts == 1
+        assert queue.release(task.key, "w1")
+        again = queue.claim("w2")
+        assert again is not None and again.attempts == 1
+
+    def test_release_rejected_after_lease_stolen(self, queue):
+        queue.enqueue(_tasks(1))
+        task = queue.claim("w1", lease_seconds=0.01)
+        time.sleep(0.05)
+        assert queue.claim("w2") is not None
+        assert not queue.release(task.key, "w1")
+        assert queue.counts()["leased"] == 1
+
+    def test_released_task_is_immediately_claimable(self, queue):
+        queue.enqueue(_tasks(2))
+        tasks = queue.claim_many("w1", 2)
+        queue.release(tasks[1].key, "w1")
+        assert queue.claim("w2").key == tasks[1].key
+
+
+class TestLongPoll:
+    """``claim(wait=...)``: the request parks until work appears."""
+
+    def test_wait_returns_immediately_when_work_is_ready(self, queue):
+        queue.enqueue(_tasks(1))
+        t0 = time.monotonic()
+        assert queue.claim("w1", wait=5.0) is not None
+        assert time.monotonic() - t0 < 2.0
+
+    def test_wait_times_out_empty_handed(self, queue):
+        t0 = time.monotonic()
+        assert queue.claim("w1", wait=0.2) is None
+        elapsed = time.monotonic() - t0
+        assert 0.15 <= elapsed < 5.0
+
+    def test_wait_wakes_on_concurrent_enqueue(self, queue):
+        import threading
+
+        peer = queue.conformance_peer()
+        try:
+            feeder = threading.Timer(
+                0.15, lambda: peer.enqueue(_tasks(1)))
+            feeder.start()
+            t0 = time.monotonic()
+            task = queue.claim("w1", wait=10.0)
+            elapsed = time.monotonic() - t0
+            feeder.join()
+            assert task is not None
+            assert elapsed < 8.0  # woke for the enqueue, not the timeout
+        finally:
+            peer.close()
+
+    def test_wait_wakes_on_release(self, queue):
+        import threading
+
+        queue.enqueue(_tasks(1))
+        task = queue.claim("w1")
+        peer = queue.conformance_peer()
+        try:
+            feeder = threading.Timer(
+                0.15, lambda: peer.release(task.key, "w1"))
+            feeder.start()
+            t0 = time.monotonic()
+            again = queue.claim("w2", wait=10.0)
+            elapsed = time.monotonic() - t0
+            feeder.join()
+            assert again is not None and again.key == task.key
+            assert elapsed < 8.0
+        finally:
+            peer.close()
 
 
 class TestIntrospection:

@@ -300,6 +300,172 @@ class TestHttpStore:
             svc2.close()
 
 
+class TestWireEfficiency:
+    """Wire-speed machinery: compression, fused endpoints, telemetry."""
+
+    def test_large_bodies_compress_and_round_trip(self, service):
+        from repro.service.protocol import COMPRESS_THRESHOLD
+
+        backend = HttpBackend(service.url, token=TOKEN)
+        try:
+            # Values well past the threshold in both directions.
+            big = json.dumps({"blob": "x" * (4 * COMPRESS_THRESHOLD)})
+            items = [(f"big-{i}", big) for i in range(4)]
+            backend.put_many("sim_results", items)
+            values = backend.get_many("sim_results",
+                                      [key for key, _v in items] + ["nope"])
+            assert all(values[key] == big for key, _v in items)
+            assert values["nope"] is None
+            tel = backend.client.telemetry()
+            # Request body (put_many) and response body (get_many) both
+            # crossed compressed.
+            assert tel["wire_compressed_bodies"] >= 2
+            # ... and the wire carried fewer bytes than the payload.
+            assert tel["wire_bytes_out"] < sum(len(v) for _k, v in items)
+        finally:
+            backend.close()
+
+    def test_small_bodies_stay_uncompressed(self, service):
+        backend = HttpBackend(service.url, token=TOKEN)
+        try:
+            backend.put("sim_results", "small", '{"p":1}')
+            assert backend.get("sim_results", "small") == '{"p":1}'
+            assert backend.client.telemetry()["wire_compressed_bodies"] == 0
+        finally:
+            backend.close()
+
+    def test_telemetry_counts_requests_and_bytes(self, service):
+        queue = HttpQueue(service.url, token=TOKEN)
+        try:
+            queue.enqueue([("k1", "sleep", {})])
+            queue.depth()
+            tel = queue.client.telemetry()
+            assert tel["wire_requests"] >= 2
+            assert tel["wire_bytes_out"] > 0 and tel["wire_bytes_in"] > 0
+            assert tel["wire_retries"] == 0
+        finally:
+            queue.close()
+
+    def test_claim_many_prechecked_piggybacks_store_rows(self, service):
+        queue = HttpQueue(service.url, token=TOKEN)
+        try:
+            queue.enqueue([("pk-0", "sleep", {}), ("pk-1", "sleep", {})])
+            # One of the two keys already has a stored result.
+            service.store.backend.put("sim_results", "pk-0", '{"done":1}')
+            tasks, rows = queue.claim_many_prechecked("w1", 2)
+            assert [t.key for t in tasks] == ["pk-0", "pk-1"]
+            assert rows == {"pk-0": '{"done":1}', "pk-1": None}
+        finally:
+            queue.close()
+
+    def test_claim_many_prechecked_empty_queue(self, service):
+        queue = HttpQueue(service.url, token=TOKEN)
+        try:
+            assert queue.claim_many_prechecked("w1", 4) == ([], {})
+        finally:
+            queue.close()
+
+    def test_complete_with_results_persists_rows_before_ack(self, service):
+        queue = HttpQueue(service.url, token=TOKEN)
+        try:
+            queue.enqueue([("fc-0", "sleep", {})])
+            task = queue.claim("w1")
+            oks = queue.complete_many_with_results(
+                [(task.key, "w1")], [("res-key", '{"ipc":2}')])
+            assert oks == [True]
+            assert queue.states(["fc-0"]) == {"fc-0": "done"}
+            # The fused request wrote the store row on the server.
+            assert service.store.backend.get("sim_results", "res-key") \
+                == '{"ipc":2}'
+        finally:
+            queue.close()
+
+    def test_complete_with_results_rows_survive_lost_lease(self, service):
+        """Result rows land even when every ack is rejected (idempotent,
+        content-addressed writes are never wasted)."""
+        queue = HttpQueue(service.url, token=TOKEN)
+        try:
+            queue.enqueue([("ll-0", "sleep", {})])
+            task = queue.claim("w1", lease_seconds=0.01)
+            time.sleep(0.05)
+            assert queue.claim("w2") is not None  # steals the lease
+            oks = queue.complete_many_with_results(
+                [(task.key, "w1")], [("ll-res", '{"ipc":1}')])
+            assert oks == [False]
+            assert service.store.backend.get("sim_results", "ll-res") \
+                == '{"ipc":1}'
+        finally:
+            queue.close()
+
+
+class TestAdaptivePollBackoff:
+    """Idle result loops must stop hammering the queue/server."""
+
+    def _scripted_executor(self, deliver_after: float):
+        """A FabricExecutor whose poll is scripted against a fake clock."""
+        from repro.engine.executors import FabricExecutor
+
+        ex = FabricExecutor.__new__(FabricExecutor)
+        ex.poll_interval = 0.01
+        ex.poll_cap = 1.0
+        ex.timeout = None
+        ex.clock = 0.0
+        ex.polls = 0
+        ex.sleeps = []
+
+        def poll(handle):
+            ex.polls += 1
+            if ex.clock >= deliver_after:
+                return {(0, 0): "stats"}
+            return {}
+
+        ex.poll = poll
+        ex.submit = lambda groups, decoder, registry_items=None: "handle"
+        return ex
+
+    def test_empty_polls_back_off_exponentially(self, monkeypatch):
+        ex = self._scripted_executor(deliver_after=30.0)
+
+        def fake_sleep(seconds):
+            ex.sleeps.append(seconds)
+            ex.clock += seconds
+
+        monkeypatch.setattr("repro.engine.executors.time.sleep", fake_sleep)
+        groups = [(["cfg"], ("wl", 1.0, ()), None)]
+        out = ex.run(groups, decoder=None)
+        assert out == [["stats"]]
+        # 30 virtual seconds at a flat 10 ms poll would be ~3000
+        # requests; the doubling backoff needs ~40.
+        assert ex.polls < 50
+        assert max(ex.sleeps) == ex.poll_cap  # reached the ceiling
+        # Strictly doubling until the cap.
+        ramp = ex.sleeps[:ex.sleeps.index(ex.poll_cap) + 1]
+        assert ramp == sorted(ramp)
+
+    def test_pace_resets_after_a_delivery(self, monkeypatch):
+        from repro.engine.executors import FabricExecutor
+
+        ex = FabricExecutor.__new__(FabricExecutor)
+        ex.poll_interval = 0.01
+        ex.poll_cap = 1.0
+        ex.timeout = None
+        ex.clock = 0.0
+        ex.sleeps = []
+        script = iter([{}, {}, {}, {(0, 0): "a"}, {}, {(0, 1): "b"}])
+        ex.poll = lambda handle: next(script)
+        ex.submit = lambda groups, decoder, registry_items=None: "handle"
+
+        def fake_sleep(seconds):
+            ex.sleeps.append(seconds)
+
+        monkeypatch.setattr("repro.engine.executors.time.sleep", fake_sleep)
+        groups = [(["c0", "c1"], ("wl", 1.0, ()), None)]
+        out = ex.run(groups, decoder=None)
+        assert out == [["a", "b"]]
+        # After the first delivery the pace fell back to poll_interval.
+        assert ex.sleeps[-1] == ex.poll_interval
+
+
 class TestWorkerOverHttp:
     def test_worker_drains_simulations_remotely(self, service):
         from repro.core.config import cortex_a53_public_config

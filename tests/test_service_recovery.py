@@ -98,6 +98,83 @@ def run_validate(tmp_path, out_name, *extra):
     return out.read_bytes()
 
 
+class TestPipelinedWorkerSigkill:
+    """A worker dying with a stocked prefetch pipeline strands nothing.
+
+    The pipelined worker holds several leases at once — the task it is
+    executing plus ``PREFETCH_DEPTH`` prefetched-but-unstarted ones.
+    SIGKILL it mid-stock: every held lease must expire cleanly, a
+    survivor must drain the whole plan within the attempt budget, and
+    the results must be identical to a serial engine's.
+    """
+
+    def test_sigkill_with_prefetched_tasks_still_matches_serial(
+            self, tmp_path):
+        from repro.core.config import cortex_a53_public_config
+        from repro.engine import EvaluationEngine
+        from repro.fabric import expand_grid, plan_simulations
+        from repro.store import open_store
+        from repro.store.serialize import stats_to_payload
+        from repro.workloads.microbench import MICROBENCHMARKS
+
+        scale = 0.5
+        names = ["CCa", "ED1", "MD", "STc"]
+        grid = {"l1d.size": [16384, 32768], "branch.btb_entries": [256, 512]}
+        items = expand_grid(cortex_a53_public_config(), grid, names,
+                            scale=scale)
+        plan = plan_simulations(items)
+
+        # Serial reference, fully in-process.
+        workloads = [MICROBENCHMARKS[n] for n in names]
+        with EvaluationEngine(workloads=workloads, scale=scale) as engine:
+            serial = engine.simulate_batch(
+                [(config, workload) for config, workload, *_rest in items])
+
+        store_path = tmp_path / "svc.sqlite"
+        port = free_port()
+        url = f"http://127.0.0.1:{port}"
+        server = spawn_serve(store_path, port)
+        victim = survivor = None
+        try:
+            wait_until_serving(url)
+            queue = HttpQueue(url, token=TOKEN)
+            queue.enqueue(plan.tasks, submitted_by="chaos")
+
+            # Short lease: the stranded prefetch leases expire fast.
+            victim = spawn_worker(url, "--lease", "2", "--max-idle", "60")
+            assert wait_for(lambda: queue.counts()["leased"] >= 2,
+                            timeout=60), \
+                "victim never stocked its prefetch pipeline"
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=10)
+
+            survivor = spawn_worker(url, "--lease", "5", "--max-idle", "120")
+            assert wait_for(
+                lambda: queue.counts()["done"] == len(plan.tasks),
+                timeout=180), f"queue never drained: {queue.counts()}"
+
+            counts = queue.counts()
+            assert counts["dead"] == 0, \
+                "expired prefetch leases burned the attempt budget"
+            assert counts["queued"] == 0 and counts["leased"] == 0
+
+            remote_store = open_store(url, token=TOKEN)
+            remote = remote_store.get_sims(plan.keys)
+            remote_store.close()
+            assert [stats_to_payload(remote[key]) for key in plan.keys] \
+                == [stats_to_payload(stats) for stats in serial], \
+                "post-crash fleet results diverged from serial"
+        finally:
+            for proc in (victim, survivor, server):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                if proc is not None:
+                    try:
+                        proc.wait(timeout=10)
+                    except subprocess.TimeoutExpired:
+                        pass
+
+
 class TestRemoteFleetByteIdentity:
     def test_http_campaign_with_sigkill_and_server_restart_matches_serial(
             self, tmp_path):
